@@ -1,0 +1,30 @@
+"""E1 — Schema-language / type-system feature matrix (tutorial Parts 2+3).
+
+Artifact reconstructed: the capability comparison table the tutorial walks
+through on slides.  Every cell is *probed* against the five implementations
+(see ``repro.pl.features``), so the benchmark both times the probe suite
+and regenerates the table.
+
+Expected shape: JSON Schema and Joi dominate; JSound is restrictive by
+design; TypeScript expresses unions/xor/value-dependence structurally but
+cannot close records or split int/float; Swift is the mirror image.
+"""
+
+from repro.pl import FEATURES, SYSTEMS, feature_matrix, render_matrix
+
+from helpers import emit
+
+
+def test_e01_feature_matrix(benchmark):
+    matrix = benchmark(feature_matrix)
+
+    assert set(matrix.keys()) == set(FEATURES)
+    # Headline cells from the tutorial's prose.
+    assert matrix["union types"]["Joi"] and not matrix["union types"]["Swift"]
+    assert matrix["negation types"]["JSON Schema"]
+    assert matrix["co-occurrence constraints"]["Joi"]
+    assert not matrix["int/float distinction"]["TypeScript"]
+
+    yes = {s: sum(1 for f in FEATURES if matrix[f][s]) for s in SYSTEMS}
+    summary = "feature counts: " + ", ".join(f"{s}={n}" for s, n in yes.items())
+    emit("E1-feature-matrix", render_matrix(matrix) + "\n\n" + summary)

@@ -1,0 +1,140 @@
+"""E2 — Validation throughput across schema languages (tutorial Part 2/3).
+
+Artifact reconstructed: the cost-of-validation comparison implicit in the
+tutorial's language tour — the same document family validated by JSON
+Schema, Joi, JSound, TypeScript ``check``, and Swift ``decode``.
+
+Expected shape: the structural checkers (TS/Swift/JSound) are fastest
+(less machinery per node); JSON Schema pays for combinators and pattern
+properties; all systems agree on clearly-valid documents.
+"""
+
+import pytest
+
+import repro.joi as joi
+from repro.datasets import nyt_articles
+from repro.jsonschema import compile_schema
+from repro.jsound import compile_jsound
+from repro.pl import swift as sw
+from repro.pl import typescript as ts
+
+from helpers import emit, table, wall_ms
+
+DOCS = nyt_articles(300, seed=11)
+
+JSON_SCHEMA = compile_schema(
+    {
+        "type": "object",
+        "properties": {
+            "_id": {"type": "string"},
+            "headline": {
+                "type": "object",
+                "properties": {"main": {"type": "string"}, "kicker": {"type": "string"}},
+                "required": ["main"],
+            },
+            "pub_date": {"type": "string", "format": "date-time"},
+            "word_count": {"type": "integer", "minimum": 0},
+            "keywords": {
+                "type": "array",
+                "items": {
+                    "type": "object",
+                    "properties": {"value": {"type": "string"}, "rank": {"type": "integer"}},
+                },
+            },
+        },
+        "required": ["_id", "headline", "pub_date", "word_count"],
+    }
+)
+
+JOI_SCHEMA = joi.object().unknown().keys(
+    {
+        "_id": joi.string().required(),
+        "headline": joi.object()
+        .unknown()
+        .keys({"main": joi.string().required(), "kicker": joi.string()}),
+        "pub_date": joi.string().required(),
+        "word_count": joi.number().integer().min(0).required(),
+        "keywords": joi.array().items(joi.object().unknown()),
+    }
+)
+
+JSOUND_SCHEMA = compile_jsound(
+    {
+        "_id": "string",
+        "headline": {"main": "string", "kicker": "string"},
+        "byline": "any",
+        "pub_date": "dateTime",
+        "section_name": "string",
+        "print_page": "string",
+        "news_desk": "string",
+        "word_count": "integer",
+        "keywords": ["any"],
+        "multimedia?": ["any"],
+        "snippet?": "string",
+    }
+)
+
+TS_TYPE = ts.TSObject(
+    (
+        ts.TSProperty("_id", ts.STRING),
+        ts.TSProperty(
+            "headline",
+            ts.TSObject(
+                (ts.TSProperty("main", ts.STRING), ts.TSProperty("kicker", ts.STRING))
+            ),
+        ),
+        ts.TSProperty("pub_date", ts.STRING),
+        ts.TSProperty("word_count", ts.NUMBER),
+        ts.TSProperty("keywords", ts.TSArray(ts.ANY), optional=True),
+    )
+)
+
+SWIFT_TYPE = sw.SwiftStruct.of(
+    "Article",
+    {
+        "_id": sw.STRING,
+        "pub_date": sw.STRING,
+        "word_count": sw.INT,
+        "section_name": sw.STRING,
+        "snippet": sw.SwiftOptional(sw.STRING),
+    },
+)
+
+VALIDATORS = {
+    "JSON Schema": lambda d: JSON_SCHEMA.is_valid(d),
+    "Joi": lambda d: JOI_SCHEMA.is_valid(d),
+    "JSound": lambda d: JSOUND_SCHEMA.is_valid(d),
+    "TypeScript": lambda d: ts.check(d, TS_TYPE),
+    "Swift": lambda d: sw.can_decode(SWIFT_TYPE, d),
+}
+
+
+@pytest.mark.parametrize("system", list(VALIDATORS))
+def test_e02_validation_throughput(benchmark, system):
+    check = VALIDATORS[system]
+
+    def run():
+        return sum(1 for d in DOCS if check(d))
+
+    accepted = benchmark(run)
+    assert accepted > 0
+
+
+def test_e02_report(benchmark):
+    rows = []
+    for system, check in VALIDATORS.items():
+        ms = wall_ms(lambda c=check: [c(d) for d in DOCS])
+        accepted = sum(1 for d in DOCS if check(d))
+        rows.append(
+            [
+                system,
+                f"{accepted}/{len(DOCS)}",
+                f"{ms:8.2f}",
+                f"{len(DOCS) / ms * 1000:9.0f}",
+            ]
+        )
+    emit(
+        "E2-validation-throughput",
+        table(["system", "accepted", "ms/300 docs", "docs/sec"], rows),
+    )
+    benchmark(lambda: VALIDATORS["JSON Schema"](DOCS[0]))

@@ -1,0 +1,71 @@
+"""E3 — Parametric inference: precision/succinctness vs equivalence.
+
+Artifact reconstructed: the schema-size tables of Baazizi et al.
+(EDBT '17, Table 2-style): for collections of growing structural
+heterogeneity, the size of the KIND-inferred vs LABEL-inferred type, plus
+inference time.
+
+Expected shape: KIND sizes grow slowly (everything fuses); LABEL sizes
+grow with the number of variants (union members preserved); KIND ⊆ LABEL
+in size, and LABEL rejects cross-variant chimeras KIND accepts.
+"""
+
+import pytest
+
+from repro.datasets import heterogeneous_collection
+from repro.inference import infer, infer_type, precision_against
+from repro.types import Equivalence, matches
+
+from helpers import emit, table, wall_ms
+
+SIZES = [1, 2, 4, 8]
+
+
+@pytest.mark.parametrize("equivalence", [Equivalence.KIND, Equivalence.LABEL])
+def test_e03_inference_speed(benchmark, equivalence):
+    docs = heterogeneous_collection(500, variants=4, seed=3)
+    result = benchmark(lambda: infer_type(docs, equivalence))
+    for doc in docs[:50]:
+        assert matches(doc, result)
+
+
+def test_e03_size_table(benchmark):
+    rows = []
+    for variants in SIZES:
+        docs = heterogeneous_collection(400, variants=variants, seed=variants)
+        report_k = infer(docs, Equivalence.KIND)
+        report_l = infer(docs, Equivalence.LABEL)
+        ms_k = wall_ms(lambda d=docs: infer_type(d, Equivalence.KIND), repeat=1)
+        # Chimera witnesses: swap fields across variants.
+        chimeras = [
+            {**docs[i], **docs[(i + 7) % len(docs)]} for i in range(0, 40, 2)
+        ]
+        rows.append(
+            [
+                variants,
+                report_k.schema_size,
+                report_l.schema_size,
+                f"{report_l.schema_size / report_k.schema_size:4.2f}x",
+                f"{precision_against(report_k.inferred, chimeras):5.1%}",
+                f"{precision_against(report_l.inferred, chimeras):5.1%}",
+                f"{ms_k:7.1f}",
+            ]
+        )
+        assert report_k.schema_size <= report_l.schema_size
+    emit(
+        "E3-parametric-precision",
+        table(
+            [
+                "variants",
+                "size K",
+                "size L",
+                "L/K",
+                "chimera acc. K",
+                "chimera acc. L",
+                "K infer ms",
+            ],
+            rows,
+        ),
+    )
+    docs = heterogeneous_collection(200, variants=4, seed=9)
+    benchmark(lambda: infer_type(docs, Equivalence.LABEL))

@@ -1,0 +1,58 @@
+"""E4 — Spark-style inference: type collapse on heterogeneous data.
+
+Artifact reconstructed: the tutorial's §4.1 criticism made quantitative —
+"the type language lacks union types, and the inference algorithm resorts
+to Str on strongly heterogeneous collections".  We sweep kind-noise and
+count fields that collapse to ``string`` despite never containing one,
+against the parametric (union-typed) schema that keeps them apart.
+
+Expected shape: collapses grow with noise for Spark and stay at zero for
+the union-typed algebra; Spark's schema size stays flat (information is
+being *lost*, not compressed).
+"""
+
+import pytest
+
+from repro.datasets import github_events
+from repro.inference import count_string_collapses, infer_spark_schema, infer_type
+from repro.types import Equivalence
+
+from helpers import emit, table, wall_ms
+
+NOISE_LEVELS = [0.0, 0.05, 0.1, 0.2, 0.4]
+
+
+def test_e04_spark_inference_speed(benchmark):
+    docs = github_events(400, seed=4)
+    schema = benchmark(lambda: infer_spark_schema(docs))
+    assert schema.fields
+
+
+def test_e04_collapse_table(benchmark):
+    rows = []
+    for noise in NOISE_LEVELS:
+        docs = github_events(300, seed=17, kind_noise=noise)
+        collapsed = count_string_collapses(docs)
+        spark_schema = infer_spark_schema(docs)
+        parametric = infer_type(docs, Equivalence.KIND)
+        ms = wall_ms(lambda d=docs: infer_spark_schema(d), repeat=1)
+        rows.append(
+            [
+                f"{noise:4.2f}",
+                collapsed,
+                len(spark_schema.fields),
+                parametric.size(),
+                f"{ms:7.1f}",
+            ]
+        )
+    # More noise, more collapse (compare the extremes).
+    assert int(rows[-1][1]) >= int(rows[0][1])
+    emit(
+        "E4-spark-collapse",
+        table(
+            ["kind noise", "fields collapsed to Str", "spark fields", "parametric size", "spark ms"],
+            rows,
+        ),
+    )
+    docs = github_events(300, seed=17, kind_noise=0.2)
+    benchmark(lambda: count_string_collapses(docs))

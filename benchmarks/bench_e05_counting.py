@@ -1,0 +1,66 @@
+"""E5 — Counting types: cardinality information vs size overhead.
+
+Artifact reconstructed: the DBPL '17 counting-types trade-off — the
+decorated schema answers presence/frequency questions, at a bounded size
+overhead over the plain parametric type.
+
+Expected shape: overhead stays within a small constant factor (counters
+add one node per type node at worst); presence ratios reproduce the
+generator's optional-field probabilities.
+"""
+
+import pytest
+
+from repro.datasets import heterogeneous_collection, tweets
+from repro.inference import field_presence_ratios, infer_counted, infer_type
+from repro.types import Equivalence
+
+from helpers import emit, table, wall_ms
+
+
+def test_e05_counting_speed(benchmark):
+    docs = heterogeneous_collection(400, seed=5)
+    counted = benchmark(lambda: infer_counted(docs, Equivalence.KIND))
+    assert counted.count == 400
+
+
+def test_e05_overhead_table(benchmark):
+    collections = {
+        "heterogeneous p=0.25": heterogeneous_collection(
+            300, optional_probability=0.25, seed=1
+        ),
+        "heterogeneous p=0.75": heterogeneous_collection(
+            300, optional_probability=0.75, seed=2
+        ),
+        "tweets": tweets(300, seed=3, delete_fraction=0.0),
+    }
+    rows = []
+    for name, docs in collections.items():
+        plain = infer_type(docs, Equivalence.KIND)
+        counted = infer_counted(docs, Equivalence.KIND)
+        ratios = field_presence_ratios(counted)
+        opt_ratio = ratios.get("opt_note")
+        rows.append(
+            [
+                name,
+                plain.size(),
+                counted.size(),
+                f"{counted.size() / plain.size():4.2f}x",
+                f"{opt_ratio:5.1%}" if opt_ratio is not None else "-",
+            ]
+        )
+        assert counted.plain() == plain  # the commuting square
+        assert counted.size() <= 3 * plain.size()
+    # The generator's optionality shows up in the measured ratio.
+    p25 = float(rows[0][4].rstrip("%")) / 100
+    p75 = float(rows[1][4].rstrip("%")) / 100
+    assert p25 < p75
+    emit(
+        "E5-counting-overhead",
+        table(
+            ["collection", "plain size", "counted size", "overhead", "opt_note presence"],
+            rows,
+        ),
+    )
+    docs = collections["tweets"]
+    benchmark(lambda: infer_counted(docs, Equivalence.KIND))

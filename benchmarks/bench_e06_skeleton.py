@@ -1,0 +1,45 @@
+"""E6 — Skeleton coverage vs order k (Wang et al., VLDB '15).
+
+Artifact reconstructed: the coverage curve of the skeleton paper — how
+many documents (and path occurrences) the top-k frequent structures
+explain, on a collection with a few dominant variants and a long tail.
+
+Expected shape: coverage rises steeply for small k (dominant structures)
+then flattens along the tail; path coverage ≥ document coverage at every
+k; building the skeleton is a single cheap pass.
+"""
+
+import pytest
+
+from repro.datasets import github_events, opendata_catalog
+from repro.inference import build_skeleton, document_coverage, path_coverage
+
+from helpers import emit, table
+
+DOCS = github_events(400, seed=6) + opendata_catalog(200, seed=6)
+KS = [1, 2, 4, 8, 16, 32]
+
+
+def test_e06_skeleton_build_speed(benchmark):
+    skeleton = benchmark(lambda: build_skeleton(DOCS, 8))
+    assert skeleton.order == 8
+
+
+def test_e06_coverage_curve(benchmark):
+    rows = []
+    prev_doc_cov = 0.0
+    for k in KS:
+        skeleton = build_skeleton(DOCS, k)
+        doc_cov = document_coverage(skeleton, DOCS)
+        p_cov = path_coverage(skeleton, DOCS)
+        assert p_cov >= doc_cov - 1e-9
+        assert doc_cov >= prev_doc_cov - 1e-9  # monotone in k
+        prev_doc_cov = doc_cov
+        rows.append(
+            [k, skeleton.order, f"{doc_cov:6.1%}", f"{p_cov:6.1%}"]
+        )
+    emit(
+        "E6-skeleton-coverage",
+        table(["k", "structures kept", "document coverage", "path coverage"], rows),
+    )
+    benchmark(lambda: document_coverage(build_skeleton(DOCS, 8), DOCS))

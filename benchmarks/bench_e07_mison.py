@@ -1,0 +1,84 @@
+"""E7 — Mison speedup vs projection width (Li et al., VLDB '17).
+
+Artifact reconstructed: the Mison speedup figure — projected parsing
+versus full parsing as the analytics task touches more fields.
+
+Expected shape: highest speedup for the narrowest projection (most data
+pruned at the bitmap level), monotonically shrinking as the projection
+widens; results always identical to parse-then-project.
+"""
+
+import pytest
+
+from repro.datasets import ndjson_lines, tweets
+from repro.jsonvalue.parser import parse
+from repro.parsing import MisonParser, apply_projection
+
+from helpers import emit, table, wall_ms
+
+LINES = ndjson_lines(tweets(500, seed=7, delete_fraction=0.0))
+
+PROJECTIONS = [
+    ["id"],
+    ["id", "lang"],
+    ["id", "lang", "user.screen_name"],
+    ["id", "lang", "user.screen_name", "retweet_count", "favorite_count"],
+    [
+        "id",
+        "lang",
+        "user.screen_name",
+        "retweet_count",
+        "favorite_count",
+        "entities.hashtags[*].text",
+        "user.followers_count",
+    ],
+]
+
+
+def test_e07_projected_parse_speed(benchmark):
+    parser = MisonParser(["user.screen_name", "retweet_count"])
+
+    def run():
+        return [parser.parse_projected(line) for line in LINES]
+
+    results = benchmark(run)
+    assert len(results) == len(LINES)
+
+
+def test_e07_speedup_curve(benchmark):
+    t_full = wall_ms(lambda: [parse(line) for line in LINES], repeat=2)
+    rows = []
+    speedups = []
+    for projection in PROJECTIONS:
+        parser = MisonParser(projection)
+        t_proj = wall_ms(
+            lambda p=parser: [p.parse_projected(line) for line in LINES], repeat=2
+        )
+        # Correctness: identical to parse-then-project.
+        check_parser = MisonParser(projection)
+        for line in LINES[:25]:
+            assert check_parser.parse_projected(line) == apply_projection(
+                parse(line), projection
+            )
+        speedup = t_full / t_proj
+        speedups.append(speedup)
+        rows.append(
+            [
+                len(projection),
+                f"{t_full:7.1f}",
+                f"{t_proj:7.1f}",
+                f"{speedup:5.2f}x",
+                f"{check_parser.stats.hit_rate:5.1%}",
+            ]
+        )
+    # The headline shape: narrow projections win the most.
+    assert speedups[0] >= speedups[-1]
+    emit(
+        "E7-mison-speedup",
+        table(
+            ["projected fields", "full ms", "projected ms", "speedup", "spec hit-rate"],
+            rows,
+        ),
+    )
+    parser = MisonParser(["id"])
+    benchmark(lambda: [parser.parse_projected(line) for line in LINES[:100]])

@@ -1,0 +1,84 @@
+"""E8 — Fad.js speculative decoding: speedup vs shape stability.
+
+Artifact reconstructed: the Fad.js evaluation figure relating speculation
+success to decoding speed — constant-structure streams hit the compiled
+fast path; shape churn forces deoptimization back to the generic parser.
+
+Expected shape: hit rate ~100% and the best speedup for one stable shape;
+hit rate and speedup degrade as the number of interleaved shapes exceeds
+the inline-cache capacity; results always equal the generic parse.
+"""
+
+import pytest
+
+from repro.datasets.generator import Rng
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import SpeculativeDecoder
+
+from helpers import emit, table, wall_ms
+
+N = 1500
+
+
+def _stream(shapes: int, seed: int = 8) -> list[str]:
+    """A flat-record stream cycling through ``shapes`` distinct shapes."""
+    rng = Rng(seed)
+    lines = []
+    for i in range(N):
+        s = i % shapes
+        record = {f"k{s}_{j}": rng.random.randint(0, 10**6) for j in range(4)}
+        record["label"] = rng.word()
+        record["shape"] = s
+        lines.append(dumps(record))
+    return lines
+
+
+def test_e08_speculative_decode_speed(benchmark):
+    lines = _stream(1)
+    decoder = SpeculativeDecoder()
+
+    def run():
+        return [decoder.decode(line) for line in lines]
+
+    results = benchmark(run)
+    assert len(results) == N
+
+
+def test_e08_stability_curve(benchmark):
+    t_generic = wall_ms(lambda: [parse(line) for line in _stream(1)], repeat=2)
+    rows = []
+    hit_rates = []
+    for shapes in (1, 2, 4, 8, 16):
+        lines = _stream(shapes)
+        decoder = SpeculativeDecoder(cache_size=4)
+        t_spec = wall_ms(
+            lambda d=decoder, ls=lines: [d.decode(line) for line in ls], repeat=2
+        )
+        # Correctness on a sample.
+        fresh = SpeculativeDecoder(cache_size=4)
+        for line in lines[:50]:
+            assert fresh.decode(line) == parse(line)
+        hit_rates.append(decoder.stats.hit_rate)
+        rows.append(
+            [
+                shapes,
+                f"{decoder.stats.hit_rate:6.1%}",
+                decoder.stats.deopts,
+                f"{t_generic:7.1f}",
+                f"{t_spec:7.1f}",
+                f"{t_generic / t_spec:5.2f}x",
+            ]
+        )
+    # Stable streams speculate better than megamorphic ones.
+    assert hit_rates[0] > hit_rates[-1]
+    emit(
+        "E8-fadjs-speculation",
+        table(
+            ["shapes", "hit rate", "deopts", "generic ms", "speculative ms", "speedup"],
+            rows,
+        ),
+    )
+    lines = _stream(1)
+    decoder = SpeculativeDecoder()
+    benchmark(lambda: [decoder.decode(line) for line in lines[:200]])

@@ -1,0 +1,76 @@
+"""E9 — Schema-aware vs schema-oblivious data translation (tutorial §5).
+
+Artifact reconstructed: the opportunity the tutorial closes with — with a
+schema, heterogeneous JSON converts into compact typed formats (Avro-like
+rows, Parquet-like columns); without one, data stays JSON text.
+
+Expected shape: schema-aware columnar and row outputs are substantially
+smaller than the JSON text baseline on regular collections; translation
+quality (fraction of typed columns) drops as heterogeneity rises, with
+the escape-hatch JSON columns absorbing the unresolvable unions.
+"""
+
+import pytest
+
+from repro.datasets import github_events, heterogeneous_collection, nyt_articles
+from repro.translation import (
+    assemble,
+    schema_aware_translate,
+    schema_oblivious_translate,
+)
+
+from helpers import emit, table, wall_ms
+
+COLLECTIONS = {
+    "nyt_articles": nyt_articles(300, seed=9),
+    "github_events": github_events(300, seed=9),
+    "heterogeneous+noise": heterogeneous_collection(300, kind_noise=0.005, seed=9),
+}
+
+
+def test_e09_translate_speed(benchmark):
+    docs = COLLECTIONS["nyt_articles"]
+    report = benchmark(lambda: schema_aware_translate(docs))
+    assert report.document_count == len(docs)
+
+
+def test_e09_size_table(benchmark):
+    rows = []
+    for name, docs in COLLECTIONS.items():
+        aware = schema_aware_translate(docs)
+        oblivious = schema_oblivious_translate(docs)
+        ms = wall_ms(lambda d=docs: schema_aware_translate(d), repeat=1)
+        rows.append(
+            [
+                name,
+                oblivious.total_bytes,
+                aware.columnar_bytes,
+                f"{oblivious.total_bytes / aware.columnar_bytes:5.2f}x",
+                aware.avro_bytes,
+                f"{aware.typed_fraction:6.1%}",
+                aware.fallback_count,
+                f"{ms:7.1f}",
+            ]
+        )
+        if aware.fallback_count == 0:
+            rebuilt = assemble(aware.columnar)
+            assert len(rebuilt) == len(docs)
+        assert aware.columnar_bytes < oblivious.total_bytes
+    emit(
+        "E9-translation",
+        table(
+            [
+                "collection",
+                "JSON bytes",
+                "columnar bytes",
+                "ratio",
+                "avro bytes",
+                "typed cols",
+                "fallbacks",
+                "ms",
+            ],
+            rows,
+        ),
+    )
+    docs = COLLECTIONS["github_events"]
+    benchmark(lambda: schema_oblivious_translate(docs))

@@ -1,0 +1,90 @@
+"""E10 — Inferred-schema conciseness across the §4.1 tool lineup.
+
+Artifact reconstructed: the tutorial's qualitative comparisons made
+quantitative on one heterogeneity sweep:
+
+- Studio-3T-like: "not able to merge similar types … huge size,
+  comparable to that of the input data";
+- mongodb-schema: "quite concise schemas" but per-field only;
+- Skinfer: concise but arrays lose item information;
+- parametric K: most compact; parametric L: compact yet variant-preserving.
+
+Expected shape: Studio-3T size grows ~linearly with the variant count and
+dwarfs everything else on heterogeneous data; parametric K stays smallest;
+L sits between K and the field-level summarisers.
+"""
+
+import pytest
+
+from repro.datasets import heterogeneous_collection
+from repro.inference import (
+    StreamingAnalyzer,
+    infer_type,
+    jsonschema_size,
+    skinfer_infer_schema,
+    studio3t_analyze,
+)
+from repro.types import Equivalence
+
+from helpers import emit, table
+
+VARIANT_COUNTS = [1, 2, 4, 8]
+
+
+def _sizes(docs):
+    analyzer = StreamingAnalyzer()
+    analyzer.feed_many(docs)
+    return {
+        "parametric K": infer_type(docs, Equivalence.KIND).size(),
+        "parametric L": infer_type(docs, Equivalence.LABEL).size(),
+        "skinfer": jsonschema_size(skinfer_infer_schema(docs)),
+        "mongodb-schema": analyzer.schema_size(),
+        "studio3t": studio3t_analyze(docs).schema_size(),
+    }
+
+
+def test_e10_conciseness_table(benchmark):
+    rows = []
+    last = None
+    for variants in VARIANT_COUNTS:
+        docs = heterogeneous_collection(
+            300, variants=variants, optional_probability=0.4, seed=variants * 3
+        )
+        sizes = _sizes(docs)
+        rows.append(
+            [
+                variants,
+                sizes["parametric K"],
+                sizes["parametric L"],
+                sizes["skinfer"],
+                sizes["mongodb-schema"],
+                sizes["studio3t"],
+            ]
+        )
+        assert sizes["parametric K"] <= sizes["parametric L"]
+        last = sizes
+    assert last is not None
+    # The headline: no-merge catalogues dwarf the merged schemas.
+    assert last["studio3t"] > 5 * last["parametric K"]
+    emit(
+        "E10-schema-conciseness",
+        table(
+            [
+                "variants",
+                "parametric K",
+                "parametric L",
+                "skinfer",
+                "mongodb-schema",
+                "studio3t (no merge)",
+            ],
+            rows,
+        ),
+    )
+    docs = heterogeneous_collection(300, variants=4, seed=10)
+    benchmark(lambda: _sizes(docs))
+
+
+def test_e10_studio3t_speed(benchmark):
+    docs = heterogeneous_collection(400, variants=6, seed=11)
+    analysis = benchmark(lambda: studio3t_analyze(docs))
+    assert analysis.document_count == 400

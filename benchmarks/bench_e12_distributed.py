@@ -1,0 +1,65 @@
+"""E12 — Distributed inference scaling (Baazizi et al., VLDB J '19).
+
+Artifact reconstructed: the scaling figures of the distributed parametric
+inference — how the merge-tree dataflow behaves as partitions grow, on the
+deterministic cost simulator (the cluster substitution DESIGN.md
+documents).
+
+Expected shape: reduce rounds grow logarithmically with the partition
+count; the critical-path makespan drops sharply from 1 partition to a few,
+then flattens (merge-tree overhead catches up); the result is identical to
+sequential inference at every scale (the associativity pay-off).
+"""
+
+import math
+
+import pytest
+
+from repro.datasets import github_events
+from repro.inference import infer_distributed, infer_type
+from repro.types import Equivalence
+
+from helpers import emit, table
+
+DOCS = github_events(600, seed=12)
+PARTITIONS = [1, 2, 4, 8, 16, 32]
+
+
+def test_e12_distributed_speed(benchmark):
+    run = benchmark(lambda: infer_distributed(DOCS, 8, Equivalence.KIND))
+    assert run.partitions == 8
+
+
+def test_e12_scaling_table(benchmark):
+    sequential = infer_type(DOCS, Equivalence.KIND)
+    rows = []
+    makespans = []
+    for p in PARTITIONS:
+        run = infer_distributed(DOCS, p, Equivalence.KIND)
+        assert run.result == sequential  # bit-identical at every scale
+        assert run.reduce_rounds == math.ceil(math.log2(p)) if p > 1 else run.reduce_rounds == 0
+        makespans.append(run.makespan_units)
+        rows.append(
+            [
+                p,
+                run.reduce_rounds,
+                run.makespan_units,
+                run.total_work_units,
+                run.total_shipped_bytes,
+            ]
+        )
+    assert makespans[2] < makespans[0]  # parallelism pays
+    emit(
+        "E12-distributed-scaling",
+        table(
+            [
+                "partitions",
+                "reduce rounds",
+                "makespan units",
+                "total work units",
+                "shipped bytes",
+            ],
+            rows,
+        ),
+    )
+    benchmark(lambda: infer_distributed(DOCS, 16, Equivalence.KIND))

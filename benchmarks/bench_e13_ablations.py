@@ -1,0 +1,133 @@
+"""E13 — Ablations of the fast-parser design choices.
+
+Each ablation disables one mechanism the surveyed papers credit for their
+speed, quantifying its contribution:
+
+- **index depth** (Mison): building leveled bitmaps only to the
+  projection's depth vs indexing the full nesting depth — the paper's
+  "build only what the query needs" argument;
+- **speculation** (Mison): pattern-cache probing vs always scanning the
+  member list for projected keys;
+- **inline-cache size** (Fad.js): hit rate on a 6-shape stream as the
+  template cache grows through the monomorphic→polymorphic range;
+- **encoder speculation** (Fad.js encode): generic serializer vs
+  shape-template encoding on a stable stream.
+"""
+
+import pytest
+
+from repro.datasets import ndjson_lines, tweets
+from repro.datasets.generator import Rng
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import MisonParser, SpeculativeDecoder, SpeculativeEncoder
+from repro.parsing.structural import StructuralIndex
+
+from helpers import emit, table, wall_ms
+
+LINES = ndjson_lines(tweets(400, seed=13, delete_fraction=0.0))
+PROJECTION = ["id", "lang"]  # depth-1 projection on deeply nested records
+
+
+def test_e13_index_depth_ablation(benchmark):
+    """Index only to projection depth (1) vs the full document depth."""
+    t_shallow = wall_ms(
+        lambda: [StructuralIndex.build(line, levels=1) for line in LINES], repeat=2
+    )
+    t_deep = wall_ms(
+        lambda: [StructuralIndex.build(line, levels=8) for line in LINES], repeat=2
+    )
+    rows = [
+        ["levels=1 (projection depth)", f"{t_shallow:8.1f}"],
+        ["levels=8 (full depth)", f"{t_deep:8.1f}"],
+        ["overhead of deep indexing", f"{t_deep / t_shallow:8.2f}x"],
+    ]
+    emit("E13a-index-depth", table(["configuration", "ms / 400 records"], rows))
+    benchmark(lambda: StructuralIndex.build(LINES[0], levels=1))
+
+
+class _NoSpeculationParser(MisonParser):
+    """Ablation: the pattern cache never remembers anything."""
+
+    def _project_object(self, index, tree, open_pos, close_pos, level):
+        self._pattern.clear()  # forget everything before each object
+        return super()._project_object(index, tree, open_pos, close_pos, level)
+
+
+def test_e13_speculation_ablation(benchmark):
+    speculating = MisonParser(PROJECTION)
+    t_spec = wall_ms(
+        lambda: [speculating.parse_projected(line) for line in LINES], repeat=2
+    )
+    scanning = _NoSpeculationParser(PROJECTION)
+    t_scan = wall_ms(
+        lambda: [scanning.parse_projected(line) for line in LINES], repeat=2
+    )
+    assert speculating.stats.hit_rate > 0.9
+    rows = [
+        ["with pattern cache", f"{t_spec:8.1f}", f"{speculating.stats.hit_rate:6.1%}"],
+        ["scan every object", f"{t_scan:8.1f}", "-"],
+        ["speculation saves", f"{(1 - t_spec / t_scan) * 100:7.1f}%", ""],
+    ]
+    emit(
+        "E13b-mison-speculation",
+        table(["configuration", "ms / 400 records", "hit rate"], rows),
+    )
+    parser = MisonParser(PROJECTION)
+    benchmark(lambda: [parser.parse_projected(line) for line in LINES[:50]])
+
+
+def _shape_stream(shapes: int, n: int = 1200) -> list[str]:
+    rng = Rng(131)
+    lines = []
+    for i in range(n):
+        s = i % shapes
+        lines.append(
+            dumps({f"f{s}_{j}": rng.random.randint(0, 999) for j in range(3)})
+        )
+    return lines
+
+
+def test_e13_cache_size_ablation(benchmark):
+    lines = _shape_stream(6)
+    rows = []
+    hit_rates = []
+    for cache_size in (1, 2, 4, 6, 8):
+        decoder = SpeculativeDecoder(cache_size=cache_size)
+        for line in lines:
+            decoder.decode(line)
+        hit_rates.append(decoder.stats.hit_rate)
+        rows.append(
+            [cache_size, f"{decoder.stats.hit_rate:6.1%}", decoder.stats.deopts]
+        )
+    # Hit rate jumps once the cache holds all six shapes.
+    assert hit_rates[-1] > 0.9
+    assert hit_rates[0] < 0.5
+    emit(
+        "E13c-fadjs-cache-size",
+        table(["cache size", "hit rate (6 shapes)", "deopts"], rows),
+    )
+    decoder = SpeculativeDecoder(cache_size=8)
+    benchmark(lambda: [decoder.decode(line) for line in lines[:200]])
+
+
+def test_e13_encoder_ablation(benchmark):
+    docs = [
+        {"id": i, "label": f"row_{i}", "score": i * 0.5, "ok": i % 2 == 0}
+        for i in range(1500)
+    ]
+    t_generic = wall_ms(lambda: [dumps(d) for d in docs], repeat=2)
+    encoder = SpeculativeEncoder()
+    t_spec = wall_ms(lambda: [encoder.encode(d) for d in docs], repeat=2)
+    fresh = SpeculativeEncoder()
+    assert [fresh.encode(d) for d in docs] == [dumps(d) for d in docs]
+    rows = [
+        ["generic dumps", f"{t_generic:8.1f}", "-"],
+        ["speculative encoder", f"{t_spec:8.1f}", f"{fresh.stats.hit_rate:6.1%}"],
+        ["speedup", f"{t_generic / t_spec:8.2f}x", ""],
+    ]
+    emit(
+        "E13d-encoder-speculation",
+        table(["configuration", "ms / 1500 records", "hit rate"], rows),
+    )
+    encoder2 = SpeculativeEncoder()
+    benchmark(lambda: [encoder2.encode(d) for d in docs[:200]])

@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Makes ``helpers`` importable when pytest is invoked from the repository
+root (``pytest benchmarks/``), and keeps benchmark runs deterministic.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

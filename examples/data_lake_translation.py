@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Schema-aware data translation into a data lake (tutorial §5 + E9).
+
+Takes three heterogeneous collections (NYT-like articles, open-data
+catalog, GitHub events), registers them in the schema repository, and
+translates each to the Avro-like row format and the Parquet-like columnar
+format — once schema-aware, once schema-oblivious — printing the size and
+quality numbers side by side.
+
+Run:  python examples/data_lake_translation.py
+"""
+
+from repro.datasets import github_events, nyt_articles, opendata_catalog
+from repro.repository import SchemaRepository
+from repro.translation import (
+    assemble,
+    schema_aware_translate,
+    schema_oblivious_translate,
+)
+
+
+def main() -> None:
+    collections = {
+        "nyt_articles": nyt_articles(300, seed=1),
+        "opendata_catalog": opendata_catalog(300, seed=2),
+        "github_events": github_events(300, seed=3),
+    }
+
+    # -- register everything in the schema repository ---------------------
+    repo = SchemaRepository()
+    for name, docs in collections.items():
+        repo.register(name, docs, k=8)
+    print("schema repository:")
+    for entry in repo.summary():
+        print(
+            f"   {entry['collection']:18s} {entry['documents']:4d} docs, "
+            f"{entry['structures']:2d} structures, top support {entry['top_structure_support']}"
+        )
+    print(
+        "   collections with path 'keyword.[*]':",
+        repo.find_collections_with_path("keyword.[*]"),
+    )
+
+    # -- translate ----------------------------------------------------------
+    print(
+        f"\n{'collection':18s} | {'JSON text':>10s} | {'columnar':>10s} | "
+        f"{'avro rows':>10s} | {'typed cols':>10s} | fallbacks"
+    )
+    print("-" * 84)
+    for name, docs in collections.items():
+        aware = schema_aware_translate(docs)
+        oblivious = schema_oblivious_translate(docs)
+        print(
+            f"{name:18s} | {oblivious.total_bytes:9d}B | "
+            f"{aware.columnar_bytes:9d}B | {aware.avro_bytes:9d}B | "
+            f"{aware.typed_fraction:9.1%} | {aware.fallback_count}"
+        )
+        # Safety: the columnar form must reconstruct the collection when no
+        # field needed the JSON-text escape hatch.
+        if aware.fallback_count == 0:
+            rebuilt = assemble(aware.columnar)
+            assert len(rebuilt) == len(docs)
+
+    print(
+        "\nThe schema makes the difference: typed columns shrink the data"
+        "\nand stay queryable; without a schema everything stays JSON text."
+    )
+
+
+if __name__ == "__main__":
+    main()

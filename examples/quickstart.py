@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: parse JSON, validate it, infer a schema, generate types.
+
+Walks the tutorial's arc in one page:
+
+1. parse a document with the from-scratch parser;
+2. validate it against a JSON Schema and a Joi schema;
+3. infer a type for a small collection (both equivalences);
+4. export the inferred type as JSON Schema, TypeScript, and Swift.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.jsonvalue import dumps, parse
+from repro.jsonschema import compile_schema
+import repro.joi as joi
+from repro.inference import infer
+from repro.types import Equivalence, type_to_string, type_to_jsonschema
+from repro.pl import typescript_declaration_for, swift_declaration_for
+
+
+def main() -> None:
+    # -- 1. parsing ------------------------------------------------------
+    text = '{"id": 17, "name": "ada", "tags": ["pioneer", "math"], "active": true}'
+    doc = parse(text)
+    print("parsed:", doc)
+    print("re-serialized:", dumps(doc))
+
+    # -- 2. validation ----------------------------------------------------
+    json_schema = compile_schema(
+        {
+            "type": "object",
+            "properties": {
+                "id": {"type": "integer", "minimum": 1},
+                "name": {"type": "string", "minLength": 1},
+                "tags": {"type": "array", "items": {"type": "string"}},
+                "active": {"type": "boolean"},
+            },
+            "required": ["id", "name"],
+        }
+    )
+    print("\nJSON Schema says:", json_schema.validate(doc))
+    print("JSON Schema rejects bad doc:", json_schema.validate({"id": 0, "name": ""}))
+
+    account = joi.object().keys(
+        {
+            "id": joi.number().integer().positive().required(),
+            "name": joi.string().min(1).required(),
+            "tags": joi.array().items(joi.string()),
+            "active": joi.boolean(),
+        }
+    )
+    print("Joi says:", "valid" if account.is_valid(doc) else "invalid")
+
+    # -- 3. inference -----------------------------------------------------
+    collection = [
+        doc,
+        {"id": 18, "name": "grace", "active": False},
+        {"id": 19, "name": "edsger", "tags": ["structured"], "email": "e@tue.nl"},
+    ]
+    for eq in (Equivalence.KIND, Equivalence.LABEL):
+        report = infer(collection, eq)
+        print(f"\ninferred [{eq.value}] (size {report.schema_size}):")
+        print("  ", type_to_string(report.inferred))
+
+    # -- 4. export --------------------------------------------------------
+    inferred = infer(collection, Equivalence.KIND).inferred
+    print("\nas JSON Schema:", dumps(type_to_jsonschema(inferred))[:100], "...")
+    print("\nas TypeScript:")
+    print(typescript_declaration_for(collection, "Person"))
+    print("as Swift:")
+    print(swift_declaration_for(collection, "Person"))
+
+
+if __name__ == "__main__":
+    main()

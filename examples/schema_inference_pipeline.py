@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Every schema-inference tool of the tutorial on one GitHub-events stream.
+
+Generates a discriminated-variant collection (GitHub-like events), then
+runs the full §4.1 tool lineup and prints what each one sees:
+
+- parametric inference (KIND vs LABEL), with sizes;
+- counting types with field-presence ratios;
+- Spark-style inference (watch fields collapse to string under noise);
+- mongodb-schema streaming summary (top-level fields);
+- Skinfer-like JSON Schema;
+- Studio-3T-like shape catalogue (no merging — count the blow-up);
+- Couchbase-like flavors;
+- skeleton + coverage;
+- ML schema profile (decision tree over the `type` field).
+
+Run:  python examples/schema_inference_pipeline.py
+"""
+
+from repro.datasets import github_events
+from repro.inference import (
+    build_skeleton,
+    discover_flavors,
+    document_coverage,
+    field_presence_ratios,
+    infer,
+    infer_counted,
+    infer_spark_schema,
+    jsonschema_size,
+    mongodb_analyze,
+    render_spark_schema,
+    skinfer_infer_schema,
+    studio3t_analyze,
+    train_profile,
+)
+from repro.types import Equivalence, type_to_string
+
+
+def main() -> None:
+    docs = github_events(400, seed=42, kind_noise=0.02)
+    print(f"collection: {len(docs)} GitHub-like events\n")
+
+    # -- parametric -------------------------------------------------------
+    for eq in (Equivalence.KIND, Equivalence.LABEL):
+        report = infer(docs, eq)
+        text = type_to_string(report.inferred)
+        print(f"parametric [{eq.value}]: size {report.schema_size}")
+        print("  ", text[:160], "..." if len(text) > 160 else "")
+
+    # -- counting ---------------------------------------------------------
+    counted = infer_counted(docs, Equivalence.KIND)
+    print("\ncounting types, top-level field presence:")
+    for name, ratio in sorted(field_presence_ratios(counted).items()):
+        print(f"   {name:12s} {ratio:6.1%}")
+
+    # -- spark ------------------------------------------------------------
+    print("\nSpark-style schema:")
+    print(render_spark_schema(infer_spark_schema(docs)))
+
+    # -- mongodb-schema ----------------------------------------------------
+    summary = mongodb_analyze(docs)
+    print("\nmongodb-schema summary (top-level):")
+    for field in summary["fields"]:
+        types = "/".join(t["name"] for t in field["types"])
+        print(f"   {field['name']:12s} p={field['probability']:<6} types={types}")
+
+    # -- skinfer ------------------------------------------------------------
+    schema = skinfer_infer_schema(docs)
+    print(f"\nSkinfer-like JSON Schema: {jsonschema_size(schema)} nodes,"
+          f" required={schema.get('required')}")
+
+    # -- studio 3t ----------------------------------------------------------
+    catalogue = studio3t_analyze(docs)
+    print(
+        f"Studio-3T-like catalogue: {catalogue.distinct_shapes()} distinct shapes,"
+        f" total size {catalogue.schema_size()} nodes (no merging!)"
+    )
+
+    # -- couchbase flavors ----------------------------------------------------
+    flavors = discover_flavors(docs, threshold=0.5)
+    print(f"\nCouchbase-like flavors ({len(flavors)}):")
+    for flavor in flavors[:4]:
+        print("   ", flavor.describe()[:110])
+
+    # -- skeleton -------------------------------------------------------------
+    for k in (1, 2, 4, 8):
+        skeleton = build_skeleton(docs, k)
+        coverage = document_coverage(skeleton, docs)
+        print(f"skeleton k={k}: document coverage {coverage:6.1%}")
+
+    # -- profiling --------------------------------------------------------------
+    profile = train_profile(docs)
+    print(f"\nschema profile (accuracy {profile.accuracy(docs):.1%}):")
+    for rule in profile.rules()[:6]:
+        print("   ", rule)
+
+
+if __name__ == "__main__":
+    main()

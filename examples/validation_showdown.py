@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""All five schema/type systems validating the same documents (Parts 2+3).
+
+Builds equivalent schemas in JSON Schema, Joi, JSound, TypeScript and
+Swift for a small "account" document family, runs the same valid and
+invalid instances through each, and prints the E1 feature matrix that
+explains the differences in what they can catch.
+
+Run:  python examples/validation_showdown.py
+"""
+
+from repro.jsonschema import compile_schema
+import repro.joi as joi
+from repro.jsound import compile_jsound
+from repro.pl import feature_matrix, render_matrix
+from repro.pl import swift as sw
+from repro.pl import typescript as ts
+
+JSON_SCHEMA = compile_schema(
+    {
+        "type": "object",
+        "properties": {
+            "username": {"type": "string", "pattern": "^[a-z0-9]{3,30}$"},
+            "birth_year": {"type": "integer", "minimum": 1900, "maximum": 2013},
+            "email": {"type": "string", "format": "email"},
+        },
+        "required": ["username"],
+        "additionalProperties": False,
+        # xor(password, access_token) encoded with combinators:
+        "oneOf": [
+            {"required": ["password"], "not": {"required": ["access_token"]}},
+            {"required": ["access_token"], "not": {"required": ["password"]}},
+        ],
+    }
+)
+# The xor branches mention fields that additionalProperties must admit:
+JSON_SCHEMA = compile_schema(
+    {
+        **JSON_SCHEMA.document,
+        "properties": {
+            **JSON_SCHEMA.document["properties"],
+            "password": {"type": "string"},
+            "access_token": {"type": ["string", "number"]},
+        },
+    }
+)
+
+JOI_SCHEMA = (
+    joi.object()
+    .keys(
+        {
+            "username": joi.string().pattern(r"^[a-z0-9]{3,30}$").required(),
+            "birth_year": joi.number().integer().min(1900).max(2013),
+            "email": joi.string().email(),
+            "password": joi.string(),
+            "access_token": joi.alternatives(joi.string(), joi.number()),
+        }
+    )
+    .xor("password", "access_token")
+)
+
+JSOUND_SCHEMA = compile_jsound(
+    {
+        "username": "string",
+        "birth_year?": "integer",
+        "email?": "string",
+        "password?": "string",
+        "access_token?": "string",  # JSound has no unions: string only!
+    }
+)
+
+TS_TYPE = ts.TSObject(
+    (
+        ts.TSProperty("username", ts.STRING),
+        ts.TSProperty("birth_year", ts.NUMBER, optional=True),
+        ts.TSProperty("email", ts.STRING, optional=True),
+        ts.TSProperty("password", ts.STRING, optional=True),
+        ts.TSProperty("access_token", ts.union((ts.STRING, ts.NUMBER)), optional=True),
+    )
+)
+
+SWIFT_TYPE = sw.SwiftStruct.of(
+    "Account",
+    {
+        "username": sw.STRING,
+        "birth_year": sw.SwiftOptional(sw.INT),
+        "email": sw.SwiftOptional(sw.STRING),
+        "password": sw.SwiftOptional(sw.STRING),
+        "access_token": sw.SwiftOptional(sw.STRING),  # no unions in Swift
+    },
+)
+
+INSTANCES = [
+    ("password variant", {"username": "ada99", "birth_year": 1994, "password": "pw1"}),
+    ("token variant", {"username": "ada99", "access_token": "tok"}),
+    ("numeric token", {"username": "ada99", "access_token": 123}),
+    ("both credentials", {"username": "ada99", "password": "p", "access_token": "t"}),
+    ("neither credential", {"username": "ada99"}),
+    ("bad username", {"username": "ADA!", "password": "p"}),
+    ("float birth year", {"username": "ada99", "birth_year": 1994.5, "password": "p"}),
+]
+
+
+def main() -> None:
+    checks = {
+        "JSON Schema": lambda v: JSON_SCHEMA.is_valid(v),
+        "Joi": lambda v: JOI_SCHEMA.is_valid(v),
+        "JSound": lambda v: JSOUND_SCHEMA.is_valid(v),
+        "TypeScript": lambda v: ts.check(v, TS_TYPE),
+        "Swift": lambda v: sw.can_decode(SWIFT_TYPE, v),
+    }
+    header = f"{'instance':22s} | " + " | ".join(f"{n:11s}" for n in checks)
+    print(header)
+    print("-" * len(header))
+    for label, instance in INSTANCES:
+        cells = " | ".join(
+            f"{'accept' if check(instance) else 'REJECT':11s}" for check in checks.values()
+        )
+        print(f"{label:22s} | {cells}")
+
+    print(
+        "\nNote how only JSON Schema and Joi catch 'both credentials' /"
+        " 'neither credential' (xor), and only Swift/JSound/Joi/JSON-Schema"
+        " reject the float birth year.\n"
+    )
+    print(render_matrix(feature_matrix()))
+
+
+if __name__ == "__main__":
+    main()

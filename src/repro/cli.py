@@ -1,0 +1,184 @@
+"""Command-line interface: the tutorial's tools on NDJSON files.
+
+::
+
+    python -m repro infer data.ndjson --equivalence label --format typescript
+    python -m repro validate data.ndjson --schema schema.json
+    python -m repro skeleton data.ndjson --k 4
+    python -m repro translate data.ndjson
+    python -m repro matrix
+
+Every command reads newline-delimited JSON (``-`` = stdin) and prints a
+human-readable report; ``validate`` sets the exit code to the number of
+invalid documents (capped at 125), so it composes with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.errors import ReproError
+
+
+def _read_documents(path: str) -> list[Any]:
+    from repro.jsonvalue.parser import parse_lines
+
+    if path == "-":
+        return list(parse_lines(sys.stdin))
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(parse_lines(handle))
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.inference import infer
+    from repro.jsonvalue.serializer import PRETTY, dumps
+    from repro.pl import swift_declaration_for, typescript_declaration_for
+    from repro.types import Equivalence, type_to_string
+
+    docs = _read_documents(args.data)
+    equivalence = Equivalence(args.equivalence)
+    report = infer(docs, equivalence)
+    print(f"# {report.document_count} documents, schema size {report.schema_size}")
+    if args.format == "type":
+        print(type_to_string(report.inferred))
+    elif args.format == "jsonschema":
+        print(dumps(report.to_jsonschema(), PRETTY))
+    elif args.format == "typescript":
+        print(typescript_declaration_for(docs, args.name), end="")
+    else:  # swift
+        print(swift_declaration_for(docs, args.name), end="")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.jsonschema import compile_schema
+    from repro.jsonvalue.parser import parse
+
+    with open(args.schema, "r", encoding="utf-8") as handle:
+        schema_doc = parse(handle.read())
+    compiled = compile_schema(schema_doc)
+    docs = _read_documents(args.data)
+    invalid = 0
+    for i, doc in enumerate(docs):
+        result = compiled.validate(doc)
+        if not result.valid:
+            invalid += 1
+            first = result.failures[0]
+            print(f"line {i + 1}: INVALID — {first}")
+        elif args.verbose:
+            print(f"line {i + 1}: valid")
+    print(f"# {len(docs) - invalid}/{len(docs)} valid")
+    return min(invalid, 125)
+
+
+def _cmd_skeleton(args: argparse.Namespace) -> int:
+    from repro.inference import build_skeleton, document_coverage, path_coverage
+
+    docs = _read_documents(args.data)
+    skeleton = build_skeleton(docs, args.k)
+    print(
+        f"# skeleton of order {skeleton.order} over {skeleton.document_count} documents"
+    )
+    print(f"# document coverage {document_coverage(skeleton, docs):6.1%}, "
+          f"path coverage {path_coverage(skeleton, docs):6.1%}")
+    for i, structure in enumerate(skeleton.structures):
+        paths = ", ".join(".".join(p) for p in sorted(structure.paths)[:6])
+        more = len(structure.paths) - 6
+        suffix = f" (+{more} paths)" if more > 0 else ""
+        print(f"structure #{i}: {structure.count} docs — {paths}{suffix}")
+    return 0
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from repro.translation import schema_aware_translate, schema_oblivious_translate
+
+    docs = _read_documents(args.data)
+    aware = schema_aware_translate(docs)
+    oblivious = schema_oblivious_translate(docs)
+    print(f"documents:        {aware.document_count}")
+    print(f"JSON text bytes:  {oblivious.total_bytes}")
+    ratio = oblivious.total_bytes / aware.columnar_bytes
+    print(f"columnar bytes:   {aware.columnar_bytes} ({ratio:.2f}x smaller)")
+    print(f"avro row bytes:   {aware.avro_bytes}")
+    print(f"typed columns:    {aware.typed_fraction:6.1%}")
+    print(f"union fallbacks:  {aware.fallback_count}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.pl import feature_matrix, render_matrix
+
+    print(render_matrix(feature_matrix()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Schemas and types for JSON data (EDBT 2019 tutorial reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_infer = sub.add_parser("infer", help="infer a schema from NDJSON data")
+    p_infer.add_argument("data", help="NDJSON file, or - for stdin")
+    p_infer.add_argument(
+        "--equivalence", choices=["kind", "label"], default="kind",
+        help="fusion parameter (default: kind)",
+    )
+    p_infer.add_argument(
+        "--format",
+        choices=["type", "jsonschema", "typescript", "swift"],
+        default="type",
+        help="output notation (default: the papers' type syntax)",
+    )
+    p_infer.add_argument("--name", default="Root", help="declaration name for codegen")
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_validate = sub.add_parser("validate", help="validate NDJSON against a JSON Schema")
+    p_validate.add_argument("data", help="NDJSON file, or - for stdin")
+    p_validate.add_argument("--schema", required=True, help="JSON Schema document")
+    p_validate.add_argument("--verbose", action="store_true", help="also print valid lines")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_skeleton = sub.add_parser("skeleton", help="mine the top-k structures")
+    p_skeleton.add_argument("data", help="NDJSON file, or - for stdin")
+    p_skeleton.add_argument("--k", type=int, default=5, help="skeleton order (default 5)")
+    p_skeleton.set_defaults(func=_cmd_skeleton)
+
+    p_translate = sub.add_parser(
+        "translate", help="schema-aware translation size report"
+    )
+    p_translate.add_argument("data", help="NDJSON file, or - for stdin")
+    p_translate.set_defaults(func=_cmd_translate)
+
+    p_matrix = sub.add_parser("matrix", help="print the schema-language feature matrix")
+    p_matrix.set_defaults(func=_cmd_matrix)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro matrix | head`); exit
+        # quietly like well-behaved Unix tools.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

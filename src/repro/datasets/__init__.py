@@ -1,0 +1,30 @@
+"""Synthetic dataset generators with controllable structural statistics.
+
+Substitutes for the public corpora the tutorial's examples use (Twitter,
+GitHub, NYT, data.gov) — see DESIGN.md §1 for the substitution argument.
+All generators are deterministic under ``seed``.
+"""
+
+from repro.datasets.generator import (
+    CollectionSpec,
+    Rng,
+    generate_collection,
+    heterogeneous_collection,
+    ndjson_lines,
+)
+from repro.datasets.twitter import tweets
+from repro.datasets.github import events as github_events
+from repro.datasets.nyt import articles as nyt_articles
+from repro.datasets.opendata import catalog as opendata_catalog
+
+__all__ = [
+    "CollectionSpec",
+    "Rng",
+    "generate_collection",
+    "heterogeneous_collection",
+    "ndjson_lines",
+    "tweets",
+    "github_events",
+    "nyt_articles",
+    "opendata_catalog",
+]

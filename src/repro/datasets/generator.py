@@ -1,0 +1,157 @@
+"""Core synthetic-collection machinery.
+
+The tutorial's running examples come "from publicly available datasets"
+(Twitter, GitHub, NYT, data.gov).  Those corpora cannot ship with a
+reproduction, so this package generates synthetic collections whose
+*structural statistics* — the properties every surveyed algorithm is
+actually sensitive to — are controllable:
+
+- ``optional_probability`` — how often optional fields appear
+  (drives optionality marks, counting types, nullable columns);
+- ``variant_weights`` — the mix of structural variants
+  (drives K-vs-L precision, skeleton coverage, flavor discovery);
+- ``kind_noise`` — probability that a field's value flips to another kind
+  (drives Spark's string-collapse and union growth);
+- deterministic seeding throughout, so benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+_WORDS = (
+    "json schema type data record array union tutorial edbt inference "
+    "parser column spark mongo couch skeleton swift script query value"
+).split()
+
+
+class Rng:
+    """A seeded random helper with JSON-flavoured primitives."""
+
+    def __init__(self, seed: int) -> None:
+        self.random = random.Random(seed)
+
+    def word(self) -> str:
+        return self.random.choice(_WORDS)
+
+    def sentence(self, words: int = 6) -> str:
+        return " ".join(self.random.choice(_WORDS) for _ in range(words))
+
+    def identifier(self, length: int = 8) -> str:
+        alphabet = string.ascii_lowercase + string.digits
+        return "".join(self.random.choice(alphabet) for _ in range(length))
+
+    def timestamp(self) -> str:
+        y = self.random.randint(2015, 2019)
+        mo = self.random.randint(1, 12)
+        d = self.random.randint(1, 28)
+        h = self.random.randint(0, 23)
+        mi = self.random.randint(0, 59)
+        s = self.random.randint(0, 59)
+        return f"{y:04d}-{mo:02d}-{d:02d}T{h:02d}:{mi:02d}:{s:02d}Z"
+
+    def maybe(self, probability: float) -> bool:
+        return self.random.random() < probability
+
+    def pick_weighted(self, weights: Sequence[tuple[str, float]]) -> str:
+        names = [n for n, _ in weights]
+        values = [w for _, w in weights]
+        return self.random.choices(names, weights=values, k=1)[0]
+
+    def scalar_of_other_kind(self, value: Any) -> Any:
+        """A value of a different JSON kind (for kind-noise injection)."""
+        candidates: list[Any] = [None, True, 17, 2.5, "noise"]
+        kind = type(value)
+        filtered = [c for c in candidates if type(c) is not kind]
+        return self.random.choice(filtered)
+
+
+@dataclass
+class CollectionSpec:
+    """Declarative description of a synthetic collection.
+
+    ``variants`` maps a variant name to a factory ``(Rng) -> dict``;
+    ``variant_weights`` gives the mixture.  ``kind_noise`` flips a scalar
+    field's kind with the given probability after generation.
+    """
+
+    variants: dict
+    variant_weights: list = field(default_factory=list)
+    kind_noise: float = 0.0
+    discriminator: str | None = "type"  # field carrying the variant name
+
+
+def generate_collection(spec: CollectionSpec, count: int, *, seed: int = 0) -> list[dict]:
+    """Generate ``count`` documents from a :class:`CollectionSpec`."""
+    rng = Rng(seed)
+    weights = spec.variant_weights or [(name, 1.0) for name in spec.variants]
+    docs = []
+    for _ in range(count):
+        variant = rng.pick_weighted(weights)
+        doc = spec.variants[variant](rng)
+        if spec.discriminator and spec.discriminator not in doc:
+            doc = {spec.discriminator: variant, **doc}
+        if spec.kind_noise:
+            doc = _inject_kind_noise(doc, rng, spec.kind_noise)
+        docs.append(doc)
+    return docs
+
+
+def _inject_kind_noise(doc: Any, rng: Rng, probability: float) -> Any:
+    if isinstance(doc, dict):
+        return {k: _inject_kind_noise(v, rng, probability) for k, v in doc.items()}
+    if isinstance(doc, list):
+        return [_inject_kind_noise(v, rng, probability) for v in doc]
+    if rng.maybe(probability):
+        return rng.scalar_of_other_kind(doc)
+    return doc
+
+
+def heterogeneous_collection(
+    count: int,
+    *,
+    variants: int = 4,
+    optional_probability: float = 0.5,
+    kind_noise: float = 0.0,
+    seed: int = 0,
+) -> list[dict]:
+    """A generic heterogeneous collection with ``variants`` record shapes.
+
+    Variant *i* has ``i + 2`` base fields plus per-document optional
+    fields; used by the inference-precision experiments (E3, E10) where
+    the structure mix is the independent variable.
+    """
+    rng = Rng(seed)
+    docs = []
+    for _ in range(count):
+        v = rng.random.randrange(variants)
+        doc: dict[str, Any] = {"variant": f"v{v}"}
+        for i in range(v + 2):
+            field_name = f"f{v}_{i}"
+            roll = rng.random.random()
+            if roll < 0.4:
+                doc[field_name] = rng.random.randint(0, 10_000)
+            elif roll < 0.7:
+                doc[field_name] = rng.sentence(3)
+            elif roll < 0.85:
+                doc[field_name] = rng.random.random() * 100
+            else:
+                doc[field_name] = [rng.word() for _ in range(rng.random.randint(0, 3))]
+        if rng.maybe(optional_probability):
+            doc["opt_note"] = rng.sentence(2)
+        if rng.maybe(optional_probability / 2):
+            doc["opt_meta"] = {"source": rng.word(), "rank": rng.random.randint(0, 9)}
+        if kind_noise:
+            doc = _inject_kind_noise(doc, rng, kind_noise)
+        docs.append(doc)
+    return docs
+
+
+def ndjson_lines(documents: Iterable[Any]) -> list[str]:
+    """Serialize documents to NDJSON lines (the parsers' input format)."""
+    from repro.jsonvalue.serializer import dumps
+
+    return [dumps(d) for d in documents]

@@ -1,0 +1,124 @@
+"""Synthetic GitHub-events-like collection.
+
+GitHub's public event stream is the canonical *discriminated-variant*
+dataset: every document carries a ``type`` field (``PushEvent``,
+``IssuesEvent``, …) and the ``payload`` structure depends on it.  That
+value-dependence is exactly what
+
+- LABEL-equivalence inference preserves and KIND-equivalence loses (E3),
+- schema profiling must *discover* from values (Gallinucci et al.),
+- Joi's ``when`` / JSON Schema's ``if``/``then`` can express.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.generator import CollectionSpec, Rng, generate_collection
+
+
+def _actor(rng: Rng) -> dict[str, Any]:
+    return {
+        "id": rng.random.randint(1, 10**7),
+        "login": rng.identifier(),
+        "url": f"https://api.github.com/users/{rng.identifier()}",
+    }
+
+
+def _repo(rng: Rng) -> dict[str, Any]:
+    return {
+        "id": rng.random.randint(1, 10**8),
+        "name": f"{rng.word()}/{rng.word()}",
+    }
+
+
+def _base(rng: Rng) -> dict[str, Any]:
+    return {
+        "id": str(rng.random.randint(10**9, 10**10)),
+        "actor": _actor(rng),
+        "repo": _repo(rng),
+        "public": True,
+        "created_at": rng.timestamp(),
+    }
+
+
+def _push_event(rng: Rng) -> dict[str, Any]:
+    doc = _base(rng)
+    doc["type"] = "PushEvent"
+    doc["payload"] = {
+        "push_id": rng.random.randint(1, 10**9),
+        "size": rng.random.randint(1, 20),
+        "ref": "refs/heads/main",
+        "commits": [
+            {
+                "sha": rng.identifier(40),
+                "message": rng.sentence(5),
+                "author": {"name": rng.sentence(2), "email": f"{rng.identifier()}@example.org"},
+            }
+            for _ in range(rng.random.randint(1, 3))
+        ],
+    }
+    return doc
+
+
+def _issues_event(rng: Rng) -> dict[str, Any]:
+    doc = _base(rng)
+    doc["type"] = "IssuesEvent"
+    doc["payload"] = {
+        "action": rng.random.choice(["opened", "closed", "reopened"]),
+        "issue": {
+            "number": rng.random.randint(1, 5000),
+            "title": rng.sentence(4),
+            "labels": [{"name": rng.word()} for _ in range(rng.random.randint(0, 3))],
+            "comments": rng.random.randint(0, 50),
+        },
+    }
+    return doc
+
+
+def _watch_event(rng: Rng) -> dict[str, Any]:
+    doc = _base(rng)
+    doc["type"] = "WatchEvent"
+    doc["payload"] = {"action": "started"}
+    return doc
+
+
+def _fork_event(rng: Rng) -> dict[str, Any]:
+    doc = _base(rng)
+    doc["type"] = "ForkEvent"
+    doc["payload"] = {
+        "forkee": {
+            "id": rng.random.randint(1, 10**8),
+            "full_name": f"{rng.identifier()}/{rng.word()}",
+            "private": False,
+        }
+    }
+    return doc
+
+
+EVENT_SPEC = CollectionSpec(
+    variants={
+        "PushEvent": _push_event,
+        "IssuesEvent": _issues_event,
+        "WatchEvent": _watch_event,
+        "ForkEvent": _fork_event,
+    },
+    variant_weights=[
+        ("PushEvent", 0.5),
+        ("IssuesEvent", 0.2),
+        ("WatchEvent", 0.2),
+        ("ForkEvent", 0.1),
+    ],
+    discriminator=None,  # the factories set "type" themselves
+)
+
+
+def events(count: int, *, seed: int = 0, kind_noise: float = 0.0) -> list[dict]:
+    """Generate a GitHub-events-like collection."""
+    spec = CollectionSpec(
+        variants=EVENT_SPEC.variants,
+        variant_weights=EVENT_SPEC.variant_weights,
+        kind_noise=kind_noise,
+        discriminator=None,
+    )
+    return generate_collection(spec, count, seed=seed)

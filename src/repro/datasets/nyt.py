@@ -1,0 +1,67 @@
+"""Synthetic New-York-Times-like article metadata.
+
+Models the Article Search API shape: deeply *regular* records with
+optional multimedia and variable-length keyword lists — the workload where
+schema-aware columnar translation shines (E9) and where denormalised
+byline/section data carries functional dependencies for the relational
+experiment (E11).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.generator import Rng
+
+_SECTIONS = [
+    ("Politics", "A", "Washington"),
+    ("Science", "D", "Science Desk"),
+    ("Sports", "S", "Sports Desk"),
+    ("Arts", "C", "Culture Desk"),
+]
+
+
+def _article(rng: Rng) -> dict[str, Any]:
+    section, print_page, desk = rng.random.choice(_SECTIONS)
+    doc: dict[str, Any] = {
+        "_id": rng.identifier(24),
+        "headline": {"main": rng.sentence(7), "kicker": rng.word()},
+        "byline": {
+            "original": f"By {rng.sentence(2).title()}",
+            "person": [
+                {
+                    "firstname": rng.word().title(),
+                    "lastname": rng.word().title(),
+                    "rank": 1,
+                }
+            ],
+        },
+        "pub_date": rng.timestamp(),
+        "section_name": section,
+        "print_page": print_page,
+        "news_desk": desk,
+        "word_count": rng.random.randint(100, 3000),
+        "keywords": [
+            {"name": "subject", "value": rng.sentence(2), "rank": i + 1}
+            for i in range(rng.random.randint(0, 4))
+        ],
+    }
+    if rng.maybe(0.55):
+        doc["multimedia"] = [
+            {
+                "url": f"images/{rng.identifier()}.jpg",
+                "height": rng.random.choice([75, 150, 600]),
+                "width": rng.random.choice([75, 150, 600]),
+                "subtype": rng.random.choice(["thumbnail", "xlarge"]),
+            }
+            for _ in range(rng.random.randint(1, 3))
+        ]
+    if rng.maybe(0.3):
+        doc["snippet"] = rng.sentence(12)
+    return doc
+
+
+def articles(count: int, *, seed: int = 0) -> list[dict]:
+    """Generate an NYT-like article-metadata collection."""
+    rng = Rng(seed)
+    return [_article(rng) for _ in range(count)]

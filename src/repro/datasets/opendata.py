@@ -1,0 +1,58 @@
+"""Synthetic open-data catalog (data.gov-style DCAT entries).
+
+The tutorial's §1 names the U.S. Government's open data platform as a
+JSON publishing venue.  DCAT catalog entries are *bureaucratically
+heterogeneous*: publisher hierarchies, variable distribution lists,
+free-form "extras" — a good stress test for skeleton mining and for the
+repository's cross-collection path queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.generator import Rng
+
+_FORMATS = ["CSV", "JSON", "XML", "PDF", "API"]
+_AGENCIES = [
+    ("Department of Data", "DoD"),
+    ("Bureau of Schemas", "BoS"),
+    ("Agency of Types", "AoT"),
+]
+
+
+def _dataset(rng: Rng) -> dict[str, Any]:
+    agency, acronym = rng.random.choice(_AGENCIES)
+    doc: dict[str, Any] = {
+        "identifier": rng.identifier(12),
+        "title": rng.sentence(5).title(),
+        "description": rng.sentence(15),
+        "modified": rng.timestamp()[:10],
+        "publisher": {
+            "name": agency,
+            "subOrganizationOf": {"name": f"{acronym} Parent Office"},
+        },
+        "keyword": [rng.word() for _ in range(rng.random.randint(1, 5))],
+        "accessLevel": rng.random.choice(["public", "restricted public"]),
+        "distribution": [
+            {
+                "format": rng.random.choice(_FORMATS),
+                "downloadURL": f"https://data.example.gov/{rng.identifier()}",
+                "mediaType": "text/csv",
+            }
+            for _ in range(rng.random.randint(1, 3))
+        ],
+    }
+    if rng.maybe(0.4):
+        doc["temporal"] = f"{rng.timestamp()[:10]}/{rng.timestamp()[:10]}"
+    if rng.maybe(0.3):
+        doc["spatial"] = rng.sentence(2)
+    if rng.maybe(0.25):
+        doc["extras"] = {rng.word(): rng.sentence(2) for _ in range(rng.random.randint(1, 3))}
+    return doc
+
+
+def catalog(count: int, *, seed: int = 0) -> list[dict]:
+    """Generate a data.gov-like catalog of dataset descriptions."""
+    rng = Rng(seed)
+    return [_dataset(rng) for _ in range(count)]

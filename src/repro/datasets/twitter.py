@@ -1,0 +1,95 @@
+"""Synthetic Twitter-like stream.
+
+Models the structural traits of the real Twitter statuses API that the
+surveyed systems stumble on:
+
+- wide, stable records (Mison/Fad.js speed comes from this);
+- optional members (``coordinates`` null-or-object, ``retweeted_status``
+  present only for retweets — a *nested full tweet*);
+- a fraction of **delete notices** ``{"delete": {...}}`` interleaved with
+  statuses, exactly the heterogeneity that breaks union-free inference;
+- ``entities`` with arrays of records (hashtags, urls).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.datasets.generator import Rng
+
+
+def _user(rng: Rng) -> dict[str, Any]:
+    user = {
+        "id": rng.random.randint(1, 10**9),
+        "screen_name": rng.identifier(),
+        "name": rng.sentence(2),
+        "followers_count": rng.random.randint(0, 100_000),
+        "verified": rng.maybe(0.1),
+        "lang": rng.random.choice(["en", "fr", "it", "de", None]),
+    }
+    if rng.maybe(0.6):
+        user["location"] = rng.sentence(2)
+    return user
+
+
+def _entities(rng: Rng) -> dict[str, Any]:
+    return {
+        "hashtags": [
+            {"text": rng.word(), "indices": [i, i + 5]}
+            for i in range(rng.random.randint(0, 3))
+        ],
+        "urls": [
+            {
+                "url": f"https://t.co/{rng.identifier(6)}",
+                "expanded_url": f"https://example.org/{rng.word()}",
+            }
+            for _ in range(rng.random.randint(0, 2))
+        ],
+    }
+
+
+def _status(rng: Rng, *, allow_retweet: bool = True) -> dict[str, Any]:
+    tweet: dict[str, Any] = {
+        "id": rng.random.randint(1, 10**15),
+        "created_at": rng.timestamp(),
+        "text": rng.sentence(8),
+        "user": _user(rng),
+        "entities": _entities(rng),
+        "retweet_count": rng.random.randint(0, 5000),
+        "favorite_count": rng.random.randint(0, 5000),
+        "lang": rng.random.choice(["en", "fr", "it", "und"]),
+        "coordinates": (
+            {"type": "Point", "coordinates": [rng.random.uniform(-180, 180), rng.random.uniform(-90, 90)]}
+            if rng.maybe(0.15)
+            else None
+        ),
+    }
+    if rng.maybe(0.3):
+        tweet["in_reply_to_status_id"] = rng.random.randint(1, 10**15)
+    if allow_retweet and rng.maybe(0.25):
+        tweet["retweeted_status"] = _status(rng, allow_retweet=False)
+    return tweet
+
+
+def _delete_notice(rng: Rng) -> dict[str, Any]:
+    return {
+        "delete": {
+            "status": {
+                "id": rng.random.randint(1, 10**15),
+                "user_id": rng.random.randint(1, 10**9),
+            },
+            "timestamp_ms": str(rng.random.randint(10**12, 10**13)),
+        }
+    }
+
+
+def tweets(count: int, *, seed: int = 0, delete_fraction: float = 0.05) -> list[dict]:
+    """Generate a Twitter-like stream with interleaved delete notices."""
+    rng = Rng(seed)
+    docs = []
+    for _ in range(count):
+        if rng.maybe(delete_fraction):
+            docs.append(_delete_notice(rng))
+        else:
+            docs.append(_status(rng))
+    return docs

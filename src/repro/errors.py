@@ -1,0 +1,41 @@
+"""Common exception hierarchy for the ``repro`` library.
+
+Every subsystem raises exceptions derived from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems refine
+the hierarchy further (for instance :class:`repro.jsonvalue.parser.JsonParseError`
+derives from :class:`JsonError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class JsonError(ReproError):
+    """Base class for errors in the JSON substrate (lexing, parsing, paths)."""
+
+
+class SchemaError(ReproError):
+    """Base class for malformed schemas in any schema language."""
+
+
+class ValidationError(ReproError):
+    """Base class for instance-does-not-match-schema failures.
+
+    Validators normally *collect* failures into result objects rather than
+    raising, but raising APIs (``validate_or_raise``) use this class.
+    """
+
+
+class InferenceError(ReproError):
+    """Base class for schema-inference failures (empty input, bad params)."""
+
+
+class TranslationError(ReproError):
+    """Base class for schema-aware translation/codec failures."""
+
+
+class DecodeError(ReproError):
+    """Base class for typed-decoding failures (Swift-like Codable decode)."""

@@ -1,0 +1,129 @@
+"""Schema inference for JSON collections (tutorial Part 4).
+
+One module per surveyed system:
+
+- :mod:`repro.inference.parametric` — the tutorial authors' parametric
+  K/L-equivalence inference (EDBT '17 / VLDB J '19);
+- :mod:`repro.inference.counting` — counting types (DBPL '17);
+- :mod:`repro.inference.spark` — Spark DataFrame extraction (no unions,
+  falls back to strings);
+- :mod:`repro.inference.mongodb` — mongodb-schema streaming field summary;
+- :mod:`repro.inference.skinfer` — Skinfer JSON Schema inference
+  (record-only merge);
+- :mod:`repro.inference.studio3t` — Studio 3T shape catalogue (no merging);
+- :mod:`repro.inference.couchbase` — Couchbase flavor discovery;
+- :mod:`repro.inference.skeleton` — Wang et al. skeletons (VLDB '15);
+- :mod:`repro.inference.relational` — DiScala & Abadi FD-driven
+  normalisation (SIGMOD '16);
+- :mod:`repro.inference.profiling` — Gallinucci et al. decision-tree
+  schema profiles (Inf. Syst. '18);
+- :mod:`repro.inference.distributed` — the map/combine/reduce cost
+  simulator for the distributed variant.
+"""
+
+from repro.inference.parametric import InferenceReport, infer, infer_type, precision_against
+from repro.inference.counting import (
+    CArr,
+    CAtom,
+    CField,
+    CRec,
+    CUnion,
+    counted_type_of,
+    field_presence_ratios,
+    infer_counted,
+    merge_counted,
+)
+from repro.inference.spark import (
+    infer_spark_schema,
+    render_schema as render_spark_schema,
+    count_string_collapses,
+)
+from repro.inference.mongodb import StreamingAnalyzer, analyze as mongodb_analyze
+from repro.inference.skinfer import (
+    infer_schema as skinfer_infer_schema,
+    merge_schemas as skinfer_merge_schemas,
+    schema_from_object,
+    schema_size as jsonschema_size,
+)
+from repro.inference.studio3t import Studio3TAnalysis, analyze as studio3t_analyze, shape_of
+from repro.inference.couchbase import Flavor, discover_flavors
+from repro.inference.skeleton import (
+    Skeleton,
+    Structure,
+    build_skeleton,
+    document_coverage,
+    mine_structures,
+    path_coverage,
+    structure_of,
+)
+from repro.inference.relational import (
+    Decomposition,
+    FunctionalDependency,
+    NormalizationReport,
+    Table,
+    decompose,
+    flatten,
+    mine_fds,
+    normalize,
+)
+from repro.inference.profiling import SchemaProfile, candidate_features, train_profile
+from repro.inference.distributed import DistributedRun, infer_distributed, partition
+from repro.inference.streaming import (
+    infer_type_streaming,
+    type_from_events,
+    type_of_text,
+)
+
+__all__ = [
+    "InferenceReport",
+    "infer",
+    "infer_type",
+    "precision_against",
+    "CArr",
+    "CAtom",
+    "CField",
+    "CRec",
+    "CUnion",
+    "counted_type_of",
+    "field_presence_ratios",
+    "infer_counted",
+    "merge_counted",
+    "infer_spark_schema",
+    "render_spark_schema",
+    "count_string_collapses",
+    "StreamingAnalyzer",
+    "mongodb_analyze",
+    "skinfer_infer_schema",
+    "skinfer_merge_schemas",
+    "schema_from_object",
+    "jsonschema_size",
+    "Studio3TAnalysis",
+    "studio3t_analyze",
+    "shape_of",
+    "Flavor",
+    "discover_flavors",
+    "Skeleton",
+    "Structure",
+    "build_skeleton",
+    "document_coverage",
+    "mine_structures",
+    "path_coverage",
+    "structure_of",
+    "Decomposition",
+    "FunctionalDependency",
+    "NormalizationReport",
+    "Table",
+    "decompose",
+    "flatten",
+    "mine_fds",
+    "normalize",
+    "SchemaProfile",
+    "candidate_features",
+    "train_profile",
+    "DistributedRun",
+    "infer_distributed",
+    "partition",
+    "infer_type_streaming",
+    "type_from_events",
+    "type_of_text",
+]

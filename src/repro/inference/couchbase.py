@@ -1,0 +1,102 @@
+"""Couchbase-style schema discovery: clustering documents into *flavors*.
+
+Couchbase "is endowed with a schema discovery module which classifies the
+objects of a JSON collection based on both structural and semantic
+information … meant to facilitate query formulation" (tutorial §4.1).
+
+The reproduction follows the published design sketch:
+
+- every document is fingerprinted by its *structural features* — the set
+  of ``(path, kind)`` pairs of its leaves — plus *semantic features*: the
+  values of low-cardinality string fields (discriminators like ``type`` or
+  ``kind``), which is the "semantic information" the blog post describes;
+- documents are clustered greedily by Jaccard similarity of fingerprints
+  (leader clustering with a configurable threshold);
+- each cluster becomes a **flavor**: a representative schema inferred with
+  the parametric K-merge over its members, plus the member count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import InferenceError
+from repro.jsonvalue.model import iter_paths, kind_of
+from repro.types import Equivalence, Type, merge_all, type_of, type_to_string
+
+
+def _fingerprint(document: Any, discriminators: frozenset[str]) -> frozenset:
+    """Structural + semantic feature set for one document."""
+    features: set = set()
+    for path, leaf in iter_paths(document):
+        generalized = tuple("[*]" if isinstance(step, int) else step for step in path)
+        features.add((generalized, kind_of(leaf).value))
+        if (
+            len(generalized) == 1
+            and generalized[0] in discriminators
+            and isinstance(leaf, str)
+        ):
+            features.add(("semantic", generalized[0], leaf))
+    return frozenset(features)
+
+
+def _jaccard(a: frozenset, b: frozenset) -> float:
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)
+
+
+@dataclass
+class Flavor:
+    """One discovered document flavor."""
+
+    representative: frozenset
+    members: list
+    schema: Type | None = None
+
+    @property
+    def count(self) -> int:
+        return len(self.members)
+
+    def describe(self) -> str:
+        assert self.schema is not None
+        return f"{self.count} docs: {type_to_string(self.schema)}"
+
+
+def discover_flavors(
+    documents: Iterable[Any],
+    *,
+    threshold: float = 0.7,
+    discriminators: Iterable[str] = ("type", "kind", "category"),
+) -> list[Flavor]:
+    """Cluster documents into flavors and infer a schema per flavor.
+
+    ``threshold`` is the minimum Jaccard similarity to an existing flavor's
+    representative fingerprint for a document to join it; lower thresholds
+    produce fewer, coarser flavors.
+    """
+    discriminator_set = frozenset(discriminators)
+    flavors: list[Flavor] = []
+    count = 0
+    for doc in documents:
+        count += 1
+        fp = _fingerprint(doc, discriminator_set)
+        best: Flavor | None = None
+        best_similarity = -1.0  # any existing flavor beats "no flavor"
+        for flavor in flavors:
+            similarity = _jaccard(fp, flavor.representative)
+            if similarity > best_similarity:
+                best, best_similarity = flavor, similarity
+        if best is not None and best_similarity >= threshold:
+            best.members.append(doc)
+        else:
+            flavors.append(Flavor(representative=fp, members=[doc]))
+    if not count:
+        raise InferenceError("cannot discover flavors in an empty collection")
+    for flavor in flavors:
+        flavor.schema = merge_all(
+            (type_of(d) for d in flavor.members), Equivalence.KIND
+        )
+    flavors.sort(key=lambda f: -f.count)
+    return flavors

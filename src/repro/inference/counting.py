@@ -1,0 +1,284 @@
+"""Counting types (Baazizi et al., DBPL '17).
+
+Counting types decorate the inferred type with **cardinalities**: how many
+values matched each union member, how many records carried each field, how
+many elements each array position contributed.  The result answers
+questions a plain type cannot — "is this field rare or common?", "which
+variant dominates?" — at a modest size overhead (E5 measures it).
+
+The counted algebra mirrors :mod:`repro.types.terms`:
+
+- ``CAtom(tag, count)``
+- ``CArr(item, count, element_count)``
+- ``CRec(fields, count)`` with per-field presence counts
+- ``CUnion(members)`` where every member carries its own count
+
+Merging adds counts; the underlying plain type of a merge equals the plain
+merge of the underlying types (a property test pins this commuting square).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Tuple
+
+from repro.errors import InferenceError
+from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+from repro.types import Equivalence, Type, union
+from repro.types.terms import (
+    ArrType,
+    AtomType,
+    FieldType,
+    RecType,
+)
+
+
+class CType:
+    """Base class of counted type terms."""
+
+    __slots__ = ()
+
+    count: int
+
+    def plain(self) -> Type:
+        """Strip counts, producing a term of the plain algebra."""
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """AST size including one node per counter (the overhead measure)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CAtom(CType):
+    tag: str
+    count: int
+
+    def plain(self) -> Type:
+        return AtomType(self.tag)
+
+    def size(self) -> int:
+        return 2  # the atom + its counter
+
+    def __str__(self) -> str:
+        return f"{self.tag.capitalize()}({self.count})"
+
+
+@dataclass(frozen=True)
+class CArr(CType):
+    item: "CUnion"
+    count: int
+    element_count: int
+
+    def plain(self) -> Type:
+        return ArrType(self.item.plain())
+
+    def size(self) -> int:
+        return 3 + self.item.size()
+
+    def __str__(self) -> str:
+        return f"[{self.item}]({self.count}x{self.element_count})"
+
+
+@dataclass(frozen=True)
+class CField(CType):
+    name: str
+    type: "CUnion"
+    count: int  # how many parent records carry this field
+
+    def plain(self) -> FieldType:
+        # required relative to the parent is decided by CRec.plain().
+        raise NotImplementedError("CField.plain is context-dependent")
+
+    def size(self) -> int:
+        return 2 + self.type.size()
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.count}): {self.type}"
+
+
+@dataclass(frozen=True)
+class CRec(CType):
+    fields: Tuple[CField, ...]
+    count: int
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if names != sorted(names):
+            object.__setattr__(
+                self, "fields", tuple(sorted(self.fields, key=lambda f: f.name))
+            )
+
+    def plain(self) -> Type:
+        return RecType(
+            tuple(
+                FieldType(f.name, f.type.plain(), required=f.count == self.count)
+                for f in self.fields
+            )
+        )
+
+    def size(self) -> int:
+        return 2 + sum(f.size() for f in self.fields)
+
+    def field_map(self) -> dict[str, CField]:
+        return {f.name: f for f in self.fields}
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(f) for f in self.fields)
+        return f"{{{inner}}}({self.count})"
+
+
+@dataclass(frozen=True)
+class CUnion(CType):
+    """A counted union: zero or more counted members (zero = Bot)."""
+
+    members: Tuple[CType, ...]
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return sum(m.count for m in self.members)
+
+    def plain(self) -> Type:
+        return union(m.plain() for m in self.members)
+
+    def size(self) -> int:
+        if not self.members:
+            return 1
+        return sum(m.size() for m in self.members)
+
+    def __str__(self) -> str:
+        if not self.members:
+            return "Bot"
+        return " + ".join(str(m) for m in self.members)
+
+
+# ---------------------------------------------------------------------------
+# map phase
+# ---------------------------------------------------------------------------
+
+
+def counted_type_of(value: Any, equivalence: Equivalence = Equivalence.KIND) -> CUnion:
+    """Type a single value with all counters at 1.
+
+    ``equivalence`` controls how array *elements* fuse (the only place the
+    map phase already merges); it must match the reduce-phase parameter.
+    """
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return CUnion((CAtom("null", 1),))
+    if kind is JsonKind.BOOLEAN:
+        return CUnion((CAtom("bool", 1),))
+    if kind is JsonKind.NUMBER:
+        return CUnion((CAtom("int" if is_integer_value(value) else "flt", 1),))
+    if kind is JsonKind.STRING:
+        return CUnion((CAtom("str", 1),))
+    if kind is JsonKind.ARRAY:
+        items = merge_counted(
+            (counted_type_of(v, equivalence) for v in value), equivalence, _empty_ok=True
+        )
+        return CUnion((CArr(items, 1, len(value)),))
+    fields = tuple(
+        CField(name, counted_type_of(v, equivalence), 1) for name, v in value.items()
+    )
+    return CUnion((CRec(fields, 1),))
+
+
+# ---------------------------------------------------------------------------
+# reduce phase
+# ---------------------------------------------------------------------------
+
+
+def merge_counted(
+    types: Iterable[CUnion],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    _empty_ok: bool = False,
+) -> CUnion:
+    """Merge counted unions; counts add within each fused class."""
+    members: list[CType] = []
+    for t in types:
+        members.extend(t.members)
+    if not members:
+        if _empty_ok:
+            return CUnion(())
+        return CUnion(())
+
+    classes: dict[Hashable, list[CType]] = {}
+    order: list[Hashable] = []
+    for member in members:
+        key = _class_key(member, equivalence)
+        if key not in classes:
+            classes[key] = []
+            order.append(key)
+        classes[key].append(member)
+
+    fused = tuple(_fuse(classes[key], equivalence) for key in order)
+    return CUnion(fused)
+
+
+def _class_key(t: CType, equivalence: Equivalence) -> Hashable:
+    if isinstance(t, CRec):
+        if equivalence is Equivalence.KIND:
+            return ("rec",)
+        return ("rec", frozenset(f.name for f in t.fields))
+    if isinstance(t, CArr):
+        return ("arr",)
+    if isinstance(t, CAtom):
+        if equivalence is Equivalence.KIND:
+            kind = "number" if t.tag in ("int", "flt", "num") else t.tag
+            return ("atom", kind)
+        return ("atom", t.tag)
+    raise InferenceError(f"unexpected counted member {t!r}")  # pragma: no cover
+
+
+def _fuse(members: list[CType], equivalence: Equivalence) -> CType:
+    first = members[0]
+    if isinstance(first, CAtom):
+        tags = {m.tag for m in members}  # type: ignore[union-attr]
+        total = sum(m.count for m in members)
+        tag = first.tag if len(tags) == 1 else "num"
+        return CAtom(tag, total)
+    if isinstance(first, CArr):
+        item = merge_counted(
+            (m.item for m in members), equivalence, _empty_ok=True  # type: ignore[union-attr]
+        )
+        return CArr(
+            item,
+            sum(m.count for m in members),
+            sum(m.element_count for m in members),  # type: ignore[union-attr]
+        )
+    if isinstance(first, CRec):
+        by_name: dict[str, list[CField]] = {}
+        for rec in members:
+            for f in rec.fields:  # type: ignore[union-attr]
+                by_name.setdefault(f.name, []).append(f)
+        fields = tuple(
+            CField(
+                name,
+                merge_counted((f.type for f in occurrences), equivalence, _empty_ok=True),
+                sum(f.count for f in occurrences),
+            )
+            for name, occurrences in by_name.items()
+        )
+        return CRec(fields, sum(m.count for m in members))
+    raise InferenceError(f"unexpected counted member {first!r}")  # pragma: no cover
+
+
+def infer_counted(
+    documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
+) -> CUnion:
+    """Full counting-types inference over a collection."""
+    counted = [counted_type_of(d, equivalence) for d in documents]
+    if not counted:
+        raise InferenceError("cannot infer a counted schema from an empty collection")
+    return merge_counted(counted, equivalence)
+
+
+def field_presence_ratios(counted: CUnion) -> dict[str, float]:
+    """Top-level record field presence ratios (the headline statistic)."""
+    out: dict[str, float] = {}
+    for member in counted.members:
+        if isinstance(member, CRec) and member.count:
+            for f in member.fields:
+                out[f.name] = f.count / member.count
+    return out

@@ -1,0 +1,160 @@
+"""Distributed map/combine/reduce harness for schema inference.
+
+The parametric inference of Baazizi et al. is *distributed by design*:
+typing a document is a pure map, and the merge operator is an associative,
+commutative monoid, so the reduce can run as a combiner per partition
+followed by a merge tree across partitions — exactly the Spark execution
+the VLDB J paper evaluates.
+
+With no cluster available, this module is a **deterministic simulator**
+that executes the same dataflow on one machine and *accounts* for the
+distributed costs the paper reports:
+
+- per-partition map + combine work (documents typed, merges performed),
+- the size of every partial type shipped between stages (serialized bytes
+  of the printed type — the shuffle volume),
+- the depth of the binary merge tree (number of parallel reduce rounds),
+- the simulated *makespan*: the critical path through the tree, charging
+  each stage the maximum cost among its parallel tasks.
+
+The result type is bit-identical to the sequential
+:func:`repro.inference.parametric.infer_type` (associativity property),
+which the tests assert — that equivalence is what makes the simulation a
+faithful substitute for the cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.errors import InferenceError
+from repro.types import Equivalence, Type, merge_all, type_of, type_to_string
+
+
+@dataclass
+class StageCost:
+    """Cost accounting for one stage of the dataflow."""
+
+    name: str
+    tasks: int
+    max_task_units: int  # critical-path cost of the stage
+    total_units: int  # total work across tasks
+    shipped_bytes: int  # bytes of partial types leaving the stage
+
+
+@dataclass
+class DistributedRun:
+    """Outcome of a simulated distributed inference."""
+
+    result: Type
+    partitions: int
+    equivalence: Equivalence
+    stages: list[StageCost] = field(default_factory=list)
+
+    @property
+    def reduce_rounds(self) -> int:
+        return sum(1 for s in self.stages if s.name.startswith("reduce"))
+
+    @property
+    def makespan_units(self) -> int:
+        """Critical path: sum of per-stage parallel maxima."""
+        return sum(s.max_task_units for s in self.stages)
+
+    @property
+    def total_work_units(self) -> int:
+        return sum(s.total_units for s in self.stages)
+
+    @property
+    def total_shipped_bytes(self) -> int:
+        return sum(s.shipped_bytes for s in self.stages)
+
+
+def partition(documents: Sequence[Any], partitions: int) -> list[list[Any]]:
+    """Round-robin partitioning (deterministic)."""
+    if partitions < 1:
+        raise InferenceError("need at least one partition")
+    buckets: list[list[Any]] = [[] for _ in range(partitions)]
+    for i, doc in enumerate(documents):
+        buckets[i % partitions].append(doc)
+    return [b for b in buckets if b]
+
+
+def _type_bytes(t: Type) -> int:
+    return len(type_to_string(t).encode("utf-8"))
+
+
+def infer_distributed(
+    documents: Sequence[Any],
+    partitions: int,
+    equivalence: Equivalence = Equivalence.KIND,
+) -> DistributedRun:
+    """Run the simulated distributed inference.
+
+    Dataflow: per-partition ``map`` (type each document) and ``combine``
+    (merge within the partition), then a binary tree of ``reduce`` rounds
+    across partitions.
+    """
+    docs = list(documents)
+    if not docs:
+        raise InferenceError("cannot infer a schema from an empty collection")
+    buckets = partition(docs, partitions)
+
+    run_stages: list[StageCost] = []
+
+    # --- map + combine per partition -----------------------------------
+    partials: list[Type] = []
+    map_costs: list[int] = []
+    shipped = 0
+    for bucket in buckets:
+        types = [type_of(d) for d in bucket]
+        combined = merge_all(types, equivalence)
+        partials.append(combined)
+        # Cost model: one unit per typed node plus one per merged input.
+        units = sum(t.size() for t in types) + len(types)
+        map_costs.append(units)
+        shipped += _type_bytes(combined)
+    run_stages.append(
+        StageCost(
+            name="map+combine",
+            tasks=len(buckets),
+            max_task_units=max(map_costs),
+            total_units=sum(map_costs),
+            shipped_bytes=shipped,
+        )
+    )
+
+    # --- binary merge tree ----------------------------------------------
+    level = partials
+    round_index = 0
+    while len(level) > 1:
+        round_index += 1
+        next_level: list[Type] = []
+        costs: list[int] = []
+        shipped = 0
+        for i in range(0, len(level) - 1, 2):
+            left, right = level[i], level[i + 1]
+            merged = merge_all((left, right), equivalence)
+            next_level.append(merged)
+            costs.append(left.size() + right.size())
+            shipped += _type_bytes(merged)
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+            shipped += _type_bytes(level[-1])
+        run_stages.append(
+            StageCost(
+                name=f"reduce-{round_index}",
+                tasks=len(level) // 2,
+                max_task_units=max(costs),
+                total_units=sum(costs),
+                shipped_bytes=shipped,
+            )
+        )
+        level = next_level
+
+    return DistributedRun(
+        result=level[0],
+        partitions=len(buckets),
+        equivalence=equivalence,
+        stages=run_stages,
+    )

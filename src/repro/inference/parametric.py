@@ -1,0 +1,96 @@
+"""Parametric schema inference (Baazizi et al., EDBT '17 / VLDB J '19).
+
+The tutorial's own line of work: a *distributed, parametric* inference
+algorithm "capable of inferring schemas at different levels of abstraction".
+The algorithm is a map/reduce over the collection:
+
+- **map**: each document is typed exactly (:func:`repro.types.build.type_of`);
+- **reduce**: types are merged monoidally under an *equivalence parameter*
+  (:class:`repro.types.merge.Equivalence`) that controls precision:
+  ``KIND`` fuses aggressively (one record type), ``LABEL`` keeps records
+  with different label sets as distinct union members, preserving field
+  correlations.
+
+Because merge is associative and commutative (property-tested), the reduce
+can be arbitrarily partitioned — which is what
+:mod:`repro.inference.distributed` exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import InferenceError
+from repro.types import (
+    Equivalence,
+    Type,
+    matches,
+    merge_all,
+    type_of,
+    type_to_jsonschema,
+    type_to_string,
+)
+
+
+@dataclass(frozen=True)
+class InferenceReport:
+    """The inferred type plus the measurements the papers report."""
+
+    inferred: Type
+    equivalence: Equivalence
+    document_count: int
+
+    @property
+    def schema_size(self) -> int:
+        """AST node count — the succinctness measure."""
+        return self.inferred.size()
+
+    def to_jsonschema(self) -> dict:
+        return type_to_jsonschema(self.inferred)
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.equivalence.value}] {self.document_count} docs -> "
+            f"size {self.schema_size}: {type_to_string(self.inferred)}"
+        )
+
+
+def infer_type(
+    documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
+) -> Type:
+    """Infer the type of a collection under the given equivalence."""
+    types = [type_of(d) for d in documents]
+    if not types:
+        raise InferenceError("cannot infer a schema from an empty collection")
+    return merge_all(types, equivalence)
+
+
+def infer(
+    documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
+) -> InferenceReport:
+    """Infer and report (type + size + count)."""
+    docs = list(documents)
+    return InferenceReport(
+        inferred=infer_type(docs, equivalence),
+        equivalence=equivalence,
+        document_count=len(docs),
+    )
+
+
+def precision_against(inferred: Type, witnesses: Iterable[Any]) -> float:
+    """Fraction of *witness* documents accepted by the inferred type.
+
+    With witnesses drawn from outside the training collection this is the
+    (inverse of the) over-generalisation measure: KIND typically accepts
+    more outsiders than LABEL because fused records forget correlations.
+    """
+    total = 0
+    accepted = 0
+    for w in witnesses:
+        total += 1
+        if matches(w, inferred):
+            accepted += 1
+    if total == 0:
+        raise InferenceError("precision_against needs at least one witness")
+    return accepted / total

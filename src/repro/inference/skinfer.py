@@ -1,0 +1,131 @@
+"""Skinfer-style JSON Schema inference (tutorial §4.1).
+
+Skinfer "exploits two different functions for inferring a schema from an
+object and for merging two schemas; schema merging is **limited to record
+types only**, and **cannot be recursively applied to objects nested inside
+arrays**".
+
+Both functions are reproduced:
+
+- :func:`schema_from_object` — one document → one JSON Schema;
+- :func:`merge_schemas` — pairwise merge that recurses through object
+  ``properties`` but treats array ``items`` atomically: if two array item
+  schemas differ *at all*, the merged array abandons item constraints
+  (``items`` is dropped), losing the information.  The E10 benchmark shows
+  the precision gap this opens against the parametric approach on
+  array-heavy data.
+
+The inferred schemas are real JSON Schema documents validated by
+:mod:`repro.jsonschema` — soundness (every input document validates) is
+property-tested, limitation and all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import InferenceError
+from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+
+
+def schema_from_object(value: Any) -> dict[str, Any]:
+    """Infer a JSON Schema for a single value (Skinfer's first function)."""
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return {"type": "null"}
+    if kind is JsonKind.BOOLEAN:
+        return {"type": "boolean"}
+    if kind is JsonKind.NUMBER:
+        return {"type": "integer" if is_integer_value(value) else "number"}
+    if kind is JsonKind.STRING:
+        return {"type": "string"}
+    if kind is JsonKind.ARRAY:
+        if not value:
+            return {"type": "array"}
+        item_schemas = [schema_from_object(v) for v in value]
+        merged = item_schemas[0]
+        for s in item_schemas[1:]:
+            if s != merged:
+                # Heterogeneous array: give up on items (the limitation).
+                return {"type": "array"}
+        return {"type": "array", "items": merged}
+    properties = {name: schema_from_object(v) for name, v in value.items()}
+    return {
+        "type": "object",
+        "properties": properties,
+        "required": sorted(value.keys()),
+    }
+
+
+def merge_schemas(left: dict[str, Any], right: dict[str, Any]) -> dict[str, Any]:
+    """Merge two inferred schemas (Skinfer's second function).
+
+    Recursive for objects; **not** recursive for arrays — differing item
+    schemas are dropped rather than merged, reproducing the documented
+    limitation.
+    """
+    if left == right:
+        return dict(left)
+    ltype, rtype = left.get("type"), right.get("type")
+    if ltype == rtype == "object":
+        return _merge_objects(left, right)
+    if ltype == rtype == "array":
+        litems, ritems = left.get("items"), right.get("items")
+        if litems == ritems and litems is not None:
+            return {"type": "array", "items": litems}
+        return {"type": "array"}  # items dropped: no recursive array merge
+    if ltype == rtype:
+        return {"type": ltype}
+    if (
+        isinstance(ltype, str)
+        and isinstance(rtype, str)
+        and {ltype, rtype} == {"integer", "number"}
+    ):
+        return {"type": "number"}
+    # Different types: union via "type" list (Skinfer emits type arrays).
+    types: list[str] = []
+    for t in (ltype, rtype):
+        if isinstance(t, list):
+            types.extend(t)
+        elif t is not None:
+            types.append(t)
+    deduped = sorted(set(types))
+    return {"type": deduped if len(deduped) > 1 else deduped[0]}
+
+
+def _merge_objects(left: dict[str, Any], right: dict[str, Any]) -> dict[str, Any]:
+    lprops = left.get("properties", {})
+    rprops = right.get("properties", {})
+    properties = {}
+    for name in sorted(set(lprops) | set(rprops)):
+        if name in lprops and name in rprops:
+            properties[name] = merge_schemas(lprops[name], rprops[name])
+        else:
+            properties[name] = lprops.get(name, rprops.get(name))
+    required = sorted(
+        set(left.get("required", [])) & set(right.get("required", []))
+    )
+    out: dict[str, Any] = {"type": "object", "properties": properties}
+    if required:
+        out["required"] = required
+    return out
+
+
+def infer_schema(documents: Iterable[Any]) -> dict[str, Any]:
+    """Infer one JSON Schema for a collection (fold of merge_schemas)."""
+    merged: dict[str, Any] | None = None
+    for doc in documents:
+        schema = schema_from_object(doc)
+        merged = schema if merged is None else merge_schemas(merged, schema)
+    if merged is None:
+        raise InferenceError("cannot infer a schema from an empty collection")
+    return merged
+
+
+def schema_size(schema: dict[str, Any]) -> int:
+    """Node count of a JSON Schema document (E10 conciseness measure)."""
+    if isinstance(schema, dict):
+        return 1 + sum(schema_size(v) for v in schema.values())
+    if isinstance(schema, list):
+        return 1 + sum(schema_size(v) for v in schema)
+    return 1

@@ -1,0 +1,237 @@
+"""Spark DataFrame-style schema inference (tutorial §4.1).
+
+Spark's JSON datasource infers a ``StructType`` for a collection, but —
+as the tutorial stresses — "its inference approach is quite imprecise,
+since the type language **lacks union types**, and the inference algorithm
+**resorts to Str** on strongly heterogeneous collections of data".
+
+This module reproduces that behaviour faithfully:
+
+- atomic types: ``LongType`` ``DoubleType`` ``BooleanType`` ``StringType``
+  ``NullType``;
+- ``Long`` and ``Double`` widen to ``Double``; any other atomic conflict
+  collapses to ``StringType``;
+- a conflict between a struct and anything else, or an array and anything
+  else, also collapses to ``StringType`` (Spark falls back to treating the
+  column as a JSON string);
+- structs merge field-wise with ``nullable=True`` for partial fields;
+- everything is nullable once a null has been seen (Spark marks columns
+  nullable generously).
+
+``render_schema`` mimics ``DataFrame.printSchema()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Tuple
+
+from repro.errors import InferenceError
+from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+
+
+class SparkType:
+    """Base class for the Spark-like type language (no unions — the point)."""
+
+    __slots__ = ()
+
+    def simple_name(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.simple_name()
+
+
+@dataclass(frozen=True)
+class AtomicType(SparkType):
+    name: str  # long | double | boolean | string | null
+
+    def simple_name(self) -> str:
+        return self.name
+
+
+LONG = AtomicType("long")
+DOUBLE = AtomicType("double")
+BOOLEAN = AtomicType("boolean")
+STRING = AtomicType("string")
+NULL = AtomicType("null")
+
+
+@dataclass(frozen=True)
+class ArrayType(SparkType):
+    element: SparkType
+    contains_null: bool = False
+
+    def simple_name(self) -> str:
+        return f"array<{self.element.simple_name()}>"
+
+
+@dataclass(frozen=True)
+class StructField(SparkType):
+    name: str
+    dtype: SparkType
+    nullable: bool = True
+
+    def simple_name(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}:{self.dtype.simple_name()}"
+
+
+@dataclass(frozen=True)
+class StructType(SparkType):
+    fields: Tuple[StructField, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if names != sorted(names):
+            object.__setattr__(
+                self, "fields", tuple(sorted(self.fields, key=lambda f: f.name))
+            )
+
+    def field_map(self) -> dict[str, StructField]:
+        return {f.name: f for f in self.fields}
+
+    def simple_name(self) -> str:
+        inner = ",".join(f"{f.name}:{f.dtype.simple_name()}" for f in self.fields)
+        return f"struct<{inner}>"
+
+
+def _type_of_value(value: Any) -> SparkType:
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return NULL
+    if kind is JsonKind.BOOLEAN:
+        return BOOLEAN
+    if kind is JsonKind.NUMBER:
+        return LONG if is_integer_value(value) else DOUBLE
+    if kind is JsonKind.STRING:
+        return STRING
+    if kind is JsonKind.ARRAY:
+        element: SparkType = NULL
+        contains_null = False
+        for v in value:
+            if v is None:
+                contains_null = True
+                continue
+            element = merge_types(element, _type_of_value(v))
+        return ArrayType(element, contains_null)
+    fields = tuple(
+        StructField(name, _type_of_value(v), nullable=v is None)
+        for name, v in value.items()
+    )
+    return StructType(fields)
+
+
+def merge_types(left: SparkType, right: SparkType) -> SparkType:
+    """Spark's pairwise type compatibility: widen or fall back to string."""
+    if left == right:
+        return left
+    if left == NULL:
+        return right
+    if right == NULL:
+        return left
+    if {left, right} == {LONG, DOUBLE}:
+        return DOUBLE
+    if isinstance(left, ArrayType) and isinstance(right, ArrayType):
+        return ArrayType(
+            merge_types(left.element, right.element),
+            left.contains_null or right.contains_null,
+        )
+    if isinstance(left, StructType) and isinstance(right, StructType):
+        return _merge_structs(left, right)
+    # Everything else — string vs number, struct vs array, struct vs scalar —
+    # collapses to StringType.  This is the imprecision the tutorial calls out.
+    return STRING
+
+
+def _merge_structs(left: StructType, right: StructType) -> StructType:
+    lmap, rmap = left.field_map(), right.field_map()
+    names = sorted(set(lmap) | set(rmap))
+    fields = []
+    for name in names:
+        lf, rf = lmap.get(name), rmap.get(name)
+        if lf is not None and rf is not None:
+            fields.append(
+                StructField(
+                    name,
+                    merge_types(lf.dtype, rf.dtype),
+                    nullable=lf.nullable or rf.nullable,
+                )
+            )
+        else:
+            present = lf if lf is not None else rf
+            assert present is not None
+            fields.append(StructField(name, present.dtype, nullable=True))
+    return StructType(tuple(fields))
+
+
+def infer_spark_schema(documents: Iterable[Any]) -> StructType:
+    """Infer a Spark-like schema for a collection of JSON objects.
+
+    Non-object documents make the whole collection fall back to a single
+    ``_corrupt_record: string`` column, mirroring Spark's behaviour.
+    """
+    merged: SparkType | None = None
+    saw_corrupt = False
+    for doc in documents:
+        if not isinstance(doc, dict):
+            saw_corrupt = True
+            continue
+        t = _type_of_value(doc)
+        merged = t if merged is None else merge_types(merged, t)
+    if merged is None:
+        if saw_corrupt:
+            return StructType((StructField("_corrupt_record", STRING, True),))
+        raise InferenceError("cannot infer a schema from an empty collection")
+    if not isinstance(merged, StructType):
+        return StructType((StructField("_corrupt_record", STRING, True),))
+    if saw_corrupt:
+        merged = _merge_structs(
+            merged, StructType((StructField("_corrupt_record", STRING, True),))
+        )
+    return merged
+
+
+def render_schema(schema: StructType) -> str:
+    """Mimic ``DataFrame.printSchema()`` output."""
+    lines = ["root"]
+
+    def emit(field: StructField, depth: int) -> None:
+        pad = " |   " * depth + " |-- "
+        dtype = field.dtype
+        if isinstance(dtype, StructType):
+            lines.append(f"{pad}{field.name}: struct (nullable = {str(field.nullable).lower()})")
+            for inner in dtype.fields:
+                emit(inner, depth + 1)
+        elif isinstance(dtype, ArrayType):
+            lines.append(
+                f"{pad}{field.name}: array<{dtype.element.simple_name()}> "
+                f"(nullable = {str(field.nullable).lower()})"
+            )
+        else:
+            lines.append(
+                f"{pad}{field.name}: {dtype.simple_name()} "
+                f"(nullable = {str(field.nullable).lower()})"
+            )
+
+    for field in schema.fields:
+        emit(field, 0)
+    return "\n".join(lines)
+
+
+def count_string_collapses(documents: Iterable[Any]) -> int:
+    """Top-level fields typed ``string`` despite non-string samples.
+
+    The E4 imprecision metric: a union-typed language would keep the
+    variants apart; Spark's fallback folds them into ``StringType``,
+    losing the non-string structure these samples carried.
+    """
+    docs = [d for d in documents if isinstance(d, dict)]
+    schema = infer_spark_schema(docs)
+    collapsed = 0
+    for field in schema.fields:
+        if field.dtype != STRING:
+            continue
+        samples = [d[field.name] for d in docs if field.name in d]
+        if any(s is not None and not isinstance(s, str) for s in samples):
+            collapsed += 1
+    return collapsed

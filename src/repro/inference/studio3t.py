@@ -1,0 +1,87 @@
+"""Studio-3T-style schema analysis (tutorial §4.1).
+
+Studio 3T "offers a very simple schema inference and analysis feature, but
+it is **not able to merge similar types**, and the resulting schemas can
+have a **huge size, which is comparable to that of the input data**".
+
+Reproduced as written: every distinct structural *shape* (a document with
+scalars replaced by type names) is kept separately with an occurrence
+count.  On homogeneous data this is fine; on heterogeneous data the schema
+grows linearly with the number of variants — E10 plots exactly that blow-up
+against the merging approaches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import InferenceError
+from repro.jsonvalue.model import JsonKind, freeze, is_integer_value, kind_of
+
+
+def shape_of(value: Any) -> Any:
+    """Replace scalars with type-name strings, keeping all structure."""
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return "null"
+    if kind is JsonKind.BOOLEAN:
+        return "boolean"
+    if kind is JsonKind.NUMBER:
+        return "integer" if is_integer_value(value) else "double"
+    if kind is JsonKind.STRING:
+        return "string"
+    if kind is JsonKind.ARRAY:
+        return [shape_of(v) for v in value]
+    return {name: shape_of(v) for name, v in value.items()}
+
+
+class Studio3TAnalysis:
+    """The full shape catalogue of a collection."""
+
+    def __init__(self) -> None:
+        self.shapes: list[tuple[Any, int]] = []  # (shape, count), insertion order
+        self._index: dict[Any, int] = {}
+        self.document_count = 0
+
+    def feed(self, document: Any) -> None:
+        self.document_count += 1
+        shape = shape_of(document)
+        key = freeze(shape)
+        slot = self._index.get(key)
+        if slot is None:
+            self._index[key] = len(self.shapes)
+            self.shapes.append((shape, 1))
+        else:
+            existing, count = self.shapes[slot]
+            self.shapes[slot] = (existing, count + 1)
+
+    def distinct_shapes(self) -> int:
+        return len(self.shapes)
+
+    def schema_size(self) -> int:
+        """Total node count over all retained shapes (no merging!)."""
+
+        def size_of(node: Any) -> int:
+            if isinstance(node, dict):
+                return 1 + sum(size_of(v) for v in node.values())
+            if isinstance(node, list):
+                return 1 + sum(size_of(v) for v in node)
+            return 1
+
+        return sum(size_of(shape) for shape, _ in self.shapes)
+
+    def result(self) -> list[dict[str, Any]]:
+        return [
+            {"schema": shape, "count": count, "probability": count / self.document_count}
+            for shape, count in sorted(self.shapes, key=lambda sc: -sc[1])
+        ]
+
+
+def analyze(documents: Iterable[Any]) -> Studio3TAnalysis:
+    """Catalogue every distinct shape in the collection."""
+    analysis = Studio3TAnalysis()
+    for doc in documents:
+        analysis.feed(doc)
+    if not analysis.document_count:
+        raise InferenceError("cannot analyze an empty collection")
+    return analysis

@@ -1,0 +1,114 @@
+"""Joi-style schemas for JSON objects (tutorial Part 2).
+
+Factory functions mirror the hapi/joi API::
+
+    import repro.joi as joi
+
+    schema = (
+        joi.object().keys({
+            "username": joi.string().alphanum().min(3).max(30).required(),
+            "password": joi.string().pattern(r"^[a-zA-Z0-9]{3,30}$"),
+            "access_token": joi.alternatives(joi.string(), joi.number()),
+            "birth_year": joi.number().integer().min(1900).max(2013),
+        })
+        .with_("username", "birth_year")
+        .xor("password", "access_token")
+    )
+    schema.is_valid({...})
+
+``compile_to_jsonschema`` translates Joi schemas into JSON Schema documents
+(co-occurrence constraints become ``oneOf``/``anyOf``/``not`` combinations),
+demonstrating the expressiveness comparison the tutorial walks through.
+"""
+
+from repro.joi.schema import (
+    AlternativesSchema,
+    AnySchema,
+    ArraySchema,
+    BooleanSchema,
+    JoiFailure,
+    JoiResult,
+    JoiSchemaError,
+    NumberSchema,
+    ObjectSchema,
+    Schema,
+    StringSchema,
+    WhenSchema,
+)
+from repro.joi.compile import compile_to_jsonschema
+
+
+def any_() -> AnySchema:
+    """Any JSON value."""
+    return AnySchema()
+
+
+def string() -> StringSchema:
+    """A string value."""
+    return StringSchema()
+
+
+def number() -> NumberSchema:
+    """A numeric value (int or float; booleans excluded)."""
+    return NumberSchema()
+
+
+def boolean() -> BooleanSchema:
+    """A boolean value."""
+    return BooleanSchema()
+
+
+def array() -> ArraySchema:
+    """An array value."""
+    return ArraySchema()
+
+
+def object() -> ObjectSchema:  # noqa: A001 - mirrors the Joi API name
+    """An object value (closed by default, like Joi)."""
+    return ObjectSchema()
+
+
+def alternatives(*schemas: Schema) -> AlternativesSchema:
+    """A union: the value must match one of ``schemas``."""
+    return AlternativesSchema(*schemas)
+
+
+def when(ref: str, is_: Schema, then: Schema, otherwise: Schema) -> WhenSchema:
+    """Value-dependent field schema.
+
+    When the sibling field ``ref`` matches ``is_``, the field follows
+    ``then``; otherwise it follows ``otherwise``.  Only meaningful inside
+    ``object().keys({...})``.
+    """
+    return WhenSchema(ref, is_, then, otherwise)
+
+
+def null() -> AnySchema:
+    """Exactly the JSON ``null`` value."""
+    return AnySchema().valid(None)
+
+
+__all__ = [
+    "AlternativesSchema",
+    "AnySchema",
+    "ArraySchema",
+    "BooleanSchema",
+    "JoiFailure",
+    "JoiResult",
+    "JoiSchemaError",
+    "NumberSchema",
+    "ObjectSchema",
+    "Schema",
+    "StringSchema",
+    "WhenSchema",
+    "any_",
+    "string",
+    "number",
+    "boolean",
+    "array",
+    "object",
+    "alternatives",
+    "when",
+    "null",
+    "compile_to_jsonschema",
+]

@@ -1,0 +1,269 @@
+"""Compile Joi schemas into JSON Schema documents.
+
+This is the expressiveness bridge the tutorial draws between Part 2's two
+schema languages: everything Joi can state about JSON objects can be
+encoded in JSON Schema, but the co-occurrence constraints require boolean
+combinators:
+
+- ``a.and_(x, y)``   → all present or none: ``anyOf([required both, not anyOf required-each])``
+- ``a.or_(x, y)``    → ``anyOf([required x], [required y])``
+- ``a.xor(x, y)``    → ``oneOf`` over "this one present, the others absent"
+- ``a.nand(x, y)``   → ``not(allOf required-each)``
+- ``with_(k, p...)`` → ``anyOf([not required k], [required p...])``
+- ``without(k, p…)`` → ``anyOf([not required k], [none of p present])``
+- ``when(ref, is, then, otherwise)`` → ``if``/``then``/``else``
+
+The output validates identically on the supported fragment — a property
+test generates witnesses from the compiled schema and replays them through
+the original Joi schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.joi.schema import (
+    AlternativesSchema,
+    AnySchema,
+    ArraySchema,
+    BooleanSchema,
+    JoiSchemaError,
+    NumberSchema,
+    ObjectSchema,
+    Schema,
+    StringSchema,
+    WhenSchema,
+    _Dependency,
+)
+
+
+def compile_to_jsonschema(schema: Schema) -> dict[str, Any]:
+    """Translate ``schema`` into an equivalent JSON Schema document."""
+    return _compile(schema)
+
+
+def _compile(schema: Schema) -> dict[str, Any]:
+    base = _compile_base(schema)
+
+    # valid() whitelist: enum of the allowed values replaces everything else.
+    if schema._only_allowed:
+        return {"enum": list(schema._allowed)}
+
+    clauses: list[dict[str, Any]] = []
+    if schema._invalid:
+        clauses.append({"not": {"enum": list(schema._invalid)}})
+    if clauses:
+        base = {"allOf": [base, *clauses]} if base else {"allOf": clauses}
+
+    # allow() extras: accepted even when the base type says no.
+    if schema._allowed:
+        return {"anyOf": [base if base else {}, {"enum": list(schema._allowed)}]}
+    return base
+
+
+def _compile_base(schema: Schema) -> dict[str, Any]:
+    if isinstance(schema, StringSchema):
+        return _compile_string(schema)
+    if isinstance(schema, NumberSchema):
+        return _compile_number(schema)
+    if isinstance(schema, BooleanSchema):
+        return {"type": "boolean"}
+    if isinstance(schema, ArraySchema):
+        return _compile_array(schema)
+    if isinstance(schema, ObjectSchema):
+        return _compile_object(schema)
+    if isinstance(schema, AlternativesSchema):
+        alts = schema.alternatives_list
+        if not alts:
+            return {"not": {}}
+        return {"anyOf": [_compile(alt) for alt in alts]}
+    if isinstance(schema, WhenSchema):
+        raise JoiSchemaError(
+            "when() schemas are compiled in their object context, not standalone"
+        )
+    if isinstance(schema, (AnySchema, Schema)):
+        return {}
+    raise JoiSchemaError(f"cannot compile {type(schema).__name__}")  # pragma: no cover
+
+
+def _compile_string(schema: StringSchema) -> dict[str, Any]:
+    out: dict[str, Any] = {"type": "string"}
+    patterns: list[str] = []
+    for check in schema._checks:
+        if check.code == "min":
+            out["minLength"] = check.param
+        elif check.code == "max":
+            out["maxLength"] = check.param
+        elif check.code == "length":
+            out["minLength"] = out["maxLength"] = check.param
+        elif check.code == "pattern":
+            patterns.append(check.param)
+        elif check.code == "alphanum":
+            patterns.append(r"^[a-zA-Z0-9]+$")
+        elif check.code == "email":
+            out["format"] = "email"
+        elif check.code == "uri":
+            out["format"] = "uri"
+        elif check.code == "lowercase":
+            patterns.append(r"^[^A-Z]*$")
+        else:
+            raise JoiSchemaError(f"cannot compile string check {check.code!r}")
+    if len(patterns) == 1:
+        out["pattern"] = patterns[0]
+    elif patterns:
+        out["allOf"] = [{"pattern": p} for p in patterns]
+    return out
+
+
+def _compile_number(schema: NumberSchema) -> dict[str, Any]:
+    out: dict[str, Any] = {"type": "number"}
+    for check in schema._checks:
+        if check.code == "min":
+            out["minimum"] = check.param
+        elif check.code == "max":
+            out["maximum"] = check.param
+        elif check.code == "greater":
+            out["exclusiveMinimum"] = check.param
+        elif check.code == "less":
+            out["exclusiveMaximum"] = check.param
+        elif check.code == "integer":
+            out["type"] = "integer"
+        elif check.code == "positive":
+            out["exclusiveMinimum"] = 0
+        elif check.code == "negative":
+            out["exclusiveMaximum"] = 0
+        elif check.code == "multiple":
+            out["multipleOf"] = check.param
+        else:
+            raise JoiSchemaError(f"cannot compile number check {check.code!r}")
+    return out
+
+
+def _compile_array(schema: ArraySchema) -> dict[str, Any]:
+    out: dict[str, Any] = {"type": "array"}
+    for check in schema._checks:
+        if check.code == "min":
+            out["minItems"] = check.param
+        elif check.code == "max":
+            out["maxItems"] = check.param
+        elif check.code == "length":
+            out["minItems"] = out["maxItems"] = check.param
+        elif check.code == "unique":
+            out["uniqueItems"] = True
+        else:
+            raise JoiSchemaError(f"cannot compile array check {check.code!r}")
+    items = schema._items
+    if items:
+        if len(items) == 1:
+            out["items"] = _compile(items[0])
+        else:
+            out["items"] = {"anyOf": [_compile(s) for s in items]}
+    return out
+
+
+def _compile_object(schema: ObjectSchema) -> dict[str, Any]:
+    out: dict[str, Any] = {"type": "object"}
+    properties: dict[str, Any] = {}
+    required: list[str] = []
+    conditionals: list[dict[str, Any]] = []
+
+    for name, declared in schema._keys.items():
+        if isinstance(declared, WhenSchema):
+            conditionals.append(_compile_when_field(name, declared))
+            properties.setdefault(name, {})
+            continue
+        if declared.presence == "forbidden":
+            properties[name] = False
+            continue
+        properties[name] = _compile(declared)
+        if declared.presence == "required":
+            required.append(name)
+
+    if properties:
+        out["properties"] = properties
+    if required:
+        out["required"] = sorted(required)
+
+    pattern_props = {regex: _compile(sub) for regex, _, sub in schema._patterns}
+    if pattern_props:
+        out["patternProperties"] = pattern_props
+    if not schema._unknown:
+        out["additionalProperties"] = False
+
+    for check in schema._checks:
+        if check.code == "min":
+            out["minProperties"] = check.param
+        elif check.code == "max":
+            out["maxProperties"] = check.param
+        else:
+            raise JoiSchemaError(f"cannot compile object check {check.code!r}")
+
+    dependency_clauses = [_compile_dependency(d) for d in schema._dependencies]
+    clauses = conditionals + dependency_clauses
+    if clauses:
+        existing = out.pop("allOf", [])
+        out["allOf"] = existing + clauses
+    return out
+
+
+def _compile_when_field(name: str, when: WhenSchema) -> dict[str, Any]:
+    condition = {
+        "properties": {when.ref: _compile(when.is_)},
+        "required": [when.ref],
+    }
+    return {
+        "if": condition,
+        "then": _field_schema_clause(name, when.then),
+        "else": _field_schema_clause(name, when.otherwise),
+    }
+
+
+def _field_schema_clause(name: str, schema: Schema) -> dict[str, Any]:
+    clause: dict[str, Any] = {"properties": {name: _compile(schema)}}
+    if schema.presence == "required":
+        clause["required"] = [name]
+    if schema.presence == "forbidden":
+        clause = {"not": {"required": [name]}}
+    return clause
+
+
+def _required(name: str) -> dict[str, Any]:
+    return {"required": [name]}
+
+
+def _absent(name: str) -> dict[str, Any]:
+    return {"not": {"required": [name]}}
+
+
+def _compile_dependency(dep: _Dependency) -> dict[str, Any]:
+    peers = list(dep.peers)
+    if dep.kind == "and":
+        return {
+            "anyOf": [
+                {"required": peers},
+                {"allOf": [_absent(p) for p in peers]},
+            ]
+        }
+    if dep.kind == "or":
+        return {"anyOf": [_required(p) for p in peers]}
+    if dep.kind == "xor":
+        return {
+            "oneOf": [
+                {"allOf": [_required(p)] + [_absent(q) for q in peers if q != p]}
+                for p in peers
+            ]
+        }
+    if dep.kind == "nand":
+        return {"not": {"required": peers}}
+    if dep.kind == "with":
+        assert dep.key is not None
+        return {"anyOf": [_absent(dep.key), {"required": peers}]}
+    if dep.kind == "without":
+        assert dep.key is not None
+        return {
+            "anyOf": [
+                _absent(dep.key),
+                {"allOf": [_absent(p) for p in peers]},
+            ]
+        }
+    raise JoiSchemaError(f"cannot compile dependency {dep.kind!r}")  # pragma: no cover

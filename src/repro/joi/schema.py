@@ -1,0 +1,633 @@
+"""Joi-style schema builders and validation.
+
+Walmart Labs' Joi gives JavaScript "a powerful schema language for JSON
+objects by means of JavaScript function calls" (tutorial, §1).  This module
+reproduces that design in Python: immutable fluent builders
+
+>>> import repro.joi as joi
+>>> account = (
+...     joi.object().keys({
+...         "username": joi.string().alphanum().min(3).max(30).required(),
+...         "password": joi.string().pattern(r"^[a-zA-Z0-9]{3,30}$"),
+...         "access_token": joi.alternatives(joi.string(), joi.number()),
+...     })
+...     .xor("password", "access_token")
+... )
+>>> account.is_valid({"username": "ada", "password": "secret1"})
+True
+
+Joi's distinguishing features — the tutorial highlights them against JSON
+Schema — are all here:
+
+- *co-occurrence and mutual-exclusion constraints on fields*:
+  :meth:`ObjectSchema.and_`, :meth:`ObjectSchema.or_`,
+  :meth:`ObjectSchema.xor`, :meth:`ObjectSchema.nand`,
+  :meth:`ObjectSchema.with_`, :meth:`ObjectSchema.without`;
+- *union types*: :func:`alternatives <repro.joi.alternatives>`;
+- *value-dependent types*: :func:`when <repro.joi.when>`, which selects a
+  field's schema based on a sibling field's value.
+
+Every builder method returns a **new** schema; instances are never mutated,
+so schemas are safely shareable.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional
+
+from repro.errors import SchemaError
+from repro.jsonvalue.model import is_integer_value, strict_equal
+from repro.jsonschema.formats import check_email, check_uri
+
+
+class JoiSchemaError(SchemaError):
+    """Raised for ill-formed Joi schemas (bad builder arguments)."""
+
+
+@dataclass(frozen=True)
+class JoiFailure:
+    """One validation failure: where, which rule, and why."""
+
+    path: tuple[object, ...]
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        where = ".".join(str(p) for p in self.path) or "<root>"
+        return f"{where}: {self.message} [{self.code}]"
+
+
+@dataclass
+class JoiResult:
+    """Outcome of validating one value."""
+
+    failures: list[JoiFailure] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+# A constraint check: (code, predicate, message).  Predicates see the value
+# only after the base type test succeeded.
+@dataclass(frozen=True)
+class _Check:
+    code: str
+    predicate: Callable[[Any], bool]
+    message: str
+    param: Any = None
+
+
+class Schema:
+    """Base of all Joi builders (the ``any`` type)."""
+
+    _type_name = "any"
+
+    def __init__(self) -> None:
+        self.presence: str = "optional"  # optional | required | forbidden
+        self._allowed: tuple[Any, ...] = ()
+        self._only_allowed: bool = False
+        self._invalid: tuple[Any, ...] = ()
+        self._checks: tuple[_Check, ...] = ()
+        self._default: Any = None
+        self._has_default: bool = False
+
+    # -- cloning fluent core -------------------------------------------
+
+    def _clone(self) -> "Schema":
+        clone = copy.copy(self)
+        return clone
+
+    def _with_check(
+        self, code: str, predicate: Callable[[Any], bool], message: str, param: Any = None
+    ) -> "Schema":
+        clone = self._clone()
+        clone._checks = self._checks + (_Check(code, predicate, message, param),)
+        return clone
+
+    # -- presence and value sets ----------------------------------------
+
+    def required(self) -> "Schema":
+        """The key must be present (when used as an object field)."""
+        clone = self._clone()
+        clone.presence = "required"
+        return clone
+
+    def optional(self) -> "Schema":
+        clone = self._clone()
+        clone.presence = "optional"
+        return clone
+
+    def forbidden(self) -> "Schema":
+        """The key must be absent."""
+        clone = self._clone()
+        clone.presence = "forbidden"
+        return clone
+
+    def allow(self, *values: Any) -> "Schema":
+        """Additional values accepted regardless of type checks (e.g. ``None``)."""
+        clone = self._clone()
+        clone._allowed = self._allowed + values
+        return clone
+
+    def valid(self, *values: Any) -> "Schema":
+        """Restrict to an explicit whitelist of values."""
+        clone = self._clone()
+        clone._allowed = self._allowed + values
+        clone._only_allowed = True
+        return clone
+
+    def invalid(self, *values: Any) -> "Schema":
+        """Blacklist specific values."""
+        clone = self._clone()
+        clone._invalid = self._invalid + values
+        return clone
+
+    def default(self, value: Any) -> "Schema":
+        """Annotation only: the value a consumer would fill in when absent."""
+        clone = self._clone()
+        clone._default = value
+        clone._has_default = True
+        return clone
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self, value: Any) -> JoiResult:
+        """Validate a present value; returns all failures."""
+        result = JoiResult()
+        self._validate(value, (), result.failures)
+        return result
+
+    def is_valid(self, value: Any) -> bool:
+        return self.validate(value).valid
+
+    def _validate(self, value: Any, path: tuple, failures: list[JoiFailure]) -> None:
+        if any(strict_equal(value, v) for v in self._allowed):
+            return
+        if self._only_allowed:
+            failures.append(
+                JoiFailure(path, "any.only", "value is not one of the allowed values")
+            )
+            return
+        if any(strict_equal(value, v) for v in self._invalid):
+            failures.append(JoiFailure(path, "any.invalid", "value is blacklisted"))
+            return
+        type_error = self._check_type(value)
+        if type_error is not None:
+            failures.append(JoiFailure(path, f"{self._type_name}.base", type_error))
+            return
+        for check in self._checks:
+            if not check.predicate(value):
+                failures.append(
+                    JoiFailure(path, f"{self._type_name}.{check.code}", check.message)
+                )
+        self._validate_structure(value, path, failures)
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        """Return an error message if the base type does not match."""
+        return None  # any
+
+    def _validate_structure(self, value: Any, path: tuple, failures: list[JoiFailure]) -> None:
+        """Hook for container schemas."""
+
+
+class AnySchema(Schema):
+    """Accepts any JSON value (modulo valid/invalid sets)."""
+
+
+class StringSchema(Schema):
+    _type_name = "string"
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        if not isinstance(value, str):
+            return f"expected a string, got {type(value).__name__}"
+        return None
+
+    def min(self, length: int) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "min", lambda v: len(v) >= length, f"length must be at least {length}", param=length
+        )
+
+    def max(self, length: int) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "max", lambda v: len(v) <= length, f"length must be at most {length}", param=length
+        )
+
+    def length(self, length: int) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "length", lambda v: len(v) == length, f"length must be exactly {length}", param=length
+        )
+
+    def pattern(self, regex: str) -> "StringSchema":
+        try:
+            compiled = re.compile(regex)
+        except re.error as exc:
+            raise JoiSchemaError(f"invalid pattern {regex!r}: {exc}") from exc
+        return self._with_check(  # type: ignore[return-value]
+            "pattern",
+            lambda v: compiled.search(v) is not None,
+            f"value does not match pattern {regex!r}",
+            param=regex,
+        )
+
+    def alphanum(self) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "alphanum", lambda v: v.isalnum(), "value must be alphanumeric"
+        )
+
+    def email(self) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "email", check_email, "value must be a valid email address"
+        )
+
+    def uri(self) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "uri", check_uri, "value must be a valid URI"
+        )
+
+    def lowercase(self) -> "StringSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "lowercase", lambda v: v == v.lower(), "value must be lowercase"
+        )
+
+
+class NumberSchema(Schema):
+    _type_name = "number"
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return f"expected a number, got {type(value).__name__}"
+        return None
+
+    def min(self, bound: float) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "min", lambda v: v >= bound, f"value must be >= {bound}", param=bound
+        )
+
+    def max(self, bound: float) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "max", lambda v: v <= bound, f"value must be <= {bound}", param=bound
+        )
+
+    def greater(self, bound: float) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "greater", lambda v: v > bound, f"value must be > {bound}", param=bound
+        )
+
+    def less(self, bound: float) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "less", lambda v: v < bound, f"value must be < {bound}", param=bound
+        )
+
+    def integer(self) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "integer", is_integer_value, "value must be an integer"
+        )
+
+    def positive(self) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "positive", lambda v: v > 0, "value must be positive"
+        )
+
+    def negative(self) -> "NumberSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "negative", lambda v: v < 0, "value must be negative"
+        )
+
+    def multiple(self, base: int) -> "NumberSchema":
+        if base <= 0:
+            raise JoiSchemaError("multiple() base must be positive")
+        return self._with_check(  # type: ignore[return-value]
+            "multiple", lambda v: v % base == 0, f"value must be a multiple of {base}", param=base
+        )
+
+
+class BooleanSchema(Schema):
+    _type_name = "boolean"
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        if not isinstance(value, bool):
+            return f"expected a boolean, got {type(value).__name__}"
+        return None
+
+
+class ArraySchema(Schema):
+    _type_name = "array"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._items: tuple[Schema, ...] = ()
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        if not isinstance(value, list):
+            return f"expected an array, got {type(value).__name__}"
+        return None
+
+    def items(self, *schemas: Schema) -> "ArraySchema":
+        """Each element must match at least one of the item schemas."""
+        clone = self._clone()
+        clone._items = self._items + schemas
+        return clone  # type: ignore[return-value]
+
+    def min(self, count: int) -> "ArraySchema":
+        return self._with_check(  # type: ignore[return-value]
+            "min", lambda v: len(v) >= count, f"array must have at least {count} items", param=count
+        )
+
+    def max(self, count: int) -> "ArraySchema":
+        return self._with_check(  # type: ignore[return-value]
+            "max", lambda v: len(v) <= count, f"array must have at most {count} items", param=count
+        )
+
+    def length(self, count: int) -> "ArraySchema":
+        return self._with_check(  # type: ignore[return-value]
+            "length", lambda v: len(v) == count, f"array must have exactly {count} items", param=count
+        )
+
+    def unique(self) -> "ArraySchema":
+        from repro.jsonvalue.model import freeze
+
+        def all_unique(values: list) -> bool:
+            frozen = [freeze(v) for v in values]
+            return len(set(frozen)) == len(frozen)
+
+        return self._with_check(  # type: ignore[return-value]
+            "unique", all_unique, "array items must be unique"
+        )
+
+    def _validate_structure(self, value: list, path: tuple, failures: list[JoiFailure]) -> None:
+        if not self._items:
+            return
+        for i, item in enumerate(value):
+            if not any(schema.is_valid(item) for schema in self._items):
+                failures.append(
+                    JoiFailure(
+                        path + (i,),
+                        "array.items",
+                        "item does not match any of the allowed item types",
+                    )
+                )
+
+
+@dataclass(frozen=True)
+class _Dependency:
+    """A co-occurrence rule over object keys."""
+
+    kind: str  # and | or | xor | nand | with | without
+    key: Optional[str]
+    peers: tuple[str, ...]
+
+
+class WhenSchema(Schema):
+    """Value-dependent field schema: chooses based on a sibling's value.
+
+    Usable only as an object field; resolution happens inside
+    :class:`ObjectSchema`.
+    """
+
+    _type_name = "when"
+
+    def __init__(self, ref: str, is_: Schema, then: Schema, otherwise: Schema) -> None:
+        super().__init__()
+        self.ref = ref
+        self.is_ = is_
+        self.then = then
+        self.otherwise = otherwise
+
+    def resolve(self, parent: Mapping[str, Any]) -> Schema:
+        """Pick the effective schema given the parent object."""
+        if self.ref in parent and self.is_.is_valid(parent[self.ref]):
+            return self.then
+        return self.otherwise
+
+    def _validate(self, value: Any, path: tuple, failures: list[JoiFailure]) -> None:
+        failures.append(
+            JoiFailure(
+                path,
+                "when.context",
+                "when() schemas can only be used as object fields",
+            )
+        )
+
+
+class ObjectSchema(Schema):
+    _type_name = "object"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._keys: dict[str, Schema] = {}
+        self._patterns: tuple[tuple[str, re.Pattern[str], Schema], ...] = ()
+        self._dependencies: tuple[_Dependency, ...] = ()
+        self._unknown: bool = False
+
+    def _check_type(self, value: Any) -> Optional[str]:
+        if not isinstance(value, dict):
+            return f"expected an object, got {type(value).__name__}"
+        return None
+
+    # -- structure builders ----------------------------------------------
+
+    def keys(self, mapping: Mapping[str, Schema]) -> "ObjectSchema":
+        for name, schema in mapping.items():
+            if not isinstance(schema, Schema):
+                raise JoiSchemaError(f"key {name!r} is not a Joi schema: {schema!r}")
+        clone = self._clone()
+        clone._keys = {**self._keys, **mapping}
+        return clone  # type: ignore[return-value]
+
+    def pattern(self, regex: str, schema: Schema) -> "ObjectSchema":
+        """Keys matching ``regex`` must satisfy ``schema``."""
+        try:
+            compiled = re.compile(regex)
+        except re.error as exc:
+            raise JoiSchemaError(f"invalid pattern {regex!r}: {exc}") from exc
+        clone = self._clone()
+        clone._patterns = self._patterns + ((regex, compiled, schema),)
+        return clone  # type: ignore[return-value]
+
+    def unknown(self, allow: bool = True) -> "ObjectSchema":
+        """Permit keys not declared in :meth:`keys` (Joi rejects them by default)."""
+        clone = self._clone()
+        clone._unknown = allow
+        return clone  # type: ignore[return-value]
+
+    def min(self, count: int) -> "ObjectSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "min", lambda v: len(v) >= count, f"object must have at least {count} keys", param=count
+        )
+
+    def max(self, count: int) -> "ObjectSchema":
+        return self._with_check(  # type: ignore[return-value]
+            "max", lambda v: len(v) <= count, f"object must have at most {count} keys", param=count
+        )
+
+    # -- co-occurrence constraints ----------------------------------------
+
+    def _with_dependency(self, dep: _Dependency) -> "ObjectSchema":
+        clone = self._clone()
+        clone._dependencies = self._dependencies + (dep,)
+        return clone  # type: ignore[return-value]
+
+    def and_(self, *peers: str) -> "ObjectSchema":
+        """All of ``peers`` must appear together, or none of them."""
+        return self._with_dependency(_Dependency("and", None, peers))
+
+    def or_(self, *peers: str) -> "ObjectSchema":
+        """At least one of ``peers`` must be present."""
+        return self._with_dependency(_Dependency("or", None, peers))
+
+    def xor(self, *peers: str) -> "ObjectSchema":
+        """Exactly one of ``peers`` must be present (mutual exclusion)."""
+        return self._with_dependency(_Dependency("xor", None, peers))
+
+    def nand(self, *peers: str) -> "ObjectSchema":
+        """Not all of ``peers`` may be present simultaneously."""
+        return self._with_dependency(_Dependency("nand", None, peers))
+
+    def with_(self, key: str, *peers: str) -> "ObjectSchema":
+        """If ``key`` is present, all ``peers`` must be present too."""
+        return self._with_dependency(_Dependency("with", key, peers))
+
+    def without(self, key: str, *peers: str) -> "ObjectSchema":
+        """If ``key`` is present, none of ``peers`` may be present."""
+        return self._with_dependency(_Dependency("without", key, peers))
+
+    # -- validation --------------------------------------------------------
+
+    def _validate_structure(self, value: dict, path: tuple, failures: list[JoiFailure]) -> None:
+        present = set(value.keys())
+
+        for name, declared in self._keys.items():
+            schema = declared.resolve(value) if isinstance(declared, WhenSchema) else declared
+            if name in value:
+                if schema.presence == "forbidden":
+                    failures.append(
+                        JoiFailure(path + (name,), "any.unknown", f"{name!r} is forbidden")
+                    )
+                else:
+                    schema._validate(value[name], path + (name,), failures)
+            elif schema.presence == "required":
+                failures.append(
+                    JoiFailure(path + (name,), "any.required", f"{name!r} is required")
+                )
+
+        for name in present - set(self._keys):
+            matched = False
+            for _, compiled, schema in self._patterns:
+                if compiled.search(name) is not None:
+                    matched = True
+                    schema._validate(value[name], path + (name,), failures)
+            if not matched and not self._unknown:
+                failures.append(
+                    JoiFailure(path + (name,), "object.unknown", f"{name!r} is not allowed")
+                )
+
+        for dep in self._dependencies:
+            self._check_dependency(dep, present, path, failures)
+
+    @staticmethod
+    def _check_dependency(
+        dep: _Dependency, present: set[str], path: tuple, failures: list[JoiFailure]
+    ) -> None:
+        peers_present = [p for p in dep.peers if p in present]
+        if dep.kind == "and":
+            if peers_present and len(peers_present) != len(dep.peers):
+                missing = sorted(set(dep.peers) - present)
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.and",
+                        f"fields {sorted(peers_present)} require {missing} as well",
+                    )
+                )
+        elif dep.kind == "or":
+            if not peers_present:
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.missing",
+                        f"at least one of {sorted(dep.peers)} is required",
+                    )
+                )
+        elif dep.kind == "xor":
+            if len(peers_present) != 1:
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.xor",
+                        f"exactly one of {sorted(dep.peers)} is required, "
+                        f"found {len(peers_present)}",
+                    )
+                )
+        elif dep.kind == "nand":
+            if len(peers_present) == len(dep.peers):
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.nand",
+                        f"fields {sorted(dep.peers)} must not all be present",
+                    )
+                )
+        elif dep.kind == "with":
+            assert dep.key is not None
+            if dep.key in present and len(peers_present) != len(dep.peers):
+                missing = sorted(set(dep.peers) - present)
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.with",
+                        f"{dep.key!r} requires {missing}",
+                    )
+                )
+        elif dep.kind == "without":
+            assert dep.key is not None
+            if dep.key in present and peers_present:
+                failures.append(
+                    JoiFailure(
+                        path,
+                        "object.without",
+                        f"{dep.key!r} conflicts with {sorted(peers_present)}",
+                    )
+                )
+        else:  # pragma: no cover
+            raise JoiSchemaError(f"unknown dependency kind {dep.kind!r}")
+
+
+class AlternativesSchema(Schema):
+    """Union: the value must match at least one alternative."""
+
+    _type_name = "alternatives"
+
+    def __init__(self, *schemas: Schema) -> None:
+        super().__init__()
+        self._alternatives: tuple[Schema, ...] = tuple(schemas)
+
+    def try_(self, *schemas: Schema) -> "AlternativesSchema":
+        clone = self._clone()
+        clone._alternatives = self._alternatives + schemas
+        return clone  # type: ignore[return-value]
+
+    @property
+    def alternatives_list(self) -> tuple[Schema, ...]:
+        return self._alternatives
+
+    def _validate_structure(self, value: Any, path: tuple, failures: list[JoiFailure]) -> None:
+        if not self._alternatives:
+            failures.append(
+                JoiFailure(path, "alternatives.base", "no alternatives declared")
+            )
+            return
+        if not any(alt.is_valid(value) for alt in self._alternatives):
+            failures.append(
+                JoiFailure(
+                    path,
+                    "alternatives.match",
+                    "value does not match any of the alternatives",
+                )
+            )

@@ -1,0 +1,42 @@
+"""JSON Schema (Draft-07 core) — the tutorial's reference schema language.
+
+Compile with :func:`compile_schema`, validate with
+:meth:`JsonSchema.validate` (collects all failures) or
+:meth:`JsonSchema.is_valid`.  Cross-document references go through
+:class:`SchemaRegistry`; witness instances come from
+:mod:`repro.jsonschema.generate`.
+"""
+
+from repro.jsonschema.errors import (
+    InstanceValidationError,
+    SchemaCompileError,
+    ValidationFailure,
+    ValidationResult,
+)
+from repro.jsonschema.formats import FORMAT_CHECKS
+from repro.jsonschema.generate import GenerationError, InstanceGenerator, generate_instance
+from repro.jsonschema.refs import SchemaRegistry
+from repro.jsonschema.validator import (
+    JsonSchema,
+    compile_schema,
+    is_valid,
+    json_schema_equal,
+    validate,
+)
+
+__all__ = [
+    "InstanceValidationError",
+    "SchemaCompileError",
+    "ValidationFailure",
+    "ValidationResult",
+    "FORMAT_CHECKS",
+    "GenerationError",
+    "InstanceGenerator",
+    "generate_instance",
+    "SchemaRegistry",
+    "JsonSchema",
+    "compile_schema",
+    "is_valid",
+    "json_schema_equal",
+    "validate",
+]

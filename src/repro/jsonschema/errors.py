@@ -1,0 +1,72 @@
+"""Error and result types for JSON Schema validation.
+
+Validation never raises on invalid *instances*: it returns a
+:class:`ValidationResult` carrying every :class:`ValidationFailure` found,
+each locating the offending value (``instance_path``) and the schema rule
+that rejected it (``schema_path`` + ``keyword``).  Malformed *schemas*
+raise :class:`SchemaCompileError` at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SchemaError, ValidationError
+from repro.jsonvalue.pointer import JsonPointer
+
+
+class SchemaCompileError(SchemaError):
+    """Raised when a schema document is structurally invalid."""
+
+
+class InstanceValidationError(ValidationError):
+    """Raised by ``validate_or_raise`` when an instance is invalid."""
+
+    def __init__(self, result: "ValidationResult") -> None:
+        summary = "; ".join(str(f) for f in result.failures[:3])
+        more = len(result.failures) - 3
+        if more > 0:
+            summary += f" (+{more} more)"
+        super().__init__(f"instance is invalid: {summary}")
+        self.result = result
+
+
+@dataclass(frozen=True)
+class ValidationFailure:
+    """One reason an instance failed validation.
+
+    ``instance_path`` points into the instance, ``schema_path`` into the
+    schema document, and ``keyword`` names the violated assertion.
+    """
+
+    instance_path: JsonPointer
+    schema_path: JsonPointer
+    keyword: str
+    message: str
+
+    def __str__(self) -> str:
+        where = str(self.instance_path) or "<root>"
+        return f"{where}: {self.message} [{self.keyword} at {self.schema_path or '#'}]"
+
+
+@dataclass
+class ValidationResult:
+    """The outcome of validating one instance against one schema."""
+
+    failures: list[ValidationFailure] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+    def extend(self, failures: Iterable[ValidationFailure]) -> None:
+        self.failures.extend(failures)
+
+    def __str__(self) -> str:
+        if self.valid:
+            return "valid"
+        return f"invalid ({len(self.failures)} failures)"

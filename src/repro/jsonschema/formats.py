@@ -1,0 +1,151 @@
+"""Checkers for the draft-07 ``format`` vocabulary.
+
+Each checker takes the string instance and returns ``True`` when it
+conforms.  Unknown formats are not listed here; the validator lets them
+pass, as the spec prescribes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import re
+from typing import Callable
+
+from repro.jsonvalue.pointer import JsonPointer, JsonPointerError
+
+_DATE_RE = re.compile(r"^(\d{4})-(\d{2})-(\d{2})$")
+_TIME_RE = re.compile(
+    r"^(\d{2}):(\d{2}):(\d{2})(\.\d+)?(z|Z|[+-]\d{2}:\d{2})$"
+)
+_DATETIME_RE = re.compile(
+    r"^(\d{4})-(\d{2})-(\d{2})[tT ](\d{2}):(\d{2}):(\d{2})(\.\d+)?(z|Z|[+-]\d{2}:\d{2})$"
+)
+_EMAIL_RE = re.compile(r"^[A-Za-z0-9.!#$%&'*+/=?^_`{|}~-]+@[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?(?:\.[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?)*$")
+_HOSTNAME_LABEL_RE = re.compile(r"^[A-Za-z0-9](?:[A-Za-z0-9-]{0,61}[A-Za-z0-9])?$")
+_URI_RE = re.compile(r"^[A-Za-z][A-Za-z0-9+.-]*:[^\s]*$")
+_UUID_RE = re.compile(
+    r"^[0-9a-fA-F]{8}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{4}-[0-9a-fA-F]{12}$"
+)
+
+_DAYS_IN_MONTH = (31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+
+def _valid_date_parts(year: int, month: int, day: int) -> bool:
+    if not (1 <= month <= 12 and 1 <= day <= _DAYS_IN_MONTH[month - 1]):
+        return False
+    if month == 2 and day == 29:
+        leap = year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+        return leap
+    return True
+
+
+def check_date(value: str) -> bool:
+    m = _DATE_RE.match(value)
+    if m is None:
+        return False
+    year, month, day = (int(g) for g in m.groups())
+    return _valid_date_parts(year, month, day)
+
+
+def _valid_time_parts(hour: int, minute: int, second: int) -> bool:
+    # Second 60 admits leap seconds, as RFC 3339 does.
+    return hour <= 23 and minute <= 59 and second <= 60
+
+
+def check_time(value: str) -> bool:
+    m = _TIME_RE.match(value)
+    if m is None:
+        return False
+    hour, minute, second = int(m.group(1)), int(m.group(2)), int(m.group(3))
+    return _valid_time_parts(hour, minute, second)
+
+
+def check_date_time(value: str) -> bool:
+    m = _DATETIME_RE.match(value)
+    if m is None:
+        return False
+    year, month, day = int(m.group(1)), int(m.group(2)), int(m.group(3))
+    hour, minute, second = int(m.group(4)), int(m.group(5)), int(m.group(6))
+    return _valid_date_parts(year, month, day) and _valid_time_parts(hour, minute, second)
+
+
+def check_email(value: str) -> bool:
+    return _EMAIL_RE.match(value) is not None
+
+
+def check_hostname(value: str) -> bool:
+    if not value or len(value) > 253:
+        return False
+    labels = value.rstrip(".").split(".")
+    return all(_HOSTNAME_LABEL_RE.match(label) for label in labels)
+
+
+def check_ipv4(value: str) -> bool:
+    parts = value.split(".")
+    if len(parts) != 4:
+        return False
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            return False
+        if int(part) > 255:
+            return False
+    return True
+
+
+def check_ipv6(value: str) -> bool:
+    try:
+        ipaddress.IPv6Address(value)
+    except (ipaddress.AddressValueError, ValueError):
+        return False
+    return True
+
+
+def check_uri(value: str) -> bool:
+    return _URI_RE.match(value) is not None
+
+
+def check_uri_reference(value: str) -> bool:
+    # Any URI is a URI reference; otherwise a relative reference must not
+    # contain spaces or a stray scheme-less colon in the first segment.
+    if check_uri(value):
+        return True
+    if any(ch.isspace() for ch in value):
+        return False
+    first_segment = value.split("/", 1)[0]
+    return ":" not in first_segment
+
+
+def check_regex(value: str) -> bool:
+    try:
+        re.compile(value)
+    except re.error:
+        return False
+    return True
+
+
+def check_json_pointer(value: str) -> bool:
+    try:
+        JsonPointer.parse(value)
+    except JsonPointerError:
+        return False
+    return True
+
+
+def check_uuid(value: str) -> bool:
+    return _UUID_RE.match(value) is not None
+
+
+FORMAT_CHECKS: dict[str, Callable[[str], bool]] = {
+    "date": check_date,
+    "time": check_time,
+    "date-time": check_date_time,
+    "email": check_email,
+    "hostname": check_hostname,
+    "ipv4": check_ipv4,
+    "ipv6": check_ipv6,
+    "uri": check_uri,
+    "uri-reference": check_uri_reference,
+    "regex": check_regex,
+    "json-pointer": check_json_pointer,
+    "uuid": check_uuid,
+}

@@ -1,0 +1,133 @@
+"""``$ref`` resolution for JSON Schema documents.
+
+A :class:`SchemaRegistry` maps base URIs to raw schema documents and
+resolves references of the forms
+
+- ``#`` — the whole current document,
+- ``#/definitions/thing`` — a JSON Pointer into the current document,
+- ``https://example.com/s.json`` — a registered document,
+- ``https://example.com/s.json#/definitions/thing`` — pointer into one.
+
+Root-level ``$id`` declarations register the document under that URI.
+Nested ``$id`` re-basing (draft-07 scope changes) is deliberately out of
+scope — the tutorial's schemas never use it — and raises a clear error
+rather than resolving incorrectly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jsonvalue.pointer import JsonPointer, JsonPointerError
+from repro.jsonschema.errors import SchemaCompileError
+
+
+class SchemaRegistry:
+    """Holds raw schema documents addressable by URI."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, Any] = {}
+
+    def add(self, uri: str, document: Any) -> None:
+        """Register ``document`` under ``uri`` (and under its ``$id`` if present)."""
+        self._documents[uri.rstrip("#")] = document
+        if isinstance(document, dict):
+            doc_id = document.get("$id")
+            if isinstance(doc_id, str):
+                self._documents[doc_id.rstrip("#")] = document
+
+    def register_root(self, document: Any) -> None:
+        """Register a document under its own ``$id``, if it declares one."""
+        if isinstance(document, dict):
+            doc_id = document.get("$id")
+            if isinstance(doc_id, str):
+                self._documents[doc_id.rstrip("#")] = document
+
+    def lookup(self, uri: str) -> Any:
+        base = uri.rstrip("#")
+        if base not in self._documents:
+            raise SchemaCompileError(f"unresolvable schema URI {uri!r}")
+        return self._documents[base]
+
+    def resolve(self, ref: str, current_document: Any) -> tuple[Any, Any]:
+        """Resolve ``ref`` relative to ``current_document``.
+
+        Returns ``(target_schema, its_document)`` — the document is needed
+        so that refs inside the target resolve against the right root.
+        """
+        if ref == "#":
+            return current_document, current_document
+        if ref.startswith("#/"):
+            return self._pointer_into(current_document, ref[1:], ref), current_document
+        if ref.startswith("#"):
+            raise SchemaCompileError(
+                f"plain-name fragment {ref!r} is not supported (use JSON Pointers)"
+            )
+        base, _, fragment = ref.partition("#")
+        document = self.lookup(base)
+        if not fragment:
+            return document, document
+        if not fragment.startswith("/"):
+            raise SchemaCompileError(
+                f"plain-name fragment in {ref!r} is not supported (use JSON Pointers)"
+            )
+        return self._pointer_into(document, fragment, ref), document
+
+    @staticmethod
+    def _pointer_into(document: Any, pointer_text: str, ref: str) -> Any:
+        try:
+            pointer = JsonPointer.parse(pointer_text)
+            return pointer.resolve(document)
+        except JsonPointerError as exc:
+            raise SchemaCompileError(f"cannot resolve $ref {ref!r}: {exc}") from exc
+
+
+# Keywords whose value is a single subschema.
+_SCHEMA_VALUE_KEYWORDS = (
+    "additionalItems",
+    "additionalProperties",
+    "contains",
+    "propertyNames",
+    "not",
+    "if",
+    "then",
+    "else",
+)
+# Keywords whose value is a list of subschemas.
+_SCHEMA_LIST_KEYWORDS = ("allOf", "anyOf", "oneOf")
+# Keywords whose value maps *names* (not keywords!) to subschemas.
+_SCHEMA_MAP_KEYWORDS = ("properties", "patternProperties", "definitions")
+
+
+def reject_nested_ids(schema: Any, *, _at_root: bool = True) -> None:
+    """Raise if ``schema`` uses nested ``$id`` re-basing (unsupported).
+
+    Walks the *schema structure* (not raw dicts), so a property that merely
+    happens to be named ``$id`` — common in documents about schemas — is
+    data, not a base-URI declaration, and is left alone.
+    """
+    if isinstance(schema, bool) or not isinstance(schema, dict):
+        return
+    if not _at_root and "$id" in schema:
+        raise SchemaCompileError(
+            "nested $id re-basing is not supported by this validator"
+        )
+    for key, value in schema.items():
+        if key in _SCHEMA_MAP_KEYWORDS and isinstance(value, dict):
+            for sub in value.values():
+                reject_nested_ids(sub, _at_root=False)
+        elif key in _SCHEMA_LIST_KEYWORDS and isinstance(value, list):
+            for sub in value:
+                reject_nested_ids(sub, _at_root=False)
+        elif key == "items":
+            if isinstance(value, list):
+                for sub in value:
+                    reject_nested_ids(sub, _at_root=False)
+            else:
+                reject_nested_ids(value, _at_root=False)
+        elif key in _SCHEMA_VALUE_KEYWORDS:
+            reject_nested_ids(value, _at_root=False)
+        elif key == "dependencies" and isinstance(value, dict):
+            for dep in value.values():
+                if isinstance(dep, dict):
+                    reject_nested_ids(dep, _at_root=False)

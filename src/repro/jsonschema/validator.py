@@ -1,0 +1,650 @@
+"""JSON Schema validator (Draft-07 core), after Pezoa et al. (WWW '16).
+
+The tutorial presents JSON Schema as the reference schema language for
+JSON, with "traditional type constructors, like union and concatenation,
+as well as very powerful constructors like negation types".  This module
+implements the draft-07 validation vocabulary over the library's own JSON
+substrate:
+
+- general: ``type`` ``enum`` ``const`` ``format``
+- numeric: ``multipleOf`` ``maximum`` ``exclusiveMaximum`` ``minimum``
+  ``exclusiveMinimum``
+- strings: ``maxLength`` ``minLength`` ``pattern``
+- arrays: ``items`` ``additionalItems`` ``maxItems`` ``minItems``
+  ``uniqueItems`` ``contains``
+- objects: ``maxProperties`` ``minProperties`` ``required`` ``properties``
+  ``patternProperties`` ``additionalProperties`` ``dependencies``
+  ``propertyNames``
+- combinators: ``allOf`` ``anyOf`` ``oneOf`` ``not`` ``if``/``then``/``else``
+- references: ``$ref`` with JSON-Pointer fragments via
+  :class:`~repro.jsonschema.refs.SchemaRegistry`
+- boolean schemas ``true``/``false``
+
+Instance equality for ``enum``/``const`` follows the spec: numbers compare
+mathematically (``1 == 1.0``) but booleans are never equal to numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Optional
+
+from repro.jsonvalue.model import JsonKind, freeze, is_integer_value, kind_of
+from repro.jsonvalue.pointer import JsonPointer
+from repro.jsonschema.errors import (
+    InstanceValidationError,
+    SchemaCompileError,
+    ValidationFailure,
+    ValidationResult,
+)
+from repro.jsonschema.formats import FORMAT_CHECKS
+from repro.jsonschema.refs import SchemaRegistry, reject_nested_ids
+
+_TYPE_NAMES = frozenset(
+    ("null", "boolean", "integer", "number", "string", "array", "object")
+)
+
+_ROOT = JsonPointer()
+
+
+def json_schema_equal(left: Any, right: Any) -> bool:
+    """Instance equality per the JSON Schema spec.
+
+    Numbers compare by mathematical value; booleans are a distinct type;
+    arrays compare element-wise; objects by key set and member equality.
+    """
+    lk, rk = kind_of(left), kind_of(right)
+    if lk is not rk:
+        return False
+    if lk is JsonKind.NUMBER:
+        return left == right  # 1 == 1.0 mathematically
+    if lk is JsonKind.ARRAY:
+        return len(left) == len(right) and all(
+            json_schema_equal(a, b) for a, b in zip(left, right)
+        )
+    if lk is JsonKind.OBJECT:
+        return left.keys() == right.keys() and all(
+            json_schema_equal(v, right[k]) for k, v in left.items()
+        )
+    return left == right
+
+
+def _instance_has_type(instance: Any, name: str) -> bool:
+    kind = kind_of(instance)
+    if name == "null":
+        return kind is JsonKind.NULL
+    if name == "boolean":
+        return kind is JsonKind.BOOLEAN
+    if name == "string":
+        return kind is JsonKind.STRING
+    if name == "array":
+        return kind is JsonKind.ARRAY
+    if name == "object":
+        return kind is JsonKind.OBJECT
+    if name == "number":
+        return kind is JsonKind.NUMBER
+    if name == "integer":
+        # Draft 6+: any number with zero fractional part is an integer.
+        if kind is not JsonKind.NUMBER:
+            return False
+        return is_integer_value(instance) or (
+            isinstance(instance, float) and instance.is_integer()
+        )
+    raise SchemaCompileError(f"unknown type name {name!r}")
+
+
+class JsonSchema:
+    """A compiled, validatable JSON Schema.
+
+    Parameters
+    ----------
+    document:
+        The raw schema (a dict, or a boolean schema).
+    registry:
+        Optional :class:`SchemaRegistry` for cross-document ``$ref``.
+    assert_formats:
+        When true (default) the ``format`` keyword is an assertion for the
+        formats this library knows; unknown formats always pass.
+    max_ref_depth:
+        Bound on chained/recursive ``$ref`` expansion during a single
+        validation walk.
+    """
+
+    def __init__(
+        self,
+        document: Any,
+        registry: Optional[SchemaRegistry] = None,
+        *,
+        assert_formats: bool = True,
+        max_ref_depth: int = 64,
+    ) -> None:
+        self.document = document
+        self.registry = registry if registry is not None else SchemaRegistry()
+        self.assert_formats = assert_formats
+        self.max_ref_depth = max_ref_depth
+        self._pattern_cache: dict[str, re.Pattern[str]] = {}
+        reject_nested_ids(document)
+        self.registry.register_root(document)
+        self._check_schema(document, _ROOT)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def validate(self, instance: Any) -> ValidationResult:
+        """Validate ``instance``; returns a result carrying all failures."""
+        result = ValidationResult()
+        self._validate(
+            self.document, self.document, instance, _ROOT, _ROOT, result, 0
+        )
+        return result
+
+    def is_valid(self, instance: Any) -> bool:
+        """Fast boolean interface (stops semantics identical to validate)."""
+        return self.validate(instance).valid
+
+    def validate_or_raise(self, instance: Any) -> None:
+        """Raise :class:`InstanceValidationError` if ``instance`` is invalid."""
+        result = self.validate(instance)
+        if not result.valid:
+            raise InstanceValidationError(result)
+
+    # ------------------------------------------------------------------
+    # compile-time structure checking
+    # ------------------------------------------------------------------
+
+    def _check_schema(self, schema: Any, path: JsonPointer) -> None:
+        if isinstance(schema, bool):
+            return
+        if not isinstance(schema, dict):
+            raise SchemaCompileError(
+                f"schema at {path or '#'} must be an object or boolean, "
+                f"got {type(schema).__name__}"
+            )
+        self._check_keywords(schema, path)
+        for key, sub in schema.items():
+            if key in ("properties", "patternProperties"):
+                if not isinstance(sub, dict):
+                    raise SchemaCompileError(f"{key} at {path} must be an object")
+                for name, subschema in sub.items():
+                    if key == "patternProperties":
+                        self._compile_pattern(name, path.child(key))
+                    self._check_schema(subschema, path.child(key).child(name))
+            elif key in ("items",) and isinstance(sub, list):
+                for i, subschema in enumerate(sub):
+                    self._check_schema(subschema, path.child(key).child(i))
+            elif key in (
+                "items",
+                "additionalItems",
+                "additionalProperties",
+                "contains",
+                "propertyNames",
+                "not",
+                "if",
+                "then",
+                "else",
+            ):
+                self._check_schema(sub, path.child(key))
+            elif key in ("allOf", "anyOf", "oneOf"):
+                if not isinstance(sub, list) or not sub:
+                    raise SchemaCompileError(
+                        f"{key} at {path} must be a non-empty array of schemas"
+                    )
+                for i, subschema in enumerate(sub):
+                    self._check_schema(subschema, path.child(key).child(i))
+            elif key == "definitions":
+                if not isinstance(sub, dict):
+                    raise SchemaCompileError(f"definitions at {path} must be an object")
+                for name, subschema in sub.items():
+                    self._check_schema(subschema, path.child(key).child(name))
+            elif key == "dependencies":
+                if not isinstance(sub, dict):
+                    raise SchemaCompileError(f"dependencies at {path} must be an object")
+                for name, dep in sub.items():
+                    if isinstance(dep, list):
+                        if not all(isinstance(d, str) for d in dep):
+                            raise SchemaCompileError(
+                                f"property dependency {name!r} at {path} must list strings"
+                            )
+                    else:
+                        self._check_schema(dep, path.child(key).child(name))
+
+    def _check_keywords(self, schema: dict, path: JsonPointer) -> None:
+        if "type" in schema:
+            t = schema["type"]
+            names = t if isinstance(t, list) else [t]
+            for name in names:
+                if not isinstance(name, str) or name not in _TYPE_NAMES:
+                    raise SchemaCompileError(f"invalid type name {name!r} at {path}")
+        if "required" in schema:
+            req = schema["required"]
+            if not isinstance(req, list) or not all(isinstance(r, str) for r in req):
+                raise SchemaCompileError(f"required at {path} must be a string array")
+        if "enum" in schema:
+            if not isinstance(schema["enum"], list) or not schema["enum"]:
+                raise SchemaCompileError(f"enum at {path} must be a non-empty array")
+        if "pattern" in schema:
+            self._compile_pattern(schema["pattern"], path)
+        for key in ("multipleOf", "maximum", "exclusiveMaximum", "minimum", "exclusiveMinimum"):
+            if key in schema:
+                v = schema[key]
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    raise SchemaCompileError(f"{key} at {path} must be a number")
+                if key == "multipleOf" and v <= 0:
+                    raise SchemaCompileError(f"multipleOf at {path} must be positive")
+        for key in (
+            "maxLength",
+            "minLength",
+            "maxItems",
+            "minItems",
+            "maxProperties",
+            "minProperties",
+        ):
+            if key in schema:
+                v = schema[key]
+                if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+                    raise SchemaCompileError(
+                        f"{key} at {path} must be a non-negative integer"
+                    )
+        if "$ref" in schema and not isinstance(schema["$ref"], str):
+            raise SchemaCompileError(f"$ref at {path} must be a string")
+
+    def _compile_pattern(self, pattern: Any, path: JsonPointer) -> re.Pattern[str]:
+        if not isinstance(pattern, str):
+            raise SchemaCompileError(f"pattern at {path} must be a string")
+        cached = self._pattern_cache.get(pattern)
+        if cached is None:
+            try:
+                cached = re.compile(pattern)
+            except re.error as exc:
+                raise SchemaCompileError(
+                    f"invalid regular expression {pattern!r} at {path}: {exc}"
+                ) from exc
+            self._pattern_cache[pattern] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # validation walk
+    # ------------------------------------------------------------------
+
+    def _validate(
+        self,
+        schema: Any,
+        document: Any,
+        instance: Any,
+        inst_path: JsonPointer,
+        schema_path: JsonPointer,
+        result: ValidationResult,
+        ref_depth: int,
+    ) -> None:
+        if schema is True:
+            return
+        if schema is False:
+            result.failures.append(
+                ValidationFailure(
+                    inst_path, schema_path, "false", "schema 'false' rejects everything"
+                )
+            )
+            return
+        if not isinstance(schema, dict):  # pragma: no cover - compile check
+            raise SchemaCompileError(f"invalid schema node at {schema_path}")
+
+        if "$ref" in schema:
+            # Draft-07: $ref replaces all sibling keywords.
+            if ref_depth >= self.max_ref_depth:
+                result.failures.append(
+                    ValidationFailure(
+                        inst_path,
+                        schema_path,
+                        "$ref",
+                        f"$ref expansion exceeded depth {self.max_ref_depth}",
+                    )
+                )
+                return
+            target, target_doc = self.registry.resolve(schema["$ref"], document)
+            self._validate(
+                target,
+                target_doc,
+                instance,
+                inst_path,
+                schema_path.child("$ref"),
+                result,
+                ref_depth + 1,
+            )
+            return
+
+        fail = result.failures.append
+
+        def failure(keyword: str, message: str) -> None:
+            fail(ValidationFailure(inst_path, schema_path.child(keyword), keyword, message))
+
+        kind = kind_of(instance)
+
+        # --- general assertions ---------------------------------------
+        if "type" in schema:
+            t = schema["type"]
+            names = t if isinstance(t, list) else [t]
+            if not any(_instance_has_type(instance, n) for n in names):
+                failure("type", f"expected type {'/'.join(names)}, got {kind}")
+        if "enum" in schema:
+            if not any(json_schema_equal(instance, v) for v in schema["enum"]):
+                failure("enum", "value is not one of the enumerated values")
+        if "const" in schema:
+            if not json_schema_equal(instance, schema["const"]):
+                failure("const", "value does not equal the const value")
+        if self.assert_formats and "format" in schema and kind is JsonKind.STRING:
+            check = FORMAT_CHECKS.get(schema["format"])
+            if check is not None and not check(instance):
+                failure("format", f"not a valid {schema['format']!r} string")
+
+        # --- kind-specific assertions ----------------------------------
+        if kind is JsonKind.NUMBER and not isinstance(instance, bool):
+            self._validate_number(schema, instance, failure)
+        elif kind is JsonKind.STRING:
+            self._validate_string(schema, instance, failure)
+        elif kind is JsonKind.ARRAY:
+            self._validate_array(
+                schema, document, instance, inst_path, schema_path, result, ref_depth, failure
+            )
+        elif kind is JsonKind.OBJECT:
+            self._validate_object(
+                schema, document, instance, inst_path, schema_path, result, ref_depth, failure
+            )
+
+        # --- combinators ------------------------------------------------
+        if "allOf" in schema:
+            for i, sub in enumerate(schema["allOf"]):
+                self._validate(
+                    sub,
+                    document,
+                    instance,
+                    inst_path,
+                    schema_path.child("allOf").child(i),
+                    result,
+                    ref_depth,
+                )
+        if "anyOf" in schema:
+            if not any(
+                self._quietly_valid(sub, document, instance, ref_depth)
+                for sub in schema["anyOf"]
+            ):
+                failure("anyOf", "value matches none of the anyOf branches")
+        if "oneOf" in schema:
+            matching = sum(
+                1
+                for sub in schema["oneOf"]
+                if self._quietly_valid(sub, document, instance, ref_depth)
+            )
+            if matching != 1:
+                failure("oneOf", f"value matches {matching} oneOf branches, expected exactly 1")
+        if "not" in schema:
+            if self._quietly_valid(schema["not"], document, instance, ref_depth):
+                failure("not", "value matches the negated schema")
+        if "if" in schema:
+            condition = self._quietly_valid(schema["if"], document, instance, ref_depth)
+            branch_key = "then" if condition else "else"
+            branch = schema.get(branch_key)
+            if branch is not None:
+                self._validate(
+                    branch,
+                    document,
+                    instance,
+                    inst_path,
+                    schema_path.child(branch_key),
+                    result,
+                    ref_depth,
+                )
+
+    def _quietly_valid(self, schema: Any, document: Any, instance: Any, ref_depth: int) -> bool:
+        probe = ValidationResult()
+        self._validate(schema, document, instance, _ROOT, _ROOT, probe, ref_depth)
+        return probe.valid
+
+    # --- numbers -------------------------------------------------------
+
+    @staticmethod
+    def _validate_number(schema: dict, instance: Any, failure) -> None:
+        if "multipleOf" in schema:
+            factor = schema["multipleOf"]
+            if isinstance(instance, int) and isinstance(factor, int):
+                ok = instance % factor == 0
+            else:
+                quotient = instance / factor
+                ok = math.isfinite(quotient) and (
+                    quotient == int(quotient)
+                    or math.isclose(quotient, round(quotient), rel_tol=1e-12)
+                    and math.isclose(
+                        round(quotient) * factor, instance, rel_tol=1e-12
+                    )
+                )
+            if not ok:
+                failure("multipleOf", f"{instance} is not a multiple of {factor}")
+        if "maximum" in schema and instance > schema["maximum"]:
+            failure("maximum", f"{instance} exceeds maximum {schema['maximum']}")
+        if "exclusiveMaximum" in schema and instance >= schema["exclusiveMaximum"]:
+            failure(
+                "exclusiveMaximum",
+                f"{instance} is not below exclusiveMaximum {schema['exclusiveMaximum']}",
+            )
+        if "minimum" in schema and instance < schema["minimum"]:
+            failure("minimum", f"{instance} is below minimum {schema['minimum']}")
+        if "exclusiveMinimum" in schema and instance <= schema["exclusiveMinimum"]:
+            failure(
+                "exclusiveMinimum",
+                f"{instance} is not above exclusiveMinimum {schema['exclusiveMinimum']}",
+            )
+
+    # --- strings -------------------------------------------------------
+
+    def _validate_string(self, schema: dict, instance: str, failure) -> None:
+        if "maxLength" in schema and len(instance) > schema["maxLength"]:
+            failure("maxLength", f"string longer than {schema['maxLength']}")
+        if "minLength" in schema and len(instance) < schema["minLength"]:
+            failure("minLength", f"string shorter than {schema['minLength']}")
+        if "pattern" in schema:
+            pattern = self._compile_pattern(schema["pattern"], _ROOT)
+            if pattern.search(instance) is None:
+                failure("pattern", f"string does not match pattern {schema['pattern']!r}")
+
+    # --- arrays --------------------------------------------------------
+
+    def _validate_array(
+        self,
+        schema: dict,
+        document: Any,
+        instance: list,
+        inst_path: JsonPointer,
+        schema_path: JsonPointer,
+        result: ValidationResult,
+        ref_depth: int,
+        failure,
+    ) -> None:
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            failure("maxItems", f"array has more than {schema['maxItems']} items")
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            failure("minItems", f"array has fewer than {schema['minItems']} items")
+        if schema.get("uniqueItems"):
+            seen: set = set()
+            for i, item in enumerate(instance):
+                key = freeze(item)
+                # freeze distinguishes 1 from 1.0, but spec equality does
+                # not; normalise integral floats to int for the key.
+                key = _numeric_normalize(key)
+                if key in seen:
+                    failure("uniqueItems", f"items are not unique (duplicate at {i})")
+                    break
+                seen.add(key)
+        items = schema.get("items")
+        if items is not None:
+            if isinstance(items, list):
+                for i, item in enumerate(instance):
+                    if i < len(items):
+                        self._validate(
+                            items[i],
+                            document,
+                            item,
+                            inst_path.child(i),
+                            schema_path.child("items").child(i),
+                            result,
+                            ref_depth,
+                        )
+                    else:
+                        additional = schema.get("additionalItems")
+                        if additional is None:
+                            break
+                        self._validate(
+                            additional,
+                            document,
+                            item,
+                            inst_path.child(i),
+                            schema_path.child("additionalItems"),
+                            result,
+                            ref_depth,
+                        )
+            else:
+                for i, item in enumerate(instance):
+                    self._validate(
+                        items,
+                        document,
+                        item,
+                        inst_path.child(i),
+                        schema_path.child("items"),
+                        result,
+                        ref_depth,
+                    )
+        if "contains" in schema:
+            if not any(
+                self._quietly_valid(schema["contains"], document, item, ref_depth)
+                for item in instance
+            ):
+                failure("contains", "no array item matches the contains schema")
+
+    # --- objects -------------------------------------------------------
+
+    def _validate_object(
+        self,
+        schema: dict,
+        document: Any,
+        instance: dict,
+        inst_path: JsonPointer,
+        schema_path: JsonPointer,
+        result: ValidationResult,
+        ref_depth: int,
+        failure,
+    ) -> None:
+        if "maxProperties" in schema and len(instance) > schema["maxProperties"]:
+            failure("maxProperties", f"object has more than {schema['maxProperties']} members")
+        if "minProperties" in schema and len(instance) < schema["minProperties"]:
+            failure("minProperties", f"object has fewer than {schema['minProperties']} members")
+        if "required" in schema:
+            for name in schema["required"]:
+                if name not in instance:
+                    failure("required", f"required member {name!r} is missing")
+
+        properties = schema.get("properties", {})
+        pattern_properties = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties")
+
+        for name, value in instance.items():
+            matched = False
+            if name in properties:
+                matched = True
+                self._validate(
+                    properties[name],
+                    document,
+                    value,
+                    inst_path.child(name),
+                    schema_path.child("properties").child(name),
+                    result,
+                    ref_depth,
+                )
+            for pattern_text, sub in pattern_properties.items():
+                pattern = self._compile_pattern(pattern_text, _ROOT)
+                if pattern.search(name) is not None:
+                    matched = True
+                    self._validate(
+                        sub,
+                        document,
+                        value,
+                        inst_path.child(name),
+                        schema_path.child("patternProperties").child(pattern_text),
+                        result,
+                        ref_depth,
+                    )
+            if not matched and additional is not None:
+                self._validate(
+                    additional,
+                    document,
+                    value,
+                    inst_path.child(name),
+                    schema_path.child("additionalProperties"),
+                    result,
+                    ref_depth,
+                )
+
+        if "propertyNames" in schema:
+            for name in instance:
+                self._validate(
+                    schema["propertyNames"],
+                    document,
+                    name,
+                    inst_path.child(name),
+                    schema_path.child("propertyNames"),
+                    result,
+                    ref_depth,
+                )
+
+        if "dependencies" in schema:
+            for name, dep in schema["dependencies"].items():
+                if name not in instance:
+                    continue
+                if isinstance(dep, list):
+                    for required_name in dep:
+                        if required_name not in instance:
+                            failure(
+                                "dependencies",
+                                f"member {name!r} requires member {required_name!r}",
+                            )
+                else:
+                    self._validate(
+                        dep,
+                        document,
+                        instance,
+                        inst_path,
+                        schema_path.child("dependencies").child(name),
+                        result,
+                        ref_depth,
+                    )
+
+
+def _numeric_normalize(frozen_key: Any) -> Any:
+    """Collapse the int/float distinction inside a frozen value key."""
+    if isinstance(frozen_key, tuple):
+        if frozen_key and frozen_key[0] == "$num":
+            value = frozen_key[2]
+            if isinstance(value, float) and value.is_integer():
+                return ("$num", "int", int(value))
+            return frozen_key
+        return tuple(_numeric_normalize(p) for p in frozen_key)
+    return frozen_key
+
+
+def compile_schema(
+    document: Any,
+    registry: Optional[SchemaRegistry] = None,
+    *,
+    assert_formats: bool = True,
+) -> JsonSchema:
+    """Compile a raw schema document into a validatable :class:`JsonSchema`."""
+    return JsonSchema(document, registry, assert_formats=assert_formats)
+
+
+def validate(schema_document: Any, instance: Any) -> ValidationResult:
+    """One-shot validation convenience."""
+    return compile_schema(schema_document).validate(instance)
+
+
+def is_valid(schema_document: Any, instance: Any) -> bool:
+    """One-shot boolean validation convenience."""
+    return compile_schema(schema_document).is_valid(instance)

@@ -1,0 +1,198 @@
+"""Streaming (SAX-style) event parser.
+
+``iter_events`` walks a JSON document and yields :class:`JsonEvent` items
+without materialising a DOM; memory use is bounded by nesting depth.  This
+is the substrate used by the streaming schema-inference tools (the tutorial
+highlights that mongodb-schema "processes objects in a streaming fashion")
+and by projection-based parsing.
+
+``values_from_events`` is the inverse: it rebuilds values from an event
+stream, and is used by tests to prove the two representations agree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.errors import JsonError
+from repro.jsonvalue.lexer import TokenType, _Scanner
+from repro.jsonvalue.parser import JsonParseError
+
+
+class JsonEventType(enum.Enum):
+    START_OBJECT = "start_object"
+    END_OBJECT = "end_object"
+    START_ARRAY = "start_array"
+    END_ARRAY = "end_array"
+    KEY = "key"
+    VALUE = "value"
+
+
+@dataclass(frozen=True)
+class JsonEvent:
+    """One parse event.
+
+    ``value`` is the member name for ``KEY`` events, the scalar for ``VALUE``
+    events, and ``None`` otherwise.  ``offset`` is the source position where
+    the event begins, enabling downstream tools to slice raw text.
+    """
+
+    type: JsonEventType
+    value: Any
+    offset: int
+    depth: int
+
+
+_SCALARS = frozenset(
+    (
+        TokenType.STRING,
+        TokenType.NUMBER,
+        TokenType.TRUE,
+        TokenType.FALSE,
+        TokenType.NULL,
+    )
+)
+
+# Parser phases: about to read a value / an object key / the punctuation
+# that follows a completed value.
+_PHASE_VALUE = 0
+_PHASE_KEY = 1
+_PHASE_AFTER = 2
+
+
+def iter_events(text: str, *, max_depth: int = 512) -> Iterator[JsonEvent]:
+    """Yield the event stream of one JSON document.
+
+    Raises :class:`JsonParseError` on malformed documents, including
+    trailing garbage after the top-level value.
+    """
+    scanner = _Scanner(text)
+    stack: list[str] = []
+    token = scanner.next_token()
+    phase = _PHASE_VALUE
+
+    while True:
+        if phase == _PHASE_VALUE:
+            ttype = token.type
+            if ttype is TokenType.LBRACE:
+                yield JsonEvent(JsonEventType.START_OBJECT, None, token.offset, len(stack))
+                stack.append("object")
+                if len(stack) > max_depth:
+                    raise JsonParseError(
+                        f"maximum nesting depth of {max_depth} exceeded", token
+                    )
+                token = scanner.next_token()
+                if token.type is TokenType.RBRACE:
+                    stack.pop()
+                    yield JsonEvent(JsonEventType.END_OBJECT, None, token.offset, len(stack))
+                    token = scanner.next_token()
+                    phase = _PHASE_AFTER
+                else:
+                    phase = _PHASE_KEY
+            elif ttype is TokenType.LBRACKET:
+                yield JsonEvent(JsonEventType.START_ARRAY, None, token.offset, len(stack))
+                stack.append("array")
+                if len(stack) > max_depth:
+                    raise JsonParseError(
+                        f"maximum nesting depth of {max_depth} exceeded", token
+                    )
+                token = scanner.next_token()
+                if token.type is TokenType.RBRACKET:
+                    stack.pop()
+                    yield JsonEvent(JsonEventType.END_ARRAY, None, token.offset, len(stack))
+                    token = scanner.next_token()
+                    phase = _PHASE_AFTER
+                # else: stay in _PHASE_VALUE for the first element.
+            elif ttype in _SCALARS:
+                yield JsonEvent(JsonEventType.VALUE, token.value, token.offset, len(stack))
+                token = scanner.next_token()
+                phase = _PHASE_AFTER
+            else:
+                raise JsonParseError("expected a JSON value", token)
+        elif phase == _PHASE_KEY:
+            if token.type is not TokenType.STRING:
+                raise JsonParseError("expected object key string", token)
+            yield JsonEvent(JsonEventType.KEY, token.value, token.offset, len(stack))
+            token = scanner.next_token()
+            if token.type is not TokenType.COLON:
+                raise JsonParseError("expected ':'", token)
+            token = scanner.next_token()
+            phase = _PHASE_VALUE
+        else:  # _PHASE_AFTER: a value has just been completed.
+            if not stack:
+                if token.type is not TokenType.EOF:
+                    raise JsonParseError("trailing data after JSON document", token)
+                return
+            top = stack[-1]
+            if token.type is TokenType.COMMA:
+                token = scanner.next_token()
+                phase = _PHASE_KEY if top == "object" else _PHASE_VALUE
+            elif top == "object" and token.type is TokenType.RBRACE:
+                stack.pop()
+                yield JsonEvent(JsonEventType.END_OBJECT, None, token.offset, len(stack))
+                token = scanner.next_token()
+            elif top == "array" and token.type is TokenType.RBRACKET:
+                stack.pop()
+                yield JsonEvent(JsonEventType.END_ARRAY, None, token.offset, len(stack))
+                token = scanner.next_token()
+            else:
+                raise JsonParseError("expected ',' or closing bracket", token)
+
+
+def values_from_events(events: Iterable[JsonEvent]) -> Iterator[Any]:
+    """Rebuild JSON values from an event stream.
+
+    Yields one value per complete top-level document found in ``events``;
+    raises :class:`JsonError` if the stream is truncated or ill-formed.
+    """
+    stack: list[Any] = []
+    key_stack: list[Optional[str]] = []
+    pending_key: Optional[str] = None
+
+    def attach(value: Any) -> bool:
+        """Attach ``value`` to the innermost container; True if it was top-level."""
+        nonlocal pending_key
+        if not stack:
+            return True
+        container = stack[-1]
+        if isinstance(container, dict):
+            if pending_key is None:
+                raise JsonError("object value without a preceding key event")
+            container[pending_key] = value
+            pending_key = None
+        else:
+            container.append(value)
+        return False
+
+    for event in events:
+        etype = event.type
+        if etype is JsonEventType.KEY:
+            if pending_key is not None:
+                raise JsonError("two key events without an intervening value")
+            if not isinstance(event.value, str):
+                raise JsonError(f"key event with non-string value {event.value!r}")
+            pending_key = event.value
+        elif etype is JsonEventType.VALUE:
+            if attach(event.value):
+                yield event.value
+        elif etype is JsonEventType.START_OBJECT:
+            key_stack.append(pending_key)
+            pending_key = None
+            stack.append({})
+        elif etype is JsonEventType.START_ARRAY:
+            key_stack.append(pending_key)
+            pending_key = None
+            stack.append([])
+        elif etype in (JsonEventType.END_OBJECT, JsonEventType.END_ARRAY):
+            if not stack:
+                raise JsonError("container end event without matching start")
+            completed = stack.pop()
+            pending_key = key_stack.pop()
+            if attach(completed):
+                yield completed
+        else:  # pragma: no cover - exhaustive enum
+            raise JsonError(f"unknown event type {etype!r}")
+    if stack:
+        raise JsonError("event stream ended inside an unclosed container")

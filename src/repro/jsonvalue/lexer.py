@@ -1,0 +1,266 @@
+"""Tokenizer for RFC 8259 JSON text.
+
+Produces :class:`Token` objects carrying byte offsets and line/column
+positions, which the DOM parser, the streaming event parser, and the
+Mison-style structural index all consume.  The lexer is strict by default
+(no NaN/Infinity, no comments, no trailing garbage is its caller's concern)
+and decodes string escapes including surrogate pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import JsonError
+
+
+class JsonLexError(JsonError):
+    """Raised on malformed input at the token level."""
+
+    def __init__(self, message: str, offset: int, line: int, column: int) -> None:
+        super().__init__(f"{message} at line {line}, column {column} (offset {offset})")
+        self.offset = offset
+        self.line = line
+        self.column = column
+
+
+class TokenType(enum.Enum):
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COLON = ":"
+    COMMA = ","
+    STRING = "string"
+    NUMBER = "number"
+    TRUE = "true"
+    FALSE = "false"
+    NULL = "null"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the decoded Python value for STRING/NUMBER/TRUE/FALSE/NULL
+    tokens and ``None`` for punctuation. ``offset``/``end_offset`` index into
+    the source text (useful for raw-slice tricks in the fast parsers).
+    """
+
+    type: TokenType
+    value: object
+    offset: int
+    end_offset: int
+    line: int
+    column: int
+
+
+_WHITESPACE = " \t\n\r"
+_PUNCT = {
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ":": TokenType.COLON,
+    ",": TokenType.COMMA,
+}
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+_NUMBER_START = set("-0123456789")
+_DIGITS = set("0123456789")
+
+
+class _Scanner:
+    """Mutable cursor over the source text with line/column tracking."""
+
+    __slots__ = ("text", "length", "pos", "line", "line_start")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.length = len(text)
+        self.pos = 0
+        self.line = 1
+        self.line_start = 0
+
+    @property
+    def column(self) -> int:
+        return self.pos - self.line_start + 1
+
+    def error(self, message: str, offset: Optional[int] = None) -> JsonLexError:
+        pos = self.pos if offset is None else offset
+        return JsonLexError(message, pos, self.line, pos - self.line_start + 1)
+
+    def skip_whitespace(self) -> None:
+        text = self.text
+        pos = self.pos
+        length = self.length
+        while pos < length:
+            ch = text[pos]
+            if ch == "\n":
+                self.line += 1
+                self.line_start = pos + 1
+            elif ch not in _WHITESPACE:
+                break
+            pos += 1
+        self.pos = pos
+
+    def scan_string(self) -> Token:
+        """Scan a string literal; ``pos`` must sit on the opening quote."""
+        text = self.text
+        start = self.pos
+        line = self.line
+        column = self.column
+        pos = start + 1
+        length = self.length
+        # Fast path: no escapes — find the closing quote in one scan.
+        chunks: list[str] = []
+        chunk_start = pos
+        while True:
+            if pos >= length:
+                raise self.error("unterminated string", start)
+            ch = text[pos]
+            if ch == '"':
+                chunks.append(text[chunk_start:pos])
+                pos += 1
+                break
+            if ch == "\\":
+                chunks.append(text[chunk_start:pos])
+                pos += 1
+                if pos >= length:
+                    raise self.error("unterminated escape sequence", start)
+                esc = text[pos]
+                if esc in _ESCAPES:
+                    chunks.append(_ESCAPES[esc])
+                    pos += 1
+                elif esc == "u":
+                    code, pos = self._scan_unicode_escape(pos + 1)
+                    chunks.append(code)
+                else:
+                    raise self.error(f"invalid escape character {esc!r}", pos)
+                chunk_start = pos
+            elif ch < "\x20":
+                raise self.error(
+                    f"unescaped control character 0x{ord(ch):02x} in string", pos
+                )
+            else:
+                pos += 1
+        self.pos = pos
+        return Token(TokenType.STRING, "".join(chunks), start, pos, line, column)
+
+    def _scan_unicode_escape(self, pos: int) -> tuple[str, int]:
+        """Decode ``\\uXXXX`` starting after the ``u``; handles surrogate pairs."""
+        text = self.text
+        if pos + 4 > self.length:
+            raise self.error("truncated \\u escape", pos - 2)
+        hex_digits = text[pos : pos + 4]
+        try:
+            code = int(hex_digits, 16)
+        except ValueError:
+            raise self.error(f"invalid \\u escape {hex_digits!r}", pos - 2) from None
+        pos += 4
+        if 0xD800 <= code <= 0xDBFF:
+            # High surrogate: must be followed by \uDC00-\uDFFF.
+            if text[pos : pos + 2] == "\\u":
+                try:
+                    low = int(text[pos + 2 : pos + 6], 16)
+                except ValueError:
+                    low = -1
+                if 0xDC00 <= low <= 0xDFFF:
+                    combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                    return chr(combined), pos + 6
+            # Lone surrogate: preserved as-is (matches stdlib json behaviour).
+            return chr(code), pos
+        return chr(code), pos
+
+    def scan_number(self) -> Token:
+        """Scan a number literal per the RFC 8259 grammar."""
+        text = self.text
+        start = self.pos
+        line = self.line
+        column = self.column
+        pos = start
+        length = self.length
+        if text[pos] == "-":
+            pos += 1
+            if pos >= length or text[pos] not in _DIGITS:
+                raise self.error("minus sign must be followed by digits", start)
+        if text[pos] == "0":
+            pos += 1
+            if pos < length and text[pos] in _DIGITS:
+                raise self.error("leading zeros are not allowed", start)
+        else:
+            while pos < length and text[pos] in _DIGITS:
+                pos += 1
+        is_float = False
+        if pos < length and text[pos] == ".":
+            is_float = True
+            pos += 1
+            if pos >= length or text[pos] not in _DIGITS:
+                raise self.error("decimal point must be followed by digits", pos)
+            while pos < length and text[pos] in _DIGITS:
+                pos += 1
+        if pos < length and text[pos] in "eE":
+            is_float = True
+            pos += 1
+            if pos < length and text[pos] in "+-":
+                pos += 1
+            if pos >= length or text[pos] not in _DIGITS:
+                raise self.error("exponent must contain digits", pos)
+            while pos < length and text[pos] in _DIGITS:
+                pos += 1
+        literal = text[start:pos]
+        value: object = float(literal) if is_float else int(literal)
+        self.pos = pos
+        return Token(TokenType.NUMBER, value, start, pos, line, column)
+
+    def scan_keyword(self) -> Token:
+        text = self.text
+        start = self.pos
+        line = self.line
+        column = self.column
+        for word, token_type, value in (
+            ("true", TokenType.TRUE, True),
+            ("false", TokenType.FALSE, False),
+            ("null", TokenType.NULL, None),
+        ):
+            if text.startswith(word, start):
+                self.pos = start + len(word)
+                return Token(token_type, value, start, self.pos, line, column)
+        raise self.error(f"unexpected character {text[start]!r}", start)
+
+    def next_token(self) -> Token:
+        self.skip_whitespace()
+        if self.pos >= self.length:
+            return Token(TokenType.EOF, None, self.pos, self.pos, self.line, self.column)
+        ch = self.text[self.pos]
+        punct = _PUNCT.get(ch)
+        if punct is not None:
+            token = Token(punct, None, self.pos, self.pos + 1, self.line, self.column)
+            self.pos += 1
+            return token
+        if ch == '"':
+            return self.scan_string()
+        if ch in _NUMBER_START:
+            return self.scan_number()
+        return self.scan_keyword()
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield every token of ``text`` including a final EOF token."""
+    scanner = _Scanner(text)
+    while True:
+        token = scanner.next_token()
+        yield token
+        if token.type is TokenType.EOF:
+            return

@@ -1,0 +1,218 @@
+"""A small JSONPath dialect: dotted fields, numeric indexes, and wildcards.
+
+The fast-parsing tools (Mison-style projection) and skeleton mining both
+speak in terms of *paths* like ``user.entities.urls[*].expanded_url``.  This
+module provides a parsed representation (:class:`JsonPath`), evaluation
+against documents, and conversion to/from the tuple paths produced by
+:func:`repro.jsonvalue.model.iter_paths`.
+
+Grammar (no quoting — field names here are identifier-like, which covers
+the datasets this library generates)::
+
+    path   := step ("." step)*
+    step   := field index*
+    field  := [^.\\[\\]]+
+    index  := "[" (digits | "*") "]"
+
+The root path is written ``$`` (or the empty string).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Union
+
+from repro.errors import JsonError
+
+
+class JsonPathError(JsonError):
+    """Raised for unparsable path expressions."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """Select object member ``name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Index:
+    """Select array element ``position``."""
+
+    position: int
+
+    def __str__(self) -> str:
+        return f"[{self.position}]"
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """Select every element of an array."""
+
+    def __str__(self) -> str:
+        return "[*]"
+
+
+PathStep = Union[Field, Index, Wildcard]
+
+
+class JsonPath:
+    """A parsed path expression."""
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: Iterable[PathStep] = ()) -> None:
+        self.steps: tuple[PathStep, ...] = tuple(steps)
+
+    @classmethod
+    def parse(cls, text: str) -> "JsonPath":
+        """Parse ``text`` into a :class:`JsonPath`.
+
+        ``"$"`` and ``""`` denote the root.  A leading ``$.`` is accepted
+        and stripped, so both ``a.b`` and ``$.a.b`` work.
+        """
+        if text in ("", "$"):
+            return cls(())
+        if text.startswith("$."):
+            text = text[2:]
+        elif text.startswith("$["):
+            text = text[1:]
+        steps: list[PathStep] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            if text[i] == "[":
+                end = text.find("]", i)
+                if end < 0:
+                    raise JsonPathError(f"unclosed '[' in path {text!r}")
+                inner = text[i + 1 : end]
+                if inner == "*":
+                    steps.append(Wildcard())
+                elif inner.isdigit():
+                    steps.append(Index(int(inner)))
+                else:
+                    raise JsonPathError(f"invalid index {inner!r} in path {text!r}")
+                i = end + 1
+                if i < n and text[i] == ".":
+                    i += 1
+            else:
+                j = i
+                while j < n and text[j] not in ".[":
+                    j += 1
+                name = text[i:j]
+                if not name:
+                    raise JsonPathError(f"empty field name in path {text!r}")
+                steps.append(Field(name))
+                i = j
+                if i < n and text[i] == ".":
+                    i += 1
+                    if i >= n:
+                        raise JsonPathError(f"path {text!r} ends with '.'")
+        return cls(steps)
+
+    @classmethod
+    def from_tuple(cls, path: Iterable[object], *, generalize_indexes: bool = False) -> "JsonPath":
+        """Convert a tuple path (strs and ints) from ``iter_paths``.
+
+        With ``generalize_indexes`` every concrete array position becomes a
+        wildcard — the abstraction skeleton mining applies.
+        """
+        steps: list[PathStep] = []
+        for step in path:
+            if isinstance(step, str):
+                steps.append(Field(step))
+            elif isinstance(step, int):
+                steps.append(Wildcard() if generalize_indexes else Index(step))
+            else:
+                raise JsonPathError(f"invalid path step {step!r}")
+        return cls(steps)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for step in self.steps:
+            if isinstance(step, Field):
+                if parts:
+                    parts.append(".")
+                parts.append(step.name)
+            else:
+                parts.append(str(step))
+        return "".join(parts) if parts else "$"
+
+    def __repr__(self) -> str:
+        return f"JsonPath({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, JsonPath) and self.steps == other.steps
+
+    def __hash__(self) -> int:
+        return hash(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def child(self, step: PathStep) -> "JsonPath":
+        return JsonPath(self.steps + (step,))
+
+    def is_prefix_of(self, other: "JsonPath") -> bool:
+        """True if every step of ``self`` matches the start of ``other``.
+
+        A :class:`Wildcard` in ``self`` matches both wildcards and concrete
+        indexes in ``other`` (the projection-pushdown containment rule).
+        """
+        if len(self.steps) > len(other.steps):
+            return False
+        for mine, theirs in zip(self.steps, other.steps):
+            if isinstance(mine, Wildcard):
+                if not isinstance(theirs, (Wildcard, Index)):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def evaluate(self, document: Any) -> list[Any]:
+        """Return every value ``document`` holds at this path.
+
+        Missing members and out-of-range indexes yield no results (rather
+        than raising) — paths are queries, not assertions.
+        """
+        current = [document]
+        for step in self.steps:
+            next_values: list[Any] = []
+            if isinstance(step, Field):
+                for value in current:
+                    if isinstance(value, dict) and step.name in value:
+                        next_values.append(value[step.name])
+            elif isinstance(step, Index):
+                for value in current:
+                    if isinstance(value, list) and step.position < len(value):
+                        next_values.append(value[step.position])
+            else:  # Wildcard
+                for value in current:
+                    if isinstance(value, list):
+                        next_values.extend(value)
+            current = next_values
+            if not current:
+                return []
+        return current
+
+    def first(self, document: Any, default: Any = None) -> Any:
+        """Return the first match or ``default``."""
+        matches = self.evaluate(document)
+        return matches[0] if matches else default
+
+
+def parse_many(texts: Iterable[str]) -> list[JsonPath]:
+    """Parse several path expressions (convenience for projection specs)."""
+    return [JsonPath.parse(t) for t in texts]
+
+
+def leaf_paths(document: Any) -> Iterator[JsonPath]:
+    """Yield the generalized (wildcarded) path of every scalar leaf."""
+    from repro.jsonvalue.model import iter_paths
+
+    for path, _ in iter_paths(document, leaves_only=True):
+        yield JsonPath.from_tuple(path, generalize_indexes=True)

@@ -1,0 +1,142 @@
+"""JSON Pointer (RFC 6901).
+
+JSON Schema's ``$ref`` mechanism addresses schema fragments with JSON
+Pointers, so the validator needs a complete implementation: parsing with
+``~0``/``~1`` unescaping, resolution against a document, and construction
+from path tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import JsonError
+
+
+class JsonPointerError(JsonError):
+    """Raised for syntactically invalid pointers or failed resolution."""
+
+
+class JsonPointer:
+    """An immutable parsed JSON Pointer.
+
+    ``JsonPointer.parse("/a/b~1c/0")`` has tokens ``("a", "b/c", "0")``.
+    Tokens are kept as strings; array indexing converts on resolution, per
+    the RFC.  The empty pointer ``""`` designates the whole document.
+    """
+
+    __slots__ = ("tokens",)
+
+    def __init__(self, tokens: Iterable[str] = ()) -> None:
+        self.tokens: tuple[str, ...] = tuple(tokens)
+        for token in self.tokens:
+            if not isinstance(token, str):
+                raise JsonPointerError(f"pointer tokens must be strings, got {token!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "JsonPointer":
+        """Parse the RFC 6901 string representation."""
+        if text == "":
+            return cls(())
+        if not text.startswith("/"):
+            raise JsonPointerError(f"pointer must start with '/': {text!r}")
+        tokens = []
+        for raw in text[1:].split("/"):
+            tokens.append(cls._unescape(raw))
+        return cls(tokens)
+
+    @staticmethod
+    def _unescape(raw: str) -> str:
+        # ~1 first would corrupt "~01" (which must decode to "~1"), so the
+        # RFC mandates replacing ~1 then ~0 — on split parts, scanning once.
+        out = []
+        i = 0
+        while i < len(raw):
+            ch = raw[i]
+            if ch == "~":
+                if i + 1 >= len(raw) or raw[i + 1] not in "01":
+                    raise JsonPointerError(f"invalid escape in pointer token {raw!r}")
+                out.append("/" if raw[i + 1] == "1" else "~")
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        return "".join(out)
+
+    @staticmethod
+    def _escape(token: str) -> str:
+        return token.replace("~", "~0").replace("/", "~1")
+
+    def __str__(self) -> str:
+        return "".join("/" + self._escape(t) for t in self.tokens)
+
+    def __repr__(self) -> str:
+        return f"JsonPointer({str(self)!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, JsonPointer) and self.tokens == other.tokens
+
+    def __hash__(self) -> int:
+        return hash(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.tokens)
+
+    def child(self, token: str | int) -> "JsonPointer":
+        """Return this pointer extended with one more reference token."""
+        return JsonPointer(self.tokens + (str(token),))
+
+    def parent(self) -> "JsonPointer":
+        """Return the pointer with the last token removed."""
+        if not self.tokens:
+            raise JsonPointerError("the root pointer has no parent")
+        return JsonPointer(self.tokens[:-1])
+
+    @classmethod
+    def from_path(cls, path: Iterable[object]) -> "JsonPointer":
+        """Build a pointer from a model path tuple (strs and ints)."""
+        return cls(str(step) for step in path)
+
+    def resolve(self, document: Any) -> Any:
+        """Return the value this pointer designates within ``document``.
+
+        Raises :class:`JsonPointerError` if any step is missing or has the
+        wrong container kind.
+        """
+        current = document
+        for token in self.tokens:
+            if isinstance(current, dict):
+                if token not in current:
+                    raise JsonPointerError(f"member {token!r} not found ({self})")
+                current = current[token]
+            elif isinstance(current, list):
+                index = self._array_index(token)
+                if index >= len(current):
+                    raise JsonPointerError(f"index {index} out of range ({self})")
+                current = current[index]
+            else:
+                raise JsonPointerError(
+                    f"cannot index {type(current).__name__} with {token!r} ({self})"
+                )
+        return current
+
+    def exists(self, document: Any) -> bool:
+        """True if :meth:`resolve` would succeed on ``document``."""
+        try:
+            self.resolve(document)
+        except JsonPointerError:
+            return False
+        return True
+
+    @staticmethod
+    def _array_index(token: str) -> int:
+        if token == "-":
+            raise JsonPointerError("'-' (past-the-end) cannot be resolved")
+        if token == "0":
+            return 0
+        if not token or token[0] == "0" or not token.isdigit():
+            raise JsonPointerError(f"invalid array index {token!r}")
+        return int(token)

@@ -1,0 +1,27 @@
+"""JSound compact schema language — see :mod:`repro.jsound.schema`."""
+
+from repro.jsound.schema import (
+    ATOMIC_TYPES,
+    JSoundFailure,
+    JSoundResult,
+    JSoundSchema,
+    JSoundSchemaError,
+    compile_jsound,
+)
+from repro.jsound.verbose import (
+    compact_to_verbose,
+    compile_verbose,
+    verbose_to_compact,
+)
+
+__all__ = [
+    "ATOMIC_TYPES",
+    "JSoundFailure",
+    "JSoundResult",
+    "JSoundSchema",
+    "JSoundSchemaError",
+    "compile_jsound",
+    "compact_to_verbose",
+    "compile_verbose",
+    "verbose_to_compact",
+]

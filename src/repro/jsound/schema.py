@@ -1,0 +1,250 @@
+"""JSound compact schema language (tutorial Part 2).
+
+JSound is "an alternative, but quite restrictive, schema language" — its
+compact form *is itself JSON*: a schema mirrors the shape of the instances
+it describes.
+
+::
+
+    {
+      "name": "string",
+      "age": "integer",
+      "email": "string?",          # nullable type ("?" on the type)
+      "nickname?": "string",       # optional field ("?" on the field name)
+      "friends": ["string"],       # homogeneous array
+      "address": {"city": "string", "zip": "string"}
+    }
+
+Supported atomic types: ``string integer decimal double boolean null
+date dateTime time anyURI hexBinary base64Binary any atomic``.
+
+The restrictions reproduced faithfully (they are the point of comparison
+with JSON Schema and Joi in the tutorial): **no union types**, objects are
+**closed**, arrays are **homogeneous with exactly one item type**, no
+co-occurrence constraints.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.jsonvalue.model import is_integer_value
+from repro.jsonschema.formats import (
+    check_date,
+    check_date_time,
+    check_time,
+    check_uri_reference,
+)
+
+
+class JSoundSchemaError(SchemaError):
+    """Raised for schemas outside the JSound compact grammar."""
+
+
+@dataclass(frozen=True)
+class JSoundFailure:
+    path: tuple[object, ...]
+    message: str
+
+    def __str__(self) -> str:
+        where = ".".join(str(p) for p in self.path) or "<root>"
+        return f"{where}: {self.message}"
+
+
+@dataclass
+class JSoundResult:
+    failures: list[JSoundFailure] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+_HEX_RE = re.compile(r"^(?:[0-9a-fA-F]{2})*$")
+_BASE64_RE = re.compile(r"^[A-Za-z0-9+/]*={0,2}$")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+_ATOMIC_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "integer": is_integer_value,
+    "decimal": _is_number,
+    "double": _is_number,
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+    "date": lambda v: isinstance(v, str) and check_date(v),
+    "dateTime": lambda v: isinstance(v, str) and check_date_time(v),
+    "time": lambda v: isinstance(v, str) and check_time(v),
+    "anyURI": lambda v: isinstance(v, str) and check_uri_reference(v),
+    "hexBinary": lambda v: isinstance(v, str) and _HEX_RE.match(v) is not None,
+    "base64Binary": lambda v: isinstance(v, str)
+    and len(v) % 4 == 0
+    and _BASE64_RE.match(v) is not None,
+    "any": lambda v: True,
+    "atomic": lambda v: not isinstance(v, (list, dict)),
+}
+
+ATOMIC_TYPES = frozenset(_ATOMIC_CHECKS)
+
+
+@dataclass(frozen=True)
+class _Atomic:
+    name: str
+    nullable: bool
+
+
+@dataclass(frozen=True)
+class _Array:
+    item: object
+    nullable: bool
+
+
+@dataclass(frozen=True)
+class _Object:
+    # name -> (node, optional)
+    members: tuple[tuple[str, object, bool], ...]
+    nullable: bool
+
+
+class JSoundSchema:
+    """A compiled compact JSound schema."""
+
+    def __init__(self, document: Any) -> None:
+        self.document = document
+        self._root = _compile(document)
+
+    def validate(self, instance: Any) -> JSoundResult:
+        result = JSoundResult()
+        _validate(self._root, instance, (), result.failures)
+        return result
+
+    def is_valid(self, instance: Any) -> bool:
+        return self.validate(instance).valid
+
+    def to_jsonschema(self) -> dict[str, Any]:
+        """Export as a JSON Schema document (the inverse direction is lossy)."""
+        return _to_jsonschema(self._root)
+
+
+def compile_jsound(document: Any) -> JSoundSchema:
+    """Compile a compact JSound document."""
+    return JSoundSchema(document)
+
+
+def _compile(node: Any) -> object:
+    if isinstance(node, str):
+        name = node
+        nullable = False
+        if name.endswith("?"):
+            name = name[:-1]
+            nullable = True
+        if name not in ATOMIC_TYPES:
+            raise JSoundSchemaError(f"unknown JSound type {node!r}")
+        return _Atomic(name, nullable)
+    if isinstance(node, list):
+        if len(node) != 1:
+            raise JSoundSchemaError(
+                "JSound arrays must contain exactly one item type (homogeneous arrays)"
+            )
+        return _Array(_compile(node[0]), nullable=False)
+    if isinstance(node, dict):
+        members = []
+        for raw_name, sub in node.items():
+            if not isinstance(raw_name, str) or not raw_name:
+                raise JSoundSchemaError(f"invalid field name {raw_name!r}")
+            optional = raw_name.endswith("?")
+            name = raw_name[:-1] if optional else raw_name
+            members.append((name, _compile(sub), optional))
+        names = [name for name, _, _ in members]
+        if len(set(names)) != len(names):
+            raise JSoundSchemaError("duplicate field names in JSound object")
+        return _Object(tuple(members), nullable=False)
+    raise JSoundSchemaError(f"invalid JSound schema node {node!r}")
+
+
+def _validate(node: object, instance: Any, path: tuple, failures: list[JSoundFailure]) -> None:
+    if isinstance(node, _Atomic):
+        if instance is None and node.nullable:
+            return
+        if not _ATOMIC_CHECKS[node.name](instance):
+            failures.append(
+                JSoundFailure(path, f"expected {node.name}, got {type(instance).__name__}")
+            )
+        return
+    if isinstance(node, _Array):
+        if not isinstance(instance, list):
+            failures.append(
+                JSoundFailure(path, f"expected an array, got {type(instance).__name__}")
+            )
+            return
+        for i, item in enumerate(instance):
+            _validate(node.item, item, path + (i,), failures)
+        return
+    if isinstance(node, _Object):
+        if not isinstance(instance, dict):
+            failures.append(
+                JSoundFailure(path, f"expected an object, got {type(instance).__name__}")
+            )
+            return
+        declared = {name for name, _, _ in node.members}
+        for name, sub, optional in node.members:
+            if name in instance:
+                _validate(sub, instance[name], path + (name,), failures)
+            elif not optional:
+                failures.append(JSoundFailure(path + (name,), f"missing field {name!r}"))
+        for name in instance:
+            if name not in declared:
+                failures.append(
+                    JSoundFailure(path + (name,), f"unexpected field {name!r} (closed object)")
+                )
+        return
+    raise JSoundSchemaError(f"invalid compiled node {node!r}")  # pragma: no cover
+
+
+_ATOMIC_JSONSCHEMA = {
+    "string": {"type": "string"},
+    "integer": {"type": "integer"},
+    "decimal": {"type": "number"},
+    "double": {"type": "number"},
+    "boolean": {"type": "boolean"},
+    "null": {"type": "null"},
+    "date": {"type": "string", "format": "date"},
+    "dateTime": {"type": "string", "format": "date-time"},
+    "time": {"type": "string", "format": "time"},
+    "anyURI": {"type": "string", "format": "uri-reference"},
+    "hexBinary": {"type": "string", "pattern": "^(?:[0-9a-fA-F]{2})*$"},
+    "base64Binary": {"type": "string", "pattern": "^[A-Za-z0-9+/]*={0,2}$"},
+    "any": {},
+    "atomic": {"type": ["null", "boolean", "number", "string"]},
+}
+
+
+def _to_jsonschema(node: object) -> dict[str, Any]:
+    if isinstance(node, _Atomic):
+        base = dict(_ATOMIC_JSONSCHEMA[node.name])
+        if node.nullable and base.get("type") not in (None, "null"):
+            return {"anyOf": [base, {"type": "null"}]}
+        return base
+    if isinstance(node, _Array):
+        return {"type": "array", "items": _to_jsonschema(node.item)}
+    if isinstance(node, _Object):
+        properties = {name: _to_jsonschema(sub) for name, sub, _ in node.members}
+        required = sorted(name for name, _, optional in node.members if not optional)
+        out: dict[str, Any] = {
+            "type": "object",
+            "properties": properties,
+            "additionalProperties": False,
+        }
+        if required:
+            out["required"] = required
+        return out
+    raise JSoundSchemaError(f"invalid compiled node {node!r}")  # pragma: no cover

@@ -1,0 +1,49 @@
+"""Type- and structure-aware fast parsing (tutorial §4.2).
+
+- :mod:`repro.parsing.structural` — Mison's bit-parallel structural index;
+- :mod:`repro.parsing.mison` — projected parsing with speculation;
+- :mod:`repro.parsing.projection` — projection tries + reference semantics;
+- :mod:`repro.parsing.fadjs` — Fad.js-style speculative stream decoding.
+"""
+
+from repro.parsing.projection import ProjectionTree, apply_projection, project_value
+from repro.parsing.structural import StructuralIndex
+from repro.parsing.mison import MisonParser, MisonStats, parse_projected
+from repro.parsing.fadjs import (
+    FadStats,
+    ShapeTemplate,
+    SpeculativeDecoder,
+    TemplateCompileError,
+    compile_template,
+    decode_stream,
+)
+from repro.parsing.fadjs_encode import (
+    EncodeStats,
+    EncodeTemplate,
+    SpeculativeEncoder,
+    compile_encode_template,
+    encode_shape_key,
+    encode_stream,
+)
+
+__all__ = [
+    "EncodeStats",
+    "EncodeTemplate",
+    "SpeculativeEncoder",
+    "compile_encode_template",
+    "encode_shape_key",
+    "encode_stream",
+    "ProjectionTree",
+    "apply_projection",
+    "project_value",
+    "StructuralIndex",
+    "MisonParser",
+    "MisonStats",
+    "parse_projected",
+    "FadStats",
+    "ShapeTemplate",
+    "SpeculativeDecoder",
+    "TemplateCompileError",
+    "compile_template",
+    "decode_stream",
+]

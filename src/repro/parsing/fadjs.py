@@ -1,0 +1,201 @@
+"""Fad.js-style speculative JSON decoding (Bonetta & Brantner, VLDB '17).
+
+Fad.js is "a speculative, JIT-based JSON encoder and decoder" that
+"exploits data access patterns to optimize both encoding and decoding".
+Its core bet: in a stream, consecutive objects usually have **constant
+structure** — same keys, same order, same value kinds — so the decoder can
+compile a *shape-specialised* fast path and only fall back to the generic
+parser when the speculation fails.
+
+The reproduction maps Graal.js inline caches onto a portable mechanism:
+
+- the first time a shape is seen, the record is parsed generically and a
+  **template** is compiled from it: a regular expression that matches any
+  record with the same constant structure, with capture groups only for
+  the scalar values (plus per-group converters);
+- an **inline cache** of templates (monomorphic → polymorphic, MRU order,
+  bounded size) is probed on each record; a regex match *is* the decode —
+  no tokenisation, no structural scan;
+- records containing arrays (variable length → not constant structure)
+  or exotic escapes are never speculated: they always take the slow path,
+  like Fad.js bailing out to the runtime parser;
+- every miss/deopt falls back to the generic parser and (re)learns.
+
+``decode`` is result-identical to the generic parser (DESIGN.md
+invariant 5); only the speed differs.  Lazy *partial* access — Fad.js
+skips fields applications never read — comes from combining a template
+with a projection: non-requested capture groups are simply never
+converted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.jsonvalue.parser import parse
+
+# Scalar capture patterns: strings (with escapes), numbers, literals.
+_STRING_PATTERN = r'"((?:[^"\\\x00-\x1f]|\\.)*)"'
+_NUMBER_PATTERN = r"(-?(?:0|[1-9]\d*)(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+_LITERAL_PATTERN = r"(true|false|null)"
+
+_LITERALS = {"true": True, "false": False, "null": None}
+_ESCAPE_RE = re.compile(r"\\")
+
+
+def _convert_string(raw: str) -> str:
+    if _ESCAPE_RE.search(raw) is None:
+        return raw
+    # Rare path: delegate escape decoding to the real lexer.
+    from repro.jsonvalue.lexer import _Scanner
+
+    scanner = _Scanner(f'"{raw}"')
+    token = scanner.scan_string()
+    assert isinstance(token.value, str)
+    return token.value
+
+
+def _convert_number(raw: str) -> Any:
+    if "." in raw or "e" in raw or "E" in raw:
+        return float(raw)
+    return int(raw)
+
+
+def _convert_literal(raw: str) -> Any:
+    return _LITERALS[raw]
+
+
+@dataclass
+class ShapeTemplate:
+    """A compiled constant-structure fast path."""
+
+    regex: re.Pattern[str]
+    # (dotted key path, converter) per capture group, in group order.
+    slots: list[tuple[tuple[str, ...], Callable[[str], Any]]]
+    key_paths: list[tuple[str, ...]]  # full shape, for rebuild
+
+    def try_decode(self, text: str) -> Optional[dict]:
+        m = self.regex.match(text)
+        if m is None:
+            return None
+        root: dict[str, Any] = {}
+        groups = m.groups()
+        for (path, convert), raw in zip(self.slots, groups):
+            node = root
+            for step in path[:-1]:
+                node = node.setdefault(step, {})
+            node[path[-1]] = convert(raw)
+        return root
+
+
+class TemplateCompileError(Exception):
+    """Shape not speculable (arrays, non-object roots, …)."""
+
+
+def compile_template(value: Any) -> ShapeTemplate:
+    """Compile a template from a freshly parsed record.
+
+    Only objects whose transitive values are objects or scalars are
+    speculable; arrays make the structure variable-length and raise.
+    """
+    if not isinstance(value, dict):
+        raise TemplateCompileError("only object records are speculable")
+    pattern_parts: list[str] = [r"\s*"]
+    slots: list[tuple[tuple[str, ...], Callable[[str], Any]]] = []
+    key_paths: list[tuple[str, ...]] = []
+
+    def emit_object(obj: dict, prefix: tuple[str, ...]) -> None:
+        pattern_parts.append(r"\{\s*")
+        for i, (key, val) in enumerate(obj.items()):
+            if i:
+                pattern_parts.append(r",\s*")
+            pattern_parts.append(re.escape(f'"{key}"') + r"\s*:\s*")
+            path = prefix + (key,)
+            key_paths.append(path)
+            if isinstance(val, dict):
+                emit_object(val, path)
+            elif isinstance(val, list):
+                raise TemplateCompileError("arrays are not constant-structure")
+            elif isinstance(val, str):
+                pattern_parts.append(_STRING_PATTERN)
+                slots.append((path, _convert_string))
+            elif isinstance(val, bool) or val is None:
+                pattern_parts.append(_LITERAL_PATTERN)
+                slots.append((path, _convert_literal))
+            else:
+                pattern_parts.append(_NUMBER_PATTERN)
+                slots.append((path, _convert_number))
+            pattern_parts.append(r"\s*")
+        pattern_parts.append(r"\}")
+
+    emit_object(value, ())
+    pattern_parts.append(r"\s*$")
+    regex = re.compile("".join(pattern_parts))
+    return ShapeTemplate(regex=regex, slots=slots, key_paths=key_paths)
+
+
+@dataclass
+class FadStats:
+    records: int = 0
+    fast_path_hits: int = 0
+    misses: int = 0  # probed templates but none matched
+    deopts: int = 0  # slow-path parses (first sight, miss, or unspeculable)
+    templates_compiled: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.fast_path_hits / self.records if self.records else 0.0
+
+
+class SpeculativeDecoder:
+    """A stream decoder with a bounded inline cache of shape templates."""
+
+    def __init__(self, *, cache_size: int = 4) -> None:
+        self.cache_size = cache_size
+        self._templates: list[ShapeTemplate] = []  # MRU order
+        self.stats = FadStats()
+
+    def decode(self, text: str) -> Any:
+        """Decode one record; identical results to the generic parser."""
+        self.stats.records += 1
+        probed = False
+        for i, template in enumerate(self._templates):
+            probed = True
+            result = template.try_decode(text)
+            if result is not None:
+                self.stats.fast_path_hits += 1
+                if i:  # move to front (MRU)
+                    self._templates.insert(0, self._templates.pop(i))
+                return result
+        if probed:
+            self.stats.misses += 1
+        # Slow path: generic parse, then (re)learn the shape.
+        self.stats.deopts += 1
+        value = parse(text)
+        self._learn(value)
+        return value
+
+    def decode_stream(self, lines: Iterable[str]) -> Iterator[Any]:
+        for line in lines:
+            if line.strip():
+                yield self.decode(line)
+
+    def _learn(self, value: Any) -> None:
+        try:
+            template = compile_template(value)
+        except TemplateCompileError:
+            return
+        self.stats.templates_compiled += 1
+        self._templates.insert(0, template)
+        del self._templates[self.cache_size :]
+
+
+def decode_stream(
+    lines: Iterable[str], *, cache_size: int = 4
+) -> tuple[list[Any], FadStats]:
+    """Decode a whole stream; returns values and speculation statistics."""
+    decoder = SpeculativeDecoder(cache_size=cache_size)
+    values = list(decoder.decode_stream(lines))
+    return values, decoder.stats

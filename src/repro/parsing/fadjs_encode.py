@@ -1,0 +1,181 @@
+"""Fad.js-style speculative JSON *encoding*.
+
+Fad.js optimises "both encoding and decoding" (tutorial §4.2).  On the
+encoding side the bet is the same: streams emit objects of constant
+structure, so the serializer can precompute every static byte of the
+output — braces, quoted keys, colons, commas — once per *shape*, and per
+record only convert the scalar values into the holes:
+
+- :func:`encode_shape_key` fingerprints a value's structure (keys in
+  order, scalar kinds); arrays and non-object roots are not speculable,
+  exactly as in the decoder;
+- :class:`EncodeTemplate` holds the precomputed static segments and one
+  converter per value slot;
+- :class:`SpeculativeEncoder` keeps a shape-keyed cache; hits interleave
+  segments with converted values in a single ``str.join``; misses fall
+  back to the generic serializer and learn the new shape.
+
+The output is byte-identical to :func:`repro.jsonvalue.serializer.dumps`
+(compact mode) — property-tested — so speculation is again observable only
+as speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional
+
+from repro.jsonvalue.model import is_integer_value
+from repro.jsonvalue.serializer import dumps, escape_string
+
+# Scalar slot kinds.
+_KIND_STRING = "s"
+_KIND_NUMBER = "n"
+_KIND_LITERAL = "l"  # true/false/null
+
+_LITERAL_TEXT = {True: "true", False: "false", None: "null"}
+
+
+def encode_shape_key(value: Any) -> Optional[tuple]:
+    """Structure fingerprint, or ``None`` when the value is not speculable."""
+    if not isinstance(value, dict):
+        return None
+    parts: list = []
+    for key, v in value.items():
+        if isinstance(v, dict):
+            inner = encode_shape_key(v)
+            if inner is None:
+                return None
+            parts.append((key, inner))
+        elif isinstance(v, list):
+            return None  # variable length: not constant structure
+        elif isinstance(v, str):
+            parts.append((key, _KIND_STRING))
+        elif isinstance(v, bool) or v is None:
+            parts.append((key, _KIND_LITERAL))
+        else:
+            parts.append((key, _KIND_NUMBER))
+    return tuple(parts)
+
+
+def _convert_number(value: Any) -> str:
+    if is_integer_value(value):
+        return str(value)
+    return repr(value)
+
+
+def _convert_string(value: str) -> str:
+    return escape_string(value)
+
+
+def _convert_literal(value: Any) -> str:
+    return _LITERAL_TEXT[value]
+
+
+_CONVERTERS: dict[str, Callable[[Any], str]] = {
+    _KIND_STRING: _convert_string,
+    _KIND_NUMBER: _convert_number,
+    _KIND_LITERAL: _convert_literal,
+}
+
+
+@dataclass
+class EncodeTemplate:
+    """Precompiled encoder for one shape."""
+
+    segments: list  # len(slots) + 1 static strings
+    slots: list  # (path tuple, converter) per hole
+
+    def encode(self, value: dict) -> str:
+        parts = [self.segments[0]]
+        for (path, convert), segment in zip(self.slots, self.segments[1:]):
+            v = value
+            for step in path:
+                v = v[step]
+            parts.append(convert(v))
+            parts.append(segment)
+        return "".join(parts)
+
+
+def compile_encode_template(value: dict) -> EncodeTemplate:
+    """Build the template from one sample (its shape must be speculable)."""
+    segments: list[str] = []
+    slots: list[tuple[tuple, Callable[[Any], str]]] = []
+    current: list[str] = []
+
+    def static(text: str) -> None:
+        current.append(text)
+
+    def hole(path: tuple, kind: str) -> None:
+        segments.append("".join(current))
+        current.clear()
+        slots.append((path, _CONVERTERS[kind]))
+
+    def walk(obj: dict, prefix: tuple) -> None:
+        static("{")
+        for i, (key, v) in enumerate(obj.items()):
+            if i:
+                static(",")
+            static(escape_string(key) + ":")
+            path = prefix + (key,)
+            if isinstance(v, dict):
+                walk(v, path)
+            elif isinstance(v, str):
+                hole(path, _KIND_STRING)
+            elif isinstance(v, bool) or v is None:
+                hole(path, _KIND_LITERAL)
+            else:
+                hole(path, _KIND_NUMBER)
+        static("}")
+
+    walk(value, ())
+    segments.append("".join(current))
+    return EncodeTemplate(segments=segments, slots=slots)
+
+
+@dataclass
+class EncodeStats:
+    records: int = 0
+    fast_path_hits: int = 0
+    deopts: int = 0
+    templates_compiled: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.fast_path_hits / self.records if self.records else 0.0
+
+
+class SpeculativeEncoder:
+    """A stream encoder with a bounded shape-template cache."""
+
+    def __init__(self, *, cache_size: int = 8) -> None:
+        self.cache_size = cache_size
+        self._templates: dict[tuple, EncodeTemplate] = {}
+        self.stats = EncodeStats()
+
+    def encode(self, value: Any) -> str:
+        """Serialize one value; byte-identical to compact ``dumps``."""
+        self.stats.records += 1
+        key = encode_shape_key(value)
+        if key is not None:
+            template = self._templates.get(key)
+            if template is not None:
+                self.stats.fast_path_hits += 1
+                return template.encode(value)
+        self.stats.deopts += 1
+        text = dumps(value)
+        if key is not None and len(self._templates) < self.cache_size:
+            self._templates[key] = compile_encode_template(value)
+            self.stats.templates_compiled += 1
+        return text
+
+    def encode_stream(self, values: Iterable[Any]) -> Iterable[str]:
+        for value in values:
+            yield self.encode(value)
+
+
+def encode_stream(values: Iterable[Any], *, cache_size: int = 8) -> tuple[list, EncodeStats]:
+    """Encode a whole stream; returns the lines and the statistics."""
+    encoder = SpeculativeEncoder(cache_size=cache_size)
+    lines = list(encoder.encode_stream(values))
+    return lines, encoder.stats

@@ -1,0 +1,211 @@
+"""Projected (Mison-style) parsing with speculative field ordering.
+
+The parser answers analytics queries that touch a handful of fields by
+combining three Mison ideas:
+
+1. **structural index, built only to the projection's depth**
+   (:class:`~repro.parsing.structural.StructuralIndex`);
+2. **pruning**: only the projected members' value spans are ever parsed;
+   everything else is skipped at the bitmap level;
+3. **speculation**: across a stream of records, a *pattern cache* remembers
+   at which member ordinal each projected key appeared last time.  The next
+   record probes that ordinal first and falls back to a full member scan on
+   a miss (Mison's pattern trees, collapsed to the common case).
+
+``parse_projected(text)`` ≡ ``project(parse(text))`` — DESIGN.md
+invariant 4, property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.path import JsonPath
+from repro.parsing.projection import ProjectionTree
+from repro.parsing.structural import StructuralIndex
+
+
+@dataclass
+class MisonStats:
+    """Speculation statistics across a stream."""
+
+    records: int = 0
+    speculation_hits: int = 0
+    speculation_misses: int = 0
+    values_parsed: int = 0
+    members_skipped: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        probes = self.speculation_hits + self.speculation_misses
+        return self.speculation_hits / probes if probes else 0.0
+
+
+class MisonParser:
+    """A projection-pushdown JSON parser for record streams."""
+
+    def __init__(self, projection: Iterable[JsonPath | str]) -> None:
+        self.tree = ProjectionTree.from_paths(projection)
+        self.levels = max(1, self.tree.max_depth)
+        self.stats = MisonStats()
+        # pattern cache: (trie node id, key) -> last ordinal where key's
+        # colon was found among the object's member colons.
+        self._pattern: dict[tuple[int, str], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def parse_projected(self, text: str) -> Any:
+        """Parse only the projected parts of one JSON record."""
+        self.stats.records += 1
+        start = _skip_ws(text, 0)
+        if start >= len(text):
+            from repro.errors import JsonError
+
+            raise JsonError("empty input is not a JSON record")
+        index = StructuralIndex.build(text, levels=self.levels)
+        result = self._project_span(index, self.tree, start, len(text.rstrip()), 1)
+        return None if result is _MISSING_TO_NONE else result
+
+    def parse_stream(self, lines: Iterable[str]) -> Iterator[Any]:
+        """Projected parsing over NDJSON lines."""
+        for line in lines:
+            if line.strip():
+                yield self.parse_projected(line)
+
+    # ------------------------------------------------------------------
+
+    def _project_span(
+        self,
+        index: StructuralIndex,
+        tree: ProjectionTree,
+        start: int,
+        end: int,
+        level: int,
+    ) -> Any:
+        text = index.text
+        if tree.terminal:
+            self.stats.values_parsed += 1
+            return parse(text[start:end])
+        ch = text[start]
+        if ch == "{":
+            if not tree.fields:
+                return {}
+            close = index.matching_close(start)
+            return self._project_object(index, tree, start, close, level)
+        if ch == "[":
+            close = index.matching_close(start)
+            return self._project_array(index, tree, start, close, level)
+        # A scalar where the projection expected structure.
+        return _MISSING_TO_NONE
+
+
+    def _project_object(
+        self,
+        index: StructuralIndex,
+        tree: ProjectionTree,
+        open_pos: int,
+        close_pos: int,
+        level: int,
+    ) -> dict:
+        colons = index.object_member_colons(open_pos, close_pos, level)
+        out: dict[str, Any] = {}
+        wanted = tree.fields
+        found: dict[str, int] = {}
+
+        # Speculative probe: check each wanted key at its cached ordinal.
+        remaining = dict(wanted)
+        for name in list(remaining):
+            ordinal = self._pattern.get((id(tree), name))
+            if ordinal is not None and ordinal < len(colons):
+                if index.key_before_colon(colons[ordinal]) == name:
+                    self.stats.speculation_hits += 1
+                    found[name] = ordinal
+                    del remaining[name]
+                else:
+                    self.stats.speculation_misses += 1
+
+        # Fallback scan for the keys speculation did not resolve.
+        if remaining:
+            for ordinal, colon in enumerate(colons):
+                if not remaining:
+                    break
+                key = index.key_before_colon(colon)
+                if key in remaining:
+                    found[key] = ordinal
+                    self._pattern[(id(tree), key)] = ordinal
+                    del remaining[key]
+
+        self.stats.members_skipped += len(colons) - len(found)
+
+        for name, ordinal in sorted(found.items(), key=lambda kv: kv[1]):
+            colon = colons[ordinal]
+            vstart, vend = index.value_span(colon, close_pos, level)
+            value = self._project_span(index, wanted[name], vstart, vend, level + 1)
+            if value is not _MISSING_TO_NONE:
+                out[name] = value
+        return out
+
+    def _project_array(
+        self,
+        index: StructuralIndex,
+        tree: ProjectionTree,
+        open_pos: int,
+        close_pos: int,
+        level: int,
+    ) -> Any:
+        text = index.text
+        inner = text[open_pos + 1 : close_pos].strip()
+        if not inner:
+            if tree.wildcard is not None or tree.indexes:
+                return []
+            return _MISSING_TO_NONE
+        commas = index.array_element_commas(open_pos, close_pos, level)
+        bounds = [open_pos] + commas + [close_pos]
+        spans = []
+        for i in range(len(bounds) - 1):
+            estart = _skip_ws(text, bounds[i] + 1)
+            eend = bounds[i + 1]
+            spans.append((estart, eend))
+        if tree.wildcard is not None:
+            out = []
+            for estart, eend in spans:
+                value = self._project_span(index, tree.wildcard, estart, eend, level + 1)
+                out.append(None if value is _MISSING_TO_NONE else value)
+            return out
+        if tree.indexes:
+            out = []
+            for position in sorted(tree.indexes):
+                if position < len(spans):
+                    estart, eend = spans[position]
+                    value = self._project_span(
+                        index, tree.indexes[position], estart, eend, level + 1
+                    )
+                    out.append(None if value is _MISSING_TO_NONE else value)
+            return out
+        return _MISSING_TO_NONE
+
+
+class _MissingToNone:
+    """Sentinel: projection could not descend (object member is omitted,
+    array element becomes None)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING_TO_NONE = _MissingToNone()
+
+
+def _skip_ws(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\r\n":
+        pos += 1
+    return pos
+
+
+def parse_projected(text: str, projection: Iterable[JsonPath | str]) -> Any:
+    """One-shot projected parse (no cross-record speculation)."""
+    return MisonParser(projection).parse_projected(text)

@@ -1,0 +1,121 @@
+"""Projection specifications and the reference projection semantics.
+
+A *projection* is a set of paths an analytics task actually reads — the
+tutorial's §4.2 observation ("most applications never use all the fields
+of input objects") is what both Mison and Fad.js exploit.  This module
+defines the projection trie shared by the fast parsers and
+:func:`apply_projection`, the obviously-correct reference implementation
+that the Mison-style parser is property-tested against (DESIGN.md
+invariant 4).
+
+Projection semantics (chosen to be implementable both on parsed values
+and on raw text):
+
+- a terminal trie node captures the whole subtree;
+- objects keep only projected members that are *present*;
+- arrays under ``[*]`` keep **all** elements (positions preserved), each
+  projected recursively; an element the projection cannot enter becomes
+  ``None``;
+- a scalar where the projection expects structure disappears (objects
+  omit the member).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from repro.errors import JsonError
+from repro.jsonvalue.path import Field, Index, JsonPath, Wildcard
+
+_MISSING = object()
+
+
+@dataclass
+class ProjectionTree:
+    """A trie over path steps; shared by reference and Mison projection."""
+
+    terminal: bool = False
+    fields: dict = field(default_factory=dict)  # name -> ProjectionTree
+    wildcard: Optional["ProjectionTree"] = None
+    indexes: dict = field(default_factory=dict)  # position -> ProjectionTree
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[JsonPath | str]) -> "ProjectionTree":
+        root = cls()
+        count = 0
+        for path in paths:
+            count += 1
+            if isinstance(path, str):
+                path = JsonPath.parse(path)
+            node = root
+            for step in path.steps:
+                if node.terminal:
+                    break  # a shorter captured path subsumes this one
+                if isinstance(step, Field):
+                    node = node.fields.setdefault(step.name, cls())
+                elif isinstance(step, Wildcard):
+                    if node.wildcard is None:
+                        node.wildcard = cls()
+                    node = node.wildcard
+                elif isinstance(step, Index):
+                    node = node.indexes.setdefault(step.position, cls())
+                else:  # pragma: no cover
+                    raise JsonError(f"unsupported projection step {step!r}")
+            else:
+                node.terminal = True
+                # A terminal subsumes any deeper paths below it.
+                node.fields.clear()
+                node.wildcard = None
+                node.indexes.clear()
+        if not count:
+            raise JsonError("a projection needs at least one path")
+        return root
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest step count — how many index levels Mison must build."""
+        depths = [1 + child.max_depth for child in self.fields.values()]
+        depths.extend(1 + child.max_depth for child in self.indexes.values())
+        if self.wildcard is not None:
+            depths.append(1 + self.wildcard.max_depth)
+        return max(depths, default=0)
+
+
+def project_value(tree: ProjectionTree, value: Any) -> Any:
+    """Apply a projection trie to a parsed value (reference semantics)."""
+    result = _project(tree, value)
+    return None if result is _MISSING else result
+
+
+def _project(tree: ProjectionTree, value: Any) -> Any:
+    if tree.terminal:
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for name, subtree in tree.fields.items():
+            if name in value:
+                projected = _project(subtree, value[name])
+                if projected is not _MISSING:
+                    out[name] = projected
+        return out
+    if isinstance(value, list):
+        if tree.wildcard is not None:
+            return [
+                None if (p := _project(tree.wildcard, elem)) is _MISSING else p
+                for elem in value
+            ]
+        if tree.indexes:
+            out_list: list[Any] = []
+            for position in sorted(tree.indexes):
+                if position < len(value):
+                    projected = _project(tree.indexes[position], value[position])
+                    out_list.append(None if projected is _MISSING else projected)
+            return out_list
+        return _MISSING
+    return _MISSING
+
+
+def apply_projection(document: Any, paths: Iterable[JsonPath | str]) -> Any:
+    """Project a parsed document onto ``paths`` (parse-then-project)."""
+    return project_value(ProjectionTree.from_paths(paths), document)

@@ -1,0 +1,286 @@
+"""Mison-style structural index (Li et al., VLDB '17).
+
+Mison "exploits AVX instructions to speed up data parsing and discarding
+unused objects … it infers structural information of data on the fly in
+order to detect and prune parts of the data that are not needed".
+
+The reproduction keeps Mison's *bit-parallel* design with Python's
+arbitrary-precision integers playing the role of SIMD words — bitwise AND/
+OR/XOR/shift on a bigint operate on the whole document at machine-word
+granularity inside CPython, preserving the algorithm's word-level
+semantics (the substitution DESIGN.md documents):
+
+1. **character bitmaps** for ``\\`` ``"`` ``:`` ``,`` ``{`` ``}`` ``[`` ``]``
+   (bit *i* set iff ``text[i]`` is that character);
+2. the **structural-quote bitmap**: quotes minus escaped quotes, via the
+   classic backslash-run parity computation;
+3. the **string mask** (interior of string literals), from the structural
+   quotes by prefix-XOR parity — Mison's carryless-multiply step;
+4. **masked structural bitmaps**: colons/commas/braces/brackets *outside*
+   strings;
+5. **leveled bitmaps**: colon/comma bitmaps per nesting level, built only
+   up to the depth the projection needs (Mison's key cost saving).
+
+The index exposes positional queries used by the projected parser:
+top-level member colons of an object span, element commas of an array
+span, and matching-bracket lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import JsonError
+
+
+def _char_bitmap(text: str, ch: str) -> int:
+    """Bit *i* set iff ``text[i] == ch`` (bigint as an n-bit SIMD word)."""
+    bitmap = 0
+    start = text.find(ch)
+    while start != -1:
+        bitmap |= 1 << start
+        start = text.find(ch, start + 1)
+    return bitmap
+
+
+def _structural_quotes(quote_bitmap: int, backslash_bitmap: int, length: int) -> int:
+    """Quotes that really delimit strings: drop quotes escaped by an odd
+    run of backslashes (Mison step 2)."""
+    if not backslash_bitmap:
+        return quote_bitmap
+    # A quote at i is escaped iff the maximal backslash run ending at i-1
+    # has odd length.  Compute run parities bit-parallel: a backslash run
+    # starts where a backslash has no backslash predecessor.
+    starts = backslash_bitmap & ~(backslash_bitmap << 1)
+    escaped = 0
+    run_start = starts
+    while run_start:
+        low = run_start & -run_start
+        i = low.bit_length() - 1
+        # Extend the run from position i.
+        j = i
+        while (backslash_bitmap >> j) & 1:
+            j += 1
+        run_length = j - i
+        if run_length % 2 == 1 and (quote_bitmap >> j) & 1:
+            escaped |= 1 << j
+        run_start &= run_start - 1
+        # Skip any start bits inside this run (there are none by construction).
+    return quote_bitmap & ~escaped
+
+
+def _string_mask(structural_quotes: int, length: int) -> int:
+    """Bit *i* set iff position *i* lies strictly inside a string literal.
+
+    Prefix-XOR over quote bits (Mison's carryless multiplication): between
+    the (2k+1)-th and (2k+2)-th structural quote every bit is set.
+    """
+    mask = 0
+    quotes = structural_quotes
+    open_pos = -1
+    while quotes:
+        low = quotes & -quotes
+        pos = low.bit_length() - 1
+        if open_pos < 0:
+            open_pos = pos
+        else:
+            # Interior of the literal: positions open_pos+1 .. pos-1,
+            # and the delimiters themselves are also "in string" for
+            # masking purposes (they are not structural punctuation).
+            span = pos - open_pos + 1
+            mask |= ((1 << span) - 1) << open_pos
+            open_pos = -1
+        quotes &= quotes - 1
+    if open_pos >= 0:
+        raise JsonError("unbalanced string quotes in document")
+    return mask
+
+
+@dataclass
+class StructuralIndex:
+    """The leveled structural index of one JSON text."""
+
+    text: str
+    string_mask: int
+    colons: int
+    commas: int
+    open_braces: int
+    close_braces: int
+    open_brackets: int
+    close_brackets: int
+    # per-level bitmaps, index 0 = depth 1 (inside the top-level container)
+    colon_levels: list[int]
+    comma_levels: list[int]
+    max_level: int
+
+    @classmethod
+    def build(cls, text: str, *, levels: int = 1) -> "StructuralIndex":
+        """Build the index with leveled bitmaps down to ``levels``."""
+        backslash = _char_bitmap(text, "\\")
+        quotes = _char_bitmap(text, '"')
+        structural_quotes = _structural_quotes(quotes, backslash, len(text))
+        string_mask = _string_mask(structural_quotes, len(text))
+        keep = ~string_mask
+
+        colons = _char_bitmap(text, ":") & keep
+        commas = _char_bitmap(text, ",") & keep
+        open_braces = _char_bitmap(text, "{") & keep
+        close_braces = _char_bitmap(text, "}") & keep
+        open_brackets = _char_bitmap(text, "[") & keep
+        close_brackets = _char_bitmap(text, "]") & keep
+
+        colon_levels, comma_levels = cls._leveled(
+            text,
+            colons,
+            commas,
+            open_braces | open_brackets,
+            close_braces | close_brackets,
+            levels,
+        )
+        return cls(
+            text=text,
+            string_mask=string_mask,
+            colons=colons,
+            commas=commas,
+            open_braces=open_braces,
+            close_braces=close_braces,
+            open_brackets=open_brackets,
+            close_brackets=close_brackets,
+            colon_levels=colon_levels,
+            comma_levels=comma_levels,
+            max_level=levels,
+        )
+
+    @staticmethod
+    def _leveled(
+        text: str,
+        colons: int,
+        commas: int,
+        opens: int,
+        closes: int,
+        levels: int,
+    ) -> tuple[list[int], list[int]]:
+        """Distribute structural colons/commas over nesting levels.
+
+        One pass over the *set bits* of the merged punctuation bitmaps —
+        the document body is never re-scanned (only punctuation positions
+        are visited, which is the Mison property).
+        """
+        colon_levels = [0] * levels
+        comma_levels = [0] * levels
+        merged = colons | commas | opens | closes
+        depth = 0
+        bits = merged
+        while bits:
+            low = bits & -bits
+            pos = low.bit_length() - 1
+            if (opens >> pos) & 1:
+                depth += 1
+            elif (closes >> pos) & 1:
+                depth -= 1
+                if depth < 0:
+                    raise JsonError("unbalanced brackets in document")
+            elif (colons >> pos) & 1:
+                if 1 <= depth <= levels:
+                    colon_levels[depth - 1] |= low
+            else:  # comma
+                if 1 <= depth <= levels:
+                    comma_levels[depth - 1] |= low
+            bits &= bits - 1
+        if depth != 0:
+            raise JsonError("unbalanced brackets in document")
+        return colon_levels, comma_levels
+
+    # ------------------------------------------------------------------
+    # positional queries
+    # ------------------------------------------------------------------
+
+    def matching_close(self, open_pos: int) -> int:
+        """Position of the bracket matching the opener at ``open_pos``."""
+        opens = self.open_braces | self.open_brackets
+        closes = self.close_braces | self.close_brackets
+        if not ((opens >> open_pos) & 1):
+            raise JsonError(f"no structural opener at position {open_pos}")
+        depth = 0
+        bits = (opens | closes) >> open_pos
+        pos = open_pos
+        while bits:
+            low = bits & -bits
+            offset = low.bit_length() - 1
+            pos = open_pos + offset
+            if (opens >> pos) & 1:
+                depth += 1
+            else:
+                depth -= 1
+                if depth == 0:
+                    return pos
+            bits &= bits - 1
+        raise JsonError(f"no matching close for opener at {open_pos}")
+
+    def bits_in_span(self, bitmap: int, start: int, end: int) -> Iterator[int]:
+        """Positions of set bits of ``bitmap`` within [start, end)."""
+        window = (bitmap >> start) & ((1 << (end - start)) - 1)
+        while window:
+            low = window & -window
+            yield start + low.bit_length() - 1
+            window &= window - 1
+
+    def object_member_colons(self, open_pos: int, close_pos: int, level: int) -> list[int]:
+        """Colons of the direct members of the object spanning [open, close]."""
+        if level > self.max_level:
+            raise JsonError(
+                f"index built to level {self.max_level}, need {level}"
+            )
+        return list(self.bits_in_span(self.colon_levels[level - 1], open_pos, close_pos))
+
+    def array_element_commas(self, open_pos: int, close_pos: int, level: int) -> list[int]:
+        """Commas separating direct elements of the array span."""
+        if level > self.max_level:
+            raise JsonError(
+                f"index built to level {self.max_level}, need {level}"
+            )
+        return list(self.bits_in_span(self.comma_levels[level - 1], open_pos, close_pos))
+
+    def key_before_colon(self, colon_pos: int) -> str:
+        """Decode the member name whose colon sits at ``colon_pos``."""
+        text = self.text
+        end = colon_pos - 1
+        while end >= 0 and text[end] in " \t\r\n":
+            end -= 1
+        if end < 0 or text[end] != '"':
+            raise JsonError(f"no member name before colon at {colon_pos}")
+        # Walk back to the opening quote, skipping escaped quotes using
+        # the string mask: the opening quote is the nearest quote whose
+        # predecessor position is NOT inside the string.
+        start = end - 1
+        while start >= 0:
+            if text[start] == '"' and not ((self.string_mask >> (start - 1)) & 1 if start else False):
+                break
+            start -= 1
+        from repro.jsonvalue.lexer import _Scanner
+
+        scanner = _Scanner(text)
+        scanner.pos = start
+        token = scanner.scan_string()
+        assert isinstance(token.value, str)
+        return token.value
+
+    def value_span(self, colon_pos: int, container_close: int, level: int) -> tuple[int, int]:
+        """The [start, end) span of the value following ``colon_pos``.
+
+        ``container_close`` is the position of the enclosing container's
+        closing brace; the value ends at the next same-level comma or at
+        the close.
+        """
+        text = self.text
+        start = colon_pos + 1
+        while text[start] in " \t\r\n":
+            start += 1
+        if level <= self.max_level:
+            for comma in self.bits_in_span(
+                self.comma_levels[level - 1], colon_pos, container_close
+            ):
+                return start, comma
+            return start, container_close
+        raise JsonError(f"index built to level {self.max_level}, need {level}")

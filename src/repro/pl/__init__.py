@@ -1,0 +1,47 @@
+"""Programming-language type systems for JSON (tutorial Part 3).
+
+:mod:`repro.pl.typescript` — structural types with unions and literals;
+:mod:`repro.pl.swift` — ``Codable``-style typed decoding;
+:mod:`repro.pl.codegen` — from the inference algebra to declarations;
+:mod:`repro.pl.features` — the E1 capability matrix, probe-generated.
+"""
+
+from repro.pl import swift, typescript
+from repro.pl.codegen import (
+    algebra_to_swift,
+    algebra_to_typescript,
+    swift_declaration_for,
+    typescript_declaration_for,
+)
+from repro.pl.features import FEATURES, SYSTEMS, feature_matrix, render_matrix
+from repro.pl.swift_enum import (
+    SwiftEnum,
+    SwiftEnumCase,
+    algebra_to_swift_with_enums,
+    render_enum,
+)
+from repro.pl.from_jsonschema import (
+    JsonSchemaTranslationError,
+    declaration_from_jsonschema,
+    jsonschema_to_typescript,
+)
+
+__all__ = [
+    "swift",
+    "typescript",
+    "SwiftEnum",
+    "SwiftEnumCase",
+    "algebra_to_swift_with_enums",
+    "render_enum",
+    "JsonSchemaTranslationError",
+    "declaration_from_jsonschema",
+    "jsonschema_to_typescript",
+    "algebra_to_swift",
+    "algebra_to_typescript",
+    "swift_declaration_for",
+    "typescript_declaration_for",
+    "FEATURES",
+    "SYSTEMS",
+    "feature_matrix",
+    "render_matrix",
+]

@@ -1,0 +1,310 @@
+"""The schema-language / type-system feature matrix (experiment E1).
+
+The tutorial's Parts 2 and 3 compare JSON Schema, Joi, JSound, TypeScript
+and Swift feature by feature.  Instead of hard-coding the comparison, each
+cell here is a **probe**: a small program that tries to *express* the
+feature in the corresponding implementation and then checks the resulting
+artifact accepts/rejects the right instances.  A cell is ``True`` only if
+the feature is actually expressible and behaves correctly — so the matrix
+is regenerated from the implementations every time the benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import repro.joi as joi
+from repro.jsonschema import is_valid as js_valid
+from repro.jsound import JSoundSchemaError, compile_jsound
+from repro.pl import swift as sw
+from repro.pl import typescript as ts
+
+SYSTEMS = ("JSON Schema", "Joi", "JSound", "TypeScript", "Swift")
+
+FEATURES = (
+    "union types",
+    "negation types",
+    "co-occurrence constraints",
+    "mutual exclusion (xor)",
+    "value-dependent types",
+    "optional fields",
+    "closed records",
+    "int/float distinction",
+    "numeric ranges",
+    "string patterns",
+    "enumerations",
+)
+
+
+def _accepts_rejects(valid_fn: Callable, good: list, bad: list) -> bool:
+    return all(valid_fn(v) for v in good) and not any(valid_fn(v) for v in bad)
+
+
+# ---------------------------------------------------------------------------
+# probes, one function per (feature, system) that is expressible
+# ---------------------------------------------------------------------------
+
+
+def _probe_jsonschema(feature: str) -> bool:
+    if feature == "union types":
+        schema = {"anyOf": [{"type": "integer"}, {"type": "string"}]}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [1, "a"], [None, 1.5])
+    if feature == "negation types":
+        schema = {"not": {"type": "string"}}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [1, None], ["a"])
+    if feature == "co-occurrence constraints":
+        schema = {"dependencies": {"a": ["b"]}}
+        return _accepts_rejects(
+            lambda v: js_valid(schema, v), [{"a": 1, "b": 2}, {"b": 2}, {}], [{"a": 1}]
+        )
+    if feature == "mutual exclusion (xor)":
+        schema = {
+            "oneOf": [
+                {"required": ["a"], "not": {"required": ["b"]}},
+                {"required": ["b"], "not": {"required": ["a"]}},
+            ]
+        }
+        return _accepts_rejects(
+            lambda v: js_valid(schema, v),
+            [{"a": 1}, {"b": 2}],
+            [{}, {"a": 1, "b": 2}],
+        )
+    if feature == "value-dependent types":
+        schema = {
+            "if": {"properties": {"kind": {"const": "circle"}}, "required": ["kind"]},
+            "then": {"properties": {"size": {"type": "number"}}, "required": ["size"]},
+            "else": {"properties": {"size": {"type": "string"}}, "required": ["size"]},
+        }
+        return _accepts_rejects(
+            lambda v: js_valid(schema, v),
+            [{"kind": "circle", "size": 1}, {"kind": "square", "size": "big"}],
+            [{"kind": "circle", "size": "big"}],
+        )
+    if feature == "optional fields":
+        schema = {"properties": {"a": {"type": "integer"}}, "required": []}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [{}, {"a": 1}], [{"a": "x"}])
+    if feature == "closed records":
+        schema = {"properties": {"a": {}}, "additionalProperties": False}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [{"a": 1}], [{"b": 2}])
+    if feature == "int/float distinction":
+        schema = {"type": "integer"}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [3], [3.5])
+    if feature == "numeric ranges":
+        schema = {"minimum": 0, "maximum": 10}
+        return _accepts_rejects(lambda v: js_valid(schema, v), [0, 10], [-1, 11])
+    if feature == "string patterns":
+        schema = {"type": "string", "pattern": "^a+$"}
+        return _accepts_rejects(lambda v: js_valid(schema, v), ["aa"], ["b"])
+    if feature == "enumerations":
+        schema = {"enum": ["x", "y"]}
+        return _accepts_rejects(lambda v: js_valid(schema, v), ["x"], ["z"])
+    return False
+
+
+def _probe_joi(feature: str) -> bool:
+    if feature == "union types":
+        schema = joi.alternatives(joi.number().integer(), joi.string())
+        return _accepts_rejects(schema.is_valid, [1, "a"], [None, 1.5])
+    if feature == "negation types":
+        return False  # invalid()/forbidden() blacklist values, not schemas
+    if feature == "co-occurrence constraints":
+        schema = joi.object().unknown().with_("a", "b")
+        return _accepts_rejects(
+            schema.is_valid, [{"a": 1, "b": 2}, {"b": 2}, {}], [{"a": 1}]
+        )
+    if feature == "mutual exclusion (xor)":
+        schema = joi.object().unknown().xor("a", "b")
+        return _accepts_rejects(schema.is_valid, [{"a": 1}, {"b": 2}], [{}, {"a": 1, "b": 2}])
+    if feature == "value-dependent types":
+        schema = joi.object().keys(
+            {
+                "kind": joi.string().required(),
+                "size": joi.when(
+                    "kind",
+                    is_=joi.string().valid("circle"),
+                    then=joi.number().required(),
+                    otherwise=joi.string().required(),
+                ),
+            }
+        )
+        return _accepts_rejects(
+            schema.is_valid,
+            [{"kind": "circle", "size": 1}, {"kind": "square", "size": "big"}],
+            [{"kind": "circle", "size": "big"}],
+        )
+    if feature == "optional fields":
+        schema = joi.object().keys({"a": joi.number()})
+        return _accepts_rejects(schema.is_valid, [{}, {"a": 1}], [{"a": "x"}])
+    if feature == "closed records":
+        schema = joi.object().keys({"a": joi.any_()})
+        return _accepts_rejects(schema.is_valid, [{"a": 1}], [{"b": 2}])
+    if feature == "int/float distinction":
+        schema = joi.number().integer()
+        return _accepts_rejects(schema.is_valid, [3], [3.5])
+    if feature == "numeric ranges":
+        schema = joi.number().min(0).max(10)
+        return _accepts_rejects(schema.is_valid, [0, 10], [-1, 11])
+    if feature == "string patterns":
+        schema = joi.string().pattern("^a+$")
+        return _accepts_rejects(schema.is_valid, ["aa"], ["b"])
+    if feature == "enumerations":
+        schema = joi.any_().valid("x", "y")
+        return _accepts_rejects(schema.is_valid, ["x"], ["z"])
+    return False
+
+
+def _probe_jsound(feature: str) -> bool:
+    if feature == "union types":
+        try:
+            compile_jsound(["integer", "string"])
+        except JSoundSchemaError:
+            return False
+        return True
+    if feature in (
+        "negation types",
+        "co-occurrence constraints",
+        "mutual exclusion (xor)",
+        "value-dependent types",
+        "numeric ranges",
+        "enumerations",
+    ):
+        return False
+    if feature == "optional fields":
+        schema = compile_jsound({"a?": "integer"})
+        return _accepts_rejects(schema.is_valid, [{}, {"a": 1}], [{"a": "x"}])
+    if feature == "closed records":
+        schema = compile_jsound({"a": "integer"})
+        return _accepts_rejects(schema.is_valid, [{"a": 1}], [{"a": 1, "b": 2}])
+    if feature == "int/float distinction":
+        schema = compile_jsound("integer")
+        return _accepts_rejects(schema.is_valid, [3], [3.5])
+    if feature == "string patterns":
+        return False  # only the fixed lexical spaces (hexBinary, date, ...)
+    return False
+
+
+def _probe_typescript(feature: str) -> bool:
+    if feature == "union types":
+        t = ts.union((ts.NUMBER, ts.STRING))
+        return _accepts_rejects(lambda v: ts.check(v, t), [1, "a"], [None, [1]])
+    if feature == "negation types":
+        return False
+    if feature == "co-occurrence constraints":
+        # The `{a: T; b?: never} | {…}` idiom expresses co-occurrence.
+        both = ts.TSObject(
+            (ts.TSProperty("a", ts.NUMBER), ts.TSProperty("b", ts.NUMBER))
+        )
+        neither = ts.TSObject(
+            (
+                ts.TSProperty("a", ts.NEVER, optional=True),
+                ts.TSProperty("b", ts.NEVER, optional=True),
+            )
+        )
+        t = ts.union((both, neither))
+        return _accepts_rejects(
+            lambda v: ts.check(v, t), [{"a": 1, "b": 2}, {}], [{"a": 1}]
+        )
+    if feature == "mutual exclusion (xor)":
+        only_a = ts.TSObject(
+            (ts.TSProperty("a", ts.NUMBER), ts.TSProperty("b", ts.NEVER, optional=True))
+        )
+        only_b = ts.TSObject(
+            (ts.TSProperty("b", ts.NUMBER), ts.TSProperty("a", ts.NEVER, optional=True))
+        )
+        t = ts.union((only_a, only_b))
+        return _accepts_rejects(
+            lambda v: ts.check(v, t), [{"a": 1}, {"b": 2}], [{}, {"a": 1, "b": 2}]
+        )
+    if feature == "value-dependent types":
+        # Discriminated unions: the idiomatic TS encoding.
+        circle = ts.TSObject(
+            (ts.TSProperty("kind", ts.TSLiteral("circle")), ts.TSProperty("size", ts.NUMBER))
+        )
+        square = ts.TSObject(
+            (ts.TSProperty("kind", ts.TSLiteral("square")), ts.TSProperty("size", ts.STRING))
+        )
+        t = ts.union((circle, square))
+        return _accepts_rejects(
+            lambda v: ts.check(v, t),
+            [{"kind": "circle", "size": 1}, {"kind": "square", "size": "big"}],
+            [{"kind": "circle", "size": "big"}],
+        )
+    if feature == "optional fields":
+        t = ts.TSObject((ts.TSProperty("a", ts.NUMBER, optional=True),))
+        return _accepts_rejects(lambda v: ts.check(v, t), [{}, {"a": 1}], [{"a": "x"}])
+    if feature == "closed records":
+        t = ts.TSObject((ts.TSProperty("a", ts.NUMBER),))
+        # Structural typing: extra members are accepted, so NOT closed.
+        return not ts.check({"a": 1, "b": 2}, t)
+    if feature == "int/float distinction":
+        return not ts.check(3.5, ts.NUMBER)  # number admits both → False
+    if feature == "numeric ranges":
+        return False
+    if feature == "string patterns":
+        return False
+    if feature == "enumerations":
+        t = ts.union((ts.TSLiteral("x"), ts.TSLiteral("y")))
+        return _accepts_rejects(lambda v: ts.check(v, t), ["x", "y"], ["z", 1])
+    return False
+
+
+def _probe_swift(feature: str) -> bool:
+    if feature == "union types":
+        return False  # infer_struct raises SwiftInferenceError on Int|Str
+    if feature in (
+        "negation types",
+        "co-occurrence constraints",
+        "mutual exclusion (xor)",
+        "value-dependent types",
+        "numeric ranges",
+        "string patterns",
+        "enumerations",
+    ):
+        return False
+    if feature == "optional fields":
+        t = sw.SwiftStruct.of("S", {"a": sw.SwiftOptional(sw.INT)})
+        return (
+            sw.can_decode(t, {})
+            and sw.can_decode(t, {"a": 1})
+            and not sw.can_decode(t, {"a": "x"})
+        )
+    if feature == "closed records":
+        t = sw.SwiftStruct.of("S", {"a": sw.INT})
+        return not sw.can_decode(t, {"a": 1, "b": 2})  # extras ignored → open
+    if feature == "int/float distinction":
+        t = sw.SwiftStruct.of("S", {"a": sw.INT})
+        return sw.can_decode(t, {"a": 3}) and not sw.can_decode(t, {"a": 3.5})
+    return False
+
+
+_PROBES: dict[str, Callable[[str], bool]] = {
+    "JSON Schema": _probe_jsonschema,
+    "Joi": _probe_joi,
+    "JSound": _probe_jsound,
+    "TypeScript": _probe_typescript,
+    "Swift": _probe_swift,
+}
+
+
+def feature_matrix() -> dict[str, dict[str, bool]]:
+    """Evaluate every probe: ``matrix[feature][system] -> bool``."""
+    return {
+        feature: {system: _PROBES[system](feature) for system in SYSTEMS}
+        for feature in FEATURES
+    }
+
+
+def render_matrix(matrix: dict[str, dict[str, bool]] | None = None) -> str:
+    """Format the matrix as the comparison table from the tutorial slides."""
+    if matrix is None:
+        matrix = feature_matrix()
+    width = max(len(f) for f in FEATURES) + 2
+    header = "feature".ljust(width) + " | " + " | ".join(s.center(11) for s in SYSTEMS)
+    rule = "-" * len(header)
+    lines = [header, rule]
+    for feature in FEATURES:
+        cells = " | ".join(
+            ("yes" if matrix[feature][s] else "no").center(11) for s in SYSTEMS
+        )
+        lines.append(feature.ljust(width) + " | " + cells)
+    return "\n".join(lines)

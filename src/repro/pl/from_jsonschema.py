@@ -1,0 +1,201 @@
+"""JSON Schema → TypeScript types (the `json-schema-to-typescript` bridge).
+
+The tutorial's Parts 2 and 3 are two views of the same discipline; real
+toolchains connect them with generators like ``json-schema-to-typescript``.
+This module translates the structural fragment of JSON Schema into the
+TypeScript model of :mod:`repro.pl.typescript`:
+
+- ``type`` (string or list) → primitives / unions;
+- ``enum`` / ``const`` → literal-type unions (non-scalar members widen);
+- ``properties`` + ``required`` → object types with optional members;
+- ``items`` (schema or tuple) → arrays / tuples;
+- ``anyOf`` / ``oneOf`` → unions;
+- ``allOf`` → a conservative intersection (object members merged,
+  otherwise the most specific branch);
+- local ``$ref`` (``#/definitions/…``) resolved with cycle cut-off to
+  ``unknown`` (TypeScript's own generators do the same for untyped
+  recursion unless asked to emit named interfaces).
+
+The guarantee tests pin down: for the supported fragment, a value accepted
+by the schema is accepted by the translated type (the translation may be
+*wider*, never narrower).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.jsonschema.refs import SchemaRegistry
+from repro.pl import typescript as ts
+
+_PRIMITIVES = {
+    "null": ts.NULL,
+    "boolean": ts.BOOLEAN,
+    "integer": ts.NUMBER,  # TS has one number type
+    "number": ts.NUMBER,
+    "string": ts.STRING,
+}
+
+
+class JsonSchemaTranslationError(SchemaError):
+    """Raised for schema constructs outside the supported fragment."""
+
+
+def jsonschema_to_typescript(
+    schema: Any, *, _document: Any = None, _depth: int = 0
+) -> ts.TSType:
+    """Translate a raw JSON Schema document into a TypeScript type."""
+    document = schema if _document is None else _document
+    if _depth > 32:
+        return ts.UNKNOWN  # recursion cut-off
+    if schema is True or schema == {}:
+        return ts.UNKNOWN
+    if schema is False:
+        return ts.NEVER
+    if not isinstance(schema, dict):
+        raise JsonSchemaTranslationError(f"not a schema: {schema!r}")
+
+    if "$ref" in schema:
+        registry = SchemaRegistry()
+        target, target_doc = registry.resolve(schema["$ref"], document)
+        return jsonschema_to_typescript(
+            target, _document=target_doc, _depth=_depth + 1
+        )
+
+    if "const" in schema:
+        return _literal_or_widened(schema["const"])
+    if "enum" in schema:
+        return ts.union(_literal_or_widened(v) for v in schema["enum"])
+
+    for combinator in ("anyOf", "oneOf"):
+        if combinator in schema:
+            return ts.union(
+                jsonschema_to_typescript(sub, _document=document, _depth=_depth + 1)
+                for sub in schema[combinator]
+            )
+    if "allOf" in schema:
+        branches = [
+            jsonschema_to_typescript(sub, _document=document, _depth=_depth + 1)
+            for sub in schema["allOf"]
+        ]
+        rest = {k: v for k, v in schema.items() if k != "allOf"}
+        if rest:
+            branches.append(
+                jsonschema_to_typescript(rest, _document=document, _depth=_depth + 1)
+            )
+        return _intersect_all(branches)
+
+    t = schema.get("type")
+    if isinstance(t, list):
+        return ts.union(
+            _translate_typed(schema, name, document, _depth) for name in t
+        )
+    if isinstance(t, str):
+        return _translate_typed(schema, t, document, _depth)
+
+    # No type keyword: infer from structural keywords, else unknown.
+    if "properties" in schema or "required" in schema:
+        return _translate_typed(schema, "object", document, _depth)
+    if "items" in schema:
+        return _translate_typed(schema, "array", document, _depth)
+    return ts.UNKNOWN
+
+
+def _literal_or_widened(value: Any) -> ts.TSType:
+    if isinstance(value, (bool, str)) or (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+    ):
+        return ts.TSLiteral(value)
+    if value is None:
+        return ts.NULL
+    if isinstance(value, list):
+        return ts.TSArray(ts.UNKNOWN)
+    return ts.TSObject(())  # object literal: widest structural object
+
+
+def _translate_typed(schema: dict, type_name: str, document: Any, depth: int) -> ts.TSType:
+    if type_name in _PRIMITIVES:
+        return _PRIMITIVES[type_name]
+    if type_name == "array":
+        items = schema.get("items")
+        if isinstance(items, list):
+            return ts.TSTuple(
+                tuple(
+                    jsonschema_to_typescript(sub, _document=document, _depth=depth + 1)
+                    for sub in items
+                )
+            )
+        if items is None:
+            return ts.TSArray(ts.UNKNOWN)
+        return ts.TSArray(
+            jsonschema_to_typescript(items, _document=document, _depth=depth + 1)
+        )
+    if type_name == "object":
+        properties = schema.get("properties", {})
+        required = set(schema.get("required", ()))
+        props = []
+        for name, sub in properties.items():
+            props.append(
+                ts.TSProperty(
+                    name,
+                    jsonschema_to_typescript(sub, _document=document, _depth=depth + 1),
+                    optional=name not in required,
+                )
+            )
+        # Required members without a property schema are unknown-typed.
+        for name in sorted(required - set(properties)):
+            props.append(ts.TSProperty(name, ts.UNKNOWN))
+        return ts.TSObject(tuple(props))
+    raise JsonSchemaTranslationError(f"unknown type name {type_name!r}")
+
+
+def _intersect_all(branches: list[ts.TSType]) -> ts.TSType:
+    result = branches[0]
+    for branch in branches[1:]:
+        result = _intersect(result, branch)
+    return result
+
+
+def _intersect(a: ts.TSType, b: ts.TSType) -> ts.TSType:
+    """A conservative intersection: exact where easy, widest-safe otherwise."""
+    if isinstance(a, ts.TSUnknown):
+        return b
+    if isinstance(b, ts.TSUnknown):
+        return a
+    if a == b:
+        return a
+    if isinstance(a, ts.TSObject) and isinstance(b, ts.TSObject):
+        amap, bmap = a.property_map(), b.property_map()
+        names = sorted(set(amap) | set(bmap))
+        props = []
+        for name in names:
+            pa, pb = amap.get(name), bmap.get(name)
+            if pa is not None and pb is not None:
+                props.append(
+                    ts.TSProperty(
+                        name,
+                        _intersect(pa.type, pb.type),
+                        optional=pa.optional and pb.optional,
+                    )
+                )
+            else:
+                present = pa if pa is not None else pb
+                assert present is not None
+                props.append(present)
+        return ts.TSObject(tuple(props))
+    # Literal ∩ its base primitive = the literal.
+    if isinstance(a, ts.TSLiteral) and ts.is_assignable(a, b):
+        return a
+    if isinstance(b, ts.TSLiteral) and ts.is_assignable(b, a):
+        return b
+    if ts.is_assignable(a, b):
+        return a
+    if ts.is_assignable(b, a):
+        return b
+    return ts.NEVER
+
+
+def declaration_from_jsonschema(schema: Any, name: str) -> str:
+    """Translate and emit a TypeScript declaration in one step."""
+    return ts.declaration(jsonschema_to_typescript(schema), name)

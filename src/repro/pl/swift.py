@@ -1,0 +1,368 @@
+"""A Swift-like ``Codable`` layer for JSON (tutorial Part 3).
+
+Swift consumes JSON through *typed decoding*: the developer declares
+``struct``s conforming to ``Codable`` and ``JSONDecoder`` either produces a
+fully typed value or throws a precise error (``typeMismatch``,
+``keyNotFound``, ``valueNotFound``).  The important contrasts with
+TypeScript that the tutorial draws:
+
+- Swift **distinguishes Int from Double** (decoding ``3.5`` into an ``Int``
+  field throws), where TypeScript has a single ``number``;
+- there are **no union types** — heterogeneity must be modelled with
+  ``enum`` + associated values by hand, so ``decode`` simply fails on
+  union-shaped data;
+- optionality is explicit via ``Optional<T>``; missing keys decode to
+  ``nil`` only for optional fields;
+- unknown JSON members are ignored (``JSONDecoder``'s default).
+
+``decode`` returns plain Python values normalised to the declared types;
+``render_struct``/``infer_struct`` generate Swift source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.errors import DecodeError
+from repro.jsonvalue.model import is_integer_value
+
+
+class SwiftDecodeError(DecodeError):
+    """A Swift ``DecodingError``: carries the coding path and the case."""
+
+    def __init__(self, case: str, coding_path: tuple, message: str) -> None:
+        path = ".".join(str(p) for p in coding_path) or "<root>"
+        super().__init__(f"{case} at {path}: {message}")
+        self.case = case
+        self.coding_path = coding_path
+
+
+class SwiftType:
+    """Base class for Swift type descriptors."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return render_type(self)
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftPrimitive(SwiftType):
+    """``String`` | ``Int`` | ``Double`` | ``Bool``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ("String", "Int", "Double", "Bool"):
+            raise ValueError(f"unknown Swift primitive {self.name!r}")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftOptional(SwiftType):
+    wrapped: SwiftType
+
+    def __repr__(self) -> str:
+        return f"{self.wrapped!r}?"
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftArray(SwiftType):
+    element: SwiftType
+
+    def __repr__(self) -> str:
+        return f"[{self.element!r}]"
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftDictionary(SwiftType):
+    """``[String: T]`` — JSON objects with uniform values."""
+
+    value: SwiftType
+
+    def __repr__(self) -> str:
+        return f"[String: {self.value!r}]"
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftField(SwiftType):
+    name: str
+    type: SwiftType
+
+    def __repr__(self) -> str:
+        return f"let {self.name}: {self.type!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class SwiftStruct(SwiftType):
+    name: str
+    fields: Tuple[SwiftField, ...]
+
+    def field_map(self) -> dict[str, SwiftField]:
+        return {f.name: f for f in self.fields}
+
+    @classmethod
+    def of(cls, name: str, mapping: dict[str, SwiftType]) -> "SwiftStruct":
+        return cls(name, tuple(SwiftField(k, v) for k, v in mapping.items()))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+STRING = SwiftPrimitive("String")
+INT = SwiftPrimitive("Int")
+DOUBLE = SwiftPrimitive("Double")
+BOOL = SwiftPrimitive("Bool")
+
+
+# ---------------------------------------------------------------------------
+# decoding
+# ---------------------------------------------------------------------------
+
+
+def decode(t: SwiftType, json_value: Any, _path: tuple = ()) -> Any:
+    """Decode ``json_value`` as ``t`` or raise :class:`SwiftDecodeError`.
+
+    Returns plain Python values: structs decode to dicts keyed by field
+    name (with every declared field present; optional misses become
+    ``None``), ``Double`` normalises ints to ``float``.
+    """
+    if isinstance(t, SwiftOptional):
+        if json_value is None:
+            return None
+        return decode(t.wrapped, json_value, _path)
+    if json_value is None:
+        raise SwiftDecodeError(
+            "valueNotFound", _path, f"expected {t} but found null"
+        )
+    if isinstance(t, SwiftPrimitive):
+        return _decode_primitive(t, json_value, _path)
+    if isinstance(t, SwiftArray):
+        if not isinstance(json_value, list):
+            raise SwiftDecodeError(
+                "typeMismatch", _path, f"expected an array of {t.element}, got {_describe(json_value)}"
+            )
+        return [decode(t.element, v, _path + (i,)) for i, v in enumerate(json_value)]
+    if isinstance(t, SwiftDictionary):
+        if not isinstance(json_value, dict):
+            raise SwiftDecodeError(
+                "typeMismatch", _path, f"expected a dictionary, got {_describe(json_value)}"
+            )
+        return {k: decode(t.value, v, _path + (k,)) for k, v in json_value.items()}
+    if isinstance(t, SwiftStruct):
+        if not isinstance(json_value, dict):
+            raise SwiftDecodeError(
+                "typeMismatch", _path, f"expected {t.name}, got {_describe(json_value)}"
+            )
+        out: dict[str, Any] = {}
+        for field in t.fields:
+            if field.name in json_value:
+                out[field.name] = decode(field.type, json_value[field.name], _path + (field.name,))
+            elif isinstance(field.type, SwiftOptional):
+                out[field.name] = None  # missing key decodes to nil
+            else:
+                raise SwiftDecodeError(
+                    "keyNotFound", _path, f"no value associated with key {field.name!r}"
+                )
+        return out  # unknown JSON members are ignored, as JSONDecoder does
+    # Extension point: descriptors (e.g. SwiftEnum) may decode themselves.
+    custom = getattr(t, "decode_value", None)
+    if custom is not None:
+        return custom(json_value, _path)
+    raise TypeError(f"unknown Swift type {t!r}")  # pragma: no cover
+
+
+def _decode_primitive(t: SwiftPrimitive, value: Any, path: tuple) -> Any:
+    if t.name == "Bool":
+        if isinstance(value, bool):
+            return value
+    elif t.name == "String":
+        if isinstance(value, str):
+            return value
+    elif t.name == "Int":
+        # Swift decodes 3.0 into Int? JSONDecoder rejects any Double-typed
+        # JSON number for Int unless it is exactly integral; NSNumber
+        # bridging accepts integral doubles, so we accept 3.0 but not 3.5.
+        if is_integer_value(value):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif t.name == "Double":
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+    raise SwiftDecodeError(
+        "typeMismatch", path, f"expected {t.name}, got {_describe(value)}"
+    )
+
+
+def _describe(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "a boolean"
+    if isinstance(value, int):
+        return "an integer"
+    if isinstance(value, float):
+        return "a double"
+    if isinstance(value, str):
+        return "a string"
+    if isinstance(value, list):
+        return "an array"
+    return "an object"
+
+
+def can_decode(t: SwiftType, json_value: Any) -> bool:
+    """Boolean convenience around :func:`decode`."""
+    try:
+        decode(t, json_value)
+    except SwiftDecodeError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# inference and code generation
+# ---------------------------------------------------------------------------
+
+
+class SwiftInferenceError(DecodeError):
+    """Raised when sample data needs union types Swift does not have."""
+
+
+def infer_struct(name: str, samples: Iterable[Any]) -> SwiftStruct:
+    """Infer a ``Codable`` struct from sample objects.
+
+    Fields missing in some samples become ``Optional``; ``Int`` samples
+    joined with ``Double`` samples widen to ``Double``; genuinely
+    heterogeneous fields (string vs number, record vs array) raise
+    :class:`SwiftInferenceError` — Swift has no unions, and surfacing that
+    limitation is the tutorial's comparison point.
+    """
+    samples = list(samples)
+    if not samples:
+        raise SwiftInferenceError("cannot infer a struct from zero samples")
+    for sample in samples:
+        if not isinstance(sample, dict):
+            raise SwiftInferenceError(f"expected object samples, got {_describe(sample)}")
+    names: list[str] = []
+    for sample in samples:
+        for key in sample:
+            if key not in names:
+                names.append(key)
+    fields = []
+    total = len(samples)
+    for key in names:
+        present = [s[key] for s in samples if key in s]
+        t = _join_all(f"{name}_{key}", present)
+        if len(present) < total:
+            t = t if isinstance(t, SwiftOptional) else SwiftOptional(t)
+        fields.append(SwiftField(key, t))
+    return SwiftStruct(name, tuple(fields))
+
+
+def _infer_value(name: str, value: Any) -> SwiftType:
+    if value is None:
+        # Type of a bare null is unknowable; Optional<String> is the
+        # conventional strawman and joins with anything nullable.
+        return SwiftOptional(STRING)
+    if isinstance(value, bool):
+        return BOOL
+    if is_integer_value(value):
+        return INT
+    if isinstance(value, float):
+        return DOUBLE
+    if isinstance(value, str):
+        return STRING
+    if isinstance(value, list):
+        if not value:
+            return SwiftArray(STRING)  # elementless arrays default to [String]
+        return SwiftArray(_join_all(name, value))
+    return infer_struct(_struct_case(name), [value])
+
+
+def _join_all(name: str, values: list) -> SwiftType:
+    structs = [v for v in values if isinstance(v, dict)]
+    if structs and len(structs) == sum(1 for v in values if v is not None):
+        t: SwiftType = infer_struct(_struct_case(name), structs)
+        if len(structs) < len(values):
+            t = SwiftOptional(t)
+        return t
+    joined: Optional[SwiftType] = None
+    for v in values:
+        t = _infer_value(name, v)
+        joined = t if joined is None else _join(joined, t)
+    assert joined is not None
+    return joined
+
+
+def _join(a: SwiftType, b: SwiftType) -> SwiftType:
+    if a == b:
+        return a
+    if isinstance(a, SwiftOptional) or isinstance(b, SwiftOptional):
+        inner_a = a.wrapped if isinstance(a, SwiftOptional) else a
+        inner_b = b.wrapped if isinstance(b, SwiftOptional) else b
+        return SwiftOptional(_join(inner_a, inner_b))
+    if {a, b} == {INT, DOUBLE}:
+        return DOUBLE
+    if isinstance(a, SwiftArray) and isinstance(b, SwiftArray):
+        return SwiftArray(_join(a.element, b.element))
+    raise SwiftInferenceError(
+        f"cannot represent {a} | {b}: Swift has no union types"
+    )
+
+
+def _struct_case(name: str) -> str:
+    cleaned = "".join(part.capitalize() for part in name.replace("-", "_").split("_") if part)
+    return cleaned or "Anonymous"
+
+
+def render_type(t: SwiftType) -> str:
+    """Render a Swift type expression."""
+    if isinstance(t, SwiftPrimitive):
+        return t.name
+    if isinstance(t, SwiftOptional):
+        return f"{render_type(t.wrapped)}?"
+    if isinstance(t, SwiftArray):
+        return f"[{render_type(t.element)}]"
+    if isinstance(t, SwiftDictionary):
+        return f"[String: {render_type(t.value)}]"
+    if isinstance(t, SwiftStruct):
+        return t.name
+    # Custom named descriptors (e.g. SwiftEnum) render by their name.
+    name = getattr(t, "name", None)
+    if isinstance(name, str):
+        return name
+    raise TypeError(f"unknown Swift type {t!r}")
+
+
+def render_struct(t: SwiftStruct) -> str:
+    """Emit Swift source for a struct and every nested struct it uses."""
+    nested: list[SwiftStruct] = []
+
+    def collect(inner: SwiftType) -> None:
+        if isinstance(inner, SwiftStruct):
+            nested.append(inner)
+            for f in inner.fields:
+                collect(f.type)
+        elif isinstance(inner, SwiftOptional):
+            collect(inner.wrapped)
+        elif isinstance(inner, SwiftArray):
+            collect(inner.element)
+        elif isinstance(inner, SwiftDictionary):
+            collect(inner.value)
+
+    for f in t.fields:
+        collect(f.type)
+
+    lines = [f"struct {t.name}: Codable {{"]
+    for f in t.fields:
+        lines.append(f"    let {f.name}: {render_type(f.type)}")
+    for inner in nested:
+        inner_src = render_struct(inner)
+        for line in inner_src.rstrip().splitlines():
+            lines.append("    " + line)
+    lines.append("}")
+    return "\n".join(lines) + "\n"

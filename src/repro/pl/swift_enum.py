@@ -1,0 +1,211 @@
+"""Swift enums with associated values: the manual union workaround.
+
+The tutorial's Part 3 point is that Swift has **no union types** — but
+Swift developers *do* decode heterogeneous JSON, by hand-writing an
+``enum`` with associated values whose ``init(from:)`` tries each case in
+turn::
+
+    enum Value: Codable {
+        case number(Double)
+        case text(String)
+        init(from decoder: Decoder) throws {
+            let c = try decoder.singleValueContainer()
+            if let v = try? c.decode(Double.self) { self = .number(v); return }
+            if let v = try? c.decode(String.self) { self = .text(v); return }
+            throw DecodingError.typeMismatch(...)
+        }
+    }
+
+This module reproduces that idiom as a first-class descriptor:
+
+- :class:`SwiftEnum` — ordered cases, each wrapping a payload type;
+  :func:`repro.pl.swift.decode` handles it with exactly the
+  try-each-case-in-order semantics above (first match wins);
+- :func:`algebra_to_swift_with_enums` — the
+  :func:`repro.pl.codegen.algebra_to_swift` bridge, except union types
+  become enums instead of failing;
+- :func:`render_enum` — emits the Swift source, including the hand-written
+  ``init(from:)``/``encode(to:)`` the workaround requires (which is itself
+  the tutorial's argument: the language makes you write this).
+
+Decoded enum values are tagged: ``{"$case": name, "value": payload}``, so
+round-trips and tests can see which case matched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.pl import swift as sw
+from repro.pl.swift import SwiftDecodeError
+
+
+@dataclass(frozen=True)
+class SwiftEnumCase:
+    name: str
+    payload: sw.SwiftType
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"case {self.name}({self.payload!r})"
+
+
+@dataclass(frozen=True)
+class SwiftEnum(sw.SwiftType):
+    """A Swift enum with associated values (ordered, first match wins)."""
+
+    name: str
+    cases: Tuple[SwiftEnumCase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise ValueError("a Swift enum needs at least one case")
+        names = [c.name for c in self.cases]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate enum case names")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def decode_value(self, json_value: Any, path: tuple = ()) -> dict[str, Any]:
+        """Hook used by :func:`repro.pl.swift.decode`."""
+        return decode_enum(self, json_value, path)
+
+
+def decode_enum(enum: SwiftEnum, json_value: Any, path: tuple = ()) -> dict[str, Any]:
+    """Try each case in order; return the tagged value of the first match."""
+    for case in enum.cases:
+        try:
+            payload = sw.decode(case.payload, json_value, path)
+        except SwiftDecodeError:
+            continue
+        return {"$case": case.name, "value": payload}
+    raise SwiftDecodeError(
+        "typeMismatch",
+        path,
+        f"no case of {enum.name} decodes the value",
+    )
+
+
+def can_decode_enum(enum: SwiftEnum, json_value: Any) -> bool:
+    try:
+        decode_enum(enum, json_value)
+    except SwiftDecodeError:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# algebra bridge: unions become enums
+# ---------------------------------------------------------------------------
+
+
+def algebra_to_swift_with_enums(t: "Type", name: str = "Root") -> sw.SwiftType:  # noqa: F821
+    """Like ``algebra_to_swift`` but union types become :class:`SwiftEnum`.
+
+    The Swift-representable union shapes still take their idiomatic forms
+    (``T + Null`` → ``T?``, ``Int + Flt`` → ``Double``); anything else gets
+    an enum with one case per member, named after the member's shape.
+    """
+    from repro.pl.codegen import _camel
+    from repro.types.terms import ArrType, AtomType, RecType, UnionType
+
+    if isinstance(t, UnionType):
+        members = list(t.members)
+        null_members = [m for m in members if isinstance(m, AtomType) and m.tag == "null"]
+        rest = [m for m in members if m not in null_members]
+        if null_members and len(rest) == 1:
+            return sw.SwiftOptional(algebra_to_swift_with_enums(rest[0], name))
+        tags = {m.tag for m in members if isinstance(m, AtomType)}
+        if tags == {"int", "flt"} and len(members) == 2:
+            return sw.DOUBLE
+        cases = []
+        for member in members:
+            case_name = _case_name_for(member)
+            payload = algebra_to_swift_with_enums(member, _camel(name, case_name))
+            cases.append(SwiftEnumCase(case_name, payload))
+        # Deduplicate case names (e.g. two record variants) by suffixing.
+        seen: dict[str, int] = {}
+        unique_cases = []
+        for case in cases:
+            count = seen.get(case.name, 0)
+            seen[case.name] = count + 1
+            unique_cases.append(
+                case if count == 0 else SwiftEnumCase(f"{case.name}{count + 1}", case.payload)
+            )
+        return SwiftEnum(_camel(name), tuple(unique_cases))
+    if isinstance(t, RecType):
+        fields = []
+        for f in t.fields:
+            ftype = algebra_to_swift_with_enums(f.type, _camel(name, f.name))
+            if not f.required and not isinstance(ftype, sw.SwiftOptional):
+                ftype = sw.SwiftOptional(ftype)
+            fields.append(sw.SwiftField(f.name, ftype))
+        return sw.SwiftStruct(_camel(name), tuple(fields))
+    if isinstance(t, ArrType):
+        from repro.types.terms import BotType
+
+        if isinstance(t.item, BotType):
+            return sw.SwiftArray(sw.STRING)
+        return sw.SwiftArray(algebra_to_swift_with_enums(t.item, _camel(name, "element")))
+    from repro.pl.codegen import algebra_to_swift as plain_bridge
+
+    return plain_bridge(t, name)
+
+
+def _case_name_for(member: "Type") -> str:  # noqa: F821
+    from repro.types.terms import ArrType, AtomType, RecType
+
+    if isinstance(member, AtomType):
+        return {
+            "null": "none",
+            "bool": "flag",
+            "int": "integer",
+            "flt": "floating",
+            "num": "number",
+            "str": "text",
+        }[member.tag]
+    if isinstance(member, ArrType):
+        return "list"
+    if isinstance(member, RecType):
+        return "record"
+    return "value"
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+
+def render_enum(enum: SwiftEnum) -> str:
+    """Emit the Swift source for the enum, with the manual Codable dance."""
+    lines = [f"enum {enum.name}: Codable {{"]
+    for case in enum.cases:
+        lines.append(f"    case {case.name}({sw.render_type(case.payload)})")
+    lines.append("")
+    lines.append("    init(from decoder: Decoder) throws {")
+    lines.append("        let container = try decoder.singleValueContainer()")
+    for case in enum.cases:
+        payload = sw.render_type(case.payload)
+        lines.append(
+            f"        if let value = try? container.decode({payload}.self) "
+            f"{{ self = .{case.name}(value); return }}"
+        )
+    lines.append(
+        "        throw DecodingError.typeMismatch("
+        f"{enum.name}.self, .init(codingPath: decoder.codingPath, "
+        'debugDescription: "no case matched"))'
+    )
+    lines.append("    }")
+    lines.append("")
+    lines.append("    func encode(to encoder: Encoder) throws {")
+    lines.append("        var container = encoder.singleValueContainer()")
+    lines.append("        switch self {")
+    for case in enum.cases:
+        lines.append(
+            f"        case .{case.name}(let value): try container.encode(value)"
+        )
+    lines.append("        }")
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,447 @@
+"""A TypeScript-like structural type system for JSON (tutorial Part 3).
+
+TypeScript treats JSON as a first-class citizen: object literals are typed
+structurally, union types are ordinary types, and literal types refine
+primitives.  This module models the fragment relevant to JSON data:
+
+- primitives ``number`` ``string`` ``boolean`` ``null`` ``undefined``
+  (note: **one** ``number`` type — TypeScript does not split int/float,
+  unlike Swift or the inference algebra; the feature matrix highlights this);
+- literal types (``"circle"``, ``42``, ``true``);
+- arrays ``T[]`` and tuples ``[T1, T2]``;
+- structural object types with optional members ``{x: number, y?: string}``;
+- unions ``A | B``; ``any``, ``unknown``, ``never``.
+
+Operations: :func:`check` (does a JSON value inhabit a type),
+:func:`is_assignable` (TS assignability), :func:`infer_type` /
+:func:`infer_from_samples` (the type a developer would get from pasting a
+sample into an editor), and :func:`declaration` (emit TypeScript source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.jsonvalue.model import JsonKind, kind_of
+
+
+class TSType:
+    """Base class for TypeScript-like types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:
+        return render_type(self)
+
+
+@dataclass(frozen=True, repr=False)
+class TSAny(TSType):
+    def __repr__(self) -> str:
+        return "any"
+
+
+@dataclass(frozen=True, repr=False)
+class TSUnknown(TSType):
+    def __repr__(self) -> str:
+        return "unknown"
+
+
+@dataclass(frozen=True, repr=False)
+class TSNever(TSType):
+    def __repr__(self) -> str:
+        return "never"
+
+
+@dataclass(frozen=True, repr=False)
+class TSPrimitive(TSType):
+    """``number`` | ``string`` | ``boolean`` | ``null`` | ``undefined``."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in ("number", "string", "boolean", "null", "undefined"):
+            raise ValueError(f"unknown primitive {self.name!r}")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, repr=False)
+class TSLiteral(TSType):
+    """A literal type: a specific string, number, or boolean."""
+
+    value: object
+
+    @property
+    def base(self) -> TSPrimitive:
+        if isinstance(self.value, bool):
+            return BOOLEAN
+        if isinstance(self.value, (int, float)):
+            return NUMBER
+        if isinstance(self.value, str):
+            return STRING
+        raise TypeError(f"invalid literal {self.value!r}")
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+@dataclass(frozen=True, repr=False)
+class TSArray(TSType):
+    element: TSType
+
+    def __repr__(self) -> str:
+        return f"Array<{self.element!r}>"
+
+
+@dataclass(frozen=True, repr=False)
+class TSTuple(TSType):
+    elements: Tuple[TSType, ...]
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(e) for e in self.elements) + "]"
+
+
+@dataclass(frozen=True, repr=False)
+class TSProperty(TSType):
+    name: str
+    type: TSType
+    optional: bool = False
+
+    def __repr__(self) -> str:
+        mark = "?" if self.optional else ""
+        return f"{self.name}{mark}: {self.type!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class TSObject(TSType):
+    """A structural object type (an anonymous interface).
+
+    TypeScript object types are *open* for assignability (width subtyping)
+    but excess-property-checked for fresh literals; :func:`check` follows
+    the permissive runtime view: extra members are allowed.
+    """
+
+    properties: Tuple[TSProperty, ...]
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.properties]
+        if names != sorted(names):
+            object.__setattr__(
+                self, "properties", tuple(sorted(self.properties, key=lambda p: p.name))
+            )
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate property names")
+
+    def property_map(self) -> dict[str, TSProperty]:
+        return {p.name: p for p in self.properties}
+
+    @classmethod
+    def of(cls, mapping: dict[str, TSType], optional: frozenset[str] = frozenset()) -> "TSObject":
+        return cls(
+            tuple(
+                TSProperty(name, t, optional=name in optional)
+                for name, t in mapping.items()
+            )
+        )
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(p) for p in self.properties) + "}"
+
+
+@dataclass(frozen=True, repr=False)
+class TSUnion(TSType):
+    members: Tuple[TSType, ...]
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(m) for m in self.members)
+
+
+ANY = TSAny()
+UNKNOWN = TSUnknown()
+NEVER = TSNever()
+NUMBER = TSPrimitive("number")
+STRING = TSPrimitive("string")
+BOOLEAN = TSPrimitive("boolean")
+NULL = TSPrimitive("null")
+UNDEFINED = TSPrimitive("undefined")
+
+
+def union(members: Iterable[TSType]) -> TSType:
+    """Canonical union: flattened, deduplicated, literal-absorbing.
+
+    A literal member is absorbed by its base primitive if that primitive is
+    also in the union (``"a" | string`` = ``string``), matching TypeScript's
+    subtype reduction.
+    """
+    flat: list[TSType] = []
+    seen: set[TSType] = set()
+
+    def add(t: TSType) -> None:
+        if isinstance(t, TSUnion):
+            for m in t.members:
+                add(m)
+        elif isinstance(t, TSNever):
+            return
+        elif t not in seen:
+            seen.add(t)
+            flat.append(t)
+
+    for member in members:
+        add(member)
+    if any(isinstance(t, TSAny) for t in flat):
+        return ANY
+    if any(isinstance(t, TSUnknown) for t in flat):
+        return UNKNOWN
+    primitives = {t.name for t in flat if isinstance(t, TSPrimitive)}
+    flat = [
+        t
+        for t in flat
+        if not (isinstance(t, TSLiteral) and t.base.name in primitives)
+    ]
+    if not flat:
+        return NEVER
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=repr)
+    return TSUnion(tuple(flat))
+
+
+# ---------------------------------------------------------------------------
+# runtime conformance
+# ---------------------------------------------------------------------------
+
+
+def check(value: Any, t: TSType) -> bool:
+    """Does the JSON ``value`` inhabit ``t``?  (``undefined`` never matches a
+    present value — it models *absence* of an object member.)"""
+    if isinstance(t, (TSAny, TSUnknown)):
+        return True
+    if isinstance(t, TSNever):
+        return False
+    if isinstance(t, TSUnion):
+        return any(check(value, m) for m in t.members)
+    if isinstance(t, TSLiteral):
+        lit = t.value
+        if isinstance(lit, bool) or isinstance(value, bool):
+            return value is lit
+        if isinstance(lit, (int, float)):
+            # Number literals compare mathematically, as JS numbers do.
+            return isinstance(value, (int, float)) and value == lit
+        return isinstance(value, str) and value == lit
+    if isinstance(t, TSPrimitive):
+        kind = kind_of(value)
+        if t.name == "null":
+            return kind is JsonKind.NULL
+        if t.name == "boolean":
+            return kind is JsonKind.BOOLEAN
+        if t.name == "number":
+            return kind is JsonKind.NUMBER
+        if t.name == "string":
+            return kind is JsonKind.STRING
+        return False  # undefined: a present value is never undefined
+    if isinstance(t, TSArray):
+        return isinstance(value, list) and all(check(v, t.element) for v in value)
+    if isinstance(t, TSTuple):
+        return (
+            isinstance(value, list)
+            and len(value) == len(t.elements)
+            and all(check(v, e) for v, e in zip(value, t.elements))
+        )
+    if isinstance(t, TSObject):
+        if not isinstance(value, dict):
+            return False
+        for prop in t.properties:
+            if prop.name in value:
+                if not check(value[prop.name], prop.type):
+                    return False
+            elif not prop.optional and not _allows_undefined(prop.type):
+                return False
+        return True  # structural: extra members are fine
+    raise TypeError(f"unknown TS type {t!r}")
+
+
+def _allows_undefined(t: TSType) -> bool:
+    if isinstance(t, TSPrimitive) and t.name == "undefined":
+        return True
+    if isinstance(t, TSUnion):
+        return any(_allows_undefined(m) for m in t.members)
+    return isinstance(t, (TSAny, TSUnknown))
+
+
+# ---------------------------------------------------------------------------
+# assignability
+# ---------------------------------------------------------------------------
+
+
+def is_assignable(source: TSType, target: TSType) -> bool:
+    """TypeScript assignability (``source`` usable where ``target`` expected).
+
+    Implements the structural rules for the JSON fragment: ``any`` is
+    assignable both ways, ``unknown`` is a top type, ``never`` a bottom
+    type, literals are assignable to their base primitive, arrays are
+    covariant, objects use width+depth subtyping with optionality.
+    """
+    if source == target:
+        return True
+    if isinstance(source, TSAny) or isinstance(target, TSAny):
+        return True
+    if isinstance(target, TSUnknown):
+        return True
+    if isinstance(source, TSNever):
+        return True
+    if isinstance(source, TSUnknown) or isinstance(target, TSNever):
+        return False
+    if isinstance(source, TSUnion):
+        return all(is_assignable(m, target) for m in source.members)
+    if isinstance(target, TSUnion):
+        return any(is_assignable(source, m) for m in target.members)
+    if isinstance(source, TSLiteral):
+        if isinstance(target, TSLiteral):
+            return source == target
+        return is_assignable(source.base, target)
+    if isinstance(source, TSPrimitive) and isinstance(target, TSPrimitive):
+        return source.name == target.name
+    if isinstance(source, TSTuple):
+        if isinstance(target, TSTuple):
+            return len(source.elements) == len(target.elements) and all(
+                is_assignable(s, t) for s, t in zip(source.elements, target.elements)
+            )
+        if isinstance(target, TSArray):
+            return all(is_assignable(e, target.element) for e in source.elements)
+        return False
+    if isinstance(source, TSArray) and isinstance(target, TSArray):
+        return is_assignable(source.element, target.element)
+    if isinstance(source, TSObject) and isinstance(target, TSObject):
+        source_props = source.property_map()
+        for prop in target.properties:
+            sp = source_props.get(prop.name)
+            if sp is None:
+                if prop.optional or _allows_undefined(prop.type):
+                    continue
+                return False
+            if sp.optional and not prop.optional:
+                return False
+            if not is_assignable(sp.type, prop.type):
+                return False
+        return True  # width subtyping: extra source members are fine
+    return False
+
+
+# ---------------------------------------------------------------------------
+# inference from samples
+# ---------------------------------------------------------------------------
+
+
+def infer_type(value: Any, *, widen_literals: bool = True) -> TSType:
+    """The type TypeScript would infer for a JSON sample.
+
+    With ``widen_literals`` (default) scalars infer to their primitive
+    (``number``), as ``let``-bound values do; without it they infer to
+    literal types, as ``const``-bound values do.
+    """
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return NULL
+    if kind in (JsonKind.BOOLEAN, JsonKind.NUMBER, JsonKind.STRING):
+        if widen_literals:
+            return {
+                JsonKind.BOOLEAN: BOOLEAN,
+                JsonKind.NUMBER: NUMBER,
+                JsonKind.STRING: STRING,
+            }[kind]
+        return TSLiteral(value)
+    if kind is JsonKind.ARRAY:
+        if not value:
+            return TSArray(NEVER)
+        return TSArray(union(infer_type(v, widen_literals=widen_literals) for v in value))
+    return TSObject.of(
+        {name: infer_type(v, widen_literals=widen_literals) for name, v in value.items()}
+    )
+
+
+def infer_from_samples(values: Iterable[Any], *, widen_literals: bool = True) -> TSType:
+    """Infer a common type for several samples: object types with the same
+    property sets merge member-wise, everything else joins by union."""
+    inferred = [infer_type(v, widen_literals=widen_literals) for v in values]
+    merged: list[TSType] = []
+    for t in inferred:
+        for i, existing in enumerate(merged):
+            combined = _try_merge_objects(existing, t)
+            if combined is not None:
+                merged[i] = combined
+                break
+        else:
+            merged.append(t)
+    return union(merged)
+
+
+def _try_merge_objects(a: TSType, b: TSType) -> Optional[TSType]:
+    if not (isinstance(a, TSObject) and isinstance(b, TSObject)):
+        return None
+    names = {p.name for p in a.properties} | {p.name for p in b.properties}
+    amap, bmap = a.property_map(), b.property_map()
+    props = []
+    for name in sorted(names):
+        pa, pb = amap.get(name), bmap.get(name)
+        if pa is not None and pb is not None:
+            props.append(
+                TSProperty(name, union((pa.type, pb.type)), pa.optional or pb.optional)
+            )
+        else:
+            present = pa if pa is not None else pb
+            assert present is not None
+            props.append(TSProperty(name, present.type, optional=True))
+    return TSObject(tuple(props))
+
+
+# ---------------------------------------------------------------------------
+# code generation
+# ---------------------------------------------------------------------------
+
+
+def render_type(t: TSType, *, indent: int = 0) -> str:
+    """Render a type expression as TypeScript source."""
+    if isinstance(t, TSAny):
+        return "any"
+    if isinstance(t, TSUnknown):
+        return "unknown"
+    if isinstance(t, TSNever):
+        return "never"
+    if isinstance(t, TSPrimitive):
+        return t.name
+    if isinstance(t, TSLiteral):
+        return repr(t)
+    if isinstance(t, TSArray):
+        inner = render_type(t.element, indent=indent)
+        if isinstance(t.element, (TSUnion,)):
+            return f"({inner})[]"
+        return f"{inner}[]"
+    if isinstance(t, TSTuple):
+        return "[" + ", ".join(render_type(e, indent=indent) for e in t.elements) + "]"
+    if isinstance(t, TSObject):
+        if not t.properties:
+            return "{}"
+        pad = "  " * (indent + 1)
+        lines = []
+        for p in t.properties:
+            mark = "?" if p.optional else ""
+            lines.append(f"{pad}{p.name}{mark}: {render_type(p.type, indent=indent + 1)};")
+        return "{\n" + "\n".join(lines) + "\n" + "  " * indent + "}"
+    if isinstance(t, TSUnion):
+        return " | ".join(render_type(m, indent=indent) for m in t.members)
+    raise TypeError(f"unknown TS type {t!r}")
+
+
+def declaration(t: TSType, name: str) -> str:
+    """Emit a TypeScript declaration: ``interface`` for object types,
+    ``type`` alias otherwise."""
+    if isinstance(t, TSObject):
+        body = render_type(t)
+        return f"interface {name} {body}\n"
+    return f"type {name} = {render_type(t)};\n"

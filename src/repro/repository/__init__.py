@@ -1,0 +1,6 @@
+"""Skeleton-based schema repository (Wang et al., VLDB '15) — see
+:mod:`repro.repository.store`."""
+
+from repro.repository.store import RegisteredCollection, SchemaRepository
+
+__all__ = ["RegisteredCollection", "SchemaRepository"]

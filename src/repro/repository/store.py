@@ -1,0 +1,170 @@
+"""Schema repository for JSON document stores (Wang et al., VLDB '15).
+
+The skeleton paper's system is a *repository*: skeletons of many
+collections are stored centrally so that applications can (a) discover
+what structures a collection contains, (b) answer **containment queries**
+("which collections have documents with path ``user.geo.lat``?"), and
+(c) fetch a compact summary instead of scanning data.
+
+:class:`SchemaRepository` offers exactly that surface:
+
+- :meth:`register` mines a collection's structures and stores its skeleton
+  of order *k* plus the parametric type of each structure group;
+- :meth:`find_collections_with_path` — reverse path index across
+  collections;
+- :meth:`containing_structures` — structure-containment queries (sub-set
+  on generalized path sets, the eSiBu-tree containment test);
+- :meth:`classify` — route a new document to the structure group of a
+  registered collection (or report it as unknown — skeletons may miss
+  structures, faithfully to the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.errors import InferenceError
+from repro.inference.skeleton import (
+    PathKey,
+    Skeleton,
+    build_skeleton,
+    structure_of,
+)
+from repro.types import Equivalence, Type, merge_all, type_of
+
+
+@dataclass
+class RegisteredCollection:
+    """Repository entry for one collection."""
+
+    name: str
+    skeleton: Skeleton
+    document_count: int
+    # structure paths -> inferred type of the documents in that group
+    group_types: dict
+
+    def structure_count(self) -> int:
+        return self.skeleton.order
+
+
+class SchemaRepository:
+    """An in-memory multi-collection schema repository."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, RegisteredCollection] = {}
+        # reverse index: generalized path -> set of collection names
+        self._path_index: dict[PathKey, set[str]] = {}
+
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        documents: Iterable[Any],
+        *,
+        k: int = 10,
+        equivalence: Equivalence = Equivalence.KIND,
+    ) -> RegisteredCollection:
+        """Mine and store the skeleton of ``documents`` under ``name``."""
+        if name in self._collections:
+            raise InferenceError(f"collection {name!r} is already registered")
+        docs = list(documents)
+        skeleton = build_skeleton(docs, k)
+
+        groups: dict[frozenset, list] = {}
+        skeleton_structures = {s.paths for s in skeleton.structures}
+        for doc in docs:
+            s = structure_of(doc)
+            if s in skeleton_structures:
+                groups.setdefault(s, []).append(doc)
+        group_types = {
+            paths: merge_all((type_of(d) for d in members), equivalence)
+            for paths, members in groups.items()
+        }
+
+        entry = RegisteredCollection(
+            name=name,
+            skeleton=skeleton,
+            document_count=len(docs),
+            group_types=group_types,
+        )
+        self._collections[name] = entry
+        for path in skeleton.all_paths():
+            self._path_index.setdefault(path, set()).add(name)
+        return entry
+
+    def collection(self, name: str) -> RegisteredCollection:
+        if name not in self._collections:
+            raise InferenceError(f"unknown collection {name!r}")
+        return self._collections[name]
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def find_collections_with_path(self, path: PathKey | str) -> list[str]:
+        """Which registered collections exhibit this leaf path?"""
+        key = _normalize_path(path)
+        return sorted(self._path_index.get(key, ()))
+
+    def containing_structures(
+        self, partial: Iterable[PathKey | str], *, within: Optional[str] = None
+    ) -> list[tuple[str, frozenset]]:
+        """Structures whose path sets contain every path in ``partial``.
+
+        Returns ``(collection, structure)`` pairs; ``within`` restricts to
+        one collection.
+        """
+        wanted = frozenset(_normalize_path(p) for p in partial)
+        names = [within] if within is not None else self.collections()
+        out = []
+        for name in names:
+            entry = self.collection(name)
+            for structure in entry.skeleton.structures:
+                if wanted <= structure.paths:
+                    out.append((name, structure.paths))
+        return out
+
+    def classify(self, name: str, document: Any) -> Optional[Type]:
+        """The inferred type of the document's structure group, if known.
+
+        Returns ``None`` for structures the skeleton missed — a skeleton
+        "may totally miss information about paths that can be traversed in
+        some of the JSON objects".
+        """
+        entry = self.collection(name)
+        return entry.group_types.get(structure_of(document))
+
+    def summary(self) -> list[dict[str, Any]]:
+        """A compact human-readable overview of the repository."""
+        out = []
+        for name in self.collections():
+            entry = self._collections[name]
+            out.append(
+                {
+                    "collection": name,
+                    "documents": entry.document_count,
+                    "structures": entry.structure_count(),
+                    "top_structure_support": (
+                        entry.skeleton.structures[0].count
+                        if entry.skeleton.structures
+                        else 0
+                    ),
+                }
+            )
+        return out
+
+
+def _normalize_path(path: PathKey | str) -> PathKey:
+    if isinstance(path, tuple):
+        return path
+    # Accept dotted syntax with [*] segments: "user.tags.[*]" or "user.tags[*]".
+    parts: list[str] = []
+    for raw in path.replace("[*]", ".[*]").split("."):
+        if raw:
+            parts.append(raw)
+    return tuple(parts)

@@ -1,0 +1,44 @@
+"""Schema-aware data translation (tutorial §5).
+
+- :mod:`repro.translation.avro` — Avro-like schemas and binary row codec;
+- :mod:`repro.translation.parquet` — Parquet-like columnar shredding with
+  definition/repetition levels (Dremel);
+- :mod:`repro.translation.translate` — schema-aware vs schema-oblivious
+  translation pipelines (experiment E9).
+"""
+
+from repro.translation import avro
+from repro.translation.parquet import (
+    Column,
+    ColumnStore,
+    PLeaf,
+    PList,
+    PRecord,
+    assemble,
+    compile_schema,
+    shred,
+)
+from repro.translation.translate import (
+    ObliviousReport,
+    TranslationReport,
+    resolve_type,
+    schema_aware_translate,
+    schema_oblivious_translate,
+)
+
+__all__ = [
+    "avro",
+    "Column",
+    "ColumnStore",
+    "PLeaf",
+    "PList",
+    "PRecord",
+    "assemble",
+    "compile_schema",
+    "shred",
+    "ObliviousReport",
+    "TranslationReport",
+    "resolve_type",
+    "schema_aware_translate",
+    "schema_oblivious_translate",
+]

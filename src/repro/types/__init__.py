@@ -1,0 +1,81 @@
+"""The internal JSON type algebra.
+
+Terms (:mod:`repro.types.terms`), canonicalization
+(:mod:`repro.types.simplify`), value typing (:mod:`repro.types.build`),
+parametric merging (:mod:`repro.types.merge`), subtyping and semantics
+(:mod:`repro.types.subtype`), concrete syntax (:mod:`repro.types.printer`)
+and JSON Schema export (:mod:`repro.types.to_jsonschema`).
+"""
+
+from repro.types.terms import (
+    ANY,
+    ATOMIC_TAGS,
+    AnyType,
+    ArrType,
+    AtomType,
+    BOOL,
+    BOT,
+    BotType,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    Type,
+    UnionType,
+    walk,
+)
+from repro.types.simplify import simplify, union, union2
+from repro.types.build import type_of
+from repro.types.merge import Equivalence, merge, merge_all, reduce_type
+from repro.types.subtype import is_equivalent, is_subtype, matches
+from repro.types.printer import TypeSyntaxError, parse_type, type_to_string
+from repro.types.to_jsonschema import type_to_jsonschema
+from repro.types.generate import (
+    TypeWitnessGenerator,
+    UninhabitedTypeError,
+    generate_witness,
+    generate_witnesses,
+)
+
+__all__ = [
+    "ANY",
+    "ATOMIC_TAGS",
+    "AnyType",
+    "ArrType",
+    "AtomType",
+    "BOOL",
+    "BOT",
+    "BotType",
+    "FLT",
+    "FieldType",
+    "INT",
+    "NULL",
+    "NUM",
+    "RecType",
+    "STR",
+    "Type",
+    "UnionType",
+    "walk",
+    "simplify",
+    "union",
+    "union2",
+    "type_of",
+    "Equivalence",
+    "merge",
+    "merge_all",
+    "reduce_type",
+    "is_equivalent",
+    "is_subtype",
+    "matches",
+    "TypeSyntaxError",
+    "parse_type",
+    "type_to_string",
+    "type_to_jsonschema",
+    "TypeWitnessGenerator",
+    "UninhabitedTypeError",
+    "generate_witness",
+    "generate_witnesses",
+]

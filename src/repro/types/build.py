@@ -1,0 +1,54 @@
+"""Mapping JSON values to their exact types (the *map* phase of inference).
+
+``type_of`` computes the most precise type of a single value in this
+algebra: records list every present field as required; arrays abstract
+their elements by the union of the element types (the abstraction step the
+EDBT '17 paper applies at arrays, since arrays are homogeneous-ish in
+practice and element positions are not tracked).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+from repro.types.simplify import union
+from repro.types.terms import (
+    ArrType,
+    BOOL,
+    BOT,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    RecType,
+    STR,
+    Type,
+)
+
+
+def type_of(value: Any) -> Type:
+    """Return the exact type of ``value``.
+
+    - scalars map to their atom (ints to ``Int``, floats to ``Flt``);
+    - objects map to a record with every field required;
+    - arrays map to ``[T1 + ... + Tn]`` over the element types, with the
+      empty array mapping to ``[Bot]``.
+    """
+    kind = kind_of(value)
+    if kind is JsonKind.NULL:
+        return NULL
+    if kind is JsonKind.BOOLEAN:
+        return BOOL
+    if kind is JsonKind.NUMBER:
+        return INT if is_integer_value(value) else FLT
+    if kind is JsonKind.STRING:
+        return STR
+    if kind is JsonKind.ARRAY:
+        if not value:
+            return ArrType(BOT)
+        return ArrType(union(type_of(v) for v in value))
+    # Object.
+    return RecType(
+        tuple(FieldType(name, type_of(v), required=True) for name, v in value.items())
+    )

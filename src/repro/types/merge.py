@@ -1,0 +1,146 @@
+"""Parametric type merging — the *reduce* phase of schema inference.
+
+Following Baazizi et al. (EDBT '17, VLDB J '19), merging is parameterised
+by an **equivalence** that decides which union members get *fused* together
+rather than kept side by side:
+
+- :attr:`Equivalence.KIND` (K): types with the same top-level kind fuse.
+  All records collapse into one record (field-wise, with optionality
+  marks), all arrays into one array, ``Int``/``Flt`` into ``Num``.
+  Most compact, least precise.
+- :attr:`Equivalence.LABEL` (L): records fuse only when they have the
+  **same label set**, so structurally different variants stay separate
+  union members and field correlations survive.  Atoms fuse only when
+  identical.  More precise, larger.
+
+``merge_all`` folds any number of types in one partition pass; the result
+is identical to any sequence of binary :func:`merge` calls (associativity
+and commutativity are enforced by the property tests).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Iterable
+
+from repro.types.simplify import simplify, union
+from repro.types.terms import (
+    ArrType,
+    AtomType,
+    FieldType,
+    NUM,
+    RecType,
+    Type,
+    UnionType,
+)
+
+
+class Equivalence(enum.Enum):
+    """The fusion parameter of parametric inference."""
+
+    KIND = "kind"
+    LABEL = "label"
+
+
+def merge(left: Type, right: Type, equivalence: Equivalence = Equivalence.KIND) -> Type:
+    """Merge two types under the given equivalence."""
+    return merge_all((left, right), equivalence)
+
+
+def reduce_type(t: Type, equivalence: Equivalence = Equivalence.KIND) -> Type:
+    """Normalize ``t`` under the equivalence (the paper's *reduction*).
+
+    Fuses equivalent union members at every depth.  ``reduce_type`` is
+    idempotent, and ``merge(t, t, eq) == reduce_type(t, eq)``.
+    """
+    return merge_all((t,), equivalence)
+
+
+def merge_all(types: Iterable[Type], equivalence: Equivalence = Equivalence.KIND) -> Type:
+    """Merge any number of types under the given equivalence.
+
+    The inputs are simplified, their union members partitioned into
+    equivalence classes, each class fused, and the fused representatives
+    unioned back together.
+    """
+    members: list[Type] = []
+    for t in types:
+        t = simplify(t)
+        if isinstance(t, UnionType):
+            members.extend(t.members)
+        else:
+            members.append(t)
+
+    classes: dict[Hashable, list[Type]] = {}
+    order: list[Hashable] = []
+    for member in members:
+        key = _class_key(member, equivalence)
+        if key not in classes:
+            classes[key] = []
+            order.append(key)
+        classes[key].append(member)
+
+    fused = [_fuse_class(classes[key], equivalence) for key in order]
+    return union(fused)
+
+
+def _class_key(t: Type, equivalence: Equivalence) -> Hashable:
+    """Key under which union members are grouped for fusion."""
+    if isinstance(t, RecType):
+        if equivalence is Equivalence.KIND:
+            return ("rec",)
+        return ("rec", t.labels())
+    if isinstance(t, ArrType):
+        return ("arr",)
+    if isinstance(t, AtomType):
+        if equivalence is Equivalence.KIND:
+            return ("atom", t.kind)
+        return ("atom", t.tag)
+    # Bot/Any never appear here (union() removes/absorbs them), but give
+    # them stable keys for safety.
+    return (type(t).__name__,)
+
+
+def _fuse_class(members: list[Type], equivalence: Equivalence) -> Type:
+    # Containers are rebuilt even for singleton classes so that nested
+    # unions get reduced too — this is what makes reduce_type a normal form
+    # (merge(t, t) == reduce_type(t)).
+    first = members[0]
+    if isinstance(first, AtomType):
+        return _fuse_atoms(members)
+    if isinstance(first, ArrType):
+        item = merge_all((m.item for m in members), equivalence)  # type: ignore[attr-defined]
+        return ArrType(item)
+    if isinstance(first, RecType):
+        return _fuse_records(members, equivalence)  # type: ignore[arg-type]
+    # Bot/Any classes cannot contain two distinct members.
+    return first
+
+
+def _fuse_atoms(members: list[Type]) -> Type:
+    tags = {m.tag for m in members if isinstance(m, AtomType)}
+    if len(tags) == 1:
+        return members[0]
+    # Same kind but different tags can only be number atoms.
+    return NUM
+
+
+def _fuse_records(records: list[RecType], equivalence: Equivalence) -> RecType:
+    """Field-wise fusion: union of field sets, AND of required flags."""
+    present_in: dict[str, list[FieldType]] = {}
+    order: list[str] = []
+    for record in records:
+        for f in record.fields:
+            if f.name not in present_in:
+                present_in[f.name] = []
+                order.append(f.name)
+            present_in[f.name].append(f)
+
+    fused_fields = []
+    total = len(records)
+    for name in order:
+        occurrences = present_in[name]
+        field_type = merge_all((f.type for f in occurrences), equivalence)
+        required = len(occurrences) == total and all(f.required for f in occurrences)
+        fused_fields.append(FieldType(name, field_type, required=required))
+    return RecType(tuple(fused_fields))

@@ -1,0 +1,214 @@
+"""Concrete syntax for the type algebra: printing and parsing.
+
+The textual form follows the notation of the inference papers::
+
+    {a: Num, b?: Str, c: [Int + Null]} + Null
+
+- records in braces, ``?`` marking optional fields;
+- arrays in brackets;
+- unions with ``+``;
+- atoms capitalised (``Null Bool Int Flt Num Str``), plus ``Bot``/``Any``.
+
+``parse_type`` accepts exactly what ``type_to_string`` prints (field names
+that are not identifier-like are quoted as JSON strings), giving the
+roundtrip property the tests pin down.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.jsonvalue.serializer import escape_string
+from repro.types.simplify import union
+from repro.types.terms import (
+    ANY,
+    AnyType,
+    ArrType,
+    AtomType,
+    BOOL,
+    BOT,
+    BotType,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    Type,
+    UnionType,
+)
+
+
+class TypeSyntaxError(ReproError):
+    """Raised by :func:`parse_type` on malformed input."""
+
+
+_ATOM_NAMES = {
+    "null": "Null",
+    "bool": "Bool",
+    "int": "Int",
+    "flt": "Flt",
+    "num": "Num",
+    "str": "Str",
+}
+_NAME_TO_TYPE: dict[str, Type] = {
+    "Null": NULL,
+    "Bool": BOOL,
+    "Int": INT,
+    "Flt": FLT,
+    "Num": NUM,
+    "Str": STR,
+    "Bot": BOT,
+    "Any": ANY,
+}
+
+
+def _is_plain_name(name: str) -> bool:
+    if not name:
+        return False
+    if not (name[0].isalpha() or name[0] == "_"):
+        return False
+    return all(ch.isalnum() or ch == "_" for ch in name)
+
+
+def type_to_string(t: Type) -> str:
+    """Render ``t`` in the papers' notation."""
+    if isinstance(t, BotType):
+        return "Bot"
+    if isinstance(t, AnyType):
+        return "Any"
+    if isinstance(t, AtomType):
+        return _ATOM_NAMES[t.tag]
+    if isinstance(t, ArrType):
+        return f"[{type_to_string(t.item)}]"
+    if isinstance(t, RecType):
+        parts = []
+        for f in t.fields:
+            name = f.name if _is_plain_name(f.name) else escape_string(f.name)
+            mark = "" if f.required else "?"
+            parts.append(f"{name}{mark}: {type_to_string(f.type)}")
+        return "{" + ", ".join(parts) + "}"
+    if isinstance(t, UnionType):
+        rendered = []
+        for m in t.members:
+            text = type_to_string(m)
+            # Unions never nest after simplification, so members need no parens.
+            rendered.append(text)
+        return " + ".join(rendered)
+    if isinstance(t, FieldType):  # pragma: no cover - fields print via records
+        mark = "" if t.required else "?"
+        return f"{t.name}{mark}: {type_to_string(t.type)}"
+    raise TypeError(f"unknown type term {t!r}")
+
+
+class _TypeParser:
+    """Recursive-descent parser for the printed syntax."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> TypeSyntaxError:
+        return TypeSyntaxError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        self.skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def parse(self) -> Type:
+        t = self.parse_union()
+        self.skip_ws()
+        if self.pos != len(self.text):
+            raise self.error("trailing input")
+        return t
+
+    def parse_union(self) -> Type:
+        members = [self.parse_term()]
+        while self.peek() == "+":
+            self.pos += 1
+            members.append(self.parse_term())
+        return union(members) if len(members) > 1 else members[0]
+
+    def parse_term(self) -> Type:
+        ch = self.peek()
+        if ch == "[":
+            self.pos += 1
+            inner = self.parse_union()
+            self.expect("]")
+            return ArrType(inner)
+        if ch == "{":
+            return self.parse_record()
+        if ch == "(":
+            self.pos += 1
+            inner = self.parse_union()
+            self.expect(")")
+            return inner
+        name = self.parse_name()
+        t = _NAME_TO_TYPE.get(name)
+        if t is None:
+            raise self.error(f"unknown type name {name!r}")
+        return t
+
+    def parse_record(self) -> RecType:
+        self.expect("{")
+        fields: list[FieldType] = []
+        if self.peek() == "}":
+            self.pos += 1
+            return RecType(())
+        while True:
+            name = self.parse_field_name()
+            required = True
+            if self.peek() == "?":
+                self.pos += 1
+                required = False
+            self.expect(":")
+            field_type = self.parse_union()
+            fields.append(FieldType(name, field_type, required))
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            self.expect("}")
+            return RecType(tuple(fields))
+
+    def parse_field_name(self) -> str:
+        if self.peek() == '"':
+            return self.parse_quoted()
+        return self.parse_name()
+
+    def parse_quoted(self) -> str:
+        # Reuse the JSON lexer for quoted names: scan a string token.
+        from repro.jsonvalue.lexer import _Scanner
+
+        self.skip_ws()
+        scanner = _Scanner(self.text)
+        scanner.pos = self.pos
+        token = scanner.scan_string()
+        self.pos = scanner.pos
+        assert isinstance(token.value, str)
+        return token.value
+
+    def parse_name(self) -> str:
+        self.skip_ws()
+        start = self.pos
+        text = self.text
+        if start >= len(text) or not (text[start].isalpha() or text[start] == "_"):
+            raise self.error("expected a name")
+        pos = start + 1
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        self.pos = pos
+        return text[start:pos]
+
+
+def parse_type(text: str) -> Type:
+    """Parse the notation produced by :func:`type_to_string`."""
+    return _TypeParser(text).parse()

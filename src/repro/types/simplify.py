@@ -1,0 +1,94 @@
+"""Canonicalization of type terms: union construction and simplification.
+
+``union`` is the only sanctioned way to build :class:`UnionType` values:
+it flattens nested unions, drops ``Bot``, deduplicates, collapses
+``int + flt + num`` interactions (anything unioned with ``num`` of the same
+kind is absorbed), sorts members canonically, and unwraps singletons.
+
+``simplify`` applies the same canonicalization recursively to an arbitrary
+term, giving every type a unique normal form — the property the merge-law
+tests (associativity/commutativity/idempotence) rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.types.terms import (
+    ANY,
+    AnyType,
+    ArrType,
+    AtomType,
+    BOT,
+    BotType,
+    FieldType,
+    NUM,
+    RecType,
+    Type,
+    UnionType,
+)
+
+
+def union(members: Iterable[Type]) -> Type:
+    """Build the canonical union of ``members``.
+
+    Returns ``Bot`` for the empty union and the sole member for singletons,
+    so the result is only a :class:`UnionType` when at least two distinct
+    members remain.
+    """
+    flat: list[Type] = []
+    seen: set[Type] = set()
+    any_present = False
+
+    def add(t: Type) -> None:
+        nonlocal any_present
+        if isinstance(t, UnionType):
+            for m in t.members:
+                add(m)
+        elif isinstance(t, BotType):
+            return
+        elif isinstance(t, AnyType):
+            any_present = True
+        elif t not in seen:
+            seen.add(t)
+            flat.append(t)
+
+    for member in members:
+        add(member)
+
+    if any_present:
+        return ANY
+
+    # num absorbs int and flt.
+    if NUM in seen:
+        flat = [t for t in flat if not (isinstance(t, AtomType) and t.tag in ("int", "flt"))]
+
+    if not flat:
+        return BOT
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda t: t.sort_key())
+    return UnionType(tuple(flat))
+
+
+def simplify(t: Type) -> Type:
+    """Recursively canonicalize ``t`` (idempotent)."""
+    if isinstance(t, UnionType):
+        return union(simplify(m) for m in t.members)
+    if isinstance(t, ArrType):
+        return ArrType(simplify(t.item))
+    if isinstance(t, RecType):
+        return RecType(
+            tuple(
+                FieldType(f.name, simplify(f.type), f.required)
+                for f in t.fields
+            )
+        )
+    if isinstance(t, FieldType):
+        return FieldType(t.name, simplify(t.type), t.required)
+    return t
+
+
+def union2(left: Type, right: Type) -> Type:
+    """Binary union convenience."""
+    return union((left, right))

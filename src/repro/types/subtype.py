@@ -1,0 +1,142 @@
+"""Structural subtyping and semantic membership for the type algebra.
+
+``is_subtype(s, t)`` decides ``s <: t`` structurally.  It is **sound**
+(``s <: t`` implies every value of ``s`` matches ``t``) and complete on
+the fragment inference produces; the one distributivity law it implements
+specially is ``Num <: Int + Flt`` (every JSON number is an integer or a
+float).  General union-distribution over records is intentionally not
+chased — the tutorial's systems never need it, and the property tests pin
+the soundness direction instead.
+
+``matches(value, t)`` is the *semantics* of the algebra: does a concrete
+JSON value inhabit ``t``?  It is the ground truth that inference soundness
+and subtyping soundness are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+from repro.types.simplify import simplify
+from repro.types.terms import (
+    AnyType,
+    ArrType,
+    AtomType,
+    BotType,
+    RecType,
+    Type,
+    UnionType,
+)
+
+
+def is_subtype(left: Type, right: Type) -> bool:
+    """Decide ``left <: right`` on simplified forms."""
+    return _sub(simplify(left), simplify(right))
+
+
+def _sub(s: Type, t: Type) -> bool:
+    if s == t:
+        return True
+    if isinstance(s, BotType):
+        return True
+    if isinstance(t, AnyType):
+        return True
+    if isinstance(s, AnyType):
+        return False
+    if isinstance(s, UnionType):
+        return all(_sub(m, t) for m in s.members)
+    if isinstance(t, UnionType):
+        if any(_sub(s, m) for m in t.members):
+            return True
+        # Num <: Int + Flt: numbers split exactly into ints and floats.
+        if isinstance(s, AtomType) and s.tag == "num":
+            tags = {m.tag for m in t.members if isinstance(m, AtomType)}
+            return "int" in tags and "flt" in tags
+        return False
+    if isinstance(s, AtomType) and isinstance(t, AtomType):
+        if s.tag == t.tag:
+            return True
+        return t.tag == "num" and s.kind == "number"
+    if isinstance(s, ArrType) and isinstance(t, ArrType):
+        return _sub(s.item, t.item)
+    if isinstance(s, RecType) and isinstance(t, RecType):
+        return _sub_record(s, t)
+    return False
+
+
+def _sub_record(s: RecType, t: RecType) -> bool:
+    """Closed-record subtyping with optional fields.
+
+    ``s <: t`` iff (1) every field ``s`` may exhibit is allowed by ``t``
+    (closedness), (2) every field ``t`` requires is required by ``s``, and
+    (3) common field types are in the subtype relation.
+    """
+    t_fields = t.field_map()
+    for f in s.fields:
+        tf = t_fields.get(f.name)
+        if tf is None:
+            return False
+        if not _sub(f.type, tf.type):
+            return False
+    s_fields = s.field_map()
+    for tf in t.fields:
+        if tf.required:
+            sf = s_fields.get(tf.name)
+            if sf is None or not sf.required:
+                return False
+    return True
+
+
+def is_equivalent(left: Type, right: Type) -> bool:
+    """Mutual subtyping."""
+    return is_subtype(left, right) and is_subtype(right, left)
+
+
+def matches(value: Any, t: Type) -> bool:
+    """Semantic membership: does JSON ``value`` inhabit type ``t``?"""
+    t = simplify(t)
+    return _matches(value, t)
+
+
+def _matches(value: Any, t: Type) -> bool:
+    if isinstance(t, AnyType):
+        return True
+    if isinstance(t, BotType):
+        return False
+    if isinstance(t, UnionType):
+        return any(_matches(value, m) for m in t.members)
+    kind = kind_of(value)
+    if isinstance(t, AtomType):
+        if t.tag == "null":
+            return kind is JsonKind.NULL
+        if t.tag == "bool":
+            return kind is JsonKind.BOOLEAN
+        if t.tag == "str":
+            return kind is JsonKind.STRING
+        if kind is not JsonKind.NUMBER:
+            return False
+        if t.tag == "int":
+            return is_integer_value(value)
+        if t.tag == "flt":
+            return not is_integer_value(value)
+        return True  # num
+    if isinstance(t, ArrType):
+        if kind is not JsonKind.ARRAY:
+            return False
+        return all(_matches(v, t.item) for v in value)
+    if isinstance(t, RecType):
+        if kind is not JsonKind.OBJECT:
+            return False
+        fields = t.field_map()
+        for name in value:
+            if name not in fields:
+                return False
+        for f in t.fields:
+            if f.name in value:
+                if not _matches(value[f.name], f.type):
+                    return False
+            elif f.required:
+                return False
+        return True
+    raise TypeError(f"unknown type term {t!r}")  # pragma: no cover

@@ -1,0 +1,254 @@
+"""Type terms of the internal JSON type algebra.
+
+This is the type language of the tutorial's Part 4 (schema inference),
+modelled on Baazizi, Colazzo, Ghelli & Sartiani (EDBT '17 / VLDB J '19):
+
+- atomic types ``Null``, ``Bool``, ``Int``, ``Flt``, ``Num``, ``Str``
+  (``Num`` is the join of ``Int`` and ``Flt``);
+- record types ``{l1: T1, l2?: T2, ...}`` with per-field optionality;
+- array types ``[T]`` abstracting every element by one item type;
+- union types ``T1 + T2 + ...``;
+- ``Bot`` (the empty type, identity for union) and ``Any`` (the top type).
+
+All terms are immutable, hashable dataclasses with a canonical form
+(:func:`repro.types.simplify.simplify` flattens and sorts unions), so they
+can key dictionaries in merge trees and be compared structurally in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional, Tuple
+
+
+class Type:
+    """Base class of every type term (not instantiable itself)."""
+
+    __slots__ = ()
+
+    def size(self) -> int:
+        """Number of AST nodes — the *succinctness* measure of EDBT '17."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def children(self) -> Iterator["Type"]:
+        """Yield direct sub-terms."""
+        return iter(())
+
+    def sort_key(self) -> tuple:
+        """Total order over terms used to canonicalize union member order."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        from repro.types.printer import type_to_string
+
+        return type_to_string(self)
+
+
+@dataclass(frozen=True, repr=False)
+class BotType(Type):
+    """The empty type ⊥: matches no value; identity for union."""
+
+    def sort_key(self) -> tuple:
+        return (0,)
+
+    def __repr__(self) -> str:
+        return "BOT"
+
+
+@dataclass(frozen=True, repr=False)
+class AnyType(Type):
+    """The top type ⊤: matches every value."""
+
+    def sort_key(self) -> tuple:
+        return (9,)
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+# Atomic tags in join order: int/flt are refinements of num.
+ATOMIC_TAGS = ("null", "bool", "int", "flt", "num", "str")
+_ATOM_RANK = {tag: i for i, tag in enumerate(ATOMIC_TAGS)}
+
+
+@dataclass(frozen=True, repr=False)
+class AtomType(Type):
+    """An atomic type: ``null``, ``bool``, ``int``, ``flt``, ``num`` or ``str``.
+
+    ``num`` abstracts both ``int`` and ``flt``; the kind-equivalence merge
+    produces it when integers and floats meet at the same position.
+    """
+
+    tag: str
+
+    def __post_init__(self) -> None:
+        if self.tag not in _ATOM_RANK:
+            raise ValueError(f"unknown atomic tag {self.tag!r}")
+
+    @property
+    def kind(self) -> str:
+        """The JSON kind this atom belongs to (int/flt/num are 'number')."""
+        return "number" if self.tag in ("int", "flt", "num") else self.tag
+
+    def sort_key(self) -> tuple:
+        return (1, _ATOM_RANK[self.tag])
+
+    def __repr__(self) -> str:
+        return self.tag.capitalize()
+
+
+# Shared singleton-ish instances (dataclass equality makes these optional,
+# but the names read better at call sites).
+BOT = BotType()
+ANY = AnyType()
+NULL = AtomType("null")
+BOOL = AtomType("bool")
+INT = AtomType("int")
+FLT = AtomType("flt")
+NUM = AtomType("num")
+STR = AtomType("str")
+
+
+@dataclass(frozen=True, repr=False)
+class ArrType(Type):
+    """Array type ``[T]``: every element matches item type ``T``.
+
+    The empty array has type ``[Bot]`` — ``Bot`` never matches a value, and
+    an array with no elements vacuously satisfies it.
+    """
+
+    item: Type
+
+    def children(self) -> Iterator[Type]:
+        yield self.item
+
+    def sort_key(self) -> tuple:
+        return (2, self.item.sort_key())
+
+    def __repr__(self) -> str:
+        return f"Arr({self.item!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class FieldType(Type):
+    """One record member: name, value type, and a required flag.
+
+    Optional fields (``required=False``) arise from merging records where
+    the field is present in only some of them — printed as ``name?: T``.
+    """
+
+    name: str
+    type: Type
+    required: bool = True
+
+    def children(self) -> Iterator[Type]:
+        yield self.type
+
+    def sort_key(self) -> tuple:
+        return (0, self.name, self.required, self.type.sort_key())
+
+    def __repr__(self) -> str:
+        mark = "" if self.required else "?"
+        return f"{self.name}{mark}: {self.type!r}"
+
+
+@dataclass(frozen=True, repr=False)
+class RecType(Type):
+    """Record type ``{l1: T1, l2?: T2}``.
+
+    Fields are stored sorted by name, making structurally equal records
+    compare equal regardless of construction order.  Unknown extra fields
+    are *not* permitted by a record type (closed records), matching the
+    inference papers' semantics.
+    """
+
+    fields: Tuple[FieldType, ...]
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        if names != sorted(names):
+            object.__setattr__(
+                self, "fields", tuple(sorted(self.fields, key=lambda f: f.name))
+            )
+        if len({f.name for f in self.fields}) != len(self.fields):
+            raise ValueError("duplicate field names in record type")
+
+    @classmethod
+    def of(cls, mapping: Mapping[str, Type], optional: frozenset[str] = frozenset()) -> "RecType":
+        """Build a record from a name→type mapping plus a set of optional names."""
+        return cls(
+            tuple(
+                FieldType(name, t, required=name not in optional)
+                for name, t in mapping.items()
+            )
+        )
+
+    def field_map(self) -> dict[str, FieldType]:
+        return {f.name: f for f in self.fields}
+
+    def labels(self) -> frozenset[str]:
+        return frozenset(f.name for f in self.fields)
+
+    def required_labels(self) -> frozenset[str]:
+        return frozenset(f.name for f in self.fields if f.required)
+
+    def children(self) -> Iterator[Type]:
+        return iter(self.fields)
+
+    def size(self) -> int:
+        # A field contributes its name node plus its type's size.
+        return 1 + sum(1 + f.type.size() for f in self.fields)
+
+    def sort_key(self) -> tuple:
+        return (3, tuple(f.sort_key() for f in self.fields))
+
+    def __repr__(self) -> str:
+        return "Rec(" + ", ".join(repr(f) for f in self.fields) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class UnionType(Type):
+    """Union type ``T1 + T2 + ...``.
+
+    Use :func:`repro.types.simplify.union` to construct unions — it
+    flattens nested unions, removes ``Bot`` and duplicates, and sorts
+    members canonically.  The constructor itself only freezes what it is
+    given (needed so ``simplify`` can build the canonical form).
+    """
+
+    members: Tuple[Type, ...] = field(default=())
+
+    def children(self) -> Iterator[Type]:
+        return iter(self.members)
+
+    def sort_key(self) -> tuple:
+        return (4, tuple(m.sort_key() for m in self.members))
+
+    def __repr__(self) -> str:
+        return "Union(" + ", ".join(repr(m) for m in self.members) + ")"
+
+
+def walk(t: Type) -> Iterator[Type]:
+    """Yield ``t`` and every sub-term, pre-order."""
+    stack = [t]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(list(current.children())))
+
+
+def is_atomic(t: Type) -> bool:
+    return isinstance(t, AtomType)
+
+
+def atom_for_kind_join(left: AtomType, right: AtomType) -> Optional[AtomType]:
+    """Join two atoms of the same JSON kind, or None if kinds differ.
+
+    ``int`` ∨ ``flt`` = ``num``; joining any number atom with ``num`` gives
+    ``num``; identical atoms join to themselves.
+    """
+    if left.tag == right.tag:
+        return left
+    if left.kind == right.kind == "number":
+        return NUM
+    return None

@@ -1,0 +1,65 @@
+"""Export type-algebra terms as JSON Schema documents.
+
+This is the bridge between the tutorial's Part 4 (inference produces types)
+and Part 2 (schemas validate documents): an inferred type exported with
+``type_to_jsonschema`` can be fed to :mod:`repro.jsonschema` and must
+accept every document the type was inferred from — an end-to-end invariant
+the integration tests enforce.
+
+One deliberate loss: JSON Schema's ``integer`` matches ``2.0`` (draft 6+
+treats any number with zero fractional part as an integer), so the
+``Int``/``Flt`` split of the algebra widens to ``integer``/``number``.
+The export direction is chosen so validation stays *sound* (never rejects
+a value the type accepts).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.terms import (
+    AnyType,
+    ArrType,
+    AtomType,
+    BotType,
+    RecType,
+    Type,
+    UnionType,
+)
+
+_ATOM_SCHEMAS = {
+    "null": {"type": "null"},
+    "bool": {"type": "boolean"},
+    "int": {"type": "integer"},
+    "flt": {"type": "number"},
+    "num": {"type": "number"},
+    "str": {"type": "string"},
+}
+
+
+def type_to_jsonschema(t: Type) -> dict[str, Any]:
+    """Render ``t`` as a (Draft-07 core) JSON Schema object."""
+    if isinstance(t, BotType):
+        return {"not": {}}
+    if isinstance(t, AnyType):
+        return {}
+    if isinstance(t, AtomType):
+        return dict(_ATOM_SCHEMAS[t.tag])
+    if isinstance(t, ArrType):
+        if isinstance(t.item, BotType):
+            return {"type": "array", "maxItems": 0}
+        return {"type": "array", "items": type_to_jsonschema(t.item)}
+    if isinstance(t, RecType):
+        properties = {f.name: type_to_jsonschema(f.type) for f in t.fields}
+        required = sorted(f.name for f in t.fields if f.required)
+        schema: dict[str, Any] = {
+            "type": "object",
+            "properties": properties,
+            "additionalProperties": False,
+        }
+        if required:
+            schema["required"] = required
+        return schema
+    if isinstance(t, UnionType):
+        return {"anyOf": [type_to_jsonschema(m) for m in t.members]}
+    raise TypeError(f"cannot export {t!r} to JSON Schema")

@@ -1,0 +1,46 @@
+"""Shared hypothesis strategies for generating JSON values.
+
+Used by property-based tests across the whole suite.  ``json_values``
+generates arbitrary RFC 8259 values (finite floats only, text keys);
+``json_objects`` restricts to top-level objects, the shape most schema
+tools assume; ``json_documents`` generates collections of objects drawn
+from a common "schema family" so that inference has structure to find.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+# Text strategy kept modest: full Unicode but bounded length, so failures
+# shrink to readable examples.
+json_strings = st.text(max_size=20)
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    json_strings,
+)
+
+
+def json_values(max_leaves: int = 25) -> st.SearchStrategy:
+    """Arbitrary JSON values with bounded size."""
+    return st.recursive(
+        json_scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=6),
+            st.dictionaries(st.text(max_size=8), children, max_size=6),
+        ),
+        max_leaves=max_leaves,
+    )
+
+
+def json_objects(max_leaves: int = 25) -> st.SearchStrategy:
+    """JSON objects (documents), the input shape for schema inference."""
+    return st.dictionaries(st.text(min_size=1, max_size=8), json_values(max_leaves), max_size=6)
+
+
+def json_documents(min_size: int = 1, max_size: int = 8) -> st.SearchStrategy:
+    """Small collections of objects for inference/soundness properties."""
+    return st.lists(json_objects(max_leaves=12), min_size=min_size, max_size=max_size)

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import github_events, ndjson_lines
+
+
+@pytest.fixture()
+def data_file(tmp_path):
+    path = tmp_path / "data.ndjson"
+    path.write_text("\n".join(ndjson_lines(github_events(40, seed=1))) + "\n")
+    return str(path)
+
+
+@pytest.fixture()
+def schema_file(tmp_path):
+    path = tmp_path / "schema.json"
+    path.write_text(
+        '{"type": "object", "required": ["type", "actor"],'
+        ' "properties": {"public": {"const": true}}}'
+    )
+    return str(path)
+
+
+class TestInfer:
+    def test_type_output(self, data_file, capsys):
+        assert main(["infer", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "40 documents" in out
+        assert "{" in out and "actor" in out
+
+    def test_label_equivalence(self, data_file, capsys):
+        assert main(["infer", data_file, "--equivalence", "label"]) == 0
+        out = capsys.readouterr().out
+        assert " + " in out  # union of event variants
+
+    def test_jsonschema_output(self, data_file, capsys):
+        assert main(["infer", data_file, "--format", "jsonschema"]) == 0
+        out = capsys.readouterr().out
+        assert '"type": "object"' in out
+
+    def test_typescript_output(self, data_file, capsys):
+        assert main(["infer", data_file, "--format", "typescript", "--name", "Ev"]) == 0
+        out = capsys.readouterr().out
+        assert "interface Ev {" in out
+
+    def test_swift_union_error_is_clean(self, tmp_path, capsys):
+        path = tmp_path / "mixed.ndjson"
+        path.write_text('{"v": 1}\n{"v": "x"}\n')
+        assert main(["infer", str(path), "--format", "swift"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidate:
+    def test_all_valid(self, data_file, schema_file, capsys):
+        assert main(["validate", data_file, "--schema", schema_file]) == 0
+        assert "40/40 valid" in capsys.readouterr().out
+
+    def test_invalid_counted_in_exit_code(self, tmp_path, schema_file, capsys):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"type": "x", "actor": {}}\n{"nope": 1}\n{"public": false}\n')
+        code = main(["validate", str(path), "--schema", schema_file])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "1/3 valid" in out
+
+    def test_missing_schema_file(self, data_file, capsys):
+        assert main(["validate", data_file, "--schema", "/nope.json"]) == 2
+
+
+class TestSkeleton:
+    def test_structures_printed(self, data_file, capsys):
+        assert main(["skeleton", data_file, "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "skeleton of order 3" in out
+        assert "structure #0" in out
+        assert "document coverage" in out
+
+
+class TestTranslate:
+    def test_size_report(self, data_file, capsys):
+        assert main(["translate", data_file]) == 0
+        out = capsys.readouterr().out
+        assert "columnar bytes" in out
+        assert "typed columns" in out
+
+
+class TestMatrix:
+    def test_matrix_printed(self, capsys):
+        assert main(["matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "union types" in out and "JSound" in out
+
+
+class TestStdin:
+    def test_dash_reads_stdin(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO('{"a": 1}\n{"a": 2}\n'))
+        assert main(["infer", "-"]) == 0
+        assert "{a: Int}" in capsys.readouterr().out

@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import (
+    github_events,
+    heterogeneous_collection,
+    ndjson_lines,
+    nyt_articles,
+    opendata_catalog,
+    tweets,
+)
+from repro.jsonvalue.model import is_json_value
+from repro.jsonvalue.parser import parse
+
+
+ALL_GENERATORS = [
+    lambda n, s: tweets(n, seed=s),
+    lambda n, s: github_events(n, seed=s),
+    lambda n, s: nyt_articles(n, seed=s),
+    lambda n, s: opendata_catalog(n, seed=s),
+    lambda n, s: heterogeneous_collection(n, seed=s),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("generate", ALL_GENERATORS)
+    def test_deterministic(self, generate):
+        assert generate(20, 7) == generate(20, 7)
+
+    @pytest.mark.parametrize("generate", ALL_GENERATORS)
+    def test_different_seeds_differ(self, generate):
+        assert generate(20, 1) != generate(20, 2)
+
+    @pytest.mark.parametrize("generate", ALL_GENERATORS)
+    def test_valid_json_values(self, generate):
+        for doc in generate(30, 0):
+            assert is_json_value(doc)
+
+    @pytest.mark.parametrize("generate", ALL_GENERATORS)
+    def test_requested_count(self, generate):
+        assert len(generate(13, 0)) == 13
+
+    @pytest.mark.parametrize("generate", ALL_GENERATORS)
+    def test_ndjson_roundtrip(self, generate):
+        docs = generate(10, 3)
+        lines = ndjson_lines(docs)
+        assert [parse(line) for line in lines] == docs
+
+
+class TestTwitter:
+    def test_delete_notices_interleaved(self):
+        docs = tweets(300, seed=1, delete_fraction=0.2)
+        deletes = [d for d in docs if "delete" in d]
+        statuses = [d for d in docs if "text" in d]
+        assert len(deletes) + len(statuses) == 300
+        assert 30 <= len(deletes) <= 90  # ~20%
+
+    def test_no_deletes_option(self):
+        docs = tweets(50, seed=1, delete_fraction=0.0)
+        assert all("text" in d for d in docs)
+
+    def test_retweets_nest_full_statuses(self):
+        docs = tweets(300, seed=2, delete_fraction=0.0)
+        retweets = [d for d in docs if "retweeted_status" in d]
+        assert retweets
+        inner = retweets[0]["retweeted_status"]
+        assert "user" in inner and "entities" in inner
+        assert "retweeted_status" not in inner  # one level only
+
+    def test_nullable_coordinates(self):
+        docs = tweets(200, seed=3, delete_fraction=0.0)
+        values = {type(d["coordinates"]).__name__ for d in docs}
+        assert values == {"NoneType", "dict"}
+
+
+class TestGithub:
+    def test_type_discriminates_payload(self):
+        docs = github_events(300, seed=1)
+        by_type = {}
+        for d in docs:
+            by_type.setdefault(d["type"], []).append(d)
+        assert set(by_type) == {"PushEvent", "IssuesEvent", "WatchEvent", "ForkEvent"}
+        assert all("commits" in d["payload"] for d in by_type["PushEvent"])
+        assert all("issue" in d["payload"] for d in by_type["IssuesEvent"])
+        assert all(d["payload"] == {"action": "started"} for d in by_type["WatchEvent"])
+
+    def test_weights_respected(self):
+        docs = github_events(1000, seed=2)
+        push = sum(1 for d in docs if d["type"] == "PushEvent")
+        assert 400 <= push <= 600  # weight 0.5
+
+    def test_kind_noise_injects_conflicts(self):
+        clean = github_events(100, seed=3, kind_noise=0.0)
+        noisy = github_events(100, seed=3, kind_noise=0.3)
+        assert clean != noisy
+
+
+class TestHeterogeneous:
+    def test_variant_mixture(self):
+        docs = heterogeneous_collection(200, variants=3, seed=4)
+        variants = {d["variant"] for d in docs}
+        assert variants == {"v0", "v1", "v2"}
+
+    def test_optional_probability_zero(self):
+        docs = heterogeneous_collection(100, optional_probability=0.0, seed=5)
+        assert not any("opt_note" in d for d in docs)
+
+    def test_optional_probability_one(self):
+        docs = heterogeneous_collection(100, optional_probability=1.0, seed=5)
+        assert all("opt_note" in d for d in docs)
+
+
+class TestDomainShapes:
+    def test_nyt_has_fd_bearing_fields(self):
+        docs = nyt_articles(50, seed=1)
+        # section_name functionally determines print_page in the generator.
+        mapping = {}
+        for d in docs:
+            mapping.setdefault(d["section_name"], set()).add(d["print_page"])
+        assert all(len(pages) == 1 for pages in mapping.values())
+
+    def test_opendata_extras_optional(self):
+        docs = opendata_catalog(100, seed=1)
+        with_extras = [d for d in docs if "extras" in d]
+        assert 0 < len(with_extras) < 100

@@ -1,0 +1,159 @@
+"""Tests for parametric inference and counting types."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    counted_type_of,
+    field_presence_ratios,
+    infer,
+    infer_counted,
+    infer_type,
+    merge_counted,
+    precision_against,
+)
+from repro.types import (
+    ArrType,
+    Equivalence,
+    INT,
+    NUM,
+    RecType,
+    STR,
+    UnionType,
+    matches,
+    type_to_string,
+    union2,
+)
+
+K = Equivalence.KIND
+L = Equivalence.LABEL
+
+HETEROGENEOUS = [
+    {"id": 1, "name": "a"},
+    {"id": 2, "name": "b", "tags": ["x"]},
+    {"id": 3.5, "name": "c"},
+    {"ref": "external"},
+]
+
+
+class TestInferType:
+    def test_homogeneous(self):
+        docs = [{"a": 1}, {"a": 2}]
+        assert infer_type(docs, K) == RecType.of({"a": INT})
+
+    def test_kind_fuses_everything(self):
+        t = infer_type(HETEROGENEOUS, K)
+        assert isinstance(t, RecType)
+        assert t.labels() == {"id", "name", "tags", "ref"}
+        assert t.required_labels() == set()
+        assert t.field_map()["id"].type == NUM
+
+    def test_label_keeps_variants(self):
+        t = infer_type(HETEROGENEOUS, L)
+        assert isinstance(t, UnionType)
+        label_sets = {m.labels() for m in t.members if isinstance(m, RecType)}
+        assert frozenset({"ref"}) in label_sets
+        assert frozenset({"id", "name"}) in label_sets
+        assert frozenset({"id", "name", "tags"}) in label_sets
+
+    def test_soundness(self):
+        for eq in (K, L):
+            t = infer_type(HETEROGENEOUS, eq)
+            for doc in HETEROGENEOUS:
+                assert matches(doc, t)
+
+    def test_empty_collection(self):
+        with pytest.raises(InferenceError):
+            infer_type([], K)
+
+    def test_report(self):
+        report = infer(HETEROGENEOUS, L)
+        assert report.document_count == 4
+        assert report.schema_size == report.inferred.size()
+        assert "label" in str(report)
+
+    def test_report_jsonschema_roundtrip(self):
+        from repro.jsonschema import compile_schema
+
+        report = infer(HETEROGENEOUS, K)
+        compiled = compile_schema(report.to_jsonschema())
+        for doc in HETEROGENEOUS:
+            assert compiled.is_valid(doc)
+
+
+class TestPrecision:
+    def test_label_at_least_as_precise(self):
+        # Outsiders that mix fields across variants: K accepts, L rejects.
+        outsiders = [{"id": 1, "name": "x", "ref": "r"}, {"tags": ["y"]}]
+        t_k = infer_type(HETEROGENEOUS, K)
+        t_l = infer_type(HETEROGENEOUS, L)
+        p_k = precision_against(t_k, outsiders)
+        p_l = precision_against(t_l, outsiders)
+        assert p_l <= p_k
+        assert p_l == 0.0  # L rejects both mixtures
+
+    def test_needs_witnesses(self):
+        with pytest.raises(InferenceError):
+            precision_against(INT, [])
+
+
+class TestCountedTypeOf:
+    def test_scalar(self):
+        c = counted_type_of(3)
+        assert str(c) == "Int(1)"
+
+    def test_array_counts_elements(self):
+        c = counted_type_of([1, 2, 3])
+        assert str(c) == "[Int(3)](1x3)"
+
+    def test_record(self):
+        c = counted_type_of({"a": 1})
+        assert c.count == 1
+        assert str(c) == "{a(1): Int(1)}(1)"
+
+
+class TestInferCounted:
+    DOCS = [{"a": 1}, {"a": 2, "b": "x"}, {"a": 3.5, "b": "y"}, {"b": "z"}]
+
+    def test_root_count(self):
+        c = infer_counted(self.DOCS, K)
+        assert c.count == 4
+
+    def test_field_presence(self):
+        c = infer_counted(self.DOCS, K)
+        ratios = field_presence_ratios(c)
+        assert ratios == {"a": 3 / 4, "b": 3 / 4}
+
+    def test_plain_commutes_with_merge(self):
+        """Stripping counts after merging == plain parametric inference."""
+        for eq in (K, L):
+            counted = infer_counted(self.DOCS, eq)
+            plain = infer_type(self.DOCS, eq)
+            assert counted.plain() == plain
+
+    def test_union_member_counts_sum_to_total(self):
+        docs = [{"a": 1}, "str1", "str2", [1]]
+        c = infer_counted(docs, K)
+        assert sum(m.count for m in c.members) == 4
+
+    def test_merge_adds_counts(self):
+        a = counted_type_of({"x": 1})
+        b = counted_type_of({"x": 2})
+        merged = merge_counted([a, b], K)
+        assert merged.count == 2
+        (rec,) = merged.members
+        assert rec.field_map()["x"].count == 2
+
+    def test_size_overhead_bounded(self):
+        c = infer_counted(self.DOCS, K)
+        plain_size = c.plain().size()
+        assert plain_size < c.size() <= 3 * plain_size
+
+    def test_empty_collection(self):
+        with pytest.raises(InferenceError):
+            infer_counted([], K)
+
+    def test_label_equivalence_counts(self):
+        c = infer_counted(self.DOCS, L)
+        recs = [m for m in c.members if hasattr(m, "fields")]
+        assert sum(r.count for r in recs) == 4

@@ -1,0 +1,119 @@
+"""Tests for ML schema profiling and the distributed inference simulator."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    candidate_features,
+    infer_distributed,
+    infer_type,
+    partition,
+    train_profile,
+)
+from repro.types import Equivalence
+
+K = Equivalence.KIND
+L = Equivalence.LABEL
+
+# A collection whose structure is *explained* by the "type" field value —
+# the schema-profiling scenario of Gallinucci et al.
+PROFILED = (
+    [{"type": "user", "name": f"u{i}", "age": 20 + i} for i in range(5)]
+    + [{"type": "post", "title": f"t{i}", "body": "..."} for i in range(5)]
+    + [{"type": "like", "user": f"u{i}", "post": f"t{i}"} for i in range(5)]
+)
+
+
+class TestCandidateFeatures:
+    def test_low_cardinality_strings_found(self):
+        features = candidate_features(PROFILED)
+        assert "type" in features
+
+    def test_high_cardinality_excluded(self):
+        features = candidate_features(PROFILED, max_cardinality=3)
+        assert "name" not in features
+        assert "age" not in features
+
+
+class TestSchemaProfile:
+    def test_perfect_discriminator(self):
+        profile = train_profile(PROFILED)
+        assert profile.accuracy(PROFILED) == 1.0
+
+    def test_rules_mention_discriminator(self):
+        profile = train_profile(PROFILED)
+        rules = profile.rules()
+        assert any("type = 'user'" in r for r in rules)
+        assert len(rules) >= 3
+
+    def test_classify_routes_new_documents(self):
+        profile = train_profile(PROFILED)
+        variant_user = profile.classify({"type": "user", "name": "new", "age": 1})
+        variant_post = profile.classify({"type": "post", "title": "new", "body": "b"})
+        assert variant_user != variant_post
+
+    def test_no_discriminator_falls_back_to_majority(self):
+        docs = [{"v": i} for i in range(3)] + [{"w": i} for i in range(2)]
+        profile = train_profile(docs, max_cardinality=0)
+        assert profile.accuracy(docs) == 0.6  # majority class
+
+    def test_depth_bound_respected(self):
+        profile = train_profile(PROFILED, max_depth=0)
+        # Depth 0 → a single leaf → majority accuracy.
+        assert profile.accuracy(PROFILED) == pytest.approx(1 / 3)
+
+    def test_empty(self):
+        with pytest.raises(InferenceError):
+            train_profile([])
+
+
+DOCS = (
+    [{"id": i, "name": f"n{i}"} for i in range(20)]
+    + [{"id": i, "tags": ["a"]} for i in range(10)]
+    + [{"ref": f"r{i}"} for i in range(10)]
+)
+
+
+class TestPartition:
+    def test_round_robin(self):
+        buckets = partition([1, 2, 3, 4, 5], 2)
+        assert buckets == [[1, 3, 5], [2, 4]]
+
+    def test_more_partitions_than_docs(self):
+        buckets = partition([1, 2], 5)
+        assert buckets == [[1], [2]]
+
+    def test_invalid(self):
+        with pytest.raises(InferenceError):
+            partition([1], 0)
+
+
+class TestDistributedInference:
+    @pytest.mark.parametrize("partitions", [1, 2, 4, 8])
+    @pytest.mark.parametrize("eq", [K, L])
+    def test_equals_sequential(self, partitions, eq):
+        """The associativity pay-off: any partitioning gives the same type."""
+        run = infer_distributed(DOCS, partitions, eq)
+        assert run.result == infer_type(DOCS, eq)
+
+    def test_reduce_rounds_logarithmic(self):
+        assert infer_distributed(DOCS, 1).reduce_rounds == 0
+        assert infer_distributed(DOCS, 2).reduce_rounds == 1
+        assert infer_distributed(DOCS, 4).reduce_rounds == 2
+        assert infer_distributed(DOCS, 8).reduce_rounds == 3
+
+    def test_makespan_drops_with_parallelism(self):
+        seq = infer_distributed(DOCS, 1)
+        par = infer_distributed(DOCS, 8)
+        assert par.makespan_units < seq.makespan_units
+
+    def test_total_work_accounted(self):
+        run = infer_distributed(DOCS, 4)
+        assert run.total_work_units > 0
+        assert run.total_shipped_bytes > 0
+        assert run.stages[0].name == "map+combine"
+        assert run.stages[0].tasks == 4
+
+    def test_empty(self):
+        with pytest.raises(InferenceError):
+            infer_distributed([], 2)

@@ -1,0 +1,110 @@
+"""Property-based tests for inference soundness (DESIGN.md invariant 2).
+
+Every inference tool in the suite must produce a schema that *accepts every
+document it was inferred from* — whatever its precision level.  These tests
+drive all of them from the same hypothesis-generated collections.
+"""
+
+from hypothesis import given, settings
+
+from repro.inference import (
+    infer_counted,
+    infer_distributed,
+    infer_type,
+    mongodb_analyze,
+    skinfer_infer_schema,
+    studio3t_analyze,
+)
+from repro.inference.spark import STRING, infer_spark_schema
+from repro.jsonschema import compile_schema
+from repro.types import Equivalence, matches
+
+from tests.strategies import json_documents
+
+BOTH = (Equivalence.KIND, Equivalence.LABEL)
+
+
+@given(json_documents())
+@settings(max_examples=60, deadline=None)
+def test_parametric_inference_sound(docs):
+    for eq in BOTH:
+        inferred = infer_type(docs, eq)
+        for doc in docs:
+            assert matches(doc, inferred)
+
+
+@given(json_documents())
+@settings(max_examples=40, deadline=None)
+def test_counting_plain_commutes(docs):
+    """Strip-counts-after-merge equals plain inference (commuting square)."""
+    for eq in BOTH:
+        assert infer_counted(docs, eq).plain() == infer_type(docs, eq)
+
+
+@given(json_documents())
+@settings(max_examples=40, deadline=None)
+def test_counting_root_count(docs):
+    counted = infer_counted(docs, Equivalence.KIND)
+    assert counted.count == len(docs)
+
+
+@given(json_documents())
+@settings(max_examples=40, deadline=None)
+def test_skinfer_sound(docs):
+    schema = skinfer_infer_schema(docs)
+    compiled = compile_schema(schema)
+    for doc in docs:
+        result = compiled.validate(doc)
+        assert result.valid, f"{doc} rejected: {[str(f) for f in result.failures]}"
+
+
+@given(json_documents(min_size=2))
+@settings(max_examples=40, deadline=None)
+def test_distributed_equals_sequential(docs):
+    for eq in BOTH:
+        for partitions in (2, 3):
+            run = infer_distributed(docs, partitions, eq)
+            assert run.result == infer_type(docs, eq)
+
+
+@given(json_documents())
+@settings(max_examples=40, deadline=None)
+def test_spark_schema_total(docs):
+    """Spark inference never fails on object docs; string fallback is total."""
+    object_docs = [d for d in docs if isinstance(d, dict)]
+    if not object_docs:
+        return
+    schema = infer_spark_schema(object_docs)
+    names = {f.name for f in schema.fields}
+    for doc in object_docs:
+        assert set(doc.keys()) <= names
+
+
+@given(json_documents())
+@settings(max_examples=30, deadline=None)
+def test_studio3t_size_accounting(docs):
+    analysis = studio3t_analyze(docs)
+    assert analysis.distinct_shapes() <= len(docs)
+    assert sum(count for _, count in analysis.shapes) == len(docs)
+
+
+@given(json_documents())
+@settings(max_examples=30, deadline=None)
+def test_mongodb_counts_bounded(docs):
+    object_docs = [d for d in docs if isinstance(d, dict)]
+    if not object_docs:
+        return
+    result = mongodb_analyze(object_docs)
+    assert result["count"] == len(object_docs)
+    for field in result["fields"]:
+        assert 0 < field["count"] <= len(object_docs)
+        assert sum(t["count"] for t in field["types"]) == field["count"]
+
+
+@given(json_documents())
+@settings(max_examples=30, deadline=None)
+def test_label_size_at_least_kind_size(docs):
+    """L-inference is at least as large (more precise) as K-inference."""
+    t_k = infer_type(docs, Equivalence.KIND)
+    t_l = infer_type(docs, Equivalence.LABEL)
+    assert t_k.size() <= t_l.size()

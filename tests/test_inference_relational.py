@@ -1,0 +1,159 @@
+"""Tests for FD-driven relational normalisation (DiScala & Abadi style)."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    FunctionalDependency,
+    decompose,
+    flatten,
+    mine_fds,
+    normalize,
+)
+
+# Denormalised orders: customer attributes repeat with every order —
+# exactly the redundancy the SIGMOD '16 paper removes.
+_CUSTOMERS = {
+    "c1": ("Ada", "Paris", "FR", "gold"),
+    "c2": ("Bob", "Pisa", "IT", "silver"),
+    "c3": ("Cleo", "Lyon", "FR", "gold"),
+}
+ORDERS = [
+    {
+        "order": i,
+        "cust_id": cid,
+        "cust_name": _CUSTOMERS[cid][0],
+        "cust_city": _CUSTOMERS[cid][1],
+        "cust_country": _CUSTOMERS[cid][2],
+        "cust_segment": _CUSTOMERS[cid][3],
+        "amount": 10 + 7 * i,
+    }
+    for i, cid in enumerate(["c1", "c2", "c3"] * 4)
+]
+
+
+class TestFlatten:
+    def test_flat_objects(self):
+        result = flatten([{"a": 1, "b": "x"}])
+        assert result.fact.columns == ["_id", "a", "b"]
+        assert result.fact.rows == [(0, 1, "x")]
+
+    def test_nested_objects_dotted(self):
+        result = flatten([{"u": {"name": "a", "geo": {"city": "p"}}}])
+        assert "u.name" in result.fact.columns
+        assert "u.geo.city" in result.fact.columns
+
+    def test_missing_fields_get_sentinel(self):
+        result = flatten([{"a": 1}, {"b": 2}])
+        row0, row1 = result.fact.rows
+        assert row0[result.fact.columns.index("b")] != 2
+        assert row1[result.fact.columns.index("b")] == 2
+
+    def test_object_arrays_become_child_tables(self):
+        docs = [{"id": 1, "items": [{"sku": "a"}, {"sku": "b"}]}]
+        result = flatten(docs)
+        (child,) = result.children
+        assert child.name == "root.items"
+        assert child.columns == ["_parent_id", "sku"]
+        assert len(child.rows) == 2
+
+    def test_scalar_arrays_stay_inline(self):
+        result = flatten([{"tags": ["a", "b"]}])
+        assert result.children == []
+        assert "tags" in result.fact.columns
+
+    def test_non_objects_rejected(self):
+        with pytest.raises(InferenceError):
+            flatten([[1, 2]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            flatten([])
+
+
+class TestMineFds:
+    def test_discovers_customer_fds(self):
+        table = flatten(ORDERS).fact
+        fds = set(map(str, mine_fds(table)))
+        assert "cust_id -> cust_name" in fds
+        assert "cust_id -> cust_city" in fds
+
+    def test_no_false_fds(self):
+        table = flatten(ORDERS).fact
+        fds = set(map(str, mine_fds(table)))
+        assert "cust_id -> amount" not in fds
+        assert "cust_name -> order" not in fds
+
+    def test_keys_excluded_as_determinants(self):
+        table = flatten(ORDERS).fact
+        fds = mine_fds(table)
+        assert not any(fd.determinant in ("order", "_id") for fd in fds)
+
+    def test_small_tables_yield_nothing(self):
+        table = flatten([{"a": 1, "b": 2}]).fact
+        assert mine_fds(table) == []
+
+
+class TestDecompose:
+    def test_entity_extracted(self):
+        table = flatten(ORDERS).fact
+        result = decompose(table)
+        assert result.table_count() == 2
+        (entity,) = result.entities
+        assert set(entity.columns) == {
+            entity.columns[0],
+            "cust_name",
+            "cust_city",
+            "cust_country",
+            "cust_segment",
+            "cust_id",
+        }
+        assert len(entity.rows) == 3  # deduplicated customers
+
+    def test_fact_keeps_fk(self):
+        table = flatten(ORDERS).fact
+        result = decompose(table)
+        assert "cust_id" in result.fact.columns
+        assert "cust_name" not in result.fact.columns
+
+    def test_redundancy_reduced(self):
+        report = normalize(ORDERS)
+        assert report.redundancy_reduction > 0.15
+        assert report.decomposition.total_cells() < report.flattened.fact.cell_count()
+
+    def test_explicit_fds(self):
+        table = flatten(ORDERS).fact
+        fds = [
+            FunctionalDependency("cust_id", "cust_name"),
+            FunctionalDependency("cust_id", "cust_city"),
+        ]
+        result = decompose(table, fds)
+        assert result.table_count() == 2
+
+    def test_no_fds_no_decomposition(self):
+        docs = [{"a": i, "b": i * 2 + (i % 3)} for i in range(10)]
+        report = normalize(docs)
+        assert report.decomposition.table_count() >= 1
+
+
+class TestNormalizePipeline:
+    def test_report_fields(self):
+        report = normalize(ORDERS)
+        assert report.fds
+        assert report.flattened.fact.rows
+        assert 0.0 <= report.redundancy_reduction < 1.0
+
+    def test_values_preserved_via_join(self):
+        """Joining entities back along the FK reconstructs the flat table."""
+        report = normalize(ORDERS)
+        fact = report.decomposition.fact
+        (entity,) = report.decomposition.entities
+        entity_index = {row[0]: row for row in entity.rows}
+        fk = fact.columns.index("cust_id")
+        name_col = entity.columns.index("cust_name")
+        flat = report.flattened.fact
+        flat_name = flat.columns.index("cust_name")
+        flat_fk = flat.columns.index("cust_id")
+        for flat_row, fact_row in zip(flat.rows, fact.rows):
+            assert fact_row[fk] == flat_row[flat_fk]
+            assert entity_index[fact_row[fk]][name_col] == flat_row[flat_name]

@@ -1,0 +1,119 @@
+"""Tests for skeleton mining (Wang et al.) and Couchbase flavor discovery."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    build_skeleton,
+    discover_flavors,
+    document_coverage,
+    mine_structures,
+    path_coverage,
+    structure_of,
+)
+from repro.types import matches
+
+USERS = [{"type": "user", "name": f"u{i}", "age": i} for i in range(6)]
+POSTS = [{"type": "post", "title": f"t{i}", "tags": ["a", "b"]} for i in range(3)]
+ODD = [{"weird": {"deep": [1]}}]
+COLLECTION = USERS + POSTS + ODD
+
+
+class TestStructureOf:
+    def test_flat(self):
+        assert structure_of({"a": 1, "b": "x"}) == frozenset({("a",), ("b",)})
+
+    def test_nested_and_arrays_generalized(self):
+        s = structure_of({"u": {"n": 1}, "xs": [{"v": 1}, {"v": 2}]})
+        assert s == frozenset({("u", "n"), ("xs", "[*]", "v")})
+
+    def test_array_positions_collapse(self):
+        assert structure_of({"xs": [1, 2, 3]}) == structure_of({"xs": [9]})
+
+
+class TestMineStructures:
+    def test_counts(self):
+        structures = mine_structures(COLLECTION)
+        assert structures[0].count == 6  # users dominate
+        assert structures[1].count == 3
+        assert structures[2].count == 1
+
+    def test_order_most_frequent_first(self):
+        structures = mine_structures(COLLECTION)
+        counts = [s.count for s in structures]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty(self):
+        with pytest.raises(InferenceError):
+            mine_structures([])
+
+
+class TestSkeleton:
+    def test_top_k(self):
+        skeleton = build_skeleton(COLLECTION, k=2)
+        assert skeleton.order == 2
+        assert skeleton.document_count == 10
+
+    def test_document_coverage_monotone_in_k(self):
+        coverages = [
+            document_coverage(build_skeleton(COLLECTION, k=k), COLLECTION)
+            for k in (1, 2, 3)
+        ]
+        assert coverages == sorted(coverages)
+        assert coverages[0] == 0.6
+        assert coverages[1] == 0.9
+        assert coverages[2] == 1.0
+
+    def test_path_coverage(self):
+        skeleton = build_skeleton(COLLECTION, k=1)
+        pc = path_coverage(skeleton, COLLECTION)
+        dc = document_coverage(skeleton, COLLECTION)
+        assert pc >= dc  # partial matches count for paths
+
+    def test_skeleton_misses_rare_paths(self):
+        """The defining property: skeletons may miss traversable paths."""
+        skeleton = build_skeleton(COLLECTION, k=2)
+        assert not skeleton.covers_path(("weird", "deep", "[*]"))
+        assert skeleton.covers_path(("type",))
+
+    def test_as_trees(self):
+        skeleton = build_skeleton(COLLECTION, k=1)
+        (tree,) = skeleton.as_trees()
+        assert set(tree.keys()) == {"type", "name", "age"}
+
+    def test_covers_document(self):
+        skeleton = build_skeleton(COLLECTION, k=1)
+        assert skeleton.covers_document(USERS[0])
+        assert not skeleton.covers_document(ODD[0])
+
+
+class TestCouchbaseFlavors:
+    def test_discovers_major_flavors(self):
+        flavors = discover_flavors(COLLECTION, threshold=0.5)
+        assert len(flavors) >= 2
+        assert flavors[0].count == 6
+        assert flavors[1].count == 3
+
+    def test_flavor_schemas_sound(self):
+        for flavor in discover_flavors(COLLECTION, threshold=0.5):
+            for doc in flavor.members:
+                assert matches(doc, flavor.schema)
+
+    def test_semantic_discrimination(self):
+        """Docs with identical structure but different `type` values split."""
+        docs = [{"type": "a", "v": 1}] * 4 + [{"type": "b", "v": 2}] * 4
+        flavors = discover_flavors(docs, threshold=0.9)
+        assert len(flavors) == 2
+
+    def test_threshold_zero_gives_one_flavor(self):
+        flavors = discover_flavors(COLLECTION, threshold=0.0)
+        assert len(flavors) == 1
+        assert flavors[0].count == len(COLLECTION)
+
+    def test_describe(self):
+        flavors = discover_flavors(USERS, threshold=0.5)
+        assert "6 docs" in flavors[0].describe()
+
+    def test_empty(self):
+        with pytest.raises(InferenceError):
+            discover_flavors([])

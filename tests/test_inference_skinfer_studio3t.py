@@ -1,0 +1,146 @@
+"""Tests for Skinfer-style and Studio-3T-style inference."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    jsonschema_size,
+    schema_from_object,
+    shape_of,
+    skinfer_infer_schema,
+    skinfer_merge_schemas,
+    studio3t_analyze,
+)
+from repro.jsonschema import compile_schema
+
+
+class TestSchemaFromObject:
+    def test_scalars(self):
+        assert schema_from_object(1) == {"type": "integer"}
+        assert schema_from_object(1.5) == {"type": "number"}
+        assert schema_from_object("x") == {"type": "string"}
+        assert schema_from_object(None) == {"type": "null"}
+        assert schema_from_object(True) == {"type": "boolean"}
+
+    def test_object_all_required(self):
+        schema = schema_from_object({"a": 1, "b": "x"})
+        assert schema["required"] == ["a", "b"]
+
+    def test_homogeneous_array(self):
+        schema = schema_from_object([1, 2])
+        assert schema == {"type": "array", "items": {"type": "integer"}}
+
+    def test_heterogeneous_array_drops_items(self):
+        schema = schema_from_object([1, "x"])
+        assert schema == {"type": "array"}
+
+    def test_document_validates_against_own_schema(self):
+        doc = {"a": [1, 2], "b": {"c": None}}
+        compiled = compile_schema(schema_from_object(doc))
+        assert compiled.is_valid(doc)
+
+
+class TestMergeSchemas:
+    def test_identical(self):
+        s = {"type": "string"}
+        assert skinfer_merge_schemas(s, s) == s
+
+    def test_integer_number_widen(self):
+        assert skinfer_merge_schemas({"type": "integer"}, {"type": "number"}) == {
+            "type": "number"
+        }
+
+    def test_cross_type_union_list(self):
+        merged = skinfer_merge_schemas({"type": "string"}, {"type": "integer"})
+        assert merged == {"type": ["integer", "string"]}
+
+    def test_object_required_intersection(self):
+        a = schema_from_object({"x": 1, "y": "s"})
+        b = schema_from_object({"x": 2})
+        merged = skinfer_merge_schemas(a, b)
+        assert merged["required"] == ["x"]
+        assert set(merged["properties"]) == {"x", "y"}
+
+    def test_object_merge_is_recursive(self):
+        a = schema_from_object({"u": {"n": 1}})
+        b = schema_from_object({"u": {"n": 2.5}})
+        merged = skinfer_merge_schemas(a, b)
+        assert merged["properties"]["u"]["properties"]["n"] == {"type": "number"}
+
+    def test_array_merge_is_not_recursive(self):
+        """The documented Skinfer limitation: array items are not merged."""
+        a = schema_from_object({"xs": [{"n": 1}]})
+        b = schema_from_object({"xs": [{"n": 2.5}]})
+        merged = skinfer_merge_schemas(a, b)
+        # Items differed, so the merged array lost its item schema entirely.
+        assert merged["properties"]["xs"] == {"type": "array"}
+
+    def test_array_merge_keeps_identical_items(self):
+        a = schema_from_object({"xs": [1]})
+        b = schema_from_object({"xs": [2]})
+        merged = skinfer_merge_schemas(a, b)
+        assert merged["properties"]["xs"]["items"] == {"type": "integer"}
+
+
+class TestSkinferInference:
+    DOCS = [
+        {"id": 1, "name": "a", "tags": ["x", "y"]},
+        {"id": 2, "name": "b"},
+        {"id": 3, "name": "c", "meta": {"lang": "en"}},
+    ]
+
+    def test_soundness(self):
+        compiled = compile_schema(skinfer_infer_schema(self.DOCS))
+        for doc in self.DOCS:
+            assert compiled.is_valid(doc)
+
+    def test_required_only_common_fields(self):
+        schema = skinfer_infer_schema(self.DOCS)
+        assert schema["required"] == ["id", "name"]
+
+    def test_empty_collection(self):
+        with pytest.raises(InferenceError):
+            skinfer_infer_schema([])
+
+    def test_schema_size(self):
+        schema = skinfer_infer_schema(self.DOCS)
+        assert jsonschema_size(schema) > 10
+
+
+class TestStudio3T:
+    def test_shape_of(self):
+        assert shape_of({"a": 1, "b": [1.5, "x"]}) == {
+            "a": "integer",
+            "b": ["double", "string"],
+        }
+
+    def test_distinct_shapes_counted(self):
+        docs = [{"a": 1}, {"a": 2}, {"a": "s"}, {"b": True}]
+        analysis = studio3t_analyze(docs)
+        assert analysis.document_count == 4
+        assert analysis.distinct_shapes() == 3
+
+    def test_no_merging_blows_up(self):
+        """Schema size grows with variant count — the documented problem."""
+        homogeneous = studio3t_analyze([{"a": i} for i in range(50)])
+        heterogeneous = studio3t_analyze(
+            [{f"field_{i}": i} for i in range(50)]
+        )
+        assert homogeneous.distinct_shapes() == 1
+        assert heterogeneous.distinct_shapes() == 50
+        assert heterogeneous.schema_size() > 10 * homogeneous.schema_size()
+
+    def test_result_sorted_by_frequency(self):
+        docs = [{"a": 1}] * 3 + [{"b": "x"}]
+        result = studio3t_analyze(docs).result()
+        assert result[0]["count"] == 3
+        assert result[0]["probability"] == 0.75
+
+    def test_array_positions_kept(self):
+        # Studio-3T-like shapes keep positional array structure.
+        analysis = studio3t_analyze([{"xs": [1, "a"]}, {"xs": ["a", 1]}])
+        assert analysis.distinct_shapes() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            studio3t_analyze([])

@@ -1,0 +1,171 @@
+"""Tests for Spark-style and mongodb-schema-style inference."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference import (
+    StreamingAnalyzer,
+    count_string_collapses,
+    infer_spark_schema,
+    mongodb_analyze,
+    render_spark_schema,
+)
+from repro.inference.spark import (
+    ArrayType,
+    BOOLEAN,
+    DOUBLE,
+    LONG,
+    STRING,
+    StructField,
+    StructType,
+    merge_types,
+)
+
+
+class TestSparkAtomics:
+    def test_long_double_widen(self):
+        assert merge_types(LONG, DOUBLE) == DOUBLE
+
+    def test_null_is_identity(self):
+        from repro.inference.spark import NULL
+
+        assert merge_types(NULL, LONG) == LONG
+        assert merge_types(BOOLEAN, NULL) == BOOLEAN
+
+    def test_conflicts_collapse_to_string(self):
+        assert merge_types(LONG, BOOLEAN) == STRING
+        assert merge_types(STRING, DOUBLE) == STRING
+
+    def test_container_conflicts_collapse(self):
+        arr = ArrayType(LONG)
+        struct = StructType((StructField("a", LONG),))
+        assert merge_types(arr, struct) == STRING
+        assert merge_types(arr, LONG) == STRING
+
+
+class TestSparkInference:
+    def test_homogeneous(self):
+        schema = infer_spark_schema([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert schema.field_map()["a"].dtype == LONG
+        assert schema.field_map()["b"].dtype == STRING
+
+    def test_missing_fields_nullable(self):
+        schema = infer_spark_schema([{"a": 1}, {"b": 2}])
+        assert schema.field_map()["a"].nullable
+        assert schema.field_map()["b"].nullable
+
+    def test_number_widening(self):
+        schema = infer_spark_schema([{"v": 1}, {"v": 2.5}])
+        assert schema.field_map()["v"].dtype == DOUBLE
+
+    def test_heterogeneity_collapses_to_string(self):
+        # The tutorial's headline criticism: no unions → Str fallback.
+        schema = infer_spark_schema([{"v": 1}, {"v": [1, 2]}])
+        assert schema.field_map()["v"].dtype == STRING
+
+    def test_nested_structs(self):
+        schema = infer_spark_schema([{"u": {"n": "a"}}, {"u": {"n": "b", "x": 1}}])
+        u = schema.field_map()["u"].dtype
+        assert isinstance(u, StructType)
+        assert u.field_map()["x"].nullable
+
+    def test_arrays(self):
+        schema = infer_spark_schema([{"xs": [1, 2]}, {"xs": [3]}])
+        xs = schema.field_map()["xs"].dtype
+        assert xs == ArrayType(LONG)
+
+    def test_array_with_nulls(self):
+        schema = infer_spark_schema([{"xs": [1, None]}])
+        xs = schema.field_map()["xs"].dtype
+        assert isinstance(xs, ArrayType)
+        assert xs.contains_null
+
+    def test_corrupt_records(self):
+        schema = infer_spark_schema([{"a": 1}, "not an object"])
+        assert "_corrupt_record" in schema.field_map()
+
+    def test_only_corrupt(self):
+        schema = infer_spark_schema(["x", [1]])
+        assert [f.name for f in schema.fields] == ["_corrupt_record"]
+
+    def test_empty_collection(self):
+        with pytest.raises(InferenceError):
+            infer_spark_schema([])
+
+    def test_render(self):
+        schema = infer_spark_schema([{"a": 1, "u": {"n": "x"}}])
+        text = render_spark_schema(schema)
+        assert text.startswith("root")
+        assert " |-- a: long (nullable = false)" in text
+        assert " |    |-- n: string" in text
+
+    def test_collapse_counter(self):
+        docs = [{"v": 1, "w": "s"}, {"v": True, "w": "t"}]
+        assert count_string_collapses(docs) == 1
+
+
+class TestMongodbAnalyzer:
+    DOCS = [
+        {"a": 1, "b": "x"},
+        {"a": 2.5},
+        {"a": "mixed", "c": {"d": True}},
+        {"b": "y", "e": [1, "two"]},
+    ]
+
+    def test_counts_and_probabilities(self):
+        result = mongodb_analyze(self.DOCS)
+        assert result["count"] == 4
+        fields = {f["name"]: f for f in result["fields"]}
+        assert fields["a"]["count"] == 3
+        assert fields["a"]["probability"] == 0.75
+
+    def test_type_breakdown(self):
+        result = mongodb_analyze(self.DOCS)
+        fields = {f["name"]: f for f in result["fields"]}
+        types = {t["name"]: t for t in fields["a"]["types"]}
+        assert types["Long"]["count"] == 1
+        assert types["Double"]["count"] == 1
+        assert types["String"]["count"] == 1
+
+    def test_nested_documents(self):
+        result = mongodb_analyze(self.DOCS)
+        fields = {f["name"]: f for f in result["fields"]}
+        c_doc = {t["name"]: t for t in fields["c"]["types"]}["Document"]
+        nested = {f["name"]: f for f in c_doc["fields"]}
+        assert nested["d"]["count"] == 1
+
+    def test_array_elements(self):
+        result = mongodb_analyze(self.DOCS)
+        fields = {f["name"]: f for f in result["fields"]}
+        e_arr = {t["name"]: t for t in fields["e"]["types"]}["Array"]
+        (elem,) = e_arr["elements"]
+        assert elem["count"] == 2
+        element_types = {t["name"] for t in elem["types"]}
+        assert element_types == {"Long", "String"}
+
+    def test_streaming_matches_batch(self):
+        analyzer = StreamingAnalyzer()
+        for doc in self.DOCS:
+            analyzer.feed(doc)
+        assert analyzer.result() == mongodb_analyze(self.DOCS)
+
+    def test_no_correlations_by_design(self):
+        """Correlated and anti-correlated collections summarise identically."""
+        correlated = [{"a": 1, "b": 1}, {"a": 2, "b": 2}, {}, {}]
+        anti = [{"a": 1}, {"a": 2}, {"b": 1}, {"b": 2}]
+        assert mongodb_analyze(correlated) == mongodb_analyze(anti)
+
+    def test_samples_bounded(self):
+        docs = [{"v": i} for i in range(100)]
+        result = mongodb_analyze(docs, sample_size=5)
+        fields = {f["name"]: f for f in result["fields"]}
+        samples = fields["v"]["types"][0]["samples"]
+        assert len(samples) == 5
+
+    def test_non_object_rejected(self):
+        with pytest.raises(InferenceError):
+            StreamingAnalyzer().feed([1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InferenceError):
+            StreamingAnalyzer().result()

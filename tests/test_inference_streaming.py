@@ -1,0 +1,86 @@
+"""Tests for streaming (event-based) type inference."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.datasets import github_events, ndjson_lines
+from repro.errors import InferenceError
+from repro.inference import infer_type
+from repro.inference.streaming import (
+    infer_type_streaming,
+    type_from_events,
+    type_of_text,
+)
+from repro.jsonvalue.events import iter_events
+from repro.jsonvalue.serializer import dumps
+from repro.types import ArrType, BOT, Equivalence, INT, RecType, STR, type_of
+
+from tests.strategies import json_values
+
+
+class TestTypeOfText:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "null",
+            "true",
+            "42",
+            "2.5",
+            '"s"',
+            "[]",
+            "{}",
+            "[1, 2, 3]",
+            '[1, "a", null]',
+            '{"a": {"b": [1.5]}, "c": []}',
+        ],
+    )
+    def test_equals_dom_path(self, text):
+        from repro.jsonvalue.parser import parse
+
+        assert type_of_text(text) == type_of(parse(text))
+
+    def test_simple_shapes(self):
+        assert type_of_text('{"a": 1}') == RecType.of({"a": INT})
+        assert type_of_text("[]") == ArrType(BOT)
+
+    def test_empty_text_rejected(self):
+        from repro.errors import ReproError
+
+        # Zero documents: the event parser rejects the empty text.
+        with pytest.raises(ReproError):
+            type_of_text("")
+
+
+class TestTypeFromEvents:
+    def test_multiple_documents(self):
+        stream = list(iter_events('{"a": 1}')) + list(iter_events('["x"]'))
+        types = list(type_from_events(stream))
+        assert types == [RecType.of({"a": INT}), ArrType(STR)]
+
+    def test_truncated_stream(self):
+        events = list(iter_events('{"a": 1}'))[:-1]
+        with pytest.raises(InferenceError):
+            list(type_from_events(events))
+
+
+class TestInferStreaming:
+    def test_equals_batch_inference(self):
+        docs = github_events(150, seed=21)
+        lines = ndjson_lines(docs)
+        for eq in (Equivalence.KIND, Equivalence.LABEL):
+            assert infer_type_streaming(lines, eq) == infer_type(docs, eq)
+
+    def test_blank_lines_skipped(self):
+        lines = ['{"a": 1}', "", "   ", '{"a": 2}']
+        assert infer_type_streaming(lines) == RecType.of({"a": INT})
+
+    def test_empty_stream(self):
+        with pytest.raises(InferenceError):
+            infer_type_streaming([])
+
+
+@given(json_values(max_leaves=20))
+@settings(max_examples=80, deadline=None)
+def test_streaming_type_equals_dom_type(value):
+    assert type_of_text(dumps(value)) == type_of(value)

@@ -1,0 +1,146 @@
+"""Cross-subsystem integration scenarios: the tutorial's arcs end to end.
+
+Each test walks a full pipeline across several subsystems, checking the
+handoffs — the places unit tests cannot see.
+"""
+
+import pytest
+
+from repro.datasets import github_events, ndjson_lines, nyt_articles, tweets
+from repro.inference import (
+    build_skeleton,
+    infer_type,
+    infer_type_streaming,
+    skinfer_infer_schema,
+)
+from repro.jsonschema import compile_schema, generate_instance
+from repro.jsonvalue.model import sort_keys_deep, strict_equal
+from repro.jsonvalue.parser import parse
+from repro.parsing import MisonParser, SpeculativeDecoder, SpeculativeEncoder, apply_projection
+from repro.pl import (
+    algebra_to_swift_with_enums,
+    algebra_to_typescript,
+    jsonschema_to_typescript,
+)
+from repro.pl import swift as sw
+from repro.pl import typescript as ts
+from repro.repository import SchemaRepository
+from repro.translation import assemble, schema_aware_translate
+from repro.types import Equivalence, matches, type_to_jsonschema
+
+
+class TestInferValidateLoop:
+    """Part 4 → Part 2: inference output is a usable schema."""
+
+    @pytest.mark.parametrize("generate", [tweets, github_events, nyt_articles])
+    @pytest.mark.parametrize("eq", [Equivalence.KIND, Equivalence.LABEL])
+    def test_inferred_schema_validates_collection(self, generate, eq):
+        docs = generate(120, seed=31)
+        inferred = infer_type(docs, eq)
+        compiled = compile_schema(type_to_jsonschema(inferred))
+        for doc in docs:
+            assert compiled.is_valid(doc)
+
+    def test_inferred_schema_generates_matching_witnesses(self, subtests=None):
+        docs = nyt_articles(60, seed=32)
+        inferred = infer_type(docs, Equivalence.KIND)
+        schema = compile_schema(type_to_jsonschema(inferred))
+        witness = generate_instance(schema, seed=3)
+        # The generated witness inhabits the inferred type too (both views agree).
+        assert matches(witness, inferred)
+
+
+class TestInferTypesLoop:
+    """Part 4 → Part 3: inference output becomes PL declarations."""
+
+    def test_typescript_accepts_collection(self):
+        docs = github_events(100, seed=33)
+        inferred = infer_type(docs, Equivalence.KIND)
+        ts_type = algebra_to_typescript(inferred)
+        for doc in docs:
+            assert ts.check(doc, ts_type)
+
+    def test_swift_enums_decode_label_variants(self):
+        docs = github_events(100, seed=34)
+        inferred = infer_type(docs, Equivalence.LABEL)
+        swift_type = algebra_to_swift_with_enums(inferred, "Event")
+        for doc in docs[:30]:
+            sw.decode(swift_type, doc)  # must not raise
+
+    def test_skinfer_schema_to_typescript(self):
+        """Part 4 (Skinfer) → Part 2 (JSON Schema) → Part 3 (TypeScript)."""
+        docs = nyt_articles(60, seed=35)
+        schema = skinfer_infer_schema(docs)
+        ts_type = jsonschema_to_typescript(schema)
+        for doc in docs:
+            assert ts.check(doc, ts_type)
+
+
+class TestParsingPipelines:
+    """§4.2 parsers slot into analytics pipelines without changing results."""
+
+    def test_mison_then_inference(self):
+        docs = tweets(150, seed=36, delete_fraction=0.0)
+        lines = ndjson_lines(docs)
+        projection = ["user.screen_name", "retweet_count", "lang"]
+        parser = MisonParser(projection)
+        projected = list(parser.parse_stream(lines))
+        # Inference over the projected stream: a smaller, still-sound type.
+        t_projected = infer_type(projected, Equivalence.KIND)
+        for p in projected:
+            assert matches(p, t_projected)
+        t_full = infer_type(docs, Equivalence.KIND)
+        assert t_projected.size() < t_full.size()
+
+    def test_decode_encode_identity_through_speculation(self):
+        docs = [{"id": i, "v": f"s{i}", "ok": True} for i in range(200)]
+        encoder = SpeculativeEncoder()
+        decoder = SpeculativeDecoder()
+        for doc in docs:
+            line = encoder.encode(doc)
+            assert strict_equal(decoder.decode(line), doc)
+        assert encoder.stats.hit_rate > 0.9
+        assert decoder.stats.hit_rate > 0.9
+
+    def test_streaming_inference_equals_mison_fed_inference(self):
+        docs = github_events(80, seed=37)
+        lines = ndjson_lines(docs)
+        assert infer_type_streaming(lines) == infer_type(docs, Equivalence.KIND)
+
+
+class TestRepositoryAndTranslation:
+    """§2 skeletons + §5 translation share the repository's view."""
+
+    def test_classify_then_translate_per_flavor(self):
+        docs = github_events(200, seed=38)
+        repo = SchemaRepository()
+        entry = repo.register("events", docs, k=4)
+        # Translate each structure group with its own (tighter) schema.
+        from repro.inference.skeleton import structure_of
+
+        groups: dict = {}
+        for doc in docs:
+            s = structure_of(doc)
+            if s in entry.group_types:
+                groups.setdefault(s, []).append(doc)
+        assert groups
+        for structure, members in groups.items():
+            report = schema_aware_translate(members, entry.group_types[structure])
+            assert report.document_count == len(members)
+            if report.fallback_count == 0:
+                rebuilt = assemble(report.columnar)
+                for original, back in zip(members, rebuilt):
+                    assert strict_equal(sort_keys_deep(original), sort_keys_deep(back))
+
+    def test_repository_paths_drive_projection(self):
+        """Skeleton paths become a Mison projection for the same data."""
+        docs = nyt_articles(80, seed=39)
+        skeleton = build_skeleton(docs, k=1)
+        # Project onto the top structure's first few scalar paths.
+        paths = sorted(skeleton.structures[0].paths)[:3]
+        projection = [".".join(p).replace(".[*]", "[*]") for p in paths]
+        parser = MisonParser(projection)
+        for line in ndjson_lines(docs)[:40]:
+            assert parser.parse_projected(line) == apply_projection(
+                parse(line), projection
+            )

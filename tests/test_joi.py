@@ -1,0 +1,330 @@
+"""Tests for the Joi-style schema language."""
+
+import pytest
+
+import repro.joi as joi
+from repro.joi import JoiSchemaError
+
+
+class TestPrimitives:
+    def test_any(self):
+        schema = joi.any_()
+        for v in (None, 1, "x", [], {}):
+            assert schema.is_valid(v)
+
+    def test_string(self):
+        assert joi.string().is_valid("hello")
+        assert not joi.string().is_valid(42)
+
+    def test_number(self):
+        assert joi.number().is_valid(3)
+        assert joi.number().is_valid(3.5)
+        assert not joi.number().is_valid("3")
+        assert not joi.number().is_valid(True)
+
+    def test_boolean(self):
+        assert joi.boolean().is_valid(False)
+        assert not joi.boolean().is_valid(0)
+
+    def test_null(self):
+        assert joi.null().is_valid(None)
+        assert not joi.null().is_valid(0)
+
+
+class TestStringConstraints:
+    def test_min_max(self):
+        schema = joi.string().min(2).max(4)
+        assert schema.is_valid("ab") and schema.is_valid("abcd")
+        assert not schema.is_valid("a") and not schema.is_valid("abcde")
+
+    def test_length(self):
+        assert joi.string().length(3).is_valid("abc")
+        assert not joi.string().length(3).is_valid("ab")
+
+    def test_pattern(self):
+        schema = joi.string().pattern(r"^\d+$")
+        assert schema.is_valid("123")
+        assert not schema.is_valid("12a")
+
+    def test_bad_pattern_raises(self):
+        with pytest.raises(JoiSchemaError):
+            joi.string().pattern("(")
+
+    def test_alphanum(self):
+        assert joi.string().alphanum().is_valid("abc123")
+        assert not joi.string().alphanum().is_valid("a b")
+
+    def test_email(self):
+        assert joi.string().email().is_valid("a@example.org")
+        assert not joi.string().email().is_valid("nope")
+
+    def test_lowercase(self):
+        assert joi.string().lowercase().is_valid("abc")
+        assert not joi.string().lowercase().is_valid("Abc")
+
+
+class TestNumberConstraints:
+    def test_bounds(self):
+        schema = joi.number().min(0).max(10)
+        assert schema.is_valid(0) and schema.is_valid(10)
+        assert not schema.is_valid(-1) and not schema.is_valid(11)
+
+    def test_strict_bounds(self):
+        schema = joi.number().greater(0).less(1)
+        assert schema.is_valid(0.5)
+        assert not schema.is_valid(0) and not schema.is_valid(1)
+
+    def test_integer(self):
+        assert joi.number().integer().is_valid(5)
+        assert not joi.number().integer().is_valid(5.5)
+
+    def test_positive_negative(self):
+        assert joi.number().positive().is_valid(1)
+        assert not joi.number().positive().is_valid(0)
+        assert joi.number().negative().is_valid(-1)
+
+    def test_multiple(self):
+        assert joi.number().multiple(3).is_valid(9)
+        assert not joi.number().multiple(3).is_valid(10)
+
+    def test_birth_year_example(self):
+        schema = joi.number().integer().min(1900).max(2013)
+        assert schema.is_valid(1985)
+        assert not schema.is_valid(1850)
+        assert not schema.is_valid(1985.5)
+
+
+class TestValueSets:
+    def test_valid_whitelist(self):
+        schema = joi.string().valid("a", "b")
+        assert schema.is_valid("a")
+        assert not schema.is_valid("c")
+
+    def test_allow_extends_type(self):
+        schema = joi.string().allow(None)
+        assert schema.is_valid("x")
+        assert schema.is_valid(None)
+        assert not schema.is_valid(3)
+
+    def test_invalid_blacklist(self):
+        schema = joi.string().invalid("root")
+        assert schema.is_valid("user")
+        assert not schema.is_valid("root")
+
+    def test_strict_value_equality(self):
+        assert not joi.any_().valid(1).is_valid(True)
+        assert not joi.any_().valid(1).is_valid(1.0)
+
+
+class TestArrays:
+    def test_items_union(self):
+        schema = joi.array().items(joi.string(), joi.number())
+        assert schema.is_valid(["a", 1, 2.5])
+        assert not schema.is_valid(["a", None])
+
+    def test_counts(self):
+        schema = joi.array().min(1).max(2)
+        assert not schema.is_valid([])
+        assert schema.is_valid([1])
+        assert not schema.is_valid([1, 2, 3])
+
+    def test_unique(self):
+        assert joi.array().unique().is_valid([1, 2, "1"])
+        assert not joi.array().unique().is_valid([1, 2, 1])
+
+    def test_item_failure_path(self):
+        result = joi.array().items(joi.number()).validate([1, "x"])
+        assert not result.valid
+        assert result.failures[0].path == (1,)
+
+
+class TestObjects:
+    def test_keys(self):
+        schema = joi.object().keys({"a": joi.number(), "b": joi.string()})
+        assert schema.is_valid({"a": 1, "b": "x"})
+        assert schema.is_valid({"a": 1})  # optional by default
+        assert not schema.is_valid({"a": "not a number"})
+
+    def test_unknown_rejected_by_default(self):
+        schema = joi.object().keys({"a": joi.number()})
+        assert not schema.is_valid({"a": 1, "z": 2})
+        assert schema.unknown().is_valid({"a": 1, "z": 2})
+
+    def test_required(self):
+        schema = joi.object().keys({"a": joi.number().required()})
+        assert not schema.is_valid({})
+        assert schema.is_valid({"a": 0})
+
+    def test_forbidden(self):
+        schema = joi.object().keys({"legacy": joi.any_().forbidden()})
+        assert schema.is_valid({})
+        assert not schema.is_valid({"legacy": 1})
+
+    def test_pattern_keys(self):
+        schema = joi.object().pattern(r"^meta_", joi.string())
+        assert schema.is_valid({"meta_a": "x"})
+        assert not schema.is_valid({"meta_a": 1})
+        assert not schema.is_valid({"other": "x"})
+
+    def test_min_max_keys(self):
+        schema = joi.object().unknown().min(1).max(2)
+        assert not schema.is_valid({})
+        assert schema.is_valid({"a": 1})
+        assert not schema.is_valid({"a": 1, "b": 2, "c": 3})
+
+    def test_nested_paths(self):
+        schema = joi.object().keys(
+            {"user": joi.object().keys({"name": joi.string().required()})}
+        )
+        result = schema.validate({"user": {}})
+        assert result.failures[0].path == ("user", "name")
+
+
+class TestCoOccurrence:
+    def test_and(self):
+        schema = joi.object().unknown().and_("a", "b")
+        assert schema.is_valid({})
+        assert schema.is_valid({"a": 1, "b": 2})
+        assert not schema.is_valid({"a": 1})
+
+    def test_or(self):
+        schema = joi.object().unknown().or_("a", "b")
+        assert schema.is_valid({"a": 1})
+        assert schema.is_valid({"b": 1})
+        assert not schema.is_valid({"c": 1})
+
+    def test_xor(self):
+        schema = joi.object().unknown().xor("password", "token")
+        assert schema.is_valid({"password": "x"})
+        assert schema.is_valid({"token": "y"})
+        assert not schema.is_valid({})
+        assert not schema.is_valid({"password": "x", "token": "y"})
+
+    def test_nand(self):
+        schema = joi.object().unknown().nand("a", "b")
+        assert schema.is_valid({"a": 1})
+        assert schema.is_valid({})
+        assert not schema.is_valid({"a": 1, "b": 2})
+
+    def test_with(self):
+        schema = joi.object().unknown().with_("username", "birth_year")
+        assert schema.is_valid({})
+        assert schema.is_valid({"birth_year": 1990})
+        assert schema.is_valid({"username": "ada", "birth_year": 1990})
+        assert not schema.is_valid({"username": "ada"})
+
+    def test_without(self):
+        schema = joi.object().unknown().without("guest", "password")
+        assert schema.is_valid({"guest": True})
+        assert schema.is_valid({"password": "x"})
+        assert not schema.is_valid({"guest": True, "password": "x"})
+
+
+class TestAlternativesAndWhen:
+    def test_alternatives(self):
+        schema = joi.alternatives(joi.string(), joi.number())
+        assert schema.is_valid("x") and schema.is_valid(1)
+        assert not schema.is_valid(None)
+
+    def test_try_extends(self):
+        schema = joi.alternatives(joi.string()).try_(joi.number())
+        assert schema.is_valid(1)
+
+    def test_when_value_dependent(self):
+        schema = joi.object().keys(
+            {
+                "kind": joi.string().valid("circle", "square").required(),
+                "size": joi.when(
+                    "kind",
+                    is_=joi.string().valid("circle"),
+                    then=joi.number().required(),
+                    otherwise=joi.string().required(),
+                ),
+            }
+        )
+        assert schema.is_valid({"kind": "circle", "size": 3.0})
+        assert not schema.is_valid({"kind": "circle", "size": "big"})
+        assert schema.is_valid({"kind": "square", "size": "big"})
+        assert not schema.is_valid({"kind": "square", "size": 3.0})
+
+    def test_when_presence_is_resolved(self):
+        schema = joi.object().keys(
+            {
+                "mode": joi.string(),
+                "extra": joi.when(
+                    "mode",
+                    is_=joi.string().valid("strict"),
+                    then=joi.any_().required(),
+                    otherwise=joi.any_(),
+                ),
+            }
+        )
+        assert not schema.is_valid({"mode": "strict"})
+        assert schema.is_valid({"mode": "lax"})
+
+    def test_when_at_top_level_fails(self):
+        schema = joi.when("x", is_=joi.any_(), then=joi.any_(), otherwise=joi.any_())
+        assert not schema.is_valid({"x": 1})
+
+
+class TestImmutability:
+    def test_builders_do_not_mutate(self):
+        base = joi.string()
+        longer = base.min(5)
+        assert base.is_valid("ab")
+        assert not longer.is_valid("ab")
+
+    def test_shared_object_base(self):
+        base = joi.object().keys({"a": joi.number()})
+        strict = base.keys({"b": joi.string().required()})
+        assert base.is_valid({"a": 1})
+        assert not strict.is_valid({"a": 1})
+
+
+class TestTutorialAccountExample:
+    """The running example from the Joi README the tutorial points at."""
+
+    @pytest.fixture()
+    def schema(self):
+        return (
+            joi.object()
+            .keys(
+                {
+                    "username": joi.string().alphanum().min(3).max(30).required(),
+                    "password": joi.string().pattern(r"^[a-zA-Z0-9]{3,30}$"),
+                    "access_token": joi.alternatives(joi.string(), joi.number()),
+                    "birth_year": joi.number().integer().min(1900).max(2013),
+                    "email": joi.string().email(),
+                }
+            )
+            .with_("username", "birth_year")
+            .xor("password", "access_token")
+        )
+
+    def test_accepts_password_variant(self, schema):
+        assert schema.is_valid(
+            {"username": "abc", "birth_year": 1994, "password": "passwd1"}
+        )
+
+    def test_accepts_token_variant(self, schema):
+        assert schema.is_valid(
+            {"username": "abc", "birth_year": 1994, "access_token": 123}
+        )
+
+    def test_rejects_both_credentials(self, schema):
+        assert not schema.is_valid(
+            {
+                "username": "abc",
+                "birth_year": 1994,
+                "password": "passwd1",
+                "access_token": "t",
+            }
+        )
+
+    def test_rejects_missing_birth_year(self, schema):
+        assert not schema.is_valid({"username": "abc", "password": "passwd1"})
+
+    def test_rejects_bad_username(self, schema):
+        assert not schema.is_valid(
+            {"username": "a!", "birth_year": 1994, "password": "passwd1"}
+        )

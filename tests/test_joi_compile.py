@@ -1,0 +1,193 @@
+"""Tests for the Joi → JSON Schema compiler (DESIGN.md invariant 7)."""
+
+import pytest
+
+import repro.joi as joi
+from repro.joi import compile_to_jsonschema
+from repro.jsonschema import compile_schema
+
+
+def agree_on(joi_schema, instances):
+    """Assert Joi and its compiled JSON Schema accept/reject identically."""
+    compiled = compile_schema(compile_to_jsonschema(joi_schema))
+    for instance in instances:
+        assert joi_schema.is_valid(instance) == compiled.is_valid(instance), instance
+
+
+class TestScalarCompilation:
+    def test_string(self):
+        agree_on(joi.string().min(2).max(4), ["a", "ab", "abcd", "abcde", 5, None])
+
+    def test_pattern(self):
+        agree_on(joi.string().pattern(r"^\d+$"), ["123", "x1", ""])
+
+    def test_alphanum(self):
+        agree_on(joi.string().alphanum(), ["abc1", "a b", ""])
+
+    def test_number(self):
+        agree_on(joi.number().min(0).max(10), [-1, 0, 5, 10, 11, "5"])
+
+    def test_integer(self):
+        # Note: JSON Schema "integer" admits 3.0 (spec semantics) while Joi's
+        # integer() does not — exclude integral floats from the comparison.
+        agree_on(joi.number().integer().positive(), [1, 7, -1, 0, "x"])
+
+    def test_multiple(self):
+        agree_on(joi.number().multiple(3), [9, 10, 0])
+
+    def test_boolean(self):
+        agree_on(joi.boolean(), [True, False, 0, "true"])
+
+    def test_valid_whitelist(self):
+        agree_on(joi.any_().valid("a", "b"), ["a", "b", "c", 1])
+
+    def test_allow_null(self):
+        agree_on(joi.string().allow(None), ["x", None, 3])
+
+
+class TestContainerCompilation:
+    def test_array(self):
+        agree_on(
+            joi.array().items(joi.number()).min(1).max(3),
+            [[], [1], [1, 2, 3], [1, 2, 3, 4], ["x"], "not-array"],
+        )
+
+    def test_array_union_items(self):
+        agree_on(
+            joi.array().items(joi.string(), joi.number()),
+            [["a", 1], [None], [[]]],
+        )
+
+    def test_unique(self):
+        agree_on(joi.array().unique(), [[1, 2], [1, 1]])
+
+    def test_object_keys(self):
+        schema = joi.object().keys(
+            {"a": joi.number().required(), "b": joi.string()}
+        )
+        agree_on(
+            schema,
+            [
+                {"a": 1},
+                {"a": 1, "b": "x"},
+                {"b": "x"},
+                {"a": "no"},
+                {"a": 1, "z": 0},
+            ],
+        )
+
+    def test_object_unknown(self):
+        agree_on(joi.object().keys({"a": joi.any_()}).unknown(), [{"a": 1, "z": 2}])
+
+    def test_forbidden_key(self):
+        agree_on(
+            joi.object().keys({"legacy": joi.any_().forbidden()}).unknown(),
+            [{}, {"legacy": 1}, {"other": 2}],
+        )
+
+    def test_pattern_properties(self):
+        schema = joi.object().pattern(r"^meta_", joi.string())
+        agree_on(schema, [{"meta_a": "x"}, {"meta_a": 1}])
+
+
+class TestConstraintCompilation:
+    CASES = [
+        {},
+        {"a": 1},
+        {"b": 2},
+        {"a": 1, "b": 2},
+        {"a": 1, "b": 2, "c": 3},
+        {"c": 3},
+    ]
+
+    def test_and(self):
+        agree_on(joi.object().unknown().and_("a", "b"), self.CASES)
+
+    def test_or(self):
+        agree_on(joi.object().unknown().or_("a", "b"), self.CASES)
+
+    def test_xor(self):
+        agree_on(joi.object().unknown().xor("a", "b"), self.CASES)
+
+    def test_nand(self):
+        agree_on(joi.object().unknown().nand("a", "b"), self.CASES)
+
+    def test_with(self):
+        agree_on(joi.object().unknown().with_("a", "b"), self.CASES)
+
+    def test_without(self):
+        agree_on(joi.object().unknown().without("a", "b"), self.CASES)
+
+    def test_three_way_xor(self):
+        schema = joi.object().unknown().xor("a", "b", "c")
+        agree_on(schema, self.CASES)
+
+
+class TestWhenCompilation:
+    def test_value_dependent_field(self):
+        schema = joi.object().keys(
+            {
+                "kind": joi.string().valid("circle", "square").required(),
+                "size": joi.when(
+                    "kind",
+                    is_=joi.string().valid("circle"),
+                    then=joi.number().required(),
+                    otherwise=joi.string().required(),
+                ),
+            }
+        )
+        agree_on(
+            schema,
+            [
+                {"kind": "circle", "size": 3.5},
+                {"kind": "circle", "size": "big"},
+                {"kind": "circle"},
+                {"kind": "square", "size": "big"},
+                {"kind": "square", "size": 3.5},
+            ],
+        )
+
+
+class TestAlternativesCompilation:
+    def test_union(self):
+        agree_on(joi.alternatives(joi.string(), joi.number()), ["x", 1, None, []])
+
+    def test_nested(self):
+        schema = joi.alternatives(
+            joi.object().keys({"a": joi.number().required()}),
+            joi.array().items(joi.string()),
+        )
+        agree_on(schema, [{"a": 1}, ["x"], [1], {"b": 2}, "scalar"])
+
+
+class TestAccountExampleCompilation:
+    def test_full_example(self):
+        schema = (
+            joi.object()
+            .keys(
+                {
+                    "username": joi.string().alphanum().min(3).max(30).required(),
+                    "password": joi.string().pattern(r"^[a-zA-Z0-9]{3,30}$"),
+                    "access_token": joi.alternatives(joi.string(), joi.number()),
+                    "birth_year": joi.number().integer().min(1900).max(2013),
+                }
+            )
+            .with_("username", "birth_year")
+            .xor("password", "access_token")
+        )
+        agree_on(
+            schema,
+            [
+                {"username": "abc", "birth_year": 1994, "password": "passwd1"},
+                {"username": "abc", "birth_year": 1994, "access_token": 12},
+                {"username": "abc", "birth_year": 1994},
+                {
+                    "username": "abc",
+                    "birth_year": 1994,
+                    "password": "p1",
+                    "access_token": 1,
+                },
+                {"username": "abc", "password": "passwd1"},
+                {"birth_year": 1994, "password": "passwd1"},
+            ],
+        )

@@ -1,0 +1,247 @@
+"""A table-driven conformance corpus for the JSON Schema validator.
+
+Modelled on the official JSON-Schema-Test-Suite format: groups of
+(description, schema, [(instance, valid)]) cases, focused on *keyword
+interactions* the per-keyword tests don't reach.
+"""
+
+import pytest
+
+from repro.jsonschema import compile_schema
+
+# (group description, schema, [(instance, expected_valid), ...])
+CORPUS = [
+    (
+        "type and enum interact conjunctively",
+        {"type": "string", "enum": ["a", 1]},
+        [("a", True), (1, False), ("b", False)],
+    ),
+    (
+        "allOf with base keywords",
+        {"type": "integer", "allOf": [{"minimum": 0}, {"maximum": 10}]},
+        [(5, True), (-1, False), (11, False), ("5", False)],
+    ),
+    (
+        "anyOf with overlapping branches",
+        {"anyOf": [{"minimum": 5}, {"maximum": 10}]},
+        [(0, True), (7, True), (100, True), ("anything", True)],
+    ),
+    (
+        "oneOf with nested not",
+        {"oneOf": [{"type": "integer"}, {"not": {"type": "integer"}}]},
+        [(1, True), ("x", True), (1.5, True)],
+    ),
+    (
+        "not with object schema",
+        {"not": {"type": "object", "required": ["secret"]}},
+        [({"public": 1}, True), ({"secret": 1}, False), ("scalar", True)],
+    ),
+    (
+        "double negation",
+        {"not": {"not": {"type": "integer"}}},
+        [(1, True), (1.0, True), (1.5, False), ("1", False)],
+    ),
+    (
+        "if without else passes non-matching",
+        {"if": {"type": "integer"}, "then": {"minimum": 10}},
+        [(12, True), (5, False), ("five", True)],
+    ),
+    (
+        "nested if/then/else",
+        {
+            "if": {"type": "object"},
+            "then": {
+                "if": {"required": ["a"]},
+                "then": {"required": ["b"]},
+            },
+        },
+        [({}, True), ({"a": 1, "b": 2}, True), ({"a": 1}, False), (3, True)],
+    ),
+    (
+        "items with contains",
+        {
+            "type": "array",
+            "items": {"type": "integer"},
+            "contains": {"minimum": 100},
+        },
+        [([1, 100], True), ([1, 2], False), ([100, "x"], False), ([], False)],
+    ),
+    (
+        "uniqueItems across containers",
+        {"uniqueItems": True},
+        [([[1], [2]], True), ([[1], [1]], False), ([{"a": 1}, {"a": 2}], True)],
+    ),
+    (
+        "uniqueItems with key order",
+        {"uniqueItems": True},
+        [([{"a": 1, "b": 2}, {"b": 2, "a": 1}], False)],
+    ),
+    (
+        "patternProperties interact with properties",
+        {
+            "properties": {"exact": {"type": "integer"}},
+            "patternProperties": {"^ex": {"minimum": 0}},
+        },
+        [({"exact": 5}, True), ({"exact": -5}, False), ({"extra": -1}, False)],
+    ),
+    (
+        "additionalProperties schema applies to leftovers only",
+        {
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": {"type": "string"},
+        },
+        [({"a": 1, "b": "x"}, True), ({"a": 1, "b": 2}, False), ({"a": "no"}, False)],
+    ),
+    (
+        "propertyNames with maxLength",
+        {"propertyNames": {"maxLength": 3}},
+        [({"abc": 1}, True), ({"abcd": 1}, False), ({}, True)],
+    ),
+    (
+        "dependencies combine with required",
+        {
+            "required": ["id"],
+            "dependencies": {"card": ["cvv"], "cvv": ["card"]},
+        },
+        [
+            ({"id": 1}, True),
+            ({"id": 1, "card": "x", "cvv": "y"}, True),
+            ({"id": 1, "card": "x"}, False),
+            ({"id": 1, "cvv": "y"}, False),
+            ({"card": "x", "cvv": "y"}, False),
+        ],
+    ),
+    (
+        "schema dependency adds constraints",
+        {"dependencies": {"a": {"properties": {"b": {"type": "integer"}}}}},
+        [({"a": 1, "b": 2}, True), ({"a": 1, "b": "x"}, False), ({"b": "x"}, True)],
+    ),
+    (
+        "numeric keywords on integer-valued floats",
+        {"type": "integer", "multipleOf": 2},
+        [(4.0, True), (5.0, False), (4, True)],
+    ),
+    (
+        "exclusive bounds with equal limits",
+        {"exclusiveMinimum": 5, "exclusiveMaximum": 5},
+        [(5, False), (4, False), (6, False)],
+    ),
+    (
+        "minProperties with patternProperties",
+        {"minProperties": 1, "patternProperties": {".*": {"type": "integer"}}},
+        [({}, False), ({"k": 1}, True), ({"k": "x"}, False)],
+    ),
+    (
+        "tuple items beyond declared positions unconstrained without additionalItems",
+        {"items": [{"type": "integer"}]},
+        [([1, "anything", None], True), (["x"], False)],
+    ),
+    (
+        "contains on its own",
+        {"contains": {"const": 42}},
+        [([41, 42], True), ([41], False), ("not-an-array", True)],
+    ),
+    (
+        "required alone does not force object",
+        {"required": ["a"]},
+        [("string", True), ({"a": 1}, True), ({}, False)],
+    ),
+    (
+        "const object compares structurally",
+        {"const": {"a": [1, 2]}},
+        [({"a": [1, 2]}, True), ({"a": [2, 1]}, False), ({"a": [1, 2], "b": 1}, False)],
+    ),
+    (
+        "enum with null member",
+        {"enum": [None, 0]},
+        [(None, True), (0, True), (False, False), ("", False)],
+    ),
+    (
+        "combined string constraints",
+        {"type": "string", "minLength": 2, "pattern": "^[ab]+$"},
+        [("ab", True), ("a", False), ("abc", False), ("aa", True)],
+    ),
+    (
+        "if/then with $ref condition",
+        {
+            "definitions": {"is_circle": {"properties": {"k": {"const": "c"}}, "required": ["k"]}},
+            "if": {"$ref": "#/definitions/is_circle"},
+            "then": {"required": ["r"]},
+        },
+        [({"k": "c", "r": 1}, True), ({"k": "c"}, False), ({"k": "s"}, True)],
+    ),
+    (
+        "anyOf inside items",
+        {"items": {"anyOf": [{"type": "string"}, {"type": "integer", "minimum": 0}]}},
+        [(["a", 0], True), ([-1], False), ([1.5], False)],
+    ),
+    (
+        "oneOf discriminated records",
+        {
+            "oneOf": [
+                {"properties": {"kind": {"const": "a"}, "x": {"type": "integer"}}, "required": ["kind", "x"]},
+                {"properties": {"kind": {"const": "b"}, "y": {"type": "string"}}, "required": ["kind", "y"]},
+            ]
+        },
+        [
+            ({"kind": "a", "x": 1}, True),
+            ({"kind": "b", "y": "s"}, True),
+            ({"kind": "a", "y": "s"}, False),
+        ],
+    ),
+    (
+        "deeply nested structural mix",
+        {
+            "type": "object",
+            "properties": {
+                "rows": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "properties": {
+                            "cells": {"type": "array", "items": {"type": ["number", "null"]}}
+                        },
+                        "required": ["cells"],
+                    },
+                }
+            },
+        },
+        [
+            ({"rows": [{"cells": [1, None, 2.5]}]}, True),
+            ({"rows": [{"cells": ["x"]}]}, False),
+            ({"rows": [{}]}, False),
+            ({"rows": []}, True),
+        ],
+    ),
+    (
+        "empty required list is vacuous",
+        {"required": []},
+        [({}, True), ("x", True)],
+    ),
+    (
+        "maxProperties zero",
+        {"maxProperties": 0},
+        [({}, True), ({"a": 1}, False), ([1, 2], True)],
+    ),
+]
+
+
+def _case_id(group: str, index: int) -> str:
+    return f"{group[:40]}#{index}"
+
+
+CASES = [
+    pytest.param(schema, instance, expected, id=_case_id(desc, i))
+    for desc, schema, pairs in CORPUS
+    for i, (instance, expected) in enumerate(pairs)
+]
+
+
+@pytest.mark.parametrize("schema,instance,expected", CASES)
+def test_corpus(schema, instance, expected):
+    compiled = compile_schema(schema)
+    result = compiled.validate(instance)
+    assert result.valid == expected, (
+        f"expected {'valid' if expected else 'invalid'}, got "
+        f"{[str(f) for f in result.failures]}"
+    )

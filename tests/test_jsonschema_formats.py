@@ -1,0 +1,119 @@
+"""Tests for the format vocabulary."""
+
+import pytest
+
+from repro.jsonschema import compile_schema, is_valid
+from repro.jsonschema.formats import FORMAT_CHECKS
+
+
+def check(fmt, value):
+    return FORMAT_CHECKS[fmt](value)
+
+
+class TestDateTime:
+    @pytest.mark.parametrize(
+        "value", ["2019-03-26", "2020-02-29", "0001-01-01"]
+    )
+    def test_valid_dates(self, value):
+        assert check("date", value)
+
+    @pytest.mark.parametrize(
+        "value",
+        ["2019-13-01", "2019-00-10", "2019-02-30", "2019-2-3", "2021-02-29", "19-01-01"],
+    )
+    def test_invalid_dates(self, value):
+        assert not check("date", value)
+
+    @pytest.mark.parametrize(
+        "value", ["09:30:00Z", "23:59:60Z", "12:00:00.123+05:30", "00:00:00-01:00"]
+    )
+    def test_valid_times(self, value):
+        assert check("time", value)
+
+    @pytest.mark.parametrize("value", ["24:00:00Z", "09:30:00", "09:61:00Z"])
+    def test_invalid_times(self, value):
+        assert not check("time", value)
+
+    @pytest.mark.parametrize(
+        "value",
+        ["2019-03-26T09:30:00Z", "2019-03-26t09:30:00z", "2019-03-26 09:30:00+02:00"],
+    )
+    def test_valid_datetimes(self, value):
+        assert check("date-time", value)
+
+    @pytest.mark.parametrize(
+        "value", ["2019-03-26", "2019-03-26T25:00:00Z", "2019-02-30T09:30:00Z"]
+    )
+    def test_invalid_datetimes(self, value):
+        assert not check("date-time", value)
+
+
+class TestNetworkFormats:
+    def test_email(self):
+        assert check("email", "a.b+c@example.org")
+        assert not check("email", "not an email")
+        assert not check("email", "a@@b.com")
+
+    def test_hostname(self):
+        assert check("hostname", "example.org")
+        assert check("hostname", "a-b.c-d.e")
+        assert not check("hostname", "-bad.example")
+        assert not check("hostname", "a" * 64 + ".com")
+        assert not check("hostname", "")
+
+    def test_ipv4(self):
+        assert check("ipv4", "192.168.0.1")
+        assert check("ipv4", "0.0.0.0")
+        assert not check("ipv4", "256.1.1.1")
+        assert not check("ipv4", "01.2.3.4")
+        assert not check("ipv4", "1.2.3")
+
+    def test_ipv6(self):
+        assert check("ipv6", "::1")
+        assert check("ipv6", "2001:db8::8a2e:370:7334")
+        assert not check("ipv6", "192.168.0.1")
+        assert not check("ipv6", "gggg::1")
+
+    def test_uri(self):
+        assert check("uri", "https://example.org/a?b=c")
+        assert check("uri", "urn:isbn:0451450523")
+        assert not check("uri", "/relative/path")
+        assert not check("uri", "http://exa mple.org")
+
+    def test_uri_reference(self):
+        assert check("uri-reference", "/relative/path")
+        assert check("uri-reference", "https://example.org")
+        assert not check("uri-reference", "a b")
+
+
+class TestSyntaxFormats:
+    def test_regex(self):
+        assert check("regex", "^a+b*$")
+        assert not check("regex", "(")
+
+    def test_json_pointer(self):
+        assert check("json-pointer", "/a/b~0c")
+        assert check("json-pointer", "")
+        assert not check("json-pointer", "a/b")
+        assert not check("json-pointer", "/a~2")
+
+    def test_uuid(self):
+        assert check("uuid", "123e4567-e89b-12d3-a456-426614174000")
+        assert not check("uuid", "123e4567e89b12d3a456426614174000")
+
+
+class TestFormatKeywordIntegration:
+    def test_asserted_by_default(self):
+        schema = {"format": "ipv4"}
+        assert is_valid(schema, "10.0.0.1")
+        assert not is_valid(schema, "999.0.0.1")
+
+    def test_non_strings_ignored(self):
+        assert is_valid({"format": "ipv4"}, 42)
+
+    def test_unknown_format_passes(self):
+        assert is_valid({"format": "stardate"}, "anything")
+
+    def test_assertion_can_be_disabled(self):
+        compiled = compile_schema({"format": "ipv4"}, assert_formats=False)
+        assert compiled.is_valid("not-an-ip")

@@ -1,0 +1,101 @@
+"""Tests for witness generation, plus type-algebra → JSON Schema integration."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.jsonschema import (
+    GenerationError,
+    InstanceGenerator,
+    compile_schema,
+    generate_instance,
+)
+from repro.types import Equivalence, merge_all, type_of, type_to_jsonschema
+
+from tests.strategies import json_documents
+
+
+class TestGeneration:
+    @pytest.mark.parametrize(
+        "schema",
+        [
+            {"type": "null"},
+            {"type": "boolean"},
+            {"type": "integer", "minimum": 5, "maximum": 9},
+            {"type": "number"},
+            {"type": "string", "minLength": 3, "maxLength": 5},
+            {"type": "string", "format": "date-time"},
+            {"type": "array", "items": {"type": "integer"}, "minItems": 2},
+            {
+                "type": "object",
+                "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+                "required": ["a"],
+            },
+            {"enum": [1, "two", [3]]},
+            {"const": {"fixed": True}},
+            {"anyOf": [{"type": "string"}, {"type": "null"}]},
+            {"oneOf": [{"type": "integer", "minimum": 100}, {"type": "null"}]},
+            {"allOf": [{"type": "integer"}, {"minimum": 5}]},
+            {"type": ["string", "null"]},
+            {"minProperties": 2},
+        ],
+    )
+    def test_generated_instances_validate(self, schema):
+        compiled = compile_schema(schema)
+        generator = InstanceGenerator(schema, seed=7)
+        for _ in range(5):
+            assert compiled.is_valid(generator.generate())
+
+    def test_deterministic_with_seed(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        a = InstanceGenerator(schema, seed=3).generate_many(5)
+        b = InstanceGenerator(schema, seed=3).generate_many(5)
+        assert a == b
+
+    def test_false_schema_fails(self):
+        with pytest.raises(GenerationError):
+            generate_instance(False)
+
+    def test_contradictory_schema_fails(self):
+        schema = {"allOf": [{"type": "string"}, {"type": "integer"}]}
+        with pytest.raises(GenerationError):
+            generate_instance(schema)
+
+    def test_recursive_schema(self):
+        schema = {
+            "definitions": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "v": {"type": "integer"},
+                        "kids": {"type": "array", "items": {"$ref": "#/definitions/node"}},
+                    },
+                    "required": ["v"],
+                }
+            },
+            "$ref": "#/definitions/node",
+        }
+        compiled = compile_schema(schema)
+        assert compiled.is_valid(generate_instance(schema, seed=1))
+
+
+class TestTypeAlgebraIntegration:
+    """Inferred type → exported schema → validator accepts the inputs."""
+
+    @given(json_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_inferred_schema_validates_inputs(self, docs):
+        for eq in (Equivalence.KIND, Equivalence.LABEL):
+            inferred = merge_all((type_of(d) for d in docs), eq)
+            compiled = compile_schema(type_to_jsonschema(inferred))
+            for doc in docs:
+                result = compiled.validate(doc)
+                assert result.valid, f"{doc} rejected: {result.failures}"
+
+    def test_exported_schema_rejects_outsiders(self):
+        docs = [{"a": 1}, {"a": 2}]
+        inferred = merge_all((type_of(d) for d in docs), Equivalence.KIND)
+        compiled = compile_schema(type_to_jsonschema(inferred))
+        assert not compiled.is_valid({"a": "string"})
+        assert not compiled.is_valid({"b": 1})
+        assert not compiled.is_valid([])

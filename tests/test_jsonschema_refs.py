@@ -1,0 +1,151 @@
+"""Tests for $ref resolution and the schema registry."""
+
+import pytest
+
+from repro.jsonschema import SchemaCompileError, SchemaRegistry, compile_schema
+
+
+class TestLocalRefs:
+    def test_definitions(self):
+        schema = {
+            "definitions": {"positive": {"type": "integer", "minimum": 1}},
+            "properties": {"count": {"$ref": "#/definitions/positive"}},
+        }
+        compiled = compile_schema(schema)
+        assert compiled.is_valid({"count": 3})
+        assert not compiled.is_valid({"count": 0})
+        assert not compiled.is_valid({"count": "3"})
+
+    def test_root_ref(self):
+        # A schema whose items refer to the whole schema: nested int arrays.
+        schema = {
+            "type": ["integer", "array"],
+            "items": {"$ref": "#"},
+        }
+        compiled = compile_schema(schema)
+        assert compiled.is_valid([1, [2, [3]]])
+        assert not compiled.is_valid([1, ["x"]])
+
+    def test_recursive_tree(self):
+        schema = {
+            "definitions": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "value": {"type": "integer"},
+                        "children": {"type": "array", "items": {"$ref": "#/definitions/node"}},
+                    },
+                    "required": ["value"],
+                    "additionalProperties": False,
+                }
+            },
+            "$ref": "#/definitions/node",
+        }
+        compiled = compile_schema(schema)
+        tree = {"value": 1, "children": [{"value": 2}, {"value": 3, "children": []}]}
+        assert compiled.is_valid(tree)
+        assert not compiled.is_valid({"value": "x"})
+        assert not compiled.is_valid({"children": []})
+
+    def test_ref_ignores_siblings(self):
+        # Draft-07: $ref siblings are ignored.
+        schema = {
+            "definitions": {"anything": True},
+            "properties": {"a": {"$ref": "#/definitions/anything", "type": "string"}},
+        }
+        compiled = compile_schema(schema)
+        assert compiled.is_valid({"a": 42})
+
+    def test_unresolvable_pointer(self):
+        compiled = compile_schema({"$ref": "#/definitions/missing"})
+        with pytest.raises(SchemaCompileError):
+            compiled.validate(1)
+
+    def test_infinite_ref_loop_bounded(self):
+        schema = {
+            "definitions": {
+                "a": {"$ref": "#/definitions/b"},
+                "b": {"$ref": "#/definitions/a"},
+            },
+            "$ref": "#/definitions/a",
+        }
+        compiled = compile_schema(schema)
+        result = compiled.validate(1)
+        assert not result.valid
+        assert result.failures[0].keyword == "$ref"
+
+
+class TestCrossDocumentRefs:
+    def test_registry_lookup(self):
+        registry = SchemaRegistry()
+        registry.add(
+            "https://example.org/person.json",
+            {
+                "type": "object",
+                "properties": {"name": {"type": "string"}},
+                "required": ["name"],
+            },
+        )
+        schema = {"items": {"$ref": "https://example.org/person.json"}}
+        compiled = compile_schema(schema, registry)
+        assert compiled.is_valid([{"name": "ada"}])
+        assert not compiled.is_valid([{}])
+
+    def test_fragment_into_foreign_document(self):
+        registry = SchemaRegistry()
+        registry.add(
+            "https://example.org/defs.json",
+            {"definitions": {"port": {"type": "integer", "minimum": 1, "maximum": 65535}}},
+        )
+        schema = {"$ref": "https://example.org/defs.json#/definitions/port"}
+        compiled = compile_schema(schema, registry)
+        assert compiled.is_valid(8080)
+        assert not compiled.is_valid(0)
+
+    def test_id_registration(self):
+        registry = SchemaRegistry()
+        registry.add(
+            "ignored://alias",
+            {"$id": "https://example.org/atom.json", "type": "null"},
+        )
+        schema = {"$ref": "https://example.org/atom.json"}
+        compiled = compile_schema(schema, registry)
+        assert compiled.is_valid(None)
+        assert not compiled.is_valid(0)
+
+    def test_refs_inside_foreign_document_use_its_root(self):
+        registry = SchemaRegistry()
+        registry.add(
+            "https://example.org/list.json",
+            {
+                "definitions": {"elem": {"type": "string"}},
+                "type": "array",
+                "items": {"$ref": "#/definitions/elem"},
+            },
+        )
+        schema = {"properties": {"xs": {"$ref": "https://example.org/list.json"}}}
+        compiled = compile_schema(schema, registry)
+        assert compiled.is_valid({"xs": ["a", "b"]})
+        assert not compiled.is_valid({"xs": [1]})
+
+    def test_missing_document(self):
+        compiled = compile_schema({"$ref": "https://nowhere.invalid/x.json"})
+        with pytest.raises(SchemaCompileError):
+            compiled.validate(1)
+
+    def test_plain_name_fragment_rejected(self):
+        compiled = compile_schema({"$ref": "#plainname"})
+        with pytest.raises(SchemaCompileError):
+            compiled.validate(1)
+
+
+class TestNestedIdRejection:
+    def test_nested_id_rejected(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema(
+                {"properties": {"a": {"$id": "https://example.org/sub.json"}}}
+            )
+
+    def test_id_inside_enum_is_data(self):
+        compiled = compile_schema({"enum": [{"$id": "not-a-schema"}]})
+        assert compiled.is_valid({"$id": "not-a-schema"})

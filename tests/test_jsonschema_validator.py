@@ -1,0 +1,336 @@
+"""Keyword-by-keyword tests for the JSON Schema validator."""
+
+import pytest
+
+from repro.jsonschema import (
+    InstanceValidationError,
+    SchemaCompileError,
+    compile_schema,
+    is_valid,
+    json_schema_equal,
+    validate,
+)
+
+
+class TestBooleanSchemas:
+    def test_true_accepts_everything(self):
+        for v in (None, 1, "x", [], {}):
+            assert is_valid(True, v)
+
+    def test_false_rejects_everything(self):
+        for v in (None, 1, "x", [], {}):
+            assert not is_valid(False, v)
+
+    def test_empty_schema_accepts(self):
+        assert is_valid({}, {"anything": [1, 2]})
+
+
+class TestTypeKeyword:
+    @pytest.mark.parametrize(
+        "name,good,bad",
+        [
+            ("null", None, 0),
+            ("boolean", True, "true"),
+            ("string", "s", 1),
+            ("array", [1], {"a": 1}),
+            ("object", {}, []),
+            ("number", 1.5, "1.5"),
+        ],
+    )
+    def test_basic(self, name, good, bad):
+        schema = {"type": name}
+        assert is_valid(schema, good)
+        assert not is_valid(schema, bad)
+
+    def test_integer_accepts_integral_float(self):
+        schema = {"type": "integer"}
+        assert is_valid(schema, 3)
+        assert is_valid(schema, 3.0)  # draft 6+ semantics
+        assert not is_valid(schema, 3.5)
+
+    def test_bool_is_not_number(self):
+        assert not is_valid({"type": "number"}, True)
+        assert not is_valid({"type": "integer"}, False)
+
+    def test_type_union(self):
+        schema = {"type": ["string", "null"]}
+        assert is_valid(schema, "x")
+        assert is_valid(schema, None)
+        assert not is_valid(schema, 1)
+
+    def test_unknown_type_rejected_at_compile(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema({"type": "float"})
+
+
+class TestEnumConst:
+    def test_enum(self):
+        schema = {"enum": [1, "a", [2], {"b": None}]}
+        assert is_valid(schema, 1)
+        assert is_valid(schema, [2])
+        assert is_valid(schema, {"b": None})
+        assert not is_valid(schema, 2)
+
+    def test_enum_numeric_equality(self):
+        assert is_valid({"enum": [1]}, 1.0)
+
+    def test_enum_bool_not_number(self):
+        assert not is_valid({"enum": [1]}, True)
+        assert not is_valid({"enum": [True]}, 1)
+
+    def test_const(self):
+        schema = {"const": {"a": [1]}}
+        assert is_valid(schema, {"a": [1]})
+        assert is_valid(schema, {"a": [1.0]})
+        assert not is_valid(schema, {"a": [2]})
+
+    def test_empty_enum_rejected(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema({"enum": []})
+
+
+class TestNumericKeywords:
+    def test_bounds(self):
+        schema = {"minimum": 0, "maximum": 10}
+        assert is_valid(schema, 0) and is_valid(schema, 10)
+        assert not is_valid(schema, -1) and not is_valid(schema, 11)
+
+    def test_exclusive_bounds(self):
+        schema = {"exclusiveMinimum": 0, "exclusiveMaximum": 10}
+        assert is_valid(schema, 5)
+        assert not is_valid(schema, 0) and not is_valid(schema, 10)
+
+    def test_multiple_of_int(self):
+        schema = {"multipleOf": 3}
+        assert is_valid(schema, 9) and not is_valid(schema, 10)
+
+    def test_multiple_of_float(self):
+        schema = {"multipleOf": 0.5}
+        assert is_valid(schema, 1.5)
+        assert is_valid(schema, 2)
+        assert not is_valid(schema, 1.3)
+
+    def test_non_numbers_ignored(self):
+        assert is_valid({"minimum": 5}, "str")
+
+    def test_bad_multiple_of(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema({"multipleOf": 0})
+
+
+class TestStringKeywords:
+    def test_lengths(self):
+        schema = {"minLength": 2, "maxLength": 4}
+        assert is_valid(schema, "ab") and is_valid(schema, "abcd")
+        assert not is_valid(schema, "a") and not is_valid(schema, "abcde")
+
+    def test_length_counts_codepoints(self):
+        assert is_valid({"maxLength": 1}, "😀")
+
+    def test_pattern_unanchored(self):
+        schema = {"pattern": "b+c"}
+        assert is_valid(schema, "abbbcd")
+        assert not is_valid(schema, "acb")
+
+    def test_invalid_pattern_compile_error(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema({"pattern": "("})
+
+
+class TestArrayKeywords:
+    def test_items_schema(self):
+        schema = {"items": {"type": "integer"}}
+        assert is_valid(schema, [1, 2])
+        assert not is_valid(schema, [1, "x"])
+        assert is_valid(schema, [])
+
+    def test_items_tuple(self):
+        schema = {"items": [{"type": "integer"}, {"type": "string"}]}
+        assert is_valid(schema, [1, "a"])
+        assert is_valid(schema, [1])
+        assert not is_valid(schema, ["a", 1])
+
+    def test_additional_items_false(self):
+        schema = {"items": [{"type": "integer"}], "additionalItems": False}
+        assert is_valid(schema, [1])
+        assert not is_valid(schema, [1, 2])
+
+    def test_additional_items_schema(self):
+        schema = {"items": [{}], "additionalItems": {"type": "string"}}
+        assert is_valid(schema, [0, "a", "b"])
+        assert not is_valid(schema, [0, 1])
+
+    def test_item_counts(self):
+        schema = {"minItems": 1, "maxItems": 2}
+        assert not is_valid(schema, [])
+        assert is_valid(schema, [1])
+        assert not is_valid(schema, [1, 2, 3])
+
+    def test_unique_items(self):
+        schema = {"uniqueItems": True}
+        assert is_valid(schema, [1, 2, "1"])
+        assert not is_valid(schema, [1, 2, 1])
+        assert not is_valid(schema, [{"a": 1}, {"a": 1}])
+
+    def test_unique_items_numeric_equality(self):
+        assert not is_valid({"uniqueItems": True}, [1, 1.0])
+        assert is_valid({"uniqueItems": True}, [True, 1])
+
+    def test_contains(self):
+        schema = {"contains": {"type": "string"}}
+        assert is_valid(schema, [1, "x"])
+        assert not is_valid(schema, [1, 2])
+        assert not is_valid(schema, [])
+
+
+class TestObjectKeywords:
+    def test_properties(self):
+        schema = {"properties": {"a": {"type": "integer"}}}
+        assert is_valid(schema, {"a": 1})
+        assert not is_valid(schema, {"a": "x"})
+        assert is_valid(schema, {"b": "anything"})
+
+    def test_required(self):
+        schema = {"required": ["a", "b"]}
+        assert is_valid(schema, {"a": 1, "b": 2})
+        assert not is_valid(schema, {"a": 1})
+
+    def test_property_counts(self):
+        schema = {"minProperties": 1, "maxProperties": 2}
+        assert not is_valid(schema, {})
+        assert is_valid(schema, {"a": 1})
+        assert not is_valid(schema, {"a": 1, "b": 2, "c": 3})
+
+    def test_pattern_properties(self):
+        schema = {"patternProperties": {"^x_": {"type": "integer"}}}
+        assert is_valid(schema, {"x_a": 1, "other": "s"})
+        assert not is_valid(schema, {"x_a": "s"})
+
+    def test_additional_properties_false(self):
+        schema = {"properties": {"a": {}}, "additionalProperties": False}
+        assert is_valid(schema, {"a": 1})
+        assert not is_valid(schema, {"a": 1, "b": 2})
+
+    def test_additional_properties_respects_patterns(self):
+        schema = {
+            "properties": {"a": {}},
+            "patternProperties": {"^x_": {}},
+            "additionalProperties": False,
+        }
+        assert is_valid(schema, {"a": 1, "x_b": 2})
+        assert not is_valid(schema, {"y": 3})
+
+    def test_additional_properties_schema(self):
+        schema = {"additionalProperties": {"type": "string"}}
+        assert is_valid(schema, {"a": "x"})
+        assert not is_valid(schema, {"a": 1})
+
+    def test_property_names(self):
+        schema = {"propertyNames": {"pattern": "^[a-z]+$"}}
+        assert is_valid(schema, {"abc": 1})
+        assert not is_valid(schema, {"Abc": 1})
+
+    def test_property_dependencies(self):
+        schema = {"dependencies": {"credit_card": ["billing_address"]}}
+        assert is_valid(schema, {"credit_card": "1234", "billing_address": "x"})
+        assert not is_valid(schema, {"credit_card": "1234"})
+        assert is_valid(schema, {"billing_address": "x"})
+
+    def test_schema_dependencies(self):
+        schema = {"dependencies": {"a": {"required": ["b"]}}}
+        assert not is_valid(schema, {"a": 1})
+        assert is_valid(schema, {"a": 1, "b": 2})
+
+
+class TestCombinators:
+    def test_all_of(self):
+        schema = {"allOf": [{"type": "integer"}, {"minimum": 5}]}
+        assert is_valid(schema, 7)
+        assert not is_valid(schema, 3)
+        assert not is_valid(schema, "7")
+
+    def test_any_of(self):
+        schema = {"anyOf": [{"type": "string"}, {"type": "integer"}]}
+        assert is_valid(schema, "x") and is_valid(schema, 3)
+        assert not is_valid(schema, None)
+
+    def test_one_of(self):
+        schema = {"oneOf": [{"type": "integer"}, {"type": "number", "minimum": 5}]}
+        assert is_valid(schema, 3)  # integer only
+        assert is_valid(schema, 5.5)  # minimum only
+        assert not is_valid(schema, 7)  # both branches
+        assert not is_valid(schema, "x")  # neither
+
+    def test_one_of_vacuous_branch(self):
+        # Numeric keywords ignore non-numbers, so {"minimum": 5} accepts "x";
+        # exactly one branch matches and oneOf holds.  (Spec subtlety.)
+        schema = {"oneOf": [{"type": "integer"}, {"minimum": 5}]}
+        assert is_valid(schema, "x")
+
+    def test_not(self):
+        schema = {"not": {"type": "string"}}
+        assert is_valid(schema, 1)
+        assert not is_valid(schema, "s")
+
+    def test_nested_negation(self):
+        schema = {"not": {"not": {"type": "string"}}}
+        assert is_valid(schema, "s")
+        assert not is_valid(schema, 1)
+
+    def test_if_then_else(self):
+        schema = {
+            "if": {"properties": {"kind": {"const": "circle"}}, "required": ["kind"]},
+            "then": {"required": ["radius"]},
+            "else": {"required": ["width"]},
+        }
+        assert is_valid(schema, {"kind": "circle", "radius": 1})
+        assert not is_valid(schema, {"kind": "circle"})
+        assert is_valid(schema, {"kind": "square", "width": 2})
+        assert not is_valid(schema, {"kind": "square"})
+
+    def test_if_without_branches(self):
+        assert is_valid({"if": {"type": "string"}}, 42)
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(SchemaCompileError):
+            compile_schema({"anyOf": []})
+
+
+class TestFailureReporting:
+    def test_paths_reported(self):
+        schema = {
+            "properties": {"a": {"items": {"type": "integer"}}},
+        }
+        result = validate(schema, {"a": [1, "x"]})
+        assert not result.valid
+        (failure,) = result.failures
+        assert str(failure.instance_path) == "/a/1"
+        assert failure.keyword == "type"
+
+    def test_multiple_failures_collected(self):
+        schema = {
+            "properties": {
+                "a": {"type": "integer"},
+                "b": {"type": "string"},
+            },
+            "required": ["c"],
+        }
+        result = validate(schema, {"a": "no", "b": 1})
+        keywords = sorted(f.keyword for f in result.failures)
+        assert keywords == ["required", "type", "type"]
+
+    def test_validate_or_raise(self):
+        compiled = compile_schema({"type": "integer"})
+        compiled.validate_or_raise(4)
+        with pytest.raises(InstanceValidationError):
+            compiled.validate_or_raise("x")
+
+
+class TestJsonSchemaEqual:
+    def test_numbers(self):
+        assert json_schema_equal(1, 1.0)
+        assert not json_schema_equal(1, True)
+
+    def test_containers(self):
+        assert json_schema_equal({"a": [1]}, {"a": [1.0]})
+        assert not json_schema_equal({"a": [1]}, {"a": [1, 2]})

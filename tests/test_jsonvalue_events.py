@@ -1,0 +1,126 @@
+"""Tests for repro.jsonvalue.events."""
+
+import pytest
+
+from repro.errors import JsonError
+from repro.jsonvalue.events import (
+    JsonEvent,
+    JsonEventType,
+    iter_events,
+    values_from_events,
+)
+from repro.jsonvalue.model import strict_equal
+from repro.jsonvalue.parser import JsonParseError, parse
+
+
+def event_types(text):
+    return [e.type for e in iter_events(text)]
+
+
+class TestEventStream:
+    def test_scalar(self):
+        events = list(iter_events("42"))
+        assert [(e.type, e.value) for e in events] == [(JsonEventType.VALUE, 42)]
+
+    def test_empty_object(self):
+        assert event_types("{}") == [
+            JsonEventType.START_OBJECT,
+            JsonEventType.END_OBJECT,
+        ]
+
+    def test_empty_array(self):
+        assert event_types("[]") == [
+            JsonEventType.START_ARRAY,
+            JsonEventType.END_ARRAY,
+        ]
+
+    def test_object_members(self):
+        events = list(iter_events('{"a": 1, "b": [true]}'))
+        kinds_values = [(e.type, e.value) for e in events]
+        assert kinds_values == [
+            (JsonEventType.START_OBJECT, None),
+            (JsonEventType.KEY, "a"),
+            (JsonEventType.VALUE, 1),
+            (JsonEventType.KEY, "b"),
+            (JsonEventType.START_ARRAY, None),
+            (JsonEventType.VALUE, True),
+            (JsonEventType.END_ARRAY, None),
+            (JsonEventType.END_OBJECT, None),
+        ]
+
+    def test_depths(self):
+        events = list(iter_events('{"a": [1]}'))
+        depth_of = {(e.type, e.value): e.depth for e in events}
+        assert depth_of[(JsonEventType.START_OBJECT, None)] == 0
+        assert depth_of[(JsonEventType.KEY, "a")] == 1
+        assert depth_of[(JsonEventType.VALUE, 1)] == 2
+
+    def test_nested_closers(self):
+        assert event_types("[[[]]]") == [
+            JsonEventType.START_ARRAY,
+            JsonEventType.START_ARRAY,
+            JsonEventType.START_ARRAY,
+            JsonEventType.END_ARRAY,
+            JsonEventType.END_ARRAY,
+            JsonEventType.END_ARRAY,
+        ]
+
+
+class TestEventErrors:
+    @pytest.mark.parametrize(
+        "text",
+        ["{", "[", '{"a"}', '{"a": 1', "[1, ", "[1] 2", '{"a": 1}}', "[1,]"],
+    )
+    def test_malformed(self, text):
+        with pytest.raises(JsonParseError):
+            list(iter_events(text))
+
+    def test_depth_limit(self):
+        with pytest.raises(JsonParseError, match="depth"):
+            list(iter_events("[" * 20 + "]" * 20, max_depth=10))
+
+
+class TestValuesFromEvents:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "null",
+            "0",
+            '"s"',
+            "[]",
+            "{}",
+            '{"a": [1, 2.5, {"b": null}], "c": true}',
+            "[[], {}, [{}]]",
+        ],
+    )
+    def test_roundtrip(self, text):
+        expected = parse(text)
+        (value,) = values_from_events(iter_events(text))
+        assert strict_equal(value, expected)
+
+    def test_multiple_documents(self):
+        stream = list(iter_events("[1]")) + list(iter_events('{"a": 2}'))
+        values = list(values_from_events(stream))
+        assert values == [[1], {"a": 2}]
+
+    def test_truncated_stream(self):
+        events = list(iter_events('{"a": 1}'))[:-1]
+        with pytest.raises(JsonError):
+            list(values_from_events(events))
+
+    def test_value_without_key(self):
+        events = [
+            JsonEvent(JsonEventType.START_OBJECT, None, 0, 0),
+            JsonEvent(JsonEventType.VALUE, 1, 1, 1),
+        ]
+        with pytest.raises(JsonError):
+            list(values_from_events(events))
+
+    def test_end_without_start(self):
+        events = [JsonEvent(JsonEventType.END_ARRAY, None, 0, 0)]
+        with pytest.raises(JsonError):
+            list(values_from_events(events))
+
+    def test_top_level_null_yielded(self):
+        values = list(values_from_events(iter_events("null")))
+        assert values == [None]

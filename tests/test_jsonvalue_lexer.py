@@ -1,0 +1,159 @@
+"""Tests for repro.jsonvalue.lexer."""
+
+import pytest
+
+from repro.jsonvalue.lexer import JsonLexError, TokenType, tokenize
+
+
+def tokens_of(text):
+    return [t for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+class TestPunctuation:
+    def test_all_punctuation(self):
+        types = [t.type for t in tokens_of("{}[]:,")]
+        assert types == [
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.COLON,
+            TokenType.COMMA,
+        ]
+
+    def test_offsets(self):
+        toks = tokens_of("  { }")
+        assert toks[0].offset == 2
+        assert toks[1].offset == 4
+
+
+class TestKeywords:
+    def test_literals(self):
+        toks = tokens_of("true false null")
+        assert [t.value for t in toks] == [True, False, None]
+
+    def test_bad_keyword(self):
+        with pytest.raises(JsonLexError):
+            tokens_of("tru")
+        with pytest.raises(JsonLexError):
+            tokens_of("nul")
+
+
+class TestNumbers:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("-0", 0),
+            ("7", 7),
+            ("-12", -12),
+            ("123456789012345678901234567890", 123456789012345678901234567890),
+        ],
+    )
+    def test_integers(self, text, value):
+        (tok,) = tokens_of(text)
+        assert tok.type is TokenType.NUMBER
+        assert tok.value == value
+        assert isinstance(tok.value, int)
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.5", 0.5),
+            ("-0.25", -0.25),
+            ("1e3", 1000.0),
+            ("1E+3", 1000.0),
+            ("2e-2", 0.02),
+            ("1.5e2", 150.0),
+        ],
+    )
+    def test_floats(self, text, value):
+        (tok,) = tokens_of(text)
+        assert tok.value == value
+        assert isinstance(tok.value, float)
+
+    @pytest.mark.parametrize(
+        "text", ["-", "01", "007", "-012", "1.", ".5", "1e", "1e+", "+1", "1.e3"]
+    )
+    def test_malformed_numbers(self, text):
+        with pytest.raises(JsonLexError):
+            tokens_of(text)
+
+
+class TestStrings:
+    def test_plain(self):
+        (tok,) = tokens_of('"hello"')
+        assert tok.value == "hello"
+
+    def test_empty(self):
+        (tok,) = tokens_of('""')
+        assert tok.value == ""
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            (r'"\n"', "\n"),
+            (r'"\t"', "\t"),
+            (r'"\""', '"'),
+            (r'"\\"', "\\"),
+            (r'"\/"', "/"),
+            (r'"\b\f\r"', "\b\f\r"),
+        ],
+    )
+    def test_short_escapes(self, text, value):
+        (tok,) = tokens_of(text)
+        assert tok.value == value
+
+    def test_unicode_escape(self):
+        (tok,) = tokens_of(r'"é"')
+        assert tok.value == "é"
+
+    def test_surrogate_pair(self):
+        (tok,) = tokens_of(r'"😀"')
+        assert tok.value == "\U0001f600"
+
+    def test_lone_high_surrogate_preserved(self):
+        (tok,) = tokens_of(r'"\ud800x"')
+        assert tok.value == "\ud800x"
+
+    def test_unterminated(self):
+        with pytest.raises(JsonLexError):
+            tokens_of('"abc')
+
+    def test_control_character_rejected(self):
+        with pytest.raises(JsonLexError):
+            tokens_of('"a\nb"')
+
+    def test_bad_escape(self):
+        with pytest.raises(JsonLexError):
+            tokens_of(r'"\q"')
+
+    def test_truncated_unicode_escape(self):
+        with pytest.raises(JsonLexError):
+            tokens_of(r'"\u00"')
+
+    def test_invalid_unicode_hex(self):
+        with pytest.raises(JsonLexError):
+            tokens_of(r'"\uzzzz"')
+
+
+class TestPositions:
+    def test_line_column_tracking(self):
+        text = '{\n  "a": 1\n}'
+        toks = tokens_of(text)
+        string_tok = next(t for t in toks if t.type is TokenType.STRING)
+        assert string_tok.line == 2
+        assert string_tok.column == 3
+
+    def test_error_position(self):
+        try:
+            tokens_of('{\n  @')
+        except JsonLexError as exc:
+            assert exc.line == 2
+            assert exc.column == 3
+        else:
+            pytest.fail("expected JsonLexError")
+
+    def test_string_token_span(self):
+        (tok,) = tokens_of('  "ab"  ')
+        assert (tok.offset, tok.end_offset) == (2, 6)

@@ -1,0 +1,183 @@
+"""Tests for repro.jsonvalue.model."""
+
+import pytest
+
+from repro.jsonvalue.model import (
+    JsonKind,
+    StructuralStats,
+    freeze,
+    is_integer_value,
+    is_json_value,
+    iter_paths,
+    kind_of,
+    sort_keys_deep,
+    strict_equal,
+    structural_stats,
+    unfreeze,
+)
+
+
+class TestKindOf:
+    def test_null(self):
+        assert kind_of(None) is JsonKind.NULL
+
+    def test_booleans_are_not_numbers(self):
+        assert kind_of(True) is JsonKind.BOOLEAN
+        assert kind_of(False) is JsonKind.BOOLEAN
+
+    def test_numbers(self):
+        assert kind_of(0) is JsonKind.NUMBER
+        assert kind_of(-3) is JsonKind.NUMBER
+        assert kind_of(2.5) is JsonKind.NUMBER
+
+    def test_string(self):
+        assert kind_of("") is JsonKind.STRING
+
+    def test_containers(self):
+        assert kind_of([]) is JsonKind.ARRAY
+        assert kind_of({}) is JsonKind.OBJECT
+
+    def test_non_json_raises(self):
+        with pytest.raises(TypeError):
+            kind_of((1, 2))
+        with pytest.raises(TypeError):
+            kind_of({1, 2})
+
+
+class TestIsIntegerValue:
+    def test_int(self):
+        assert is_integer_value(7)
+
+    def test_bool_is_not_integer(self):
+        assert not is_integer_value(True)
+
+    def test_float_is_not_integer(self):
+        assert not is_integer_value(7.0)
+
+
+class TestIsJsonValue:
+    def test_scalars(self):
+        for v in (None, True, 0, 1.5, "x"):
+            assert is_json_value(v)
+
+    def test_nested(self):
+        assert is_json_value({"a": [1, {"b": None}]})
+
+    def test_nan_rejected(self):
+        assert not is_json_value(float("nan"))
+        assert not is_json_value({"a": float("inf")})
+
+    def test_non_string_keys_rejected(self):
+        assert not is_json_value({1: "x"})
+
+    def test_host_types_rejected(self):
+        assert not is_json_value((1, 2))
+        assert not is_json_value({"a": {1, 2}})
+
+
+class TestStrictEqual:
+    def test_int_float_distinct(self):
+        assert not strict_equal(1, 1.0)
+        assert strict_equal(1, 1)
+        assert strict_equal(1.0, 1.0)
+
+    def test_bool_number_distinct(self):
+        assert not strict_equal(True, 1)
+        assert not strict_equal({"a": 1}, {"a": True})
+
+    def test_object_key_order_irrelevant(self):
+        assert strict_equal({"a": 1, "b": 2}, {"b": 2, "a": 1})
+
+    def test_arrays_ordered(self):
+        assert not strict_equal([1, 2], [2, 1])
+        assert strict_equal([1, [2]], [1, [2]])
+
+    def test_kind_mismatch(self):
+        assert not strict_equal([], {})
+        assert not strict_equal(None, False)
+        assert not strict_equal("1", 1)
+
+    def test_missing_key(self):
+        assert not strict_equal({"a": 1}, {"a": 1, "b": 2})
+
+
+class TestFreeze:
+    def test_roundtrip_scalars(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert strict_equal(unfreeze(freeze(v)), v)
+
+    def test_roundtrip_nested(self):
+        v = {"a": [1, {"b": None}], "c": [True, 1.5]}
+        assert strict_equal(unfreeze(freeze(v)), v)
+
+    def test_hashable(self):
+        values = [{"a": 1}, {"a": 1.0}, {"a": True}, [1], [1.0]]
+        frozen = {freeze(v) for v in values}
+        assert len(frozen) == len(values)
+
+    def test_int_float_freeze_differently(self):
+        assert freeze(1) != freeze(1.0)
+
+    def test_key_order_canonicalized(self):
+        assert freeze({"a": 1, "b": 2}) == freeze({"b": 2, "a": 1})
+
+
+class TestStructuralStats:
+    def test_scalar(self):
+        stats = structural_stats(42)
+        assert stats == StructuralStats(1, 1, 1, 0, 0, 0)
+
+    def test_nested(self):
+        stats = structural_stats({"a": [1, 2], "b": {"c": None}})
+        assert stats.node_count == 6
+        assert stats.max_depth == 3
+        assert stats.leaf_count == 3
+        assert stats.object_count == 2
+        assert stats.array_count == 1
+        assert stats.key_count == 3
+
+    def test_add(self):
+        a = structural_stats({"x": 1})
+        b = structural_stats([1, 2, 3])
+        combined = a + b
+        assert combined.node_count == a.node_count + b.node_count
+        assert combined.max_depth == max(a.max_depth, b.max_depth)
+
+    def test_deep_nesting_does_not_recurse(self):
+        value = 0
+        for _ in range(5000):
+            value = [value]
+        stats = structural_stats(value)
+        assert stats.max_depth == 5001
+
+
+class TestIterPaths:
+    def test_leaves(self):
+        doc = {"a": {"b": 1}, "c": [2, 3]}
+        got = dict(iter_paths(doc))
+        assert got == {("a", "b"): 1, ("c", 0): 2, ("c", 1): 3}
+
+    def test_all_nodes(self):
+        doc = {"a": [1]}
+        got = [p for p, _ in iter_paths(doc, leaves_only=False)]
+        assert () in got and ("a",) in got and ("a", 0) in got
+
+    def test_scalar_root(self):
+        assert list(iter_paths(5)) == [((), 5)]
+
+    def test_empty_containers_have_no_leaves(self):
+        assert list(iter_paths({"a": [], "b": {}})) == []
+
+
+class TestSortKeysDeep:
+    def test_sorts_recursively(self):
+        doc = {"b": {"d": 1, "c": 2}, "a": [{"z": 0, "y": 1}]}
+        result = sort_keys_deep(doc)
+        assert list(result.keys()) == ["a", "b"]
+        assert list(result["b"].keys()) == ["c", "d"]
+        assert list(result["a"][0].keys()) == ["y", "z"]
+
+    def test_does_not_mutate(self):
+        doc = {"b": 1, "a": 2}
+        sort_keys_deep(doc)
+        assert list(doc.keys()) == ["b", "a"]

@@ -1,0 +1,120 @@
+"""Tests for repro.jsonvalue.path."""
+
+import pytest
+
+from repro.jsonvalue.path import (
+    Field,
+    Index,
+    JsonPath,
+    JsonPathError,
+    Wildcard,
+    leaf_paths,
+    parse_many,
+)
+
+DOC = {
+    "user": {"name": "ada", "tags": ["x", "y"]},
+    "entries": [
+        {"id": 1, "vals": [10, 11]},
+        {"id": 2, "vals": [20]},
+    ],
+}
+
+
+class TestParsing:
+    def test_root(self):
+        assert JsonPath.parse("$").steps == ()
+        assert JsonPath.parse("").steps == ()
+
+    def test_fields(self):
+        assert JsonPath.parse("a.b.c").steps == (Field("a"), Field("b"), Field("c"))
+
+    def test_dollar_prefix(self):
+        assert JsonPath.parse("$.a.b") == JsonPath.parse("a.b")
+
+    def test_indexes(self):
+        assert JsonPath.parse("a[0][1]").steps == (Field("a"), Index(0), Index(1))
+
+    def test_wildcard(self):
+        assert JsonPath.parse("a[*].b").steps == (Field("a"), Wildcard(), Field("b"))
+
+    def test_str_roundtrip(self):
+        for text in ("$", "a", "a.b", "a[0]", "a[*].b.c[2]"):
+            assert str(JsonPath.parse(text)) == text
+
+    @pytest.mark.parametrize("text", ["a.", ".a", "a[", "a[x]", "a..b"])
+    def test_malformed(self, text):
+        with pytest.raises(JsonPathError):
+            JsonPath.parse(text)
+
+
+class TestEvaluation:
+    def test_root_matches_document(self):
+        assert JsonPath.parse("$").evaluate(DOC) == [DOC]
+
+    def test_field_chain(self):
+        assert JsonPath.parse("user.name").evaluate(DOC) == ["ada"]
+
+    def test_index(self):
+        assert JsonPath.parse("user.tags[1]").evaluate(DOC) == ["y"]
+
+    def test_wildcard_fanout(self):
+        assert JsonPath.parse("entries[*].id").evaluate(DOC) == [1, 2]
+
+    def test_nested_wildcards(self):
+        assert JsonPath.parse("entries[*].vals[*]").evaluate(DOC) == [10, 11, 20]
+
+    def test_missing_yields_empty(self):
+        assert JsonPath.parse("nope.deep").evaluate(DOC) == []
+        assert JsonPath.parse("user.tags[9]").evaluate(DOC) == []
+
+    def test_wildcard_on_object_yields_empty(self):
+        assert JsonPath.parse("user[*]").evaluate(DOC) == []
+
+    def test_first(self):
+        assert JsonPath.parse("entries[*].id").first(DOC) == 1
+        assert JsonPath.parse("nope").first(DOC, default="d") == "d"
+
+
+class TestFromTuple:
+    def test_concrete(self):
+        p = JsonPath.from_tuple(("a", 0, "b"))
+        assert str(p) == "a[0].b"
+
+    def test_generalized(self):
+        p = JsonPath.from_tuple(("a", 0, "b"), generalize_indexes=True)
+        assert str(p) == "a[*].b"
+
+    def test_bad_step(self):
+        with pytest.raises(JsonPathError):
+            JsonPath.from_tuple(("a", 1.5))
+
+
+class TestPrefix:
+    def test_plain_prefix(self):
+        assert JsonPath.parse("a.b").is_prefix_of(JsonPath.parse("a.b.c"))
+        assert not JsonPath.parse("a.c").is_prefix_of(JsonPath.parse("a.b.c"))
+
+    def test_longer_is_not_prefix(self):
+        assert not JsonPath.parse("a.b.c").is_prefix_of(JsonPath.parse("a.b"))
+
+    def test_wildcard_matches_index(self):
+        assert JsonPath.parse("a[*]").is_prefix_of(JsonPath.parse("a[3].b"))
+
+    def test_index_does_not_match_wildcard(self):
+        assert not JsonPath.parse("a[3]").is_prefix_of(JsonPath.parse("a[*].b"))
+
+
+class TestHelpers:
+    def test_parse_many(self):
+        paths = parse_many(["a", "b[*]"])
+        assert paths == [JsonPath.parse("a"), JsonPath.parse("b[*]")]
+
+    def test_leaf_paths(self):
+        doc = {"a": [{"b": 1}, {"b": 2}], "c": 3}
+        got = {str(p) for p in leaf_paths(doc)}
+        assert got == {"a[*].b", "c"}
+
+    def test_child(self):
+        p = JsonPath.parse("a").child(Wildcard()).child(Field("b"))
+        assert str(p) == "a[*].b"

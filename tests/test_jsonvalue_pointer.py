@@ -1,0 +1,115 @@
+"""Tests for repro.jsonvalue.pointer (RFC 6901)."""
+
+import pytest
+
+from repro.jsonvalue.pointer import JsonPointer, JsonPointerError
+
+# The worked example from RFC 6901 §5.
+RFC_DOC = {
+    "foo": ["bar", "baz"],
+    "": 0,
+    "a/b": 1,
+    "c%d": 2,
+    "e^f": 3,
+    "g|h": 4,
+    "i\\j": 5,
+    'k"l': 6,
+    " ": 7,
+    "m~n": 8,
+}
+
+
+class TestRfcExamples:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("", RFC_DOC),
+            ("/foo", ["bar", "baz"]),
+            ("/foo/0", "bar"),
+            ("/", 0),
+            ("/a~1b", 1),
+            ("/c%d", 2),
+            ("/e^f", 3),
+            ("/g|h", 4),
+            ("/i\\j", 5),
+            ('/k"l', 6),
+            ("/ ", 7),
+            ("/m~0n", 8),
+        ],
+    )
+    def test_resolution(self, text, expected):
+        assert JsonPointer.parse(text).resolve(RFC_DOC) == expected
+
+
+class TestParsing:
+    def test_must_start_with_slash(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("foo")
+
+    def test_invalid_escape(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/a~2b")
+
+    def test_trailing_tilde(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/a~")
+
+    def test_str_roundtrip(self):
+        for text in ("", "/a", "/a~0b~1c", "/a/0/b"):
+            assert str(JsonPointer.parse(text)) == text
+
+    def test_escape_order(self):
+        # "~1" must decode to "/" and "~01" to "~1", not "/".
+        assert JsonPointer.parse("/~01").tokens == ("~1",)
+        assert JsonPointer.parse("/~1").tokens == ("/",)
+
+
+class TestResolution:
+    def test_missing_member(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/nope").resolve({"a": 1})
+
+    def test_index_out_of_range(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/0").resolve([])
+
+    def test_index_into_scalar(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/a/b").resolve({"a": 1})
+
+    def test_leading_zero_index_rejected(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/01").resolve([1, 2])
+
+    def test_nonnumeric_index_rejected(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/x").resolve([1])
+
+    def test_dash_rejected(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer.parse("/-").resolve([1])
+
+    def test_exists(self):
+        assert JsonPointer.parse("/foo/1").exists(RFC_DOC)
+        assert not JsonPointer.parse("/foo/2").exists(RFC_DOC)
+
+
+class TestConstruction:
+    def test_child_parent(self):
+        p = JsonPointer().child("a").child(0)
+        assert str(p) == "/a/0"
+        assert str(p.parent()) == "/a"
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(JsonPointerError):
+            JsonPointer().parent()
+
+    def test_from_path(self):
+        p = JsonPointer.from_path(("a", 1, "b/c"))
+        assert str(p) == "/a/1/b~1c"
+        assert p.resolve({"a": [0, {"b/c": "hit"}]}) == "hit"
+
+    def test_equality_and_hash(self):
+        assert JsonPointer.parse("/a/b") == JsonPointer(("a", "b"))
+        assert hash(JsonPointer.parse("/a")) == hash(JsonPointer(("a",)))
+        assert JsonPointer.parse("/a") != JsonPointer.parse("/b")

@@ -1,0 +1,140 @@
+"""Tests for repro.jsonvalue.serializer."""
+
+import pytest
+
+from repro.errors import JsonError
+from repro.jsonvalue.model import strict_equal
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.serializer import (
+    CANONICAL,
+    DumpOptions,
+    PRETTY,
+    dump_lines,
+    dumps,
+    escape_string,
+)
+
+
+class TestCompact:
+    @pytest.mark.parametrize(
+        "value,text",
+        [
+            (None, "null"),
+            (True, "true"),
+            (False, "false"),
+            (0, "0"),
+            (-7, "-7"),
+            (2.5, "2.5"),
+            ("hi", '"hi"'),
+            ([], "[]"),
+            ({}, "{}"),
+            ([1, 2], "[1,2]"),
+            ({"a": 1}, '{"a":1}'),
+        ],
+    )
+    def test_values(self, value, text):
+        assert dumps(value) == text
+
+    def test_no_whitespace(self):
+        text = dumps({"a": [1, {"b": None}]})
+        assert " " not in text and "\n" not in text
+
+    def test_key_order_preserved(self):
+        assert dumps({"z": 1, "a": 2}) == '{"z":1,"a":2}'
+
+
+class TestPretty:
+    def test_indentation(self):
+        text = dumps({"a": [1]}, PRETTY)
+        assert text == '{\n  "a": [\n    1\n  ]\n}'
+
+    def test_empty_containers_stay_inline(self):
+        assert dumps({"a": [], "b": {}}, PRETTY) == '{\n  "a": [],\n  "b": {}\n}'
+
+
+class TestSortKeys:
+    def test_sorted(self):
+        assert dumps({"b": 1, "a": 2}, CANONICAL) == '{"a":2,"b":1}'
+
+
+class TestEscaping:
+    def test_control_characters(self):
+        assert dumps("\x01") == '"\\u0001"'
+        assert dumps("a\nb\t") == '"a\\nb\\t"'
+
+    def test_quote_backslash(self):
+        assert dumps('say "hi" \\') == '"say \\"hi\\" \\\\"'
+
+    def test_non_ascii_passthrough_by_default(self):
+        assert dumps("é") == '"é"'
+
+    def test_ensure_ascii(self):
+        assert dumps("é", CANONICAL) == '"\\u00e9"'
+
+    def test_ensure_ascii_surrogate_pair(self):
+        assert dumps("😀", CANONICAL) == '"\\ud83d\\ude00"'
+
+    def test_escape_string_helper(self):
+        assert escape_string("a/b") == '"a/b"'
+
+
+class TestNumbers:
+    def test_float_roundtrip_shortest(self):
+        assert dumps(0.1) == "0.1"
+
+    def test_nan_rejected(self):
+        with pytest.raises(JsonError):
+            dumps(float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(JsonError):
+            dumps(float("inf"))
+
+    def test_allow_nan_option(self):
+        options = DumpOptions(allow_nan=True)
+        assert dumps(float("inf"), options) == "Infinity"
+        assert dumps(float("-inf"), options) == "-Infinity"
+        assert dumps(float("nan"), options) == "NaN"
+
+    def test_big_int(self):
+        n = 10**40
+        assert parse(dumps(n)) == n
+
+
+class TestHostTypeRejection:
+    @pytest.mark.parametrize("value", [(1, 2), {1, 2}, object(), b"bytes"])
+    def test_rejected(self, value):
+        with pytest.raises(JsonError):
+            dumps(value)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(JsonError):
+            dumps({1: "a"})
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            {"a": [1, 2.5, {"b": None}], "c": "xé", "d": True},
+            [[[]]],
+            {"": {"": ""}},
+            {"n": -0.0},
+        ],
+    )
+    def test_parse_dumps(self, value):
+        assert strict_equal(parse(dumps(value)), value)
+
+    def test_pretty_roundtrip(self):
+        value = {"a": [1, {"b": [True, None, "s"]}]}
+        assert strict_equal(parse(dumps(value, PRETTY)), value)
+
+
+class TestDumpLines:
+    def test_ndjson(self):
+        lines = list(dump_lines([{"a": 1}, [2]]))
+        assert lines == ['{"a":1}', "[2]"]
+
+    def test_indent_rejected(self):
+        with pytest.raises(JsonError):
+            list(dump_lines([{}], PRETTY))

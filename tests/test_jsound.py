@@ -1,0 +1,143 @@
+"""Tests for the JSound compact schema language."""
+
+import pytest
+
+from repro.jsonschema import compile_schema
+from repro.jsound import JSoundSchemaError, compile_jsound
+
+
+class TestAtomicTypes:
+    @pytest.mark.parametrize(
+        "type_name,good,bad",
+        [
+            ("string", "x", 1),
+            ("integer", 3, 3.5),
+            ("integer", 3, True),
+            ("decimal", 3.5, "3.5"),
+            ("double", 2.5, None),
+            ("boolean", True, 1),
+            ("null", None, 0),
+            ("date", "2019-03-26", "26/03/2019"),
+            ("dateTime", "2019-03-26T09:30:00Z", "2019-03-26"),
+            ("time", "09:30:00Z", "9:30"),
+            ("anyURI", "https://example.org", "a b"),
+            ("hexBinary", "deadBEEF", "xyz"),
+            ("base64Binary", "aGVsbG8=", "%%%"),
+            ("any", {"x": [1]}, NotImplemented),
+            ("atomic", "scalar", [1]),
+        ],
+    )
+    def test_atoms(self, type_name, good, bad):
+        schema = compile_jsound(type_name)
+        assert schema.is_valid(good)
+        if bad is not NotImplemented:
+            assert not schema.is_valid(bad)
+
+    def test_nullable_type(self):
+        schema = compile_jsound("string?")
+        assert schema.is_valid("x")
+        assert schema.is_valid(None)
+        assert not schema.is_valid(1)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(JSoundSchemaError):
+            compile_jsound("varchar")
+
+
+class TestArrays:
+    def test_homogeneous(self):
+        schema = compile_jsound(["integer"])
+        assert schema.is_valid([1, 2])
+        assert schema.is_valid([])
+        assert not schema.is_valid([1, "x"])
+        assert not schema.is_valid("not-an-array")
+
+    def test_exactly_one_item_type(self):
+        with pytest.raises(JSoundSchemaError):
+            compile_jsound(["integer", "string"])
+        with pytest.raises(JSoundSchemaError):
+            compile_jsound([])
+
+    def test_nested(self):
+        schema = compile_jsound([["string"]])
+        assert schema.is_valid([["a"], []])
+        assert not schema.is_valid(["a"])
+
+
+class TestObjects:
+    def test_basic(self):
+        schema = compile_jsound({"name": "string", "age": "integer"})
+        assert schema.is_valid({"name": "ada", "age": 36})
+        assert not schema.is_valid({"name": "ada"})  # age required
+        assert not schema.is_valid({"name": "ada", "age": "36"})
+
+    def test_optional_field(self):
+        schema = compile_jsound({"name": "string", "nickname?": "string"})
+        assert schema.is_valid({"name": "ada"})
+        assert schema.is_valid({"name": "ada", "nickname": "al"})
+        assert not schema.is_valid({"name": "ada", "nickname": 1})
+
+    def test_closed_objects(self):
+        schema = compile_jsound({"a": "integer"})
+        assert not schema.is_valid({"a": 1, "b": 2})
+
+    def test_nullable_field_type(self):
+        schema = compile_jsound({"email": "string?"})
+        assert schema.is_valid({"email": None})
+        assert schema.is_valid({"email": "a@b.c"})
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(JSoundSchemaError):
+            compile_jsound({"a": "integer", "a?": "string"})
+
+    def test_tutorial_example(self):
+        schema = compile_jsound(
+            {
+                "name": "string",
+                "age": "integer",
+                "gender?": "string",
+                "friends": ["string"],
+            }
+        )
+        assert schema.is_valid(
+            {"name": "ada", "age": 36, "friends": ["grace", "edsger"]}
+        )
+        assert not schema.is_valid({"name": "ada", "age": 36, "friends": [1]})
+
+    def test_failure_messages_carry_paths(self):
+        schema = compile_jsound({"a": ["integer"]})
+        result = schema.validate({"a": [1, "x"]})
+        assert not result.valid
+        assert result.failures[0].path == ("a", 1)
+
+
+class TestNoUnions:
+    def test_restrictiveness(self):
+        """JSound cannot express Int|Str — the tutorial's point of comparison."""
+        with pytest.raises(JSoundSchemaError):
+            compile_jsound(["integer", "string"])
+
+
+class TestJsonSchemaExport:
+    @pytest.mark.parametrize(
+        "jsound_doc,instances",
+        [
+            ("string", ["x", 1, None]),
+            ("string?", ["x", None, 1]),
+            (["integer"], [[1], [1.5], ["x"], "no"]),
+            (
+                {"name": "string", "age?": "integer"},
+                [{"name": "a"}, {"name": "a", "age": 3}, {"age": 3}, {"name": 1}],
+            ),
+        ],
+    )
+    def test_export_agrees(self, jsound_doc, instances):
+        jsound = compile_jsound(jsound_doc)
+        exported = compile_schema(jsound.to_jsonschema())
+        for instance in instances:
+            # JSON Schema "integer" admits 3.0; avoid integral floats here.
+            assert jsound.is_valid(instance) == exported.is_valid(instance), instance
+
+    def test_date_format_exported(self):
+        exported = compile_jsound({"d": "date"}).to_jsonschema()
+        assert exported["properties"]["d"] == {"type": "string", "format": "date"}

@@ -1,0 +1,109 @@
+"""Tests for the JSound verbose syntax and the syntax converters."""
+
+import pytest
+
+from repro.jsound import (
+    JSoundSchemaError,
+    compact_to_verbose,
+    compile_jsound,
+    compile_verbose,
+    verbose_to_compact,
+)
+
+COMPACT_DOCS = [
+    "string",
+    "integer?",
+    ["double"],
+    {"name": "string", "age": "integer"},
+    {"name": "string", "nickname?": "string", "email": "string?"},
+    {"rows": [{"v": "integer"}], "meta?": {"lang": "string"}},
+]
+
+INSTANCES = [
+    "x",
+    1,
+    None,
+    [1.5],
+    {"name": "ada", "age": 36},
+    {"name": "ada", "email": None},
+    {"rows": [{"v": 1}]},
+    {"rows": []},
+    {"unexpected": True},
+]
+
+
+class TestVerboseCompilation:
+    def test_atomic(self):
+        schema = compile_verbose({"kind": "atomic", "type": "integer"})
+        assert schema.is_valid(3)
+        assert not schema.is_valid(3.5)
+
+    def test_nullable_atomic(self):
+        schema = compile_verbose({"kind": "atomic", "type": "string", "nullable": True})
+        assert schema.is_valid(None)
+        assert schema.is_valid("x")
+
+    def test_array(self):
+        schema = compile_verbose(
+            {"kind": "array", "content": {"kind": "atomic", "type": "boolean"}}
+        )
+        assert schema.is_valid([True, False])
+        assert not schema.is_valid([1])
+
+    def test_object_with_optional(self):
+        schema = compile_verbose(
+            {
+                "kind": "object",
+                "content": {
+                    "a": {"kind": "atomic", "type": "integer"},
+                    "b": {"kind": "atomic", "type": "string", "optional": True},
+                },
+            }
+        )
+        assert schema.is_valid({"a": 1})
+        assert schema.is_valid({"a": 1, "b": "x"})
+        assert not schema.is_valid({"b": "x"})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "string",
+            {"kind": "tuple"},
+            {"kind": "atomic", "type": "varchar"},
+            {"kind": "array"},
+            {"kind": "object", "content": [1]},
+            {"kind": "array", "nullable": True, "content": {"kind": "atomic", "type": "string"}},
+        ],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(JSoundSchemaError):
+            compile_verbose(bad)
+
+
+class TestConverters:
+    @pytest.mark.parametrize("compact", COMPACT_DOCS, ids=[str(d)[:30] for d in COMPACT_DOCS])
+    def test_roundtrip_compact(self, compact):
+        assert verbose_to_compact(compact_to_verbose(compact)) == compact
+
+    @pytest.mark.parametrize("compact", COMPACT_DOCS, ids=[str(d)[:30] for d in COMPACT_DOCS])
+    def test_both_syntaxes_validate_identically(self, compact):
+        compact_schema = compile_jsound(compact)
+        verbose_schema = compile_verbose(compact_to_verbose(compact))
+        for instance in INSTANCES:
+            assert compact_schema.is_valid(instance) == verbose_schema.is_valid(
+                instance
+            ), instance
+
+    def test_verbose_shape(self):
+        verbose = compact_to_verbose({"friends": ["string"], "bio?": "string?"})
+        assert verbose["kind"] == "object"
+        assert verbose["content"]["friends"] == {
+            "kind": "array",
+            "content": {"kind": "atomic", "type": "string"},
+        }
+        assert verbose["content"]["bio"] == {
+            "kind": "atomic",
+            "type": "string",
+            "nullable": True,
+            "optional": True,
+        }

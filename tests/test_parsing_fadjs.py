@@ -1,0 +1,115 @@
+"""Tests for the Fad.js-style speculative decoder."""
+
+import pytest
+
+from repro.jsonvalue.model import strict_equal
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import (
+    SpeculativeDecoder,
+    TemplateCompileError,
+    compile_template,
+    decode_stream,
+)
+
+
+class TestTemplateCompilation:
+    def test_flat_record(self):
+        template = compile_template({"a": 1, "b": "x", "c": True, "d": None})
+        assert template.try_decode('{"a": 2, "b": "y", "c": false, "d": null}') == {
+            "a": 2,
+            "b": "y",
+            "c": False,
+            "d": None,
+        }
+
+    def test_nested_record(self):
+        template = compile_template({"u": {"n": "a"}, "v": 1})
+        decoded = template.try_decode('{"u": {"n": "b"}, "v": 9}')
+        assert decoded == {"u": {"n": "b"}, "v": 9}
+
+    def test_shape_mismatch_returns_none(self):
+        template = compile_template({"a": 1})
+        assert template.try_decode('{"b": 1}') is None
+        assert template.try_decode('{"a": 1, "b": 2}') is None
+        assert template.try_decode('{"a": "now-a-string"}') is None
+
+    def test_arrays_not_speculable(self):
+        with pytest.raises(TemplateCompileError):
+            compile_template({"xs": [1, 2]})
+
+    def test_non_object_not_speculable(self):
+        with pytest.raises(TemplateCompileError):
+            compile_template([1, 2])
+
+    def test_number_kinds(self):
+        template = compile_template({"v": 1})
+        assert template.try_decode('{"v": 2.5}') == {"v": 2.5}
+        assert isinstance(template.try_decode('{"v": 3}')["v"], int)
+
+    def test_escaped_strings(self):
+        template = compile_template({"s": "plain"})
+        decoded = template.try_decode('{"s": "a\\nb\\u00e9"}')
+        assert decoded == {"s": "a\nbé"}
+
+
+class TestSpeculativeDecoder:
+    def test_results_equal_generic_parse(self):
+        lines = [dumps({"a": i, "b": f"s{i}", "flag": i % 2 == 0}) for i in range(30)]
+        values, stats = decode_stream(lines)
+        assert values == [parse(line) for line in lines]
+        assert stats.records == 30
+
+    def test_stable_shape_mostly_fast(self):
+        lines = [dumps({"a": i, "b": f"s{i}"}) for i in range(100)]
+        _, stats = decode_stream(lines)
+        assert stats.deopts == 1  # only the first record
+        assert stats.fast_path_hits == 99
+        assert stats.hit_rate > 0.98
+
+    def test_shape_churn_degrades(self):
+        shapes = [
+            {"a": 1},
+            {"b": "x"},
+            {"c": True, "d": 1},
+            {"e": None},
+            {"f": 1.5, "g": "y"},
+        ]
+        lines = [dumps(shapes[i % len(shapes)]) for i in range(100)]
+        _, stats = decode_stream(lines, cache_size=2)  # cache too small
+        assert stats.hit_rate < 0.5
+
+    def test_polymorphic_cache_handles_few_shapes(self):
+        shapes = [{"a": 1}, {"b": "x"}]
+        lines = [dumps(shapes[i % 2]) for i in range(50)]
+        _, stats = decode_stream(lines, cache_size=4)
+        assert stats.fast_path_hits >= 46
+
+    def test_array_records_always_slow(self):
+        lines = [dumps({"xs": [i, i + 1]}) for i in range(20)]
+        values, stats = decode_stream(lines)
+        assert stats.fast_path_hits == 0
+        assert stats.deopts == 20
+        assert values == [parse(line) for line in lines]
+
+    def test_type_flip_deopts_then_relearns(self):
+        lines = (
+            [dumps({"v": i}) for i in range(10)]
+            + [dumps({"v": f"s{i}"}) for i in range(10)]
+        )
+        values, stats = decode_stream(lines)
+        assert values == [parse(line) for line in lines]
+        assert stats.deopts >= 2
+
+    def test_mixed_correctness_fuzz(self):
+        docs = [
+            {"a": 1, "b": {"c": "x"}},
+            {"a": 2, "b": {"c": "y}{,:"}},
+            {"a": 3, "b": {"c": 'q"uote'}},
+            {"different": None},
+            {"a": 1.5, "b": {"c": "x"}},
+        ]
+        lines = [dumps(d) for d in docs] * 4
+        decoder = SpeculativeDecoder()
+        for line in lines:
+            assert strict_equal(decoder.decode(line), parse(line))

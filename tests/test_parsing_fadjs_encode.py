@@ -1,0 +1,105 @@
+"""Tests for the Fad.js-style speculative encoder."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import (
+    SpeculativeEncoder,
+    compile_encode_template,
+    encode_shape_key,
+    encode_stream,
+)
+
+from tests.strategies import json_objects
+
+
+class TestShapeKey:
+    def test_flat(self):
+        key = encode_shape_key({"a": 1, "b": "x", "c": True, "d": None})
+        assert key == (("a", "n"), ("b", "s"), ("c", "l"), ("d", "l"))
+
+    def test_nested(self):
+        key = encode_shape_key({"u": {"n": "x"}})
+        assert key == (("u", (("n", "s"),)),)
+
+    def test_key_order_matters(self):
+        assert encode_shape_key({"a": 1, "b": 2}) != encode_shape_key({"b": 2, "a": 1})
+
+    def test_arrays_not_speculable(self):
+        assert encode_shape_key({"xs": [1]}) is None
+        assert encode_shape_key([1]) is None
+        assert encode_shape_key("scalar") is None
+
+    def test_kind_distinctions(self):
+        assert encode_shape_key({"v": 1}) == encode_shape_key({"v": 2.5})
+        assert encode_shape_key({"v": 1}) != encode_shape_key({"v": "1"})
+        assert encode_shape_key({"v": True}) == encode_shape_key({"v": None})
+
+
+class TestTemplate:
+    def test_matches_dumps(self):
+        sample = {"a": 1, "b": "x", "c": {"d": True}}
+        template = compile_encode_template(sample)
+        other = {"a": 99, "b": "yy", "c": {"d": False}}
+        assert template.encode(other) == dumps(other)
+
+    def test_escaping_in_values(self):
+        template = compile_encode_template({"s": "plain"})
+        tricky = {"s": 'say "hi"\n'}
+        assert template.encode(tricky) == dumps(tricky)
+
+    def test_escaping_in_keys(self):
+        sample = {'we"ird': 1}
+        template = compile_encode_template(sample)
+        assert template.encode(sample) == dumps(sample)
+
+    def test_number_formats(self):
+        template = compile_encode_template({"v": 0})
+        assert template.encode({"v": -17}) == '{"v":-17}'
+        assert template.encode({"v": 2.5}) == '{"v":2.5}'
+
+
+class TestSpeculativeEncoder:
+    def test_identical_to_dumps(self):
+        docs = [{"a": i, "b": f"s{i}", "ok": i % 2 == 0} for i in range(50)]
+        lines, stats = encode_stream(docs)
+        assert lines == [dumps(d) for d in docs]
+        assert stats.records == 50
+
+    def test_stable_stream_mostly_fast(self):
+        docs = [{"a": i, "b": f"s{i}"} for i in range(100)]
+        _, stats = encode_stream(docs)
+        assert stats.deopts == 1
+        assert stats.fast_path_hits == 99
+
+    def test_array_records_never_speculate(self):
+        docs = [{"xs": [i]} for i in range(20)]
+        lines, stats = encode_stream(docs)
+        assert stats.fast_path_hits == 0
+        assert lines == [dumps(d) for d in docs]
+
+    def test_cache_bounded(self):
+        docs = [{f"k{i}": i} for i in range(20)]  # 20 distinct shapes
+        encoder = SpeculativeEncoder(cache_size=4)
+        for d in docs:
+            encoder.encode(d)
+        assert encoder.stats.templates_compiled <= 4
+
+    def test_shape_flip_falls_back(self):
+        docs = [{"v": 1}, {"v": "now-a-string"}, {"v": 2}]
+        lines, stats = encode_stream(docs)
+        assert lines == [dumps(d) for d in docs]
+        # The string-valued shape is distinct: it deopts then gets cached.
+        assert stats.deopts == 2
+
+
+@given(st.lists(json_objects(max_leaves=10), min_size=1, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_encoder_equals_dumps_property(docs):
+    encoder = SpeculativeEncoder()
+    for doc in docs:
+        assert encoder.encode(doc) == dumps(doc)
+        assert encoder.encode(doc) == dumps(doc)  # cached round too

@@ -1,0 +1,134 @@
+"""Tests for projected (Mison-style) parsing and the projection semantics."""
+
+import pytest
+
+from repro.errors import JsonError
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import MisonParser, ProjectionTree, apply_projection, parse_projected
+
+RECORD = {
+    "id": 17,
+    "user": {"name": "ada", "verified": True, "geo": {"lat": 1.5, "lon": 2.5}},
+    "text": "hello, world: again",
+    "entities": [{"tag": "x", "w": 1}, {"tag": "y", "w": 2}],
+    "bulk": {"big": [1, 2, 3], "noise": "zzz"},
+}
+TEXT = dumps(RECORD)
+
+
+class TestProjectionTree:
+    def test_depth(self):
+        tree = ProjectionTree.from_paths(["a.b.c", "d"])
+        assert tree.max_depth == 3
+
+    def test_terminal_subsumes_deeper(self):
+        tree = ProjectionTree.from_paths(["a", "a.b"])
+        assert tree.fields["a"].terminal
+        assert tree.fields["a"].fields == {}
+
+    def test_empty_projection_rejected(self):
+        with pytest.raises(JsonError):
+            ProjectionTree.from_paths([])
+
+
+class TestReferenceProjection:
+    def test_single_field(self):
+        assert apply_projection(RECORD, ["id"]) == {"id": 17}
+
+    def test_nested(self):
+        assert apply_projection(RECORD, ["user.name"]) == {"user": {"name": "ada"}}
+
+    def test_multiple_paths_merge(self):
+        out = apply_projection(RECORD, ["user.name", "user.verified"])
+        assert out == {"user": {"name": "ada", "verified": True}}
+
+    def test_wildcard(self):
+        out = apply_projection(RECORD, ["entities[*].tag"])
+        assert out == {"entities": [{"tag": "x"}, {"tag": "y"}]}
+
+    def test_index(self):
+        out = apply_projection(RECORD, ["entities[0].tag"])
+        assert out == {"entities": [{"tag": "x"}]}
+
+    def test_missing_field_omitted(self):
+        assert apply_projection(RECORD, ["nope"]) == {}
+
+    def test_scalar_under_structure(self):
+        assert apply_projection(RECORD, ["id.deeper"]) == {}
+
+    def test_root_capture(self):
+        assert apply_projection(RECORD, ["$"]) == RECORD
+
+
+PROJECTIONS = [
+    ["id"],
+    ["user.name"],
+    ["user.geo.lat"],
+    ["id", "text"],
+    ["user.name", "user.verified", "id"],
+    ["entities[*].tag"],
+    ["entities[*].tag", "entities[*].w"],
+    ["entities[0].w"],
+    ["bulk.big"],
+    ["nope"],
+    ["user.nope.deep"],
+    ["id.not_a_record"],
+    ["$"],
+]
+
+
+class TestMisonEquivalence:
+    """DESIGN.md invariant 4: projected parse == parse then project."""
+
+    @pytest.mark.parametrize("projection", PROJECTIONS, ids=[str(p) for p in PROJECTIONS])
+    def test_equivalence(self, projection):
+        expected = apply_projection(parse(TEXT), projection)
+        assert parse_projected(TEXT, projection) == expected
+
+    def test_tricky_strings(self):
+        doc = {"a": 'x","y', "b": {"c": "}{][,:", "d": 1}, "e": "\\"}
+        text = dumps(doc)
+        for projection in (["a"], ["b.c"], ["b.d"], ["e"]):
+            assert parse_projected(text, projection) == apply_projection(doc, projection)
+
+    def test_whitespace_heavy(self):
+        text = '  {  "a" : { "b" :  [ 1 , 2 ]  } , "c" : "s"  }  '
+        doc = parse(text)
+        for projectionin in (["a.b"], ["c"], ["a"]):
+            assert parse_projected(text, projectionin) == apply_projection(doc, projectionin)
+
+    def test_empty_containers(self):
+        text = '{"a": {}, "b": [], "c": 1}'
+        doc = parse(text)
+        for projection in (["a.x"], ["b[*].y"], ["c"]):
+            assert parse_projected(text, projection) == apply_projection(doc, projection)
+
+
+class TestSpeculation:
+    def test_stable_stream_hits(self):
+        records = [dumps({"a": i, "b": str(i), "c": i * 2}) for i in range(50)]
+        parser = MisonParser(["c"])
+        results = list(parser.parse_stream(records))
+        assert results == [{"c": i * 2} for i in range(50)]
+        # After the first record establishes the pattern, all probes hit.
+        assert parser.stats.speculation_hits >= 48
+        assert parser.stats.hit_rate > 0.9
+
+    def test_field_order_churn_misses(self):
+        even = dumps({"a": 1, "c": 2})
+        odd = dumps({"c": 2, "a": 1})
+        parser = MisonParser(["c"])
+        results = list(parser.parse_stream([even, odd] * 10))
+        assert all(r == {"c": 2} for r in results)
+        assert parser.stats.speculation_misses > 0
+
+    def test_members_skipped_counted(self):
+        parser = MisonParser(["id"])
+        parser.parse_projected(TEXT)
+        assert parser.stats.members_skipped == 4  # the other top-level fields
+
+    def test_values_parsed_only_projected(self):
+        parser = MisonParser(["id", "text"])
+        parser.parse_projected(TEXT)
+        assert parser.stats.values_parsed == 2

@@ -1,0 +1,55 @@
+"""Property tests for the fast parsers (DESIGN.md invariants 4 and 5)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsonvalue.model import strict_equal
+from repro.jsonvalue.parser import parse
+from repro.jsonvalue.serializer import dumps
+from repro.parsing import SpeculativeDecoder, apply_projection, parse_projected
+
+from tests.strategies import json_objects, json_values
+
+# Paths that exercise fields likely/unlikely to exist in generated objects.
+field_names = st.text(min_size=1, max_size=8).filter(
+    lambda s: all(ch not in s for ch in ".[]$")
+)
+
+
+@st.composite
+def objects_and_projections(draw):
+    obj = draw(json_objects(max_leaves=15))
+    known = [k for k in obj.keys() if k and all(ch not in k for ch in ".[]$")]
+    names = draw(
+        st.lists(
+            st.one_of(st.sampled_from(known) if known else field_names, field_names),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    return obj, names
+
+
+@given(objects_and_projections())
+@settings(max_examples=100, deadline=None)
+def test_mison_equals_parse_then_project(case):
+    obj, projection = case
+    text = dumps(obj)
+    expected = apply_projection(parse(text), projection)
+    assert parse_projected(text, projection) == expected
+
+
+@given(st.lists(json_objects(max_leaves=10), min_size=1, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_speculative_decode_equals_parse(docs):
+    decoder = SpeculativeDecoder()
+    for doc in docs:
+        text = dumps(doc)
+        assert strict_equal(decoder.decode(text), parse(text))
+
+
+@given(json_values(max_leaves=15))
+@settings(max_examples=60, deadline=None)
+def test_root_projection_is_identity(value):
+    text = dumps(value)
+    assert strict_equal(parse_projected(text, ["$"]), parse(text))

@@ -1,0 +1,131 @@
+"""Tests for the Mison-style structural index."""
+
+import pytest
+
+from repro.errors import JsonError
+from repro.parsing.structural import (
+    StructuralIndex,
+    _char_bitmap,
+    _string_mask,
+    _structural_quotes,
+)
+
+
+def bits(bitmap):
+    out = []
+    pos = 0
+    while bitmap:
+        if bitmap & 1:
+            out.append(pos)
+        bitmap >>= 1
+        pos += 1
+    return out
+
+
+class TestBitmaps:
+    def test_char_bitmap(self):
+        assert bits(_char_bitmap("a:b:c", ":")) == [1, 3]
+
+    def test_char_bitmap_empty(self):
+        assert _char_bitmap("abc", ":") == 0
+
+    def test_structural_quotes_plain(self):
+        text = '"ab" "cd"'
+        q = _char_bitmap(text, '"')
+        assert _structural_quotes(q, _char_bitmap(text, "\\"), len(text)) == q
+
+    def test_structural_quotes_escaped(self):
+        text = r'"a\"b"'
+        q = _char_bitmap(text, '"')
+        structural = _structural_quotes(q, _char_bitmap(text, "\\"), len(text))
+        assert bits(structural) == [0, 5]
+
+    def test_structural_quotes_double_backslash(self):
+        # "a\\" — the backslash is escaped, the quote is structural.
+        text = '"a\\\\"'
+        q = _char_bitmap(text, '"')
+        structural = _structural_quotes(q, _char_bitmap(text, "\\"), len(text))
+        assert bits(structural) == [0, 4]
+
+    def test_string_mask(self):
+        text = '{"a": "x:y"}'
+        q = _char_bitmap(text, '"')
+        mask = _string_mask(q, len(text))
+        colon_in_string = text.index(":", 7)
+        structural_colon = text.index(":")
+        assert (mask >> colon_in_string) & 1
+        assert not (mask >> structural_colon) & 1
+
+    def test_unbalanced_quotes(self):
+        with pytest.raises(JsonError):
+            _string_mask(_char_bitmap('"abc', '"'), 4)
+
+
+class TestStructuralIndex:
+    TEXT = '{"a": 1, "b": {"c": [2, 3], "d": "x,y:z"}, "e": null}'
+
+    @pytest.fixture()
+    def index(self):
+        return StructuralIndex.build(self.TEXT, levels=3)
+
+    def test_level1_colons(self, index):
+        colons = bits(index.colon_levels[0])
+        keys = [index.key_before_colon(c) for c in colons]
+        assert keys == ["a", "b", "e"]
+
+    def test_level2_colons(self, index):
+        colons = bits(index.colon_levels[1])
+        keys = [index.key_before_colon(c) for c in colons]
+        assert keys == ["c", "d"]
+
+    def test_string_punctuation_masked(self, index):
+        # The comma and colon inside "x,y:z" are not structural.
+        in_string_comma = self.TEXT.index(",", self.TEXT.index("x"))
+        assert in_string_comma not in bits(index.commas)
+
+    def test_matching_close(self, index):
+        open_pos = self.TEXT.index("{", 1)
+        close_pos = index.matching_close(open_pos)
+        assert self.TEXT[close_pos] == "}"
+        assert self.TEXT[open_pos : close_pos + 1] == '{"c": [2, 3], "d": "x,y:z"}'
+
+    def test_matching_close_brackets(self, index):
+        open_pos = self.TEXT.index("[")
+        close_pos = index.matching_close(open_pos)
+        assert self.TEXT[open_pos : close_pos + 1] == "[2, 3]"
+
+    def test_matching_close_requires_opener(self, index):
+        with pytest.raises(JsonError):
+            index.matching_close(0 if self.TEXT[0] != "{" else 1)
+
+    def test_object_member_colons(self, index):
+        close = index.matching_close(0)
+        colons = index.object_member_colons(0, close, 1)
+        assert [index.key_before_colon(c) for c in colons] == ["a", "b", "e"]
+
+    def test_array_element_commas(self, index):
+        open_pos = self.TEXT.index("[")
+        close_pos = index.matching_close(open_pos)
+        commas = index.array_element_commas(open_pos, close_pos, 3)
+        assert len(commas) == 1
+
+    def test_value_span(self, index):
+        close = index.matching_close(0)
+        colons = index.object_member_colons(0, close, 1)
+        start, end = index.value_span(colons[0], close, 1)
+        assert self.TEXT[start:end].strip() == "1"
+
+    def test_level_limit_enforced(self):
+        index = StructuralIndex.build(self.TEXT, levels=1)
+        with pytest.raises(JsonError):
+            index.object_member_colons(0, len(self.TEXT) - 1, 2)
+
+    def test_unbalanced_document(self):
+        with pytest.raises(JsonError):
+            StructuralIndex.build('{"a": [1}', levels=2)
+
+    def test_escaped_quote_in_key(self):
+        text = r'{"a\"b": 1}'
+        index = StructuralIndex.build(text, levels=1)
+        colons = bits(index.colon_levels[0])
+        assert index.key_before_colon(colons[0]) == 'a"b'

@@ -1,0 +1,147 @@
+"""Tests for the algebra→PL bridges and the E1 feature matrix."""
+
+import pytest
+
+from repro.pl import (
+    FEATURES,
+    SYSTEMS,
+    algebra_to_swift,
+    algebra_to_typescript,
+    feature_matrix,
+    render_matrix,
+    swift_declaration_for,
+    typescript_declaration_for,
+)
+from repro.pl import swift as sw
+from repro.pl import typescript as ts
+from repro.pl.swift import SwiftInferenceError
+from repro.types import (
+    ArrType,
+    BOT,
+    FLT,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    type_of,
+    union2,
+)
+
+
+class TestAlgebraToTypeScript:
+    def test_atoms(self):
+        assert algebra_to_typescript(NULL) == ts.NULL
+        assert algebra_to_typescript(INT) == ts.NUMBER
+        assert algebra_to_typescript(FLT) == ts.NUMBER
+        assert algebra_to_typescript(STR) == ts.STRING
+
+    def test_int_flt_union_collapses(self):
+        # TS has one number type; Int + Flt collapses to it.
+        assert algebra_to_typescript(union2(INT, FLT)) == ts.NUMBER
+
+    def test_record_with_optional(self):
+        t = RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"}))
+        result = algebra_to_typescript(t)
+        assert isinstance(result, ts.TSObject)
+        assert result.property_map()["b"].optional
+
+    def test_union_survives(self):
+        result = algebra_to_typescript(union2(STR, ArrType(INT)))
+        assert isinstance(result, ts.TSUnion)
+
+    def test_checked_against_original_values(self):
+        docs = [{"a": 1}, {"a": "x", "b": [1.5]}]
+        from repro.types import Equivalence, merge_all
+
+        merged = merge_all((type_of(d) for d in docs), Equivalence.KIND)
+        ts_type = algebra_to_typescript(merged)
+        for d in docs:
+            assert ts.check(d, ts_type)
+
+
+class TestAlgebraToSwift:
+    def test_atoms(self):
+        assert algebra_to_swift(INT) == sw.INT
+        assert algebra_to_swift(FLT) == sw.DOUBLE
+        assert algebra_to_swift(NUM) == sw.DOUBLE
+        assert algebra_to_swift(STR) == sw.STRING
+
+    def test_nullable_becomes_optional(self):
+        assert algebra_to_swift(union2(STR, NULL)) == sw.SwiftOptional(sw.STRING)
+
+    def test_int_flt_widens(self):
+        assert algebra_to_swift(union2(INT, FLT)) == sw.DOUBLE
+
+    def test_record(self):
+        t = RecType.of({"age": INT, "nick": STR}, optional=frozenset({"nick"}))
+        result = algebra_to_swift(t, "user")
+        assert isinstance(result, sw.SwiftStruct)
+        assert result.field_map()["nick"].type == sw.SwiftOptional(sw.STRING)
+
+    def test_union_rejected(self):
+        with pytest.raises(SwiftInferenceError):
+            algebra_to_swift(union2(STR, INT))
+
+    def test_empty_array(self):
+        assert algebra_to_swift(ArrType(BOT)) == sw.SwiftArray(sw.STRING)
+
+
+class TestDeclarationHelpers:
+    DOCS = [
+        {"id": 1, "name": "a", "tags": ["x"]},
+        {"id": 2, "name": "b"},
+    ]
+
+    def test_typescript_declaration(self):
+        src = typescript_declaration_for(self.DOCS, "Item")
+        assert src.startswith("interface Item {")
+        assert "tags?: string[];" in src
+
+    def test_swift_declaration(self):
+        src = swift_declaration_for(self.DOCS, "Item")
+        assert "struct Item: Codable {" in src
+        assert "let tags: [String]?" in src
+
+    def test_swift_declaration_fails_on_unions(self):
+        docs = [{"v": 1}, {"v": "x"}]
+        with pytest.raises(SwiftInferenceError):
+            swift_declaration_for(docs, "Item")
+
+
+class TestFeatureMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return feature_matrix()
+
+    def test_shape(self, matrix):
+        assert set(matrix.keys()) == set(FEATURES)
+        for row in matrix.values():
+            assert set(row.keys()) == set(SYSTEMS)
+
+    def test_expected_headline_cells(self, matrix):
+        # The comparisons the tutorial makes explicitly.
+        assert matrix["union types"]["JSON Schema"]
+        assert matrix["union types"]["Joi"]
+        assert matrix["union types"]["TypeScript"]
+        assert not matrix["union types"]["JSound"]
+        assert not matrix["union types"]["Swift"]
+
+        assert matrix["negation types"]["JSON Schema"]
+        assert not matrix["negation types"]["Joi"]
+
+        assert matrix["co-occurrence constraints"]["Joi"]
+        assert matrix["mutual exclusion (xor)"]["Joi"]
+        assert matrix["value-dependent types"]["Joi"]
+
+        assert matrix["int/float distinction"]["Swift"]
+        assert not matrix["int/float distinction"]["TypeScript"]
+
+    def test_optional_fields_universal(self, matrix):
+        assert all(matrix["optional fields"].values())
+
+    def test_render(self, matrix):
+        table = render_matrix(matrix)
+        assert "JSON Schema" in table
+        assert "union types" in table
+        assert table.count("\n") >= len(FEATURES)

@@ -1,0 +1,171 @@
+"""Tests for the JSON Schema → TypeScript bridge."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.jsonschema import InstanceGenerator, compile_schema
+from repro.pl import (
+    JsonSchemaTranslationError,
+    declaration_from_jsonschema,
+    jsonschema_to_typescript,
+)
+from repro.pl import typescript as ts
+
+
+class TestPrimitives:
+    def test_atoms(self):
+        assert jsonschema_to_typescript({"type": "null"}) == ts.NULL
+        assert jsonschema_to_typescript({"type": "boolean"}) == ts.BOOLEAN
+        assert jsonschema_to_typescript({"type": "integer"}) == ts.NUMBER
+        assert jsonschema_to_typescript({"type": "number"}) == ts.NUMBER
+        assert jsonschema_to_typescript({"type": "string"}) == ts.STRING
+
+    def test_type_list(self):
+        t = jsonschema_to_typescript({"type": ["string", "null"]})
+        assert t == ts.union((ts.STRING, ts.NULL))
+
+    def test_boolean_schemas(self):
+        assert jsonschema_to_typescript(True) == ts.UNKNOWN
+        assert jsonschema_to_typescript(False) == ts.NEVER
+        assert jsonschema_to_typescript({}) == ts.UNKNOWN
+
+
+class TestLiterals:
+    def test_const(self):
+        assert jsonschema_to_typescript({"const": "circle"}) == ts.TSLiteral("circle")
+        assert jsonschema_to_typescript({"const": 42}) == ts.TSLiteral(42)
+        assert jsonschema_to_typescript({"const": None}) == ts.NULL
+
+    def test_enum(self):
+        t = jsonschema_to_typescript({"enum": ["a", "b", 1]})
+        assert t == ts.union((ts.TSLiteral("a"), ts.TSLiteral("b"), ts.TSLiteral(1)))
+
+    def test_non_scalar_enum_members_widen(self):
+        t = jsonschema_to_typescript({"enum": [[1], "x"]})
+        assert isinstance(t, ts.TSUnion)
+        assert ts.TSLiteral("x") in t.members
+
+
+class TestContainers:
+    def test_array(self):
+        t = jsonschema_to_typescript({"type": "array", "items": {"type": "integer"}})
+        assert t == ts.TSArray(ts.NUMBER)
+
+    def test_tuple(self):
+        t = jsonschema_to_typescript(
+            {"type": "array", "items": [{"type": "integer"}, {"type": "string"}]}
+        )
+        assert t == ts.TSTuple((ts.NUMBER, ts.STRING))
+
+    def test_object_with_required(self):
+        schema = {
+            "type": "object",
+            "properties": {"a": {"type": "integer"}, "b": {"type": "string"}},
+            "required": ["a"],
+        }
+        t = jsonschema_to_typescript(schema)
+        assert isinstance(t, ts.TSObject)
+        assert not t.property_map()["a"].optional
+        assert t.property_map()["b"].optional
+
+    def test_required_without_property_schema(self):
+        t = jsonschema_to_typescript({"type": "object", "required": ["x"]})
+        assert t.property_map()["x"].type == ts.UNKNOWN
+
+    def test_object_inferred_from_properties(self):
+        t = jsonschema_to_typescript({"properties": {"a": {"type": "null"}}})
+        assert isinstance(t, ts.TSObject)
+
+
+class TestCombinators:
+    def test_any_of(self):
+        t = jsonschema_to_typescript(
+            {"anyOf": [{"type": "string"}, {"type": "integer"}]}
+        )
+        assert t == ts.union((ts.STRING, ts.NUMBER))
+
+    def test_all_of_objects_merge(self):
+        schema = {
+            "allOf": [
+                {"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]},
+                {"type": "object", "properties": {"b": {"type": "string"}}, "required": ["b"]},
+            ]
+        }
+        t = jsonschema_to_typescript(schema)
+        assert isinstance(t, ts.TSObject)
+        assert set(t.property_map()) == {"a", "b"}
+        assert not t.property_map()["a"].optional
+
+    def test_all_of_literal_refinement(self):
+        schema = {"allOf": [{"type": "string"}, {"const": "x"}]}
+        assert jsonschema_to_typescript(schema) == ts.TSLiteral("x")
+
+    def test_all_of_contradiction_is_never(self):
+        schema = {"allOf": [{"type": "string"}, {"type": "object", "properties": {}}]}
+        assert jsonschema_to_typescript(schema) == ts.NEVER
+
+
+class TestRefs:
+    def test_local_ref(self):
+        schema = {
+            "definitions": {"name": {"type": "string"}},
+            "type": "object",
+            "properties": {"n": {"$ref": "#/definitions/name"}},
+            "required": ["n"],
+        }
+        t = jsonschema_to_typescript(schema)
+        assert t.property_map()["n"].type == ts.STRING
+
+    def test_recursive_ref_cut_off(self):
+        schema = {
+            "definitions": {
+                "node": {
+                    "type": "object",
+                    "properties": {"next": {"$ref": "#/definitions/node"}},
+                }
+            },
+            "$ref": "#/definitions/node",
+        }
+        t = jsonschema_to_typescript(schema)
+        assert isinstance(t, ts.TSObject)  # terminated, no infinite loop
+
+
+class TestSoundness:
+    """Schema-valid instances must inhabit the translated type (wider-only)."""
+
+    SCHEMAS = [
+        {"type": "object", "properties": {"a": {"type": "integer"}}, "required": ["a"]},
+        {"type": "array", "items": {"type": ["string", "null"]}},
+        {"enum": ["x", "y", 3]},
+        {"anyOf": [{"type": "string"}, {"type": "object", "properties": {}}]},
+        {
+            "type": "object",
+            "properties": {
+                "kind": {"const": "circle"},
+                "items": {"type": "array", "items": {"type": "number"}},
+            },
+            "required": ["kind"],
+        },
+    ]
+
+    @pytest.mark.parametrize("schema", SCHEMAS, ids=[str(i) for i in range(len(SCHEMAS))])
+    def test_generated_instances_inhabit_type(self, schema):
+        t = jsonschema_to_typescript(schema)
+        generator = InstanceGenerator(schema, seed=5)
+        for _ in range(10):
+            instance = generator.generate()
+            assert ts.check(instance, t), (instance, t)
+
+
+class TestDeclaration:
+    def test_interface_emitted(self):
+        schema = {
+            "type": "object",
+            "properties": {"id": {"type": "integer"}, "tags": {"type": "array", "items": {"type": "string"}}},
+            "required": ["id"],
+        }
+        src = declaration_from_jsonschema(schema, "Item")
+        assert src.startswith("interface Item {")
+        assert "id: number;" in src
+        assert "tags?: string[];" in src

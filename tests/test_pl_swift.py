@@ -1,0 +1,158 @@
+"""Tests for the Swift-like Codable layer."""
+
+import pytest
+
+from repro.pl import swift as sw
+from repro.pl.swift import SwiftDecodeError, SwiftInferenceError
+
+
+class TestPrimitiveDecoding:
+    def test_string(self):
+        assert sw.decode(sw.STRING, "x") == "x"
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.STRING, 1)
+
+    def test_bool(self):
+        assert sw.decode(sw.BOOL, True) is True
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.BOOL, 1)
+
+    def test_int(self):
+        assert sw.decode(sw.INT, 3) == 3
+        assert sw.decode(sw.INT, 3.0) == 3  # integral double bridges
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.INT, 3.5)
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.INT, True)
+
+    def test_double(self):
+        assert sw.decode(sw.DOUBLE, 3) == 3.0
+        assert isinstance(sw.decode(sw.DOUBLE, 3), float)
+        assert sw.decode(sw.DOUBLE, 3.5) == 3.5
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.DOUBLE, "3.5")
+
+    def test_null_raises_value_not_found(self):
+        with pytest.raises(SwiftDecodeError) as exc:
+            sw.decode(sw.INT, None)
+        assert exc.value.case == "valueNotFound"
+
+
+class TestOptional:
+    def test_nil(self):
+        assert sw.decode(sw.SwiftOptional(sw.INT), None) is None
+
+    def test_present(self):
+        assert sw.decode(sw.SwiftOptional(sw.INT), 5) == 5
+
+    def test_wrong_type_still_fails(self):
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(sw.SwiftOptional(sw.INT), "x")
+
+
+class TestContainers:
+    def test_array(self):
+        assert sw.decode(sw.SwiftArray(sw.INT), [1, 2]) == [1, 2]
+        with pytest.raises(SwiftDecodeError) as exc:
+            sw.decode(sw.SwiftArray(sw.INT), [1, "x"])
+        assert exc.value.coding_path == (1,)
+
+    def test_dictionary(self):
+        t = sw.SwiftDictionary(sw.DOUBLE)
+        assert sw.decode(t, {"a": 1, "b": 2.5}) == {"a": 1.0, "b": 2.5}
+        with pytest.raises(SwiftDecodeError):
+            sw.decode(t, {"a": "x"})
+
+
+class TestStructDecoding:
+    TWEET = sw.SwiftStruct.of(
+        "Tweet",
+        {
+            "id": sw.INT,
+            "text": sw.STRING,
+            "lang": sw.SwiftOptional(sw.STRING),
+        },
+    )
+
+    def test_full(self):
+        out = sw.decode(self.TWEET, {"id": 1, "text": "hi", "lang": "en"})
+        assert out == {"id": 1, "text": "hi", "lang": "en"}
+
+    def test_missing_optional_becomes_nil(self):
+        out = sw.decode(self.TWEET, {"id": 1, "text": "hi"})
+        assert out["lang"] is None
+
+    def test_missing_required_key_not_found(self):
+        with pytest.raises(SwiftDecodeError) as exc:
+            sw.decode(self.TWEET, {"text": "hi"})
+        assert exc.value.case == "keyNotFound"
+
+    def test_unknown_members_ignored(self):
+        out = sw.decode(self.TWEET, {"id": 1, "text": "hi", "extra": [1]})
+        assert "extra" not in out
+
+    def test_type_mismatch_path(self):
+        nested = sw.SwiftStruct.of(
+            "Outer", {"inner": sw.SwiftStruct.of("Inner", {"v": sw.INT})}
+        )
+        with pytest.raises(SwiftDecodeError) as exc:
+            sw.decode(nested, {"inner": {"v": "x"}})
+        assert exc.value.coding_path == ("inner", "v")
+
+
+class TestInference:
+    def test_simple_struct(self):
+        t = sw.infer_struct("User", [{"name": "ada", "age": 36}])
+        assert t.field_map()["name"].type == sw.STRING
+        assert t.field_map()["age"].type == sw.INT
+
+    def test_missing_field_becomes_optional(self):
+        t = sw.infer_struct("User", [{"a": 1}, {"a": 2, "b": "x"}])
+        assert t.field_map()["b"].type == sw.SwiftOptional(sw.STRING)
+
+    def test_int_double_widen(self):
+        t = sw.infer_struct("M", [{"v": 1}, {"v": 2.5}])
+        assert t.field_map()["v"].type == sw.DOUBLE
+
+    def test_null_makes_optional(self):
+        t = sw.infer_struct("M", [{"v": None}, {"v": "x"}])
+        assert t.field_map()["v"].type == sw.SwiftOptional(sw.STRING)
+
+    def test_nested_structs(self):
+        t = sw.infer_struct("Post", [{"user": {"name": "a"}}])
+        user_type = t.field_map()["user"].type
+        assert isinstance(user_type, sw.SwiftStruct)
+        assert user_type.name == "PostUser"
+
+    def test_union_data_raises(self):
+        with pytest.raises(SwiftInferenceError):
+            sw.infer_struct("M", [{"v": 1}, {"v": "x"}])
+
+    def test_inferred_struct_decodes_samples(self):
+        samples = [
+            {"id": 1, "tags": ["a"], "score": 0.5},
+            {"id": 2, "tags": [], "score": 1, "note": "x"},
+        ]
+        t = sw.infer_struct("Row", samples)
+        for s in samples:
+            sw.decode(t, s)  # must not raise
+
+
+class TestCodegen:
+    def test_render_struct(self):
+        t = sw.SwiftStruct.of(
+            "Tweet",
+            {"id": sw.INT, "text": sw.STRING, "lang": sw.SwiftOptional(sw.STRING)},
+        )
+        src = sw.render_struct(t)
+        assert "struct Tweet: Codable {" in src
+        assert "let id: Int" in src
+        assert "let lang: String?" in src
+
+    def test_nested_struct_rendered_inline(self):
+        inner = sw.SwiftStruct.of("User", {"name": sw.STRING})
+        outer = sw.SwiftStruct.of("Post", {"user": inner, "ids": sw.SwiftArray(sw.INT)})
+        src = sw.render_struct(outer)
+        assert "let user: User" in src
+        assert "struct User: Codable {" in src
+        assert "let ids: [Int]" in src

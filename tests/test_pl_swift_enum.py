@@ -1,0 +1,140 @@
+"""Tests for Swift enums with associated values (the union workaround)."""
+
+import pytest
+
+from repro.pl import SwiftEnum, SwiftEnumCase, algebra_to_swift_with_enums, render_enum
+from repro.pl import swift as sw
+from repro.pl.swift import SwiftDecodeError
+from repro.pl.swift_enum import can_decode_enum, decode_enum
+from repro.types import (
+    ArrType,
+    Equivalence,
+    INT,
+    FLT,
+    NULL,
+    RecType,
+    STR,
+    merge_all,
+    type_of,
+    union,
+    union2,
+)
+
+NUM_OR_TEXT = SwiftEnum(
+    "Value",
+    (
+        SwiftEnumCase("number", sw.DOUBLE),
+        SwiftEnumCase("text", sw.STRING),
+    ),
+)
+
+
+class TestEnumDecoding:
+    def test_first_matching_case_wins(self):
+        assert decode_enum(NUM_OR_TEXT, 3.5) == {"$case": "number", "value": 3.5}
+        assert decode_enum(NUM_OR_TEXT, "x") == {"$case": "text", "value": "x"}
+
+    def test_case_order_matters(self):
+        # Double also decodes ints, so an int-first enum tags differently.
+        reordered = SwiftEnum(
+            "Value",
+            (SwiftEnumCase("int", sw.INT), SwiftEnumCase("number", sw.DOUBLE)),
+        )
+        assert decode_enum(reordered, 3)["$case"] == "int"
+        assert decode_enum(NUM_OR_TEXT, 3)["$case"] == "number"
+
+    def test_no_case_matches(self):
+        with pytest.raises(SwiftDecodeError):
+            decode_enum(NUM_OR_TEXT, [1, 2])
+        assert not can_decode_enum(NUM_OR_TEXT, None)
+
+    def test_struct_payloads(self):
+        shapes = SwiftEnum(
+            "Shape",
+            (
+                SwiftEnumCase("circle", sw.SwiftStruct.of("Circle", {"r": sw.DOUBLE})),
+                SwiftEnumCase("rect", sw.SwiftStruct.of("Rect", {"w": sw.DOUBLE, "h": sw.DOUBLE})),
+            ),
+        )
+        decoded = decode_enum(shapes, {"r": 1.0})
+        assert decoded == {"$case": "circle", "value": {"r": 1.0}}
+        decoded = decode_enum(shapes, {"w": 1, "h": 2})
+        assert decoded["$case"] == "rect"
+
+    def test_enum_inside_struct_via_decode(self):
+        holder = sw.SwiftStruct.of("Holder", {"v": NUM_OR_TEXT})
+        out = sw.decode(holder, {"v": "hello"})
+        assert out == {"v": {"$case": "text", "value": "hello"}}
+
+    def test_enum_inside_array(self):
+        t = sw.SwiftArray(NUM_OR_TEXT)
+        out = sw.decode(t, [1, "two"])
+        assert [o["$case"] for o in out] == ["number", "text"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SwiftEnum("E", ())
+        with pytest.raises(ValueError):
+            SwiftEnum("E", (SwiftEnumCase("a", sw.INT), SwiftEnumCase("a", sw.STRING)))
+
+
+class TestAlgebraBridge:
+    def test_union_becomes_enum(self):
+        t = union2(INT, STR)
+        result = algebra_to_swift_with_enums(t, "field")
+        assert isinstance(result, SwiftEnum)
+        assert {c.name for c in result.cases} == {"integer", "text"}
+
+    def test_nullable_still_optional(self):
+        assert algebra_to_swift_with_enums(union2(STR, NULL)) == sw.SwiftOptional(sw.STRING)
+
+    def test_int_flt_still_double(self):
+        assert algebra_to_swift_with_enums(union2(INT, FLT)) == sw.DOUBLE
+
+    def test_record_variants_get_numbered_cases(self):
+        t = union(
+            (RecType.of({"a": INT}), RecType.of({"b": STR}), STR)
+        )
+        result = algebra_to_swift_with_enums(t, "v")
+        names = [c.name for c in result.cases]
+        assert "record" in names and "record2" in names and "text" in names
+
+    def test_label_inference_decodes_through_enums(self):
+        """The full pipeline: L-inferred union type → enum → decode all docs."""
+        docs = [
+            {"kind": "a", "x": 1},
+            {"kind": "b", "y": "s"},
+            {"kind": "a", "x": 2},
+        ]
+        inferred = merge_all((type_of(d) for d in docs), Equivalence.LABEL)
+        swift_type = algebra_to_swift_with_enums(inferred, "Event")
+        assert isinstance(swift_type, SwiftEnum)
+        for doc in docs:
+            tagged = sw.decode(swift_type, doc)
+            assert tagged["$case"] in ("record", "record2")
+
+    def test_plain_bridge_still_fails(self):
+        from repro.pl import algebra_to_swift
+        from repro.pl.swift import SwiftInferenceError
+
+        with pytest.raises(SwiftInferenceError):
+            algebra_to_swift(union2(INT, STR))
+
+
+class TestCodegen:
+    def test_render_enum(self):
+        src = render_enum(NUM_OR_TEXT)
+        assert "enum Value: Codable {" in src
+        assert "case number(Double)" in src
+        assert "case text(String)" in src
+        assert "init(from decoder: Decoder) throws {" in src
+        assert "try? container.decode(Double.self)" in src
+        assert "func encode(to encoder: Encoder) throws {" in src
+
+    def test_enum_renders_by_name_in_types(self):
+        assert sw.render_type(sw.SwiftArray(NUM_OR_TEXT)) == "[Value]"
+
+    def test_struct_with_enum_field_renders(self):
+        holder = sw.SwiftStruct.of("Holder", {"v": NUM_OR_TEXT})
+        src = sw.render_struct(holder)
+        assert "let v: Value" in src

@@ -1,0 +1,210 @@
+"""Tests for the TypeScript-like type system."""
+
+import pytest
+
+from repro.pl import typescript as ts
+
+
+class TestCheck:
+    def test_primitives(self):
+        assert ts.check(1, ts.NUMBER)
+        assert ts.check(1.5, ts.NUMBER)  # one number type
+        assert ts.check("x", ts.STRING)
+        assert ts.check(True, ts.BOOLEAN)
+        assert ts.check(None, ts.NULL)
+        assert not ts.check(True, ts.NUMBER)
+        assert not ts.check(1, ts.STRING)
+
+    def test_undefined_matches_no_value(self):
+        assert not ts.check(None, ts.UNDEFINED)
+        assert not ts.check(0, ts.UNDEFINED)
+
+    def test_any_unknown_never(self):
+        assert ts.check({"x": 1}, ts.ANY)
+        assert ts.check({"x": 1}, ts.UNKNOWN)
+        assert not ts.check(0, ts.NEVER)
+
+    def test_literals(self):
+        assert ts.check("circle", ts.TSLiteral("circle"))
+        assert not ts.check("square", ts.TSLiteral("circle"))
+        assert ts.check(42, ts.TSLiteral(42))
+        assert ts.check(42.0, ts.TSLiteral(42))  # JS numbers compare mathematically
+        assert ts.check(True, ts.TSLiteral(True))
+        assert not ts.check(1, ts.TSLiteral(True))
+
+    def test_arrays(self):
+        assert ts.check([1, 2], ts.TSArray(ts.NUMBER))
+        assert not ts.check([1, "x"], ts.TSArray(ts.NUMBER))
+
+    def test_tuples(self):
+        t = ts.TSTuple((ts.NUMBER, ts.STRING))
+        assert ts.check([1, "a"], t)
+        assert not ts.check([1], t)
+        assert not ts.check(["a", 1], t)
+
+    def test_objects_structural_open(self):
+        t = ts.TSObject.of({"a": ts.NUMBER})
+        assert ts.check({"a": 1}, t)
+        assert ts.check({"a": 1, "extra": "ok"}, t)  # structural: open
+        assert not ts.check({"a": "x"}, t)
+        assert not ts.check({}, t)
+
+    def test_optional_properties(self):
+        t = ts.TSObject.of({"a": ts.NUMBER}, optional=frozenset({"a"}))
+        assert ts.check({}, t)
+        assert ts.check({"a": 1}, t)
+        assert not ts.check({"a": "x"}, t)
+
+    def test_undefined_union_means_optional(self):
+        t = ts.TSObject.of({"a": ts.union((ts.NUMBER, ts.UNDEFINED))})
+        assert ts.check({}, t)
+
+    def test_union(self):
+        t = ts.union((ts.NUMBER, ts.STRING))
+        assert ts.check(1, t) and ts.check("a", t)
+        assert not ts.check(None, t)
+
+    def test_discriminated_union(self):
+        circle = ts.TSObject.of({"kind": ts.TSLiteral("circle"), "r": ts.NUMBER})
+        square = ts.TSObject.of({"kind": ts.TSLiteral("square"), "w": ts.NUMBER})
+        t = ts.union((circle, square))
+        assert ts.check({"kind": "circle", "r": 1}, t)
+        assert ts.check({"kind": "square", "w": 2}, t)
+        assert not ts.check({"kind": "circle", "w": 2}, t)
+
+
+class TestUnionConstruction:
+    def test_flatten_dedupe(self):
+        t = ts.union((ts.NUMBER, ts.union((ts.NUMBER, ts.STRING))))
+        assert isinstance(t, ts.TSUnion)
+        assert set(t.members) == {ts.NUMBER, ts.STRING}
+
+    def test_literal_absorption(self):
+        t = ts.union((ts.TSLiteral("a"), ts.STRING))
+        assert t == ts.STRING
+
+    def test_never_identity(self):
+        assert ts.union((ts.NEVER, ts.NUMBER)) == ts.NUMBER
+
+    def test_any_absorbs(self):
+        assert ts.union((ts.ANY, ts.NUMBER)) == ts.ANY
+
+    def test_singleton(self):
+        assert ts.union((ts.STRING,)) == ts.STRING
+
+
+class TestAssignability:
+    def test_reflexive(self):
+        for t in (ts.NUMBER, ts.TSArray(ts.STRING), ts.TSObject.of({"a": ts.NULL})):
+            assert ts.is_assignable(t, t)
+
+    def test_any_both_ways(self):
+        assert ts.is_assignable(ts.ANY, ts.NUMBER)
+        assert ts.is_assignable(ts.NUMBER, ts.ANY)
+
+    def test_unknown_top(self):
+        assert ts.is_assignable(ts.NUMBER, ts.UNKNOWN)
+        assert not ts.is_assignable(ts.UNKNOWN, ts.NUMBER)
+
+    def test_never_bottom(self):
+        assert ts.is_assignable(ts.NEVER, ts.NUMBER)
+        assert not ts.is_assignable(ts.NUMBER, ts.NEVER)
+
+    def test_literal_widening(self):
+        assert ts.is_assignable(ts.TSLiteral("a"), ts.STRING)
+        assert not ts.is_assignable(ts.STRING, ts.TSLiteral("a"))
+
+    def test_unions(self):
+        ab = ts.union((ts.NUMBER, ts.STRING))
+        assert ts.is_assignable(ts.NUMBER, ab)
+        assert not ts.is_assignable(ab, ts.NUMBER)
+        assert ts.is_assignable(ab, ts.union((ts.NUMBER, ts.STRING, ts.NULL)))
+
+    def test_width_subtyping(self):
+        wide = ts.TSObject.of({"a": ts.NUMBER, "b": ts.STRING})
+        narrow = ts.TSObject.of({"a": ts.NUMBER})
+        assert ts.is_assignable(wide, narrow)  # extra members OK
+        assert not ts.is_assignable(narrow, wide)
+
+    def test_optional_target(self):
+        narrow = ts.TSObject.of({})
+        opt = ts.TSObject.of({"a": ts.NUMBER}, optional=frozenset({"a"}))
+        assert ts.is_assignable(narrow, opt)
+
+    def test_optional_source_to_required_target(self):
+        opt = ts.TSObject.of({"a": ts.NUMBER}, optional=frozenset({"a"}))
+        req = ts.TSObject.of({"a": ts.NUMBER})
+        assert not ts.is_assignable(opt, req)
+
+    def test_tuple_to_array(self):
+        t = ts.TSTuple((ts.NUMBER, ts.NUMBER))
+        assert ts.is_assignable(t, ts.TSArray(ts.NUMBER))
+        assert not ts.is_assignable(t, ts.TSArray(ts.STRING))
+
+    def test_array_covariance(self):
+        lit = ts.TSArray(ts.TSLiteral(1))
+        assert ts.is_assignable(lit, ts.TSArray(ts.NUMBER))
+
+
+class TestInference:
+    def test_scalars_widen(self):
+        assert ts.infer_type(3) == ts.NUMBER
+        assert ts.infer_type(3.5) == ts.NUMBER
+        assert ts.infer_type("x") == ts.STRING
+        assert ts.infer_type(None) == ts.NULL
+
+    def test_const_literals(self):
+        assert ts.infer_type("x", widen_literals=False) == ts.TSLiteral("x")
+
+    def test_object(self):
+        t = ts.infer_type({"a": 1, "b": "x"})
+        assert t == ts.TSObject.of({"a": ts.NUMBER, "b": ts.STRING})
+
+    def test_empty_array(self):
+        assert ts.infer_type([]) == ts.TSArray(ts.NEVER)
+
+    def test_heterogeneous_array(self):
+        t = ts.infer_type([1, "x"])
+        assert t == ts.TSArray(ts.union((ts.NUMBER, ts.STRING)))
+
+    def test_samples_merge_objects(self):
+        t = ts.infer_from_samples([{"a": 1}, {"a": 2, "b": "x"}])
+        expected = ts.TSObject(
+            (
+                ts.TSProperty("a", ts.NUMBER),
+                ts.TSProperty("b", ts.STRING, optional=True),
+            )
+        )
+        assert t == expected
+
+    def test_samples_check_soundness(self):
+        docs = [{"a": 1}, {"a": "s", "b": [1, 2]}, {"c": None}]
+        t = ts.infer_from_samples(docs)
+        for d in docs:
+            assert ts.check(d, t)
+
+
+class TestCodegen:
+    def test_primitive_alias(self):
+        assert ts.declaration(ts.union((ts.NUMBER, ts.NULL)), "MaybeNum") == (
+            "type MaybeNum = null | number;\n"
+        )
+
+    def test_interface(self):
+        t = ts.TSObject.of(
+            {"id": ts.NUMBER, "tags": ts.TSArray(ts.STRING)},
+            optional=frozenset({"tags"}),
+        )
+        source = ts.declaration(t, "Post")
+        assert source.startswith("interface Post {")
+        assert "id: number;" in source
+        assert "tags?: string[];" in source
+
+    def test_union_array_parenthesized(self):
+        t = ts.TSArray(ts.union((ts.NUMBER, ts.STRING)))
+        assert ts.render_type(t) == "(number | string)[]"
+
+    def test_nested_object_indentation(self):
+        t = ts.TSObject.of({"user": ts.TSObject.of({"name": ts.STRING})})
+        source = ts.declaration(t, "Wrapper")
+        assert "  user: {\n    name: string;\n  };" in source

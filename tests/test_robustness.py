@@ -1,0 +1,150 @@
+"""Failure injection: malformed inputs must fail loudly and precisely.
+
+Every subsystem consumes untrusted JSON text or documents somewhere; these
+tests check that corruption surfaces as the library's own exceptions (with
+positions where applicable), never as silent misbehaviour or host-language
+errors like ``RecursionError``/``KeyError``.
+"""
+
+import pytest
+
+from repro.errors import JsonError, ReproError
+from repro.jsonvalue.parser import parse
+from repro.parsing import MisonParser, SpeculativeDecoder
+from repro.parsing.structural import StructuralIndex
+
+MALFORMED_TEXTS = [
+    "",
+    "{",
+    "[1, 2",
+    '{"a": }',
+    '{"a": 1,}',
+    '{"a" 1}',
+    '{"a": "unterminated',
+    "[1] trailing",
+    '{"a": 01}',
+    '{"a": tru}',
+    "\x00",
+]
+
+
+class TestParserRobustness:
+    @pytest.mark.parametrize("text", MALFORMED_TEXTS, ids=[repr(t)[:20] for t in MALFORMED_TEXTS])
+    def test_parse_raises_json_error(self, text):
+        with pytest.raises(JsonError):
+            parse(text)
+
+    def test_pathological_depth_is_bounded(self):
+        attack = "[" * 100_000
+        with pytest.raises(JsonError):
+            parse(attack)
+
+    def test_huge_flat_document_ok(self):
+        text = "[" + ",".join(str(i) for i in range(50_000)) + "]"
+        assert len(parse(text)) == 50_000
+
+
+class TestMisonRobustness:
+    @pytest.mark.parametrize(
+        "text",
+        ['{"a": 1', "[1, 2", '{"a": "x}', ""],
+        ids=["unclosed-obj", "unclosed-arr", "unclosed-str", "empty"],
+    )
+    def test_projected_parse_raises(self, text):
+        parser = MisonParser(["a"])
+        with pytest.raises(ReproError):
+            parser.parse_projected(text)
+
+    def test_locally_invalid_but_balanced_is_callers_contract(self):
+        # Mison (like the paper's system) assumes records are well-formed
+        # JSON; balanced-but-invalid text is skipped, not validated.  The
+        # guarantee is merely "no crash, no misattributed fields".
+        parser = MisonParser(["a"])
+        assert parser.parse_projected('{"a" 1}') == {}
+
+    def test_index_rejects_unbalanced(self):
+        with pytest.raises(JsonError):
+            StructuralIndex.build('{"a": [1}', levels=2)
+
+    def test_index_rejects_unbalanced_quotes(self):
+        with pytest.raises(JsonError):
+            StructuralIndex.build('{"a": "x}', levels=1)
+
+    def test_stream_error_does_not_corrupt_pattern_cache(self):
+        parser = MisonParser(["a"])
+        good = '{"a": 1, "b": 2}'
+        assert parser.parse_projected(good) == {"a": 1}
+        with pytest.raises(ReproError):
+            parser.parse_projected('{"a": ')
+        # The cache still serves the stable shape correctly afterwards.
+        assert parser.parse_projected(good) == {"a": 1}
+
+
+class TestSpeculativeDecoderRobustness:
+    def test_malformed_line_raises_not_matches(self):
+        decoder = SpeculativeDecoder()
+        decoder.decode('{"a": 1}')  # learn a shape
+        with pytest.raises(JsonError):
+            decoder.decode('{"a": }')
+
+    def test_template_never_matches_malformed(self):
+        # A template for {"a": <num>} must not "match" text with trailing junk.
+        decoder = SpeculativeDecoder()
+        decoder.decode('{"a": 1}')
+        with pytest.raises(JsonError):
+            decoder.decode('{"a": 1} extra')
+
+    def test_decoder_survives_error_and_keeps_cache(self):
+        decoder = SpeculativeDecoder()
+        decoder.decode('{"a": 1}')
+        with pytest.raises(JsonError):
+            decoder.decode("{")
+        assert decoder.decode('{"a": 2}') == {"a": 2}
+        assert decoder.stats.fast_path_hits >= 1
+
+
+class TestCliRobustness:
+    def test_malformed_ndjson_reported(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text('{"a": 1}\n{"broken\n')
+        assert main(["infer", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, capsys):
+        from repro.cli import main
+
+        assert main(["infer", "/does/not/exist.ndjson"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_schema_reported(self, tmp_path, capsys):
+        from repro.cli import main
+
+        data = tmp_path / "d.ndjson"
+        data.write_text('{"a": 1}\n')
+        schema = tmp_path / "s.json"
+        schema.write_text('{"type": "nonsense"}')
+        assert main(["validate", str(data), "--schema", str(schema)]) == 2
+
+
+class TestValidatorRobustness:
+    def test_deep_schema_instance_pair(self):
+        from repro.jsonschema import compile_schema
+
+        depth = 200
+        schema: dict = {"type": "integer"}
+        for _ in range(depth):
+            schema = {"type": "object", "properties": {"n": schema}}
+        instance: object = 7
+        for _ in range(depth):
+            instance = {"n": instance}
+        assert compile_schema(schema).is_valid(instance)
+
+    def test_enum_with_weird_members(self):
+        from repro.jsonschema import is_valid
+
+        schema = {"enum": [{"$ref": "#/x"}, [None], ""]}
+        assert is_valid(schema, {"$ref": "#/x"})  # data, not a reference
+        assert is_valid(schema, [None])
+        assert not is_valid(schema, [])

@@ -1,0 +1,166 @@
+"""Tests for the translation pipelines (E9) and the schema repository."""
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.skeleton import structure_of
+from repro.repository import SchemaRepository
+from repro.translation import (
+    assemble,
+    resolve_type,
+    schema_aware_translate,
+    schema_oblivious_translate,
+)
+from repro.types import INT, NULL, RecType, STR, matches, type_of, union2
+
+
+class TestResolveType:
+    def test_representable_untouched(self):
+        t = RecType.of({"a": INT, "b": union2(STR, NULL)})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == []
+        assert resolved == t
+
+    def test_int_flt_widens(self):
+        from repro.types import FLT, NUM
+
+        resolved, fallbacks = resolve_type(RecType.of({"v": union2(INT, FLT)}))
+        assert fallbacks == []
+        assert resolved == RecType.of({"v": NUM})
+
+    def test_general_union_falls_back(self):
+        t = RecType.of({"v": union2(INT, STR)})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == ["v"]
+        assert resolved.field_map()["v"].type.tag == "str"
+
+    def test_fallback_path_in_arrays(self):
+        from repro.types import ArrType
+
+        t = RecType.of({"xs": ArrType(union2(INT, STR))})
+        _, fallbacks = resolve_type(t)
+        assert fallbacks == ["xs.[]"]
+
+
+class TestSchemaAwareTranslation:
+    DOCS = [
+        {"id": 1, "name": "a", "score": 0.5, "tags": ["x"]},
+        {"id": 2, "name": "b", "score": 1.5, "tags": []},
+        {"id": 3, "name": "c", "score": 2.0, "tags": ["y", "z"]},
+    ]
+
+    def test_report_shape(self):
+        report = schema_aware_translate(self.DOCS)
+        assert report.document_count == 3
+        assert report.fallback_count == 0
+        assert report.typed_fraction == 1.0
+        assert report.columnar_bytes > 0
+        assert report.avro_bytes > 0
+
+    def test_columnar_roundtrip(self):
+        from repro.jsonvalue.model import sort_keys_deep, strict_equal
+
+        report = schema_aware_translate(self.DOCS)
+        rebuilt = assemble(report.columnar)
+        for original, back in zip(self.DOCS, rebuilt):
+            assert strict_equal(sort_keys_deep(original), sort_keys_deep(back))
+
+    def test_outputs_smaller_than_input(self):
+        docs = [
+            {"id": i, "name": f"user_{i}", "score": i / 3, "active": True}
+            for i in range(100)
+        ]
+        report = schema_aware_translate(docs)
+        assert report.columnar_bytes < report.input_bytes
+        assert report.avro_bytes < report.input_bytes
+
+    def test_heterogeneous_fields_fall_back(self):
+        docs = [{"v": 1}, {"v": "one"}, {"v": 2}]
+        report = schema_aware_translate(docs)
+        assert report.fallback_count == 1
+        assert report.typed_fraction < 1.0
+
+    def test_fallback_values_preserved_as_json_text(self):
+        docs = [{"v": 1}, {"v": "one"}]
+        report = schema_aware_translate(docs)
+        rebuilt = assemble(report.columnar)
+        assert rebuilt[0]["v"] == "1"  # serialized JSON text
+        assert rebuilt[1]["v"] == '"one"'
+
+
+class TestObliviousBaseline:
+    def test_blob_sizes(self):
+        docs = [{"a": 1}, {"b": [1, 2]}]
+        report = schema_oblivious_translate(docs)
+        assert report.document_count == 2
+        assert report.total_bytes == sum(len(b) for b in report.blobs)
+
+    def test_schema_aware_beats_oblivious_on_regular_data(self):
+        docs = [
+            {"id": i, "label": "constant-label-text", "value": i * 1.5}
+            for i in range(200)
+        ]
+        aware = schema_aware_translate(docs)
+        oblivious = schema_oblivious_translate(docs)
+        assert aware.columnar_bytes < oblivious.total_bytes
+
+
+USERS = [{"type": "user", "name": f"u{i}", "age": i} for i in range(8)]
+POSTS = [{"type": "post", "title": f"t{i}", "tags": ["a"]} for i in range(4)]
+
+
+class TestSchemaRepository:
+    @pytest.fixture()
+    def repo(self):
+        repo = SchemaRepository()
+        repo.register("events", USERS + POSTS, k=2)
+        repo.register("logs", [{"level": "info", "msg": "m"}] * 5, k=1)
+        return repo
+
+    def test_register_and_summary(self, repo):
+        summary = repo.summary()
+        assert [s["collection"] for s in summary] == ["events", "logs"]
+        events = summary[0]
+        assert events["documents"] == 12
+        assert events["structures"] == 2
+        assert events["top_structure_support"] == 8
+
+    def test_duplicate_name_rejected(self, repo):
+        with pytest.raises(InferenceError):
+            repo.register("events", USERS)
+
+    def test_path_query(self, repo):
+        assert repo.find_collections_with_path(("name",)) == ["events"]
+        assert repo.find_collections_with_path("level") == ["logs"]
+        assert repo.find_collections_with_path("tags.[*]") == ["events"]
+        assert repo.find_collections_with_path("missing") == []
+
+    def test_containment_query(self, repo):
+        hits = repo.containing_structures([("type",), ("title",)])
+        assert len(hits) == 1
+        name, structure = hits[0]
+        assert name == "events"
+        assert ("tags", "[*]") in structure
+
+    def test_containment_within(self, repo):
+        assert repo.containing_structures([("level",)], within="logs")
+        assert not repo.containing_structures([("level",)], within="events")
+
+    def test_classify_known_structure(self, repo):
+        t = repo.classify("events", {"type": "user", "name": "new", "age": 99})
+        assert t is not None
+        assert matches({"type": "user", "name": "new", "age": 99}, t)
+
+    def test_classify_unknown_structure(self, repo):
+        # The skeleton misses structures outside its top-k — by design.
+        assert repo.classify("events", {"totally": "different"}) is None
+
+    def test_unknown_collection(self, repo):
+        with pytest.raises(InferenceError):
+            repo.collection("nope")
+
+    def test_group_types_match_members(self, repo):
+        entry = repo.collection("events")
+        for doc in USERS:
+            t = entry.group_types[structure_of(doc)]
+            assert matches(doc, t)

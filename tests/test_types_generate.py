@@ -1,0 +1,104 @@
+"""Tests for type-algebra witness generation."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.types import (
+    ANY,
+    ArrType,
+    BOT,
+    Equivalence,
+    FLT,
+    INT,
+    NULL,
+    RecType,
+    STR,
+    matches,
+    merge_all,
+    type_of,
+    union2,
+)
+from repro.types.generate import (
+    TypeWitnessGenerator,
+    UninhabitedTypeError,
+    generate_witness,
+    generate_witnesses,
+)
+
+from tests.strategies import json_documents
+
+
+class TestBasics:
+    @pytest.mark.parametrize(
+        "t",
+        [
+            NULL,
+            INT,
+            FLT,
+            STR,
+            ANY,
+            ArrType(INT),
+            ArrType(BOT),
+            RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"})),
+            union2(INT, ArrType(STR)),
+            union2(NULL, RecType.of({"x": FLT})),
+        ],
+    )
+    def test_witness_matches_type(self, t):
+        for seed in range(5):
+            assert matches(generate_witness(t, seed=seed), t)
+
+    def test_bot_uninhabited(self):
+        with pytest.raises(UninhabitedTypeError):
+            generate_witness(BOT)
+
+    def test_empty_array_type(self):
+        assert generate_witness(ArrType(BOT)) == []
+
+    def test_deterministic(self):
+        t = RecType.of({"a": union2(INT, STR)})
+        assert generate_witnesses(t, 10, seed=4) == generate_witnesses(t, 10, seed=4)
+
+    def test_flt_witness_is_strictly_float(self):
+        for seed in range(10):
+            v = generate_witness(FLT, seed=seed)
+            assert isinstance(v, float) and not v.is_integer()
+
+    def test_optional_probability_extremes(self):
+        t = RecType.of({"a": INT}, optional=frozenset({"a"}))
+        never = TypeWitnessGenerator(seed=1, optional_probability=0.0)
+        always = TypeWitnessGenerator(seed=1, optional_probability=1.0)
+        assert all(never.generate(t) == {} for _ in range(5))
+        assert all("a" in always.generate(t) for _ in range(5))
+
+    def test_union_covers_members(self):
+        t = union2(INT, STR)
+        kinds = {type(v) for v in generate_witnesses(t, 40, seed=2)}
+        assert kinds == {int, str}
+
+
+class TestRoundTrips:
+    @given(json_documents())
+    @settings(max_examples=40, deadline=None)
+    def test_witnesses_of_inferred_types_validate(self, docs):
+        """infer → generate → the witness inhabits the type and its schema."""
+        from repro.jsonschema import compile_schema
+        from repro.types import type_to_jsonschema
+
+        for eq in (Equivalence.KIND, Equivalence.LABEL):
+            inferred = merge_all((type_of(d) for d in docs), eq)
+            compiled = compile_schema(type_to_jsonschema(inferred))
+            for seed in range(3):
+                witness = generate_witness(inferred, seed=seed)
+                assert matches(witness, inferred)
+                assert compiled.is_valid(witness)
+
+    def test_witness_type_below_source_type(self):
+        from repro.types import is_subtype
+
+        docs = [{"a": 1, "b": [1.5]}, {"a": 2}]
+        inferred = merge_all((type_of(d) for d in docs), Equivalence.KIND)
+        for seed in range(5):
+            witness = generate_witness(inferred, seed=seed)
+            assert is_subtype(type_of(witness), inferred)

@@ -1,0 +1,150 @@
+"""Tests for repro.types.merge (parametric fusion, K vs L equivalence)."""
+
+from repro.types import (
+    ArrType,
+    BOOL,
+    BOT,
+    Equivalence,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    UnionType,
+    merge,
+    merge_all,
+    type_of,
+    union,
+    union2,
+)
+
+K = Equivalence.KIND
+L = Equivalence.LABEL
+
+
+class TestAtomMerging:
+    def test_same_atom(self):
+        assert merge(INT, INT, K) == INT
+        assert merge(INT, INT, L) == INT
+
+    def test_int_flt_kind(self):
+        assert merge(INT, FLT, K) == NUM
+
+    def test_int_flt_label(self):
+        assert merge(INT, FLT, L) == union2(INT, FLT)
+
+    def test_different_kinds_stay_union(self):
+        assert merge(INT, STR, K) == union2(INT, STR)
+        assert merge(NULL, BOOL, L) == union2(NULL, BOOL)
+
+
+class TestArrayMerging:
+    def test_arrays_fuse_under_both(self):
+        a = ArrType(INT)
+        b = ArrType(STR)
+        assert merge(a, b, K) == ArrType(union2(INT, STR))
+        assert merge(a, b, L) == ArrType(union2(INT, STR))
+
+    def test_empty_array_is_identity(self):
+        assert merge(ArrType(BOT), ArrType(INT), K) == ArrType(INT)
+
+    def test_nested_equivalence_propagates(self):
+        a = ArrType(INT)
+        b = ArrType(FLT)
+        assert merge(a, b, K) == ArrType(NUM)
+        assert merge(a, b, L) == ArrType(union2(INT, FLT))
+
+
+class TestRecordMergingKind:
+    def test_same_labels(self):
+        a = RecType.of({"x": INT})
+        b = RecType.of({"x": STR})
+        assert merge(a, b, K) == RecType.of({"x": union2(INT, STR)})
+
+    def test_different_labels_fuse_with_optionality(self):
+        a = RecType.of({"x": INT})
+        b = RecType.of({"y": STR})
+        merged = merge(a, b, K)
+        assert merged == RecType.of({"x": INT, "y": STR}, optional=frozenset({"x", "y"}))
+
+    def test_partial_overlap(self):
+        a = RecType.of({"x": INT, "y": STR})
+        b = RecType.of({"x": FLT})
+        merged = merge(a, b, K)
+        expected = RecType.of({"x": NUM, "y": STR}, optional=frozenset({"y"}))
+        assert merged == expected
+
+    def test_optionality_is_sticky(self):
+        a = RecType.of({"x": INT}, optional=frozenset({"x"}))
+        b = RecType.of({"x": INT})
+        merged = merge(a, b, K)
+        assert merged == RecType.of({"x": INT}, optional=frozenset({"x"}))
+
+
+class TestRecordMergingLabel:
+    def test_same_labels_fuse(self):
+        a = RecType.of({"x": INT})
+        b = RecType.of({"x": STR})
+        assert merge(a, b, L) == RecType.of({"x": union2(INT, STR)})
+
+    def test_different_labels_stay_separate(self):
+        a = RecType.of({"x": INT})
+        b = RecType.of({"y": STR})
+        merged = merge(a, b, L)
+        assert isinstance(merged, UnionType)
+        assert set(merged.members) == {a, b}
+
+    def test_label_set_not_multiplicity(self):
+        a = RecType.of({"x": INT, "y": STR})
+        b = RecType.of({"y": NULL, "x": FLT})
+        merged = merge(a, b, L)
+        assert merged == RecType.of({"x": union2(INT, FLT), "y": union2(STR, NULL)})
+
+
+class TestMergeAll:
+    def test_matches_binary_fold(self):
+        types = [type_of(d) for d in (
+            {"a": 1},
+            {"a": 2.5, "b": "s"},
+            {"b": None},
+            [1, 2],
+            "scalar",
+        )]
+        for eq in (K, L):
+            folded = types[0]
+            for t in types[1:]:
+                folded = merge(folded, t, eq)
+            assert merge_all(types, eq) == folded
+
+    def test_empty_is_bot(self):
+        assert merge_all([], K) == BOT
+
+    def test_union_inputs_flattened(self):
+        u = union([RecType.of({"a": INT}), STR])
+        v = RecType.of({"b": STR})
+        merged = merge(u, v, K)
+        rec = RecType.of({"a": INT, "b": STR}, optional=frozenset({"a", "b"}))
+        assert merged == union2(rec, STR)
+
+
+class TestPrecisionOrdering:
+    def test_label_refines_kind(self):
+        """L keeps variants apart that K collapses."""
+        docs = [{"kind": "a", "x": 1}, {"kind": "b", "y": "s"}]
+        t_k = merge_all((type_of(d) for d in docs), K)
+        t_l = merge_all((type_of(d) for d in docs), L)
+        assert isinstance(t_k, RecType)  # single fused record
+        assert isinstance(t_l, UnionType)  # two distinct records
+        assert len(t_l.members) == 2
+
+    def test_kind_size_never_larger(self):
+        docs = [
+            {"a": 1, "b": "x"},
+            {"a": 2.0, "c": True},
+            {"b": "y", "c": False, "d": None},
+        ]
+        t_k = merge_all((type_of(d) for d in docs), K)
+        t_l = merge_all((type_of(d) for d in docs), L)
+        assert t_k.size() <= t_l.size()

@@ -1,0 +1,127 @@
+"""Tests for repro.types.printer and to_jsonschema."""
+
+import pytest
+
+from repro.types import (
+    ANY,
+    ArrType,
+    BOT,
+    FLT,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    TypeSyntaxError,
+    parse_type,
+    type_of,
+    type_to_jsonschema,
+    type_to_string,
+    union2,
+)
+
+
+class TestPrinting:
+    @pytest.mark.parametrize(
+        "t,text",
+        [
+            (BOT, "Bot"),
+            (ANY, "Any"),
+            (NULL, "Null"),
+            (INT, "Int"),
+            (NUM, "Num"),
+            (ArrType(STR), "[Str]"),
+            (ArrType(BOT), "[Bot]"),
+            (RecType(()), "{}"),
+            (RecType.of({"a": INT}), "{a: Int}"),
+            (
+                RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"})),
+                "{a: Int, b?: Str}",
+            ),
+        ],
+    )
+    def test_simple(self, t, text):
+        assert type_to_string(t) == text
+
+    def test_union(self):
+        assert type_to_string(union2(INT, STR)) == "Int + Str"
+
+    def test_union_inside_record(self):
+        t = RecType.of({"a": union2(NULL, STR)})
+        assert type_to_string(t) == "{a: Null + Str}"
+
+    def test_odd_field_name_quoted(self):
+        t = RecType.of({"a b": INT})
+        assert type_to_string(t) == '{"a b": Int}'
+
+    def test_str_dunder(self):
+        assert str(INT) == "Int"
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Bot",
+            "Any",
+            "Null",
+            "Int + Str",
+            "[Num]",
+            "{}",
+            "{a: Int}",
+            "{a: Int, b?: Str}",
+            "{a: Null + Str}",
+            '{"a b": Int}',
+            "[{x?: [Int + Flt]}]",
+        ],
+    )
+    def test_roundtrip(self, text):
+        assert type_to_string(parse_type(text)) == text
+
+    def test_parens(self):
+        assert parse_type("(Int + Str)") == union2(INT, STR)
+
+    def test_whitespace_tolerant(self):
+        assert parse_type(" { a : Int } ") == RecType.of({"a": INT})
+
+    @pytest.mark.parametrize("text", ["", "Intx", "{a}", "{a:}", "[Int", "Int +", "{a: Int,}"])
+    def test_malformed(self, text):
+        with pytest.raises(TypeSyntaxError):
+            parse_type(text)
+
+    def test_roundtrip_of_inferred_type(self):
+        t = type_of({"a": [1, 2.5], "b": {"c": None}})
+        assert parse_type(type_to_string(t)) == t
+
+
+class TestJsonSchemaExport:
+    def test_atoms(self):
+        assert type_to_jsonschema(NULL) == {"type": "null"}
+        assert type_to_jsonschema(INT) == {"type": "integer"}
+        assert type_to_jsonschema(FLT) == {"type": "number"}
+        assert type_to_jsonschema(STR) == {"type": "string"}
+
+    def test_bot_any(self):
+        assert type_to_jsonschema(BOT) == {"not": {}}
+        assert type_to_jsonschema(ANY) == {}
+
+    def test_array(self):
+        assert type_to_jsonschema(ArrType(INT)) == {
+            "type": "array",
+            "items": {"type": "integer"},
+        }
+
+    def test_empty_array(self):
+        assert type_to_jsonschema(ArrType(BOT)) == {"type": "array", "maxItems": 0}
+
+    def test_record(self):
+        t = RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"}))
+        schema = type_to_jsonschema(t)
+        assert schema["type"] == "object"
+        assert schema["required"] == ["a"]
+        assert schema["additionalProperties"] is False
+        assert schema["properties"]["b"] == {"type": "string"}
+
+    def test_union(self):
+        schema = type_to_jsonschema(union2(INT, STR))
+        assert schema == {"anyOf": [{"type": "integer"}, {"type": "string"}]}

@@ -1,0 +1,98 @@
+"""Property-based tests for the type algebra (DESIGN.md invariant 3).
+
+The central laws: merge is associative, commutative, and idempotent (modulo
+canonical form); typing is sound (every value matches its own type and any
+merge containing it); subtyping is sound w.r.t. the matches semantics.
+"""
+
+from hypothesis import given, settings
+
+from repro.types import (
+    Equivalence,
+    matches,
+    merge,
+    merge_all,
+    parse_type,
+    reduce_type,
+    simplify,
+    type_of,
+    type_to_string,
+)
+
+from tests.strategies import json_values
+
+BOTH = (Equivalence.KIND, Equivalence.LABEL)
+
+
+@given(json_values())
+def test_value_matches_own_type(value):
+    assert matches(value, type_of(value))
+
+
+@given(json_values(), json_values())
+def test_merge_commutative(a, b):
+    ta, tb = type_of(a), type_of(b)
+    for eq in BOTH:
+        assert merge(ta, tb, eq) == merge(tb, ta, eq)
+
+
+@given(json_values(), json_values(), json_values())
+@settings(max_examples=60)
+def test_merge_associative(a, b, c):
+    ta, tb, tc = type_of(a), type_of(b), type_of(c)
+    for eq in BOTH:
+        left = merge(merge(ta, tb, eq), tc, eq)
+        right = merge(ta, merge(tb, tc, eq), eq)
+        assert left == right
+
+
+@given(json_values())
+def test_merge_idempotent(value):
+    """merge(t, t) is the reduced normal form of t, and reduce is idempotent."""
+    t = type_of(value)
+    for eq in BOTH:
+        reduced = reduce_type(t, eq)
+        assert merge(t, t, eq) == reduced
+        assert reduce_type(reduced, eq) == reduced
+
+
+@given(json_values(), json_values())
+def test_merge_sound(a, b):
+    """Both inputs match the merged type (inference soundness, locally)."""
+    for eq in BOTH:
+        merged = merge(type_of(a), type_of(b), eq)
+        assert matches(a, merged)
+        assert matches(b, merged)
+
+
+@given(json_values(), json_values(), json_values())
+@settings(max_examples=60)
+def test_merge_all_equals_fold(a, b, c):
+    ts = [type_of(v) for v in (a, b, c)]
+    for eq in BOTH:
+        folded = merge(merge(ts[0], ts[1], eq), ts[2], eq)
+        assert merge_all(ts, eq) == folded
+
+
+@given(json_values())
+def test_simplify_idempotent(value):
+    t = type_of(value)
+    assert simplify(simplify(t)) == simplify(t)
+
+
+@given(json_values())
+def test_printer_roundtrip(value):
+    t = type_of(value)
+    assert parse_type(type_to_string(t)) == t
+
+
+@given(json_values(), json_values())
+@settings(max_examples=80)
+def test_subtype_soundness_via_merge(a, b):
+    """type_of(a) <: merge(a, b) — and the subtype relation respects matches."""
+    from repro.types import is_subtype
+
+    for eq in BOTH:
+        merged = merge(type_of(a), type_of(b), eq)
+        assert is_subtype(type_of(a), merged)
+        assert is_subtype(type_of(b), merged)

@@ -1,0 +1,133 @@
+"""Tests for repro.types.subtype (subtyping and semantic membership)."""
+
+from repro.types import (
+    ANY,
+    ArrType,
+    BOOL,
+    BOT,
+    FLT,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    is_equivalent,
+    is_subtype,
+    matches,
+    union2,
+)
+
+
+class TestAtoms:
+    def test_reflexive(self):
+        for t in (NULL, BOOL, INT, FLT, NUM, STR):
+            assert is_subtype(t, t)
+
+    def test_int_flt_below_num(self):
+        assert is_subtype(INT, NUM)
+        assert is_subtype(FLT, NUM)
+        assert not is_subtype(NUM, INT)
+
+    def test_cross_kind(self):
+        assert not is_subtype(INT, STR)
+        assert not is_subtype(BOOL, INT)
+
+
+class TestTopBottom:
+    def test_bot_below_everything(self):
+        for t in (NULL, STR, ArrType(INT), RecType.of({"a": INT}), ANY):
+            assert is_subtype(BOT, t)
+
+    def test_everything_below_any(self):
+        for t in (BOT, NULL, STR, ArrType(INT), RecType.of({"a": INT})):
+            assert is_subtype(t, ANY)
+
+    def test_any_not_below_concrete(self):
+        assert not is_subtype(ANY, STR)
+
+
+class TestArrays:
+    def test_covariant(self):
+        assert is_subtype(ArrType(INT), ArrType(NUM))
+        assert not is_subtype(ArrType(NUM), ArrType(INT))
+
+    def test_empty_array_type(self):
+        assert is_subtype(ArrType(BOT), ArrType(STR))
+
+
+class TestRecords:
+    def test_field_covariance(self):
+        assert is_subtype(RecType.of({"a": INT}), RecType.of({"a": NUM}))
+
+    def test_closedness(self):
+        wide = RecType.of({"a": INT, "b": STR})
+        narrow = RecType.of({"a": INT})
+        # wide values may carry "b", which narrow forbids.
+        assert not is_subtype(wide, narrow)
+
+    def test_optional_widening(self):
+        req = RecType.of({"a": INT})
+        opt = RecType.of({"a": INT}, optional=frozenset({"a"}))
+        assert is_subtype(req, opt)
+        assert not is_subtype(opt, req)
+
+    def test_required_missing(self):
+        partial = RecType.of({"a": INT}, optional=frozenset({"a"}))
+        total = RecType.of({"a": INT, "b": STR})
+        assert not is_subtype(partial, total)
+
+    def test_optional_extra_field_allowed_on_right(self):
+        narrow = RecType.of({"a": INT})
+        wide = RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"}))
+        assert is_subtype(narrow, wide)
+
+
+class TestUnions:
+    def test_member_below_union(self):
+        assert is_subtype(INT, union2(INT, STR))
+
+    def test_union_below_type(self):
+        assert is_subtype(union2(INT, FLT), NUM)
+
+    def test_num_splits_into_int_flt(self):
+        assert is_subtype(NUM, union2(INT, FLT))
+        assert is_equivalent(NUM, union2(INT, FLT))
+
+    def test_union_monotone(self):
+        assert is_subtype(union2(INT, NULL), union2(NUM, NULL))
+        assert not is_subtype(union2(INT, STR), union2(NUM, NULL))
+
+
+class TestMatches:
+    def test_atoms(self):
+        assert matches(None, NULL)
+        assert matches(True, BOOL)
+        assert matches(1, INT)
+        assert not matches(1, FLT)
+        assert matches(1.5, FLT)
+        assert matches(1, NUM) and matches(1.5, NUM)
+        assert matches("s", STR)
+        assert not matches(True, NUM)
+
+    def test_bot_any(self):
+        assert not matches(1, BOT)
+        assert matches({"a": [1]}, ANY)
+
+    def test_arrays(self):
+        assert matches([1, 2], ArrType(INT))
+        assert not matches([1, "x"], ArrType(INT))
+        assert matches([], ArrType(BOT))
+
+    def test_records(self):
+        t = RecType.of({"a": INT, "b": STR}, optional=frozenset({"b"}))
+        assert matches({"a": 1}, t)
+        assert matches({"a": 1, "b": "s"}, t)
+        assert not matches({"b": "s"}, t)  # missing required a
+        assert not matches({"a": 1, "c": 0}, t)  # closed record
+        assert not matches({"a": "s"}, t)  # wrong field type
+
+    def test_union(self):
+        t = union2(INT, ArrType(STR))
+        assert matches(3, t)
+        assert matches(["a"], t)
+        assert not matches(3.5, t)

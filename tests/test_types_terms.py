@@ -1,0 +1,146 @@
+"""Tests for repro.types.terms, simplify, and build."""
+
+import pytest
+
+from repro.types import (
+    ANY,
+    ArrType,
+    AtomType,
+    BOOL,
+    BOT,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    UnionType,
+    simplify,
+    type_of,
+    union,
+    union2,
+    walk,
+)
+
+
+class TestTerms:
+    def test_atom_validation(self):
+        with pytest.raises(ValueError):
+            AtomType("integer")
+
+    def test_atom_kind(self):
+        assert INT.kind == "number"
+        assert FLT.kind == "number"
+        assert NUM.kind == "number"
+        assert STR.kind == "str"
+
+    def test_record_fields_sorted(self):
+        rec = RecType((FieldType("b", INT), FieldType("a", STR)))
+        assert [f.name for f in rec.fields] == ["a", "b"]
+
+    def test_record_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError):
+            RecType((FieldType("a", INT), FieldType("a", STR)))
+
+    def test_record_of(self):
+        rec = RecType.of({"x": INT, "y": STR}, optional=frozenset({"y"}))
+        assert rec.required_labels() == {"x"}
+        assert rec.labels() == {"x", "y"}
+
+    def test_equality_structural(self):
+        a = RecType.of({"x": INT, "y": union2(STR, NULL)})
+        b = RecType.of({"y": union2(NULL, STR), "x": INT})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_size(self):
+        # {a: Int, b: [Str]} = rec(1) + field(1)+Int(1) + field(1)+arr(1)+Str(1) = 6
+        rec = RecType.of({"a": INT, "b": ArrType(STR)})
+        assert rec.size() == 6
+
+    def test_walk(self):
+        t = union2(ArrType(INT), STR)
+        nodes = list(walk(t))
+        assert INT in nodes and STR in nodes and t in nodes
+
+
+class TestUnion:
+    def test_empty_union_is_bot(self):
+        assert union([]) is not None
+        assert union([]) == BOT
+
+    def test_singleton_unwrapped(self):
+        assert union([INT]) == INT
+
+    def test_flattening(self):
+        inner = UnionType((INT, STR))
+        assert union([inner, NULL]) == union([INT, STR, NULL])
+
+    def test_dedup(self):
+        assert union([INT, INT]) == INT
+
+    def test_bot_identity(self):
+        assert union2(BOT, STR) == STR
+
+    def test_any_absorbs(self):
+        assert union2(ANY, STR) == ANY
+
+    def test_num_absorbs_int_flt(self):
+        assert union([INT, NUM]) == NUM
+        assert union([FLT, NUM, STR]) == union([NUM, STR])
+
+    def test_member_order_canonical(self):
+        assert union([STR, INT]) == union([INT, STR])
+
+    def test_int_flt_not_merged_by_union(self):
+        # Plain union keeps Int and Flt distinct; only merging joins them.
+        result = union([INT, FLT])
+        assert isinstance(result, UnionType)
+        assert set(result.members) == {INT, FLT}
+
+
+class TestSimplify:
+    def test_idempotent(self):
+        t = UnionType((UnionType((INT, BOT)), UnionType((STR,))))
+        once = simplify(t)
+        assert simplify(once) == once
+
+    def test_nested_containers(self):
+        t = ArrType(UnionType((BOT, INT)))
+        assert simplify(t) == ArrType(INT)
+
+    def test_record_field_simplified(self):
+        t = RecType.of({"a": UnionType((INT, INT))})
+        assert simplify(t) == RecType.of({"a": INT})
+
+
+class TestTypeOf:
+    def test_scalars(self):
+        assert type_of(None) == NULL
+        assert type_of(True) == BOOL
+        assert type_of(3) == INT
+        assert type_of(3.5) == FLT
+        assert type_of("s") == STR
+
+    def test_bool_not_int(self):
+        assert type_of(True) != INT
+
+    def test_empty_array(self):
+        assert type_of([]) == ArrType(BOT)
+
+    def test_homogeneous_array(self):
+        assert type_of([1, 2, 3]) == ArrType(INT)
+
+    def test_heterogeneous_array(self):
+        t = type_of([1, "a"])
+        assert t == ArrType(union2(INT, STR))
+
+    def test_object_all_required(self):
+        t = type_of({"a": 1, "b": "x"})
+        assert t == RecType.of({"a": INT, "b": STR})
+        assert t.required_labels() == {"a", "b"}
+
+    def test_nested(self):
+        t = type_of({"a": [{"b": None}]})
+        assert t == RecType.of({"a": ArrType(RecType.of({"b": NULL}))})
