@@ -32,14 +32,26 @@ def _read_documents(path: str) -> list[Any]:
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    from repro.inference import infer
+    from repro.inference import InferenceReport, infer, infer_distributed_parallel
     from repro.jsonvalue.serializer import PRETTY, dumps
     from repro.pl import swift_declaration_for, typescript_declaration_for
     from repro.types import Equivalence, type_to_string
 
     docs = _read_documents(args.data)
     equivalence = Equivalence(args.equivalence)
-    report = infer(docs, equivalence)
+    if args.jobs > 1:
+        # Real multi-process merge: one accumulator per partition, the
+        # parent combines the partials (bit-identical to the serial path).
+        run = infer_distributed_parallel(
+            docs, partitions=args.jobs, equivalence=equivalence, processes=args.jobs
+        )
+        report = InferenceReport(
+            inferred=run.result,
+            equivalence=equivalence,
+            document_count=run.document_count,
+        )
+    else:
+        report = infer(docs, equivalence)
     print(f"# {report.document_count} documents, schema size {report.schema_size}")
     if args.format == "type":
         print(type_to_string(report.inferred))
@@ -134,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="output notation (default: the papers' type syntax)",
     )
     p_infer.add_argument("--name", default="Root", help="declaration name for codegen")
+    p_infer.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the parallel merge (default: 1, serial)",
+    )
     p_infer.set_defaults(func=_cmd_infer)
 
     p_validate = sub.add_parser("validate", help="validate NDJSON against a JSON Schema")

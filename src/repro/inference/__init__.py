@@ -18,7 +18,11 @@ One module per surveyed system:
 - :mod:`repro.inference.profiling` — Gallinucci et al. decision-tree
   schema profiles (Inf. Syst. '18);
 - :mod:`repro.inference.distributed` — the map/combine/reduce cost
-  simulator for the distributed variant.
+  simulator plus a real multiprocessing execution of the distributed
+  variant;
+- :mod:`repro.inference.engine` — the hash-consed incremental merge
+  accumulator the parametric/streaming/distributed/counting paths run
+  through.
 """
 
 from repro.inference.parametric import InferenceReport, infer, infer_type, precision_against
@@ -67,11 +71,23 @@ from repro.inference.relational import (
     normalize,
 )
 from repro.inference.profiling import SchemaProfile, candidate_features, train_profile
-from repro.inference.distributed import DistributedRun, infer_distributed, partition
+from repro.inference.distributed import (
+    DistributedRun,
+    ParallelRun,
+    infer_distributed,
+    infer_distributed_parallel,
+    partition,
+)
 from repro.inference.streaming import (
     infer_type_streaming,
     type_from_events,
     type_of_text,
+)
+from repro.inference.engine import (
+    CountingAccumulator,
+    TypeAccumulator,
+    accumulate,
+    accumulate_types,
 )
 
 __all__ = [
@@ -121,9 +137,15 @@ __all__ = [
     "candidate_features",
     "train_profile",
     "DistributedRun",
+    "ParallelRun",
     "infer_distributed",
+    "infer_distributed_parallel",
     "partition",
     "infer_type_streaming",
     "type_from_events",
     "type_of_text",
+    "CountingAccumulator",
+    "TypeAccumulator",
+    "accumulate",
+    "accumulate_types",
 ]

@@ -267,11 +267,20 @@ def _fuse(members: list[CType], equivalence: Equivalence) -> CType:
 def infer_counted(
     documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
 ) -> CUnion:
-    """Full counting-types inference over a collection."""
-    counted = [counted_type_of(d, equivalence) for d in documents]
-    if not counted:
+    """Full counting-types inference over a collection.
+
+    Folds through the engine's
+    :class:`~repro.inference.engine.CountingAccumulator`, so the stream
+    is never materialized and state stays O(fused schema).
+    """
+    from repro.inference.engine import CountingAccumulator
+
+    accumulator = CountingAccumulator(equivalence)
+    for document in documents:
+        accumulator.add(document)
+    if accumulator.is_empty():
         raise InferenceError("cannot infer a counted schema from an empty collection")
-    return merge_counted(counted, equivalence)
+    return accumulator.result()
 
 
 def field_presence_ratios(counted: CUnion) -> dict[str, float]:

@@ -6,30 +6,39 @@ commutative monoid, so the reduce can run as a combiner per partition
 followed by a merge tree across partitions — exactly the Spark execution
 the VLDB J paper evaluates.
 
-With no cluster available, this module is a **deterministic simulator**
-that executes the same dataflow on one machine and *accounts* for the
-distributed costs the paper reports:
+Two execution modes share the partitioned dataflow:
 
-- per-partition map + combine work (documents typed, merges performed),
-- the size of every partial type shipped between stages (serialized bytes
-  of the printed type — the shuffle volume),
-- the depth of the binary merge tree (number of parallel reduce rounds),
-- the simulated *makespan*: the critical path through the tree, charging
-  each stage the maximum cost among its parallel tasks.
+- :func:`infer_distributed` — a **deterministic simulator** that executes
+  the dataflow on one machine and *accounts* for the distributed costs
+  the paper reports:
 
-The result type is bit-identical to the sequential
+  - per-partition map + combine work (documents typed, merges performed),
+  - the size of every partial type shipped between stages (serialized
+    bytes of the printed type — the shuffle volume),
+  - the depth of the binary merge tree (number of parallel reduce rounds),
+  - the simulated *makespan*: the critical path through the tree,
+    charging each stage the maximum cost among its parallel tasks.
+
+- :func:`infer_distributed_parallel` — a **real** ``multiprocessing``
+  execution: one :class:`~repro.inference.engine.TypeAccumulator` per
+  partition runs in a worker process, the partial types come back over
+  the pipe (pickling strips intern marks), and the parent combines them.
+
+Both produce a result bit-identical to the sequential
 :func:`repro.inference.parametric.infer_type` (associativity property),
-which the tests assert — that equivalence is what makes the simulation a
-faithful substitute for the cluster.
+which the tests assert — that equivalence is what makes either execution
+a faithful substitute for the cluster.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.errors import InferenceError
-from repro.types import Equivalence, Type, merge_all, type_of, type_to_string
+from repro.inference.engine import TypeAccumulator, accumulate
+from repro.types import Equivalence, Type, merge_interned, type_of, type_to_string
 
 
 @dataclass
@@ -107,11 +116,18 @@ def infer_distributed(
     map_costs: list[int] = []
     shipped = 0
     for bucket in buckets:
-        types = [type_of(d) for d in bucket]
-        combined = merge_all(types, equivalence)
+        # One streaming accumulator per partition — the combiner the
+        # papers run inside each Spark task, instead of materializing the
+        # partition's types in a list.
+        accumulator = TypeAccumulator(equivalence)
+        units = 0
+        for document in bucket:
+            t = type_of(document)
+            # Cost model: one unit per typed node plus one per merged input.
+            units += t.size() + 1
+            accumulator.add_type(t)
+        combined = accumulator.result()
         partials.append(combined)
-        # Cost model: one unit per typed node plus one per merged input.
-        units = sum(t.size() for t in types) + len(types)
         map_costs.append(units)
         shipped += _type_bytes(combined)
     run_stages.append(
@@ -134,7 +150,7 @@ def infer_distributed(
         shipped = 0
         for i in range(0, len(level) - 1, 2):
             left, right = level[i], level[i + 1]
-            merged = merge_all((left, right), equivalence)
+            merged = merge_interned(left, right, equivalence)
             next_level.append(merged)
             costs.append(left.size() + right.size())
             shipped += _type_bytes(merged)
@@ -157,4 +173,79 @@ def infer_distributed(
         partitions=len(buckets),
         equivalence=equivalence,
         stages=run_stages,
+    )
+
+
+# ---------------------------------------------------------------------------
+# real multiprocessing execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParallelRun:
+    """Outcome of a real multi-process inference."""
+
+    result: Type
+    partitions: int
+    processes: int
+    equivalence: Equivalence
+    partition_documents: list[int] = field(default_factory=list)
+
+    @property
+    def document_count(self) -> int:
+        return sum(self.partition_documents)
+
+
+def _infer_partition(payload: tuple[list[Any], str]) -> tuple[Type, int]:
+    """Worker: fold one partition through an accumulator (picklable I/O)."""
+    documents, equivalence_value = payload
+    accumulator = accumulate(documents, Equivalence(equivalence_value))
+    return accumulator.result(), accumulator.document_count
+
+
+def infer_distributed_parallel(
+    documents: Sequence[Any],
+    partitions: int,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    processes: Optional[int] = None,
+) -> ParallelRun:
+    """Run the partitioned inference on real worker processes.
+
+    One :class:`~repro.inference.engine.TypeAccumulator` per partition,
+    executed by a ``multiprocessing.Pool``; the parent folds the partial
+    types with the same memoized merge the simulator uses.  The result is
+    bit-identical to :func:`infer_distributed` and the sequential path.
+
+    ``processes`` defaults to ``min(partitions, cpu_count)``; with one
+    partition (or one process and one partition) the pool is skipped.
+    """
+    docs = list(documents)
+    if not docs:
+        raise InferenceError("cannot infer a schema from an empty collection")
+    buckets = partition(docs, partitions)
+    payloads = [(bucket, equivalence.value) for bucket in buckets]
+
+    if processes is None:
+        processes = min(len(buckets), multiprocessing.cpu_count())
+    processes = max(1, processes)
+
+    if processes == 1 or len(buckets) == 1:
+        partials = [_infer_partition(p) for p in payloads]
+        processes = 1
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            partials = pool.map(_infer_partition, payloads)
+
+    combined = TypeAccumulator(equivalence)
+    counts: list[int] = []
+    for partial_type, count in partials:
+        combined.add_type(partial_type)
+        counts.append(count)
+    return ParallelRun(
+        result=combined.result(),
+        partitions=len(buckets),
+        processes=processes,
+        equivalence=equivalence,
+        partition_documents=counts,
     )

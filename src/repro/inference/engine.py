@@ -1,0 +1,245 @@
+"""Incremental inference engine: a streaming merge monoid.
+
+The parametric merge of Baazizi et al. is an associative, commutative
+monoid — the very property that lets the papers run the reduce phase as
+per-partition Spark combiners.  The seed code did not exploit it on one
+machine: ``infer_type`` materialized every per-document type in a list
+and re-simplified the whole union on each ``merge_all``.
+
+:class:`TypeAccumulator` is the monoid made operational.  It maintains
+the *fused equivalence-class map* of ``merge_all`` online — one canonical
+representative per equivalence class — so its memory is O(classes), not
+O(documents), and each ``add`` is one intern walk plus a memoized
+pairwise merge (O(1) once the class representatives stabilize, which for
+real collections happens after the first few documents).
+
+Laws (property-tested in ``tests/test_engine_properties.py``):
+
+- ``result()`` is structurally identical to the seed
+  ``merge_all(types, equivalence)`` for every ordering and chunking of
+  the inputs;
+- ``combine`` is associative and commutative up to that same result;
+- the empty accumulator is the identity (``result() == BOT``).
+
+:class:`CountingAccumulator` gives the counting-types algebra
+(:mod:`repro.inference.counting`) the same streaming surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.errors import InferenceError
+from repro.types import Equivalence, Type, class_key, type_of, union
+from repro.types.intern import InternTable, global_table
+from repro.types.terms import UnionType
+
+
+class TypeAccumulator:
+    """Streaming parametric merge with O(classes) state.
+
+    ``add`` / ``add_type`` absorb one document / one type; ``combine``
+    folds another accumulator in (the monoid operation, used per
+    partition by :mod:`repro.inference.distributed`); ``result`` yields
+    the merged type, bit-identical to ``merge_all`` over everything
+    absorbed so far.  ``result`` does not consume the accumulator — it
+    can be sampled mid-stream.
+    """
+
+    __slots__ = ("equivalence", "_table", "_classes", "_order", "_memo", "_count")
+
+    def __init__(
+        self,
+        equivalence: Equivalence = Equivalence.KIND,
+        *,
+        table: Optional[InternTable] = None,
+    ) -> None:
+        self.equivalence = equivalence
+        self._table = table if table is not None else global_table()
+        # class key -> fused, reduced, interned representative
+        self._classes: dict[Hashable, Type] = {}
+        # first-appearance order of keys (merge_all parity; union() sorts
+        # anyway, but keeping the order makes the equivalence exact by
+        # construction rather than by the final sort).
+        self._order: list[Hashable] = []
+        # Canonical types already absorbed.  Merge is idempotent
+        # (merge(X, t, t) == merge(X, t), property-tested), so a type seen
+        # before cannot change the state — the probe costs one hash and
+        # one comparison that short-circuits on interned sub-terms.  The
+        # memo is bounded (it is an optimization, not state): on wildly
+        # heterogeneous streams it stops growing at _MEMO_LIMIT entries
+        # instead of pinning one type per distinct document, keeping the
+        # accumulator's memory O(classes + constant).
+        self._memo: set[Type] = set()
+        self._count = 0
+
+    _MEMO_LIMIT = 8192
+
+    # ------------------------------------------------------------------
+
+    def add(self, document: Any) -> None:
+        """Type one document and absorb it."""
+        self.add_type(type_of(document))
+
+    def add_type(self, t: Type) -> None:
+        """Absorb one already-typed document (or any type term)."""
+        self._count += 1
+        memo = self._memo
+        if t in memo:
+            return
+        table = self._table
+        t = table.canonical(t)
+        if len(memo) < self._MEMO_LIMIT:
+            memo.add(t)
+        members = t.members if isinstance(t, UnionType) else (t,)
+        equivalence = self.equivalence
+        classes = self._classes
+        for member in members:
+            key = class_key(member, equivalence)
+            rep = classes.get(key)
+            if rep is None:
+                # Even a singleton class is reduced, exactly as
+                # merge_all's _fuse_class rebuilds singleton containers.
+                classes[key] = table.reduce_types(member, equivalence)
+                self._order.append(key)
+            else:
+                classes[key] = table.merge_types(rep, member, equivalence)
+
+    def add_types(self, types: Iterable[Type]) -> None:
+        for t in types:
+            self.add_type(t)
+
+    def combine(self, other: "TypeAccumulator") -> None:
+        """Fold another accumulator into this one (monoid operation)."""
+        if other.equivalence is not self.equivalence:
+            raise InferenceError(
+                "cannot combine accumulators with different equivalences: "
+                f"{self.equivalence.value} vs {other.equivalence.value}"
+            )
+        table = self._table
+        classes = self._classes
+        equivalence = self.equivalence
+        for key in other._order:
+            rep = other._classes[key]
+            mine = classes.get(key)
+            if mine is None:
+                # Re-intern in case the other accumulator used a
+                # different table (e.g. it crossed a process boundary).
+                classes[key] = table.reduce_types(rep, equivalence)
+                self._order.append(key)
+            else:
+                classes[key] = table.merge_types(mine, rep, equivalence)
+        if table is other._table and len(self._memo) < self._MEMO_LIMIT:
+            self._memo |= other._memo
+        self._count += other._count
+
+    # ------------------------------------------------------------------
+
+    def result(self) -> Type:
+        """The merged type of everything absorbed (``BOT`` when empty)."""
+        return self._table.intern(union(self._classes[k] for k in self._order))
+
+    @property
+    def document_count(self) -> int:
+        return self._count
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    def class_count(self) -> int:
+        """Number of live equivalence classes — the state size."""
+        return len(self._classes)
+
+    def state_nodes(self) -> int:
+        """Total AST nodes held by class representatives.
+
+        This is the accumulator's working-set measure: independent of the
+        number of documents absorbed, unlike the seed's list of types.
+        """
+        return sum(self._classes[k].size() for k in self._order)
+
+
+class CountingAccumulator:
+    """Streaming counting-types merge (DBPL '17 algebra).
+
+    Same surface as :class:`TypeAccumulator`; state is one counted union
+    whose size is bounded by the fused schema, not the document count.
+    """
+
+    __slots__ = ("equivalence", "_acc", "_count")
+
+    def __init__(self, equivalence: Equivalence = Equivalence.KIND) -> None:
+        # Imported lazily: repro.inference.counting triggers the package
+        # __init__, which imports modules that import this engine.
+        from repro.inference.counting import CUnion
+
+        self.equivalence = equivalence
+        self._acc: "CUnion" = CUnion(())
+        self._count = 0
+
+    def add(self, document: Any) -> None:
+        from repro.inference.counting import counted_type_of
+
+        self.add_counted(counted_type_of(document, self.equivalence))
+
+    def add_counted(self, counted: Any) -> None:
+        from repro.inference.counting import merge_counted
+
+        self._acc = merge_counted(
+            (self._acc, counted), self.equivalence, _empty_ok=True
+        )
+        self._count += 1
+
+    def combine(self, other: "CountingAccumulator") -> None:
+        if other.equivalence is not self.equivalence:
+            raise InferenceError(
+                "cannot combine accumulators with different equivalences: "
+                f"{self.equivalence.value} vs {other.equivalence.value}"
+            )
+        from repro.inference.counting import merge_counted
+
+        self._acc = merge_counted(
+            (self._acc, other._acc), self.equivalence, _empty_ok=True
+        )
+        self._count += other._count
+
+    def result(self) -> Any:
+        return self._acc
+
+    @property
+    def document_count(self) -> int:
+        return self._count
+
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+
+# ---------------------------------------------------------------------------
+# functional conveniences
+# ---------------------------------------------------------------------------
+
+
+def accumulate(
+    documents: Iterable[Any],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    table: Optional[InternTable] = None,
+) -> TypeAccumulator:
+    """Fold a document stream into a fresh accumulator."""
+    acc = TypeAccumulator(equivalence, table=table)
+    for document in documents:
+        acc.add(document)
+    return acc
+
+
+def accumulate_types(
+    types: Iterable[Type],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    table: Optional[InternTable] = None,
+) -> TypeAccumulator:
+    """Fold a type stream into a fresh accumulator."""
+    acc = TypeAccumulator(equivalence, table=table)
+    for t in types:
+        acc.add_type(t)
+    return acc

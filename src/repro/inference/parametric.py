@@ -18,16 +18,16 @@ can be arbitrarily partitioned — which is what
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import InferenceError
+from repro.inference.engine import accumulate
 from repro.types import (
     Equivalence,
     Type,
     matches,
-    merge_all,
-    type_of,
     type_to_jsonschema,
     type_to_string,
 )
@@ -59,22 +59,31 @@ class InferenceReport:
 def infer_type(
     documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
 ) -> Type:
-    """Infer the type of a collection under the given equivalence."""
-    types = [type_of(d) for d in documents]
-    if not types:
+    """Infer the type of a collection under the given equivalence.
+
+    Runs through the incremental engine: documents are typed and folded
+    into a :class:`~repro.inference.engine.TypeAccumulator` one at a
+    time, so the collection is never materialized as a list of types.
+    The result is structurally identical to the seed's
+    ``merge_all([type_of(d) for d in documents], equivalence)``.
+    """
+    accumulator = accumulate(documents, equivalence)
+    if accumulator.is_empty():
         raise InferenceError("cannot infer a schema from an empty collection")
-    return merge_all(types, equivalence)
+    return accumulator.result()
 
 
 def infer(
     documents: Iterable[Any], equivalence: Equivalence = Equivalence.KIND
 ) -> InferenceReport:
     """Infer and report (type + size + count)."""
-    docs = list(documents)
+    accumulator = accumulate(documents, equivalence)
+    if accumulator.is_empty():
+        raise InferenceError("cannot infer a schema from an empty collection")
     return InferenceReport(
-        inferred=infer_type(docs, equivalence),
+        inferred=accumulator.result(),
         equivalence=equivalence,
-        document_count=len(docs),
+        document_count=accumulator.document_count,
     )
 
 
@@ -85,12 +94,15 @@ def precision_against(inferred: Type, witnesses: Iterable[Any]) -> float:
     (inverse of the) over-generalisation measure: KIND typically accepts
     more outsiders than LABEL because fused records forget correlations.
     """
+    iterator = iter(witnesses)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        raise InferenceError("precision_against needs at least one witness") from None
     total = 0
     accepted = 0
-    for w in witnesses:
+    for w in itertools.chain((first,), iterator):
         total += 1
         if matches(w, inferred):
             accepted += 1
-    if total == 0:
-        raise InferenceError("precision_against needs at least one witness")
     return accepted / total

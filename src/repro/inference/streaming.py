@@ -21,8 +21,9 @@ from __future__ import annotations
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.errors import InferenceError
+from repro.inference.engine import TypeAccumulator
 from repro.jsonvalue.events import JsonEvent, JsonEventType, iter_events
-from repro.types import Equivalence, Type, merge_all, union
+from repro.types import Equivalence, Type, union
 from repro.types.terms import (
     ArrType,
     BOOL,
@@ -133,15 +134,18 @@ def infer_type_streaming(
 ) -> Type:
     """Parametric inference over NDJSON lines without building DOMs.
 
-    Merges incrementally, so peak memory is one document's type plus the
-    running merged type — the streaming claim made concrete.
+    Merges incrementally through the engine's
+    :class:`~repro.inference.engine.TypeAccumulator`: per-accumulator
+    state is O(equivalence classes) plus a bounded memo, and only one
+    document's type is in flight at a time.  (The backing intern table
+    additionally caches one canonical node per *distinct* structure seen
+    — see the memory-model note in :mod:`repro.types.intern`.)
     """
-    merged: Optional[Type] = None
+    accumulator = TypeAccumulator(equivalence)
     for line in lines:
         if not line.strip():
             continue
-        t = type_of_text(line)
-        merged = t if merged is None else merge_all((merged, t), equivalence)
-    if merged is None:
+        accumulator.add_type(type_of_text(line))
+    if accumulator.is_empty():
         raise InferenceError("cannot infer a schema from an empty stream")
-    return merged
+    return accumulator.result()

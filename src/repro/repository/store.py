@@ -25,13 +25,14 @@ from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
 from repro.errors import InferenceError
+from repro.inference.engine import TypeAccumulator
 from repro.inference.skeleton import (
     PathKey,
     Skeleton,
     build_skeleton,
     structure_of,
 )
-from repro.types import Equivalence, Type, merge_all, type_of
+from repro.types import Equivalence, Type
 
 
 @dataclass
@@ -72,15 +73,19 @@ class SchemaRepository:
         docs = list(documents)
         skeleton = build_skeleton(docs, k)
 
-        groups: dict[frozenset, list] = {}
+        # One streaming accumulator per structure group: the documents of
+        # a group are folded as they are seen, never re-materialized.
+        groups: dict[frozenset, TypeAccumulator] = {}
         skeleton_structures = {s.paths for s in skeleton.structures}
         for doc in docs:
             s = structure_of(doc)
             if s in skeleton_structures:
-                groups.setdefault(s, []).append(doc)
+                accumulator = groups.get(s)
+                if accumulator is None:
+                    accumulator = groups[s] = TypeAccumulator(equivalence)
+                accumulator.add(doc)
         group_types = {
-            paths: merge_all((type_of(d) for d in members), equivalence)
-            for paths, members in groups.items()
+            paths: accumulator.result() for paths, accumulator in groups.items()
         }
 
         entry = RegisteredCollection(

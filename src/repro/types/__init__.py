@@ -29,7 +29,15 @@ from repro.types.terms import (
 )
 from repro.types.simplify import simplify, union, union2
 from repro.types.build import type_of
-from repro.types.merge import Equivalence, merge, merge_all, reduce_type
+from repro.types.merge import Equivalence, class_key, merge, merge_all, reduce_type
+from repro.types.intern import (
+    InternTable,
+    global_table,
+    intern,
+    intern_stats,
+    merge_interned,
+    reduce_interned,
+)
 from repro.types.subtype import is_equivalent, is_subtype, matches
 from repro.types.printer import TypeSyntaxError, parse_type, type_to_string
 from repro.types.to_jsonschema import type_to_jsonschema
@@ -64,9 +72,16 @@ __all__ = [
     "union2",
     "type_of",
     "Equivalence",
+    "class_key",
     "merge",
     "merge_all",
     "reduce_type",
+    "InternTable",
+    "global_table",
+    "intern",
+    "intern_stats",
+    "merge_interned",
+    "reduce_interned",
     "is_equivalent",
     "is_subtype",
     "matches",

@@ -1,0 +1,440 @@
+"""Hash-consed type kernel: canonical unique instances for type terms.
+
+Schema inference spends its time comparing, hashing and merging type
+terms.  The seed did all of that structurally — deep recursive ``__eq__``
+and ``__hash__`` on every dictionary probe of the reduce phase.  This
+module removes the recursion from the hot path by *hash-consing*
+(interning) terms:
+
+- :meth:`InternTable.intern` returns **the** canonical instance for any
+  structurally-equal term, built bottom-up so that every sub-term is
+  canonical too.  Because children of canonical nodes are canonical, the
+  intern probe for a node is a flat tuple of child identities — no deep
+  traversal beyond the one O(size) walk of the input itself, and no
+  allocation at all for structures the table has already seen.
+- Canonical terms carry an intern mark that :mod:`repro.types.terms`
+  uses for O(1) equality (equal iff identical) and cached hashing.
+- :meth:`InternTable.canonical` fuses simplification and interning into
+  a single probe-first walk, memoized per canonical node.
+- :meth:`InternTable.merge_types` / :meth:`InternTable.reduce_types` are
+  *native* implementations of the parametric merge on canonical terms,
+  memoized on ``(id(left), id(right), equivalence)``.  Every recursive
+  step re-enters the caches, so merging a large running type with a
+  small document type only does work proportional to what changed — the
+  property :class:`repro.inference.engine.TypeAccumulator` leans on to
+  make the per-document reduce step O(1) once the running type
+  stabilizes.  Parity with :func:`repro.types.merge.merge_all` is pinned
+  by the chunking/ordering property tests.
+
+The table holds strong references to every canonical node, so the
+``id()``-based keys can never be recycled while the table lives.  A
+process-wide default table (:func:`global_table`) backs the module-level
+:func:`intern` / :func:`merge_interned` / :func:`reduce_interned`
+conveniences.
+
+**Memory model.**  A table grows with the number of *distinct*
+structures it has seen — that is the point of hash-consing — and never
+evicts on its own.  Long-lived processes that infer over many unrelated
+collections should either pass a private ``InternTable`` per workload
+(every engine entry point takes ``table=``) or call
+:meth:`InternTable.clear` between workloads: clearing starts a new
+*epoch* (intern marks are per-epoch tokens), so types retained from
+before the clear stay valid and simply lose the O(1) equality fast path
+against newer types.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.types.merge import Equivalence, class_key
+from repro.types.simplify import union
+from repro.types.terms import (
+    ANY,
+    AnyType,
+    ArrType,
+    AtomType,
+    BOOL,
+    BOT,
+    BotType,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    Type,
+    UnionType,
+)
+
+
+class InternTable:
+    """A hash-consing table plus merge/reduce memo caches."""
+
+    __slots__ = (
+        "_nodes",
+        "_canonical",
+        "_merge_cache",
+        "_reduce_cache",
+        "_token",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self) -> None:
+        # Epoch token: canonical nodes are marked with this object, and
+        # equality fast paths compare marks.  clear() replaces the token,
+        # so nodes from a cleared epoch can never falsely alias nodes of
+        # the current one.
+        self._token: object = object()
+        self._nodes: dict[Hashable, Type] = {}
+        # id(canonical node) -> its simplified canonical form; fixpoints
+        # map to themselves, making repeat canonical() probes O(1).
+        self._canonical: dict[int, Type] = {}
+        self._merge_cache: dict[tuple[int, int, Equivalence], Type] = {}
+        self._reduce_cache: dict[tuple[int, Equivalence], Type] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+
+    def intern(self, t: Type) -> Type:
+        """Return the canonical instance structurally equal to ``t``."""
+        if t._interned is self._token:
+            return t
+        cls = t.__class__
+        if cls is AtomType:
+            return self._leaf(("atom", t.tag), t)  # type: ignore[union-attr]
+        if cls is ArrType:
+            return self._arr(self.intern(t.item))  # type: ignore[union-attr]
+        if cls is FieldType:
+            return self._field(t.name, self.intern(t.type), t.required)  # type: ignore[union-attr]
+        if cls is RecType:
+            return self._rec([self.intern(f) for f in t.fields])  # type: ignore[union-attr]
+        if cls is UnionType:
+            members = tuple(self.intern(m) for m in t.members)  # type: ignore[union-attr]
+            key = ("union", tuple(map(id, members)))
+            node = self._nodes.get(key)
+            if node is not None:
+                self.hits += 1
+                return node
+            return self._adopt(key, UnionType(members))
+        if cls is BotType:
+            return self._leaf(("bot",), t)
+        if cls is AnyType:
+            return self._leaf(("any",), t)
+        raise TypeError(f"cannot intern {t!r}")
+
+    # Probe-first constructors: no Type allocation when the structure is
+    # already known.  All child arguments must be canonical already.
+
+    def _leaf(self, key: Hashable, t: Type) -> Type:
+        node = self._nodes.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._adopt(key, t)
+
+    def _arr(self, item: Type) -> Type:
+        key = ("arr", id(item))
+        node = self._nodes.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._adopt(key, ArrType(item))
+
+    def _field(self, name: str, ftype: Type, required: bool) -> FieldType:
+        key = ("f", name, required, id(ftype))
+        node = self._nodes.get(key)
+        if node is not None:
+            self.hits += 1
+            return node  # type: ignore[return-value]
+        return self._adopt(key, FieldType(name, ftype, required))  # type: ignore[return-value]
+
+    def _rec(self, fields: list) -> Type:
+        # The intern key must be order-canonical: RecType sorts its
+        # fields in __post_init__, so sort here before probing.
+        names = [f.name for f in fields]
+        if any(names[i] > names[i + 1] for i in range(len(names) - 1)):
+            fields = sorted(fields, key=lambda f: f.name)
+        key = ("rec", tuple(map(id, fields)))
+        node = self._nodes.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._adopt(key, RecType(tuple(fields)))
+
+    def _adopt(self, key: Hashable, candidate: Type) -> Type:
+        self.misses += 1
+        # setdefault keeps a concurrent racer from installing a second
+        # canonical node for the same structure; mark only the winner.
+        node = self._nodes.setdefault(key, candidate)
+        if node is candidate:
+            object.__setattr__(node, "_interned", self._token)
+        return node
+
+    # ------------------------------------------------------------------
+    # canonicalization (simplify ∘ intern in one pass)
+    # ------------------------------------------------------------------
+
+    def canonical(self, t: Type) -> Type:
+        """The interned simplified form of ``t`` (one probe-first walk).
+
+        Equivalent to ``intern(simplify(t))``; canonical outputs are
+        recorded as their own fixpoints, so re-canonicalizing a node the
+        table produced is a dictionary hit.
+        """
+        if t._interned is self._token:
+            out = self._canonical.get(id(t))
+            if out is not None:
+                return out
+        out = self._canonicalize(t)
+        self._canonical[id(out)] = out
+        if t._interned is self._token:
+            self._canonical[id(t)] = out
+        return out
+
+    def _canonicalize(self, t: Type) -> Type:
+        cls = t.__class__
+        if cls is AtomType:
+            return self._leaf(("atom", t.tag), t)  # type: ignore[union-attr]
+        if cls is ArrType:
+            return self._arr(self.canonical(t.item))  # type: ignore[union-attr]
+        if cls is RecType:
+            return self._rec(
+                [
+                    self._field(f.name, self.canonical(f.type), f.required)
+                    for f in t.fields  # type: ignore[union-attr]
+                ]
+            )
+        if cls is FieldType:
+            return self._field(t.name, self.canonical(t.type), t.required)  # type: ignore[union-attr]
+        if cls is UnionType:
+            # union() flattens, dedupes, absorbs and sorts — the same
+            # canonicalization simplify applies, over canonical members.
+            return self.intern(union(self.canonical(m) for m in t.members))  # type: ignore[union-attr]
+        if cls is BotType:
+            return self._leaf(("bot",), t)
+        if cls is AnyType:
+            return self._leaf(("any",), t)
+        raise TypeError(f"cannot canonicalize {t!r}")
+
+    # ------------------------------------------------------------------
+    # memoized native parametric merge
+    # ------------------------------------------------------------------
+
+    def merge_types(self, left: Type, right: Type, equivalence: Equivalence) -> Type:
+        """Memoized ``merge_all((left, right), equivalence)``, interned."""
+        left = self.canonical(left)
+        right = self.canonical(right)
+        if left is right:
+            # merge(t, t) == reduce_type(t), the idempotence law.
+            return self.reduce_types(left, equivalence)
+        key = (id(left), id(right), equivalence)
+        out = self._merge_cache.get(key)
+        if out is None:
+            members = self._split(left)
+            members.extend(self._split(right))
+            out = self._merge_members(members, equivalence)
+            self._merge_cache[key] = out
+            # Merge is commutative; prime the mirrored key too.
+            self._merge_cache[(id(right), id(left), equivalence)] = out
+        return out
+
+    def reduce_types(self, t: Type, equivalence: Equivalence) -> Type:
+        """Memoized ``reduce_type(t, equivalence)``, interned."""
+        t = self.canonical(t)
+        key = (id(t), equivalence)
+        out = self._reduce_cache.get(key)
+        if out is None:
+            if t.__class__ is UnionType:
+                out = self._merge_members(list(t.members), equivalence)
+            else:
+                out = self._reduce_member(t, equivalence)
+            self._reduce_cache[key] = out
+            # Reduction is idempotent: the output is its own normal form.
+            self._reduce_cache[(id(out), equivalence)] = out
+        return out
+
+    @staticmethod
+    def _split(t: Type) -> list[Type]:
+        return list(t.members) if t.__class__ is UnionType else [t]
+
+    def _merge_members(self, members: list[Type], equivalence: Equivalence) -> Type:
+        """Partition canonical union members into classes and fuse each.
+
+        Mirrors merge_all: singleton classes are still reduced (that is
+        what makes reduction a normal form), multi-member classes fold
+        through :meth:`_fuse2` — associativity makes the fold identical
+        to the batch fusion.
+        """
+        classes: dict[Hashable, Type] = {}
+        order: list[Hashable] = []
+        for member in members:
+            key = class_key(member, equivalence)
+            rep = classes.get(key)
+            if rep is None:
+                classes[key] = self.reduce_types(member, equivalence)
+                order.append(key)
+            else:
+                classes[key] = self._fuse2(rep, member, equivalence)
+        out = self.intern(union(classes[key] for key in order))
+        # Everything in `classes` is reduced, so the union of the
+        # representatives is its own normal form: record the fixpoints so
+        # later canonical()/reduce_types() probes are O(1).
+        self._canonical[id(out)] = out
+        self._reduce_cache[(id(out), equivalence)] = out
+        return out
+
+    def _reduce_member(self, m: Type, equivalence: Equivalence) -> Type:
+        """Reduce one canonical non-union member.
+
+        Matches merge._fuse_class on a singleton class: containers are
+        rebuilt with reduced children, leaves pass through.  Identity is
+        preserved when nothing changes, so already-reduced terms cost a
+        walk of cache hits and no allocation.
+        """
+        cls = m.__class__
+        if cls is ArrType:
+            item = self.reduce_types(m.item, equivalence)  # type: ignore[union-attr]
+            return m if item is m.item else self._arr(item)  # type: ignore[union-attr]
+        if cls is RecType:
+            changed = False
+            fields = []
+            for f in m.fields:  # type: ignore[union-attr]
+                ftype = self.reduce_types(f.type, equivalence)
+                if ftype is f.type:
+                    fields.append(f)
+                else:
+                    changed = True
+                    fields.append(self._field(f.name, ftype, f.required))
+            return self._rec(fields) if changed else m
+        return m
+
+    def _fuse2(self, a: Type, b: Type, equivalence: Equivalence) -> Type:
+        """Fuse one member ``b`` into the reduced representative ``a``.
+
+        Precondition: ``a`` and ``b`` are canonical and in the same
+        equivalence class; ``a`` is reduced.  Matches merge._fuse_class
+        on ``[a, b]`` field by field; when ``b`` adds nothing new the
+        representative is returned unchanged, making the stable-state
+        merge a pure probe loop.
+        """
+        if a is b:
+            return self.reduce_types(a, equivalence)
+        cls = a.__class__
+        if cls is AtomType:
+            # Same class with different tags only happens for number
+            # atoms under KIND — their join is num.
+            return a if a.tag == b.tag else self.intern(NUM)  # type: ignore[union-attr]
+        if cls is ArrType:
+            item = self.merge_types(a.item, b.item, equivalence)  # type: ignore[union-attr]
+            return a if item is a.item else self._arr(item)  # type: ignore[union-attr]
+        if cls is RecType:
+            b_fields = b.field_map()  # type: ignore[union-attr]
+            changed = False
+            fused = []
+            for f in a.fields:  # type: ignore[union-attr]
+                g = b_fields.get(f.name)
+                if g is None:
+                    # Absent from b: the field becomes optional, its type
+                    # reduced (a is reduced already, so this is a hit).
+                    ftype = self.reduce_types(f.type, equivalence)
+                    if ftype is f.type and not f.required:
+                        fused.append(f)
+                    else:
+                        changed = True
+                        fused.append(self._field(f.name, ftype, False))
+                else:
+                    ftype = self.merge_types(f.type, g.type, equivalence)
+                    required = f.required and g.required
+                    if ftype is f.type and required == f.required:
+                        fused.append(f)
+                    else:
+                        changed = True
+                        fused.append(self._field(f.name, ftype, required))
+            a_labels = a.labels()  # type: ignore[union-attr]
+            for g in b.fields:  # type: ignore[union-attr]
+                if g.name not in a_labels:
+                    changed = True
+                    fused.append(
+                        self._field(
+                            g.name, self.reduce_types(g.type, equivalence), False
+                        )
+                    )
+            return self._rec(fused) if changed else a
+        # Bot/Any classes cannot contain two distinct canonical members.
+        return a
+
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "nodes": len(self._nodes),
+            "hits": self.hits,
+            "misses": self.misses,
+            "merge_entries": len(self._merge_cache),
+            "reduce_entries": len(self._reduce_cache),
+        }
+
+    def clear(self) -> None:
+        """Drop every canonical node and cache, starting a new epoch.
+
+        Nodes interned before the clear remain valid terms: they keep
+        the *old* epoch token, so equality against anything interned
+        afterwards falls back to the structural compare instead of the
+        identity fast path.  Long-lived processes can therefore call
+        ``clear()`` between unrelated inference runs to reclaim the
+        table's memory without corrupting types they still hold.
+        """
+        self._token = object()
+        self._nodes.clear()
+        self._canonical.clear()
+        self._merge_cache.clear()
+        self._reduce_cache.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_GLOBAL = InternTable()
+
+
+def global_table() -> InternTable:
+    """The process-wide intern table used by the inference engine."""
+    return _GLOBAL
+
+
+def intern(t: Type) -> Type:
+    """Intern ``t`` in the global table."""
+    return _GLOBAL.intern(t)
+
+
+def merge_interned(left: Type, right: Type, equivalence: Equivalence) -> Type:
+    """Globally memoized pairwise parametric merge."""
+    return _GLOBAL.merge_types(left, right, equivalence)
+
+
+def reduce_interned(t: Type, equivalence: Equivalence) -> Type:
+    """Globally memoized parametric reduction."""
+    return _GLOBAL.reduce_types(t, equivalence)
+
+
+def intern_stats() -> dict[str, int]:
+    """Counters of the global table (nodes, hit/miss, cache sizes)."""
+    return _GLOBAL.stats()
+
+
+# Pre-seed the global table with the module-level leaf singletons of
+# terms.py, so `intern(NULL) is NULL` etc. — code that used the named
+# constants keeps getting the exact same objects back.
+for _leaf in (BOT, ANY, NULL, BOOL, INT, FLT, NUM, STR):
+    intern(_leaf)
+del _leaf

@@ -74,7 +74,7 @@ def merge_all(types: Iterable[Type], equivalence: Equivalence = Equivalence.KIND
     classes: dict[Hashable, list[Type]] = {}
     order: list[Hashable] = []
     for member in members:
-        key = _class_key(member, equivalence)
+        key = class_key(member, equivalence)
         if key not in classes:
             classes[key] = []
             order.append(key)
@@ -84,8 +84,14 @@ def merge_all(types: Iterable[Type], equivalence: Equivalence = Equivalence.KIND
     return union(fused)
 
 
-def _class_key(t: Type, equivalence: Equivalence) -> Hashable:
-    """Key under which union members are grouped for fusion."""
+def class_key(t: Type, equivalence: Equivalence) -> Hashable:
+    """Key under which union members are grouped for fusion.
+
+    Public because the incremental engine
+    (:class:`repro.inference.engine.TypeAccumulator`) maintains the same
+    class partition online — both sides must bucket identically for the
+    streaming result to stay bit-identical to ``merge_all``.
+    """
     if isinstance(t, RecType):
         if equivalence is Equivalence.KIND:
             return ("rec",)

@@ -13,6 +13,18 @@ modelled on Baazizi, Colazzo, Ghelli & Sartiani (EDBT '17 / VLDB J '19):
 All terms are immutable, hashable dataclasses with a canonical form
 (:func:`repro.types.simplify.simplify` flattens and sorts unions), so they
 can key dictionaries in merge trees and be compared structurally in tests.
+
+Equality and hashing are hand-written rather than dataclass-generated so
+that the hash-consed kernel (:mod:`repro.types.intern`) gets fast paths:
+
+- ``t == t`` short-circuits on identity before any recursion;
+- two *interned* terms of the same table are equal iff identical, so a
+  deep compare between canonical terms is O(1);
+- hashes and ``size()`` are computed once and cached on the instance
+  (terms are immutable, so the caches can never go stale).
+
+Structural equality between non-interned terms is unchanged from the
+dataclass semantics the seed had.
 """
 
 from __future__ import annotations
@@ -20,15 +32,42 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Optional, Tuple
 
+from repro.errors import InferenceError
+
 
 class Type:
     """Base class of every type term (not instantiable itself)."""
 
     __slots__ = ()
 
+    # Instance attributes shadow these class-level defaults lazily:
+    # ``_interned`` is set (to the owning intern table's *epoch token*)
+    # by :class:`repro.types.intern.InternTable`; ``_hash`` and
+    # ``_size`` cache the first computation.
+    _interned: Optional[object] = None
+    _hash: Optional[int] = None
+    _size: Optional[int] = None
+
     def size(self) -> int:
         """Number of AST nodes — the *succinctness* measure of EDBT '17."""
+        cached = self._size
+        if cached is None:
+            cached = self._compute_size()
+            object.__setattr__(self, "_size", cached)
+        return cached
+
+    def _compute_size(self) -> int:
         return 1 + sum(child.size() for child in self.children())
+
+    def __getstate__(self) -> dict:
+        # Drop intern marks and caches: pickled copies (e.g. types shipped
+        # back from multiprocessing workers) must rehydrate as plain
+        # structural terms, not drag a whole intern table along.
+        state = dict(self.__dict__)
+        state.pop("_interned", None)
+        state.pop("_hash", None)
+        state.pop("_size", None)
+        return state
 
     def children(self) -> Iterator["Type"]:
         """Yield direct sub-terms."""
@@ -71,7 +110,7 @@ ATOMIC_TAGS = ("null", "bool", "int", "flt", "num", "str")
 _ATOM_RANK = {tag: i for i, tag in enumerate(ATOMIC_TAGS)}
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class AtomType(Type):
     """An atomic type: ``null``, ``bool``, ``int``, ``flt``, ``num`` or ``str``.
 
@@ -83,7 +122,7 @@ class AtomType(Type):
 
     def __post_init__(self) -> None:
         if self.tag not in _ATOM_RANK:
-            raise ValueError(f"unknown atomic tag {self.tag!r}")
+            raise InferenceError(f"unknown atomic tag {self.tag!r}")
 
     @property
     def kind(self) -> str:
@@ -92,6 +131,20 @@ class AtomType(Type):
 
     def sort_key(self) -> tuple:
         return (1, _ATOM_RANK[self.tag])
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not AtomType:
+            return NotImplemented
+        return self.tag == other.tag
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("atom", self.tag))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return self.tag.capitalize()
@@ -109,7 +162,21 @@ NUM = AtomType("num")
 STR = AtomType("str")
 
 
-@dataclass(frozen=True, repr=False)
+def _interned_distinct(left: Type, right: Type) -> bool:
+    """True when both terms are canonical in the same intern epoch.
+
+    Canonical terms of one table epoch are structurally equal iff
+    identical, so when this holds (and ``left is not right``) the deep
+    compare can be skipped entirely.  The mark is the table's epoch
+    token, not the table itself: ``InternTable.clear()`` starts a new
+    epoch, so terms surviving a clear can never falsely alias terms
+    interned afterwards.
+    """
+    token = left._interned
+    return token is not None and token is right._interned
+
+
+@dataclass(frozen=True, repr=False, eq=False)
 class ArrType(Type):
     """Array type ``[T]``: every element matches item type ``T``.
 
@@ -125,11 +192,27 @@ class ArrType(Type):
     def sort_key(self) -> tuple:
         return (2, self.item.sort_key())
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not ArrType:
+            return NotImplemented
+        if _interned_distinct(self, other):
+            return False
+        return self.item == other.item
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("arr", self.item))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __repr__(self) -> str:
         return f"Arr({self.item!r})"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class FieldType(Type):
     """One record member: name, value type, and a required flag.
 
@@ -147,12 +230,32 @@ class FieldType(Type):
     def sort_key(self) -> tuple:
         return (0, self.name, self.required, self.type.sort_key())
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not FieldType:
+            return NotImplemented
+        if _interned_distinct(self, other):
+            return False
+        return (
+            self.name == other.name
+            and self.required == other.required
+            and self.type == other.type
+        )
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("field", self.name, self.required, self.type))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __repr__(self) -> str:
         mark = "" if self.required else "?"
         return f"{self.name}{mark}: {self.type!r}"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class RecType(Type):
     """Record type ``{l1: T1, l2?: T2}``.
 
@@ -195,18 +298,34 @@ class RecType(Type):
     def children(self) -> Iterator[Type]:
         return iter(self.fields)
 
-    def size(self) -> int:
+    def _compute_size(self) -> int:
         # A field contributes its name node plus its type's size.
         return 1 + sum(1 + f.type.size() for f in self.fields)
 
     def sort_key(self) -> tuple:
         return (3, tuple(f.sort_key() for f in self.fields))
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not RecType:
+            return NotImplemented
+        if _interned_distinct(self, other):
+            return False
+        return self.fields == other.fields
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("rec", self.fields))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def __repr__(self) -> str:
         return "Rec(" + ", ".join(repr(f) for f in self.fields) + ")"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, eq=False)
 class UnionType(Type):
     """Union type ``T1 + T2 + ...``.
 
@@ -223,6 +342,22 @@ class UnionType(Type):
 
     def sort_key(self) -> tuple:
         return (4, tuple(m.sort_key() for m in self.members))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not UnionType:
+            return NotImplemented
+        if _interned_distinct(self, other):
+            return False
+        return self.members == other.members
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("union", self.members))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return "Union(" + ", ".join(repr(m) for m in self.members) + ")"

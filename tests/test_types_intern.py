@@ -1,0 +1,193 @@
+"""Unit tests for the hash-consed type kernel (repro.types.intern)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.engine import TypeAccumulator
+from repro.types import (
+    ArrType,
+    BOT,
+    Equivalence,
+    FLT,
+    FieldType,
+    INT,
+    NULL,
+    NUM,
+    RecType,
+    STR,
+    UnionType,
+    intern,
+    merge_interned,
+    type_of,
+    union2,
+)
+from repro.types.intern import InternTable, global_table, intern_stats
+
+
+class TestInterning:
+    def test_leaf_singletons_are_canonical(self):
+        assert intern(NULL) is NULL
+        assert intern(INT) is INT
+        assert intern(BOT) is BOT
+
+    def test_structurally_equal_terms_intern_to_same_instance(self):
+        a = type_of({"x": 1, "y": ["a", "b"]})
+        b = type_of({"x": 2, "y": ["c"]})
+        assert a is not b
+        assert intern(a) is intern(b)
+
+    def test_distinct_terms_intern_to_distinct_instances(self):
+        a = intern(type_of({"x": 1}))
+        b = intern(type_of({"x": "s"}))
+        assert a is not b
+        assert a != b
+
+    def test_interned_equality_is_identity(self):
+        table = InternTable()
+        a = table.intern(type_of({"x": [1, 2.5]}))
+        b = table.intern(type_of({"x": [7, 0.1]}))
+        assert a is b
+        # Distinct canonical nodes of one table are unequal without any
+        # deep traversal.
+        c = table.intern(type_of({"x": [True]}))
+        assert a != c
+
+    def test_intern_preserves_hash_and_size(self):
+        raw = type_of({"k": [1, "s", None]})
+        canon = intern(raw)
+        assert hash(canon) == hash(raw)
+        assert canon.size() == raw.size()
+
+    def test_field_order_is_canonicalized(self):
+        table = InternTable()
+        a = table.intern(RecType((FieldType("b", INT), FieldType("a", STR))))
+        b = table.intern(RecType((FieldType("a", STR), FieldType("b", INT))))
+        assert a is b
+
+    def test_pickle_strips_intern_marks(self):
+        canon = intern(type_of({"x": 1}))
+        copy = pickle.loads(pickle.dumps(canon))
+        assert copy == canon
+        assert copy._interned is None
+        assert intern(copy) is canon
+
+    def test_stats_and_len_grow(self):
+        table = InternTable()
+        before = len(table)
+        table.intern(type_of({"fresh": [1.5]}))
+        assert len(table) > before
+        stats = table.stats()
+        assert stats["misses"] > 0
+        assert set(stats) >= {"nodes", "hits", "misses", "merge_entries"}
+        assert intern_stats()["nodes"] == len(global_table())
+
+
+class TestCanonicalAndMerge:
+    def test_canonical_simplifies(self):
+        table = InternTable()
+        messy = UnionType((INT, UnionType((INT, BOT, STR))))
+        assert table.canonical(messy) == union2(INT, STR)
+
+    def test_merge_interned_matches_merge_all(self):
+        left = type_of({"x": 1})
+        right = type_of({"x": 2.5, "y": "s"})
+        for eq in Equivalence:
+            out = merge_interned(left, right, eq)
+            from repro.types import merge_all
+
+            assert out == merge_all((left, right), eq)
+
+    def test_merge_is_cached_by_identity(self):
+        table = InternTable()
+        left = table.intern(type_of({"x": 1}))
+        right = table.intern(type_of({"y": "s"}))
+        first = table.merge_types(left, right, Equivalence.KIND)
+        second = table.merge_types(left, right, Equivalence.KIND)
+        mirrored = table.merge_types(right, left, Equivalence.KIND)
+        assert first is second is mirrored
+
+    def test_merge_with_self_is_reduction(self):
+        table = InternTable()
+        t = type_of({"xs": [1, 2.5]})  # Arr(Int + Flt) reduces to Arr(Num) under KIND
+        out = table.merge_types(t, t, Equivalence.KIND)
+        assert out == table.reduce_types(t, Equivalence.KIND)
+        assert out == RecType.of({"xs": ArrType(NUM)})
+
+    def test_number_atoms_fuse_under_kind(self):
+        table = InternTable()
+        assert table.merge_types(INT, FLT, Equivalence.KIND) is table.intern(NUM)
+        assert table.merge_types(INT, FLT, Equivalence.LABEL) == union2(INT, FLT)
+
+    def test_clear_resets_table(self):
+        table = InternTable()
+        table.intern(type_of({"x": 1}))
+        assert len(table) > 0
+        table.clear()
+        assert len(table) == 0
+        assert table.stats()["hits"] == 0
+
+    def test_clear_does_not_corrupt_equality_of_survivors(self):
+        # Nodes interned before a clear keep the old epoch token; they
+        # must still compare structurally equal to nodes interned after.
+        table = InternTable()
+        before = table.intern(ArrType(INT))
+        table.clear()
+        after = table.intern(ArrType(INT))
+        assert before is not after
+        assert before == after
+        assert union2(before, after) == ArrType(INT)
+        # And distinct survivors stay unequal.
+        other = table.intern(ArrType(STR))
+        assert before != other
+
+    def test_merge_across_clear_is_still_correct(self):
+        table = InternTable()
+        held = table.intern(type_of({"x": 1}))
+        table.clear()
+        out = table.merge_types(held, type_of({"x": 2.5}), Equivalence.KIND)
+        assert out == RecType.of({"x": NUM})
+
+
+class TestAccumulatorBasics:
+    def test_empty_result_is_bot(self):
+        acc = TypeAccumulator(Equivalence.KIND)
+        assert acc.is_empty()
+        assert acc.result() == BOT
+        assert acc.class_count() == 0
+
+    def test_counts_and_state(self):
+        acc = TypeAccumulator(Equivalence.KIND)
+        for d in ({"x": 1}, {"x": 2}, {"y": "s"}, [1, 2], "scalar"):
+            acc.add(d)
+        assert acc.document_count == 5
+        assert acc.class_count() == 3  # rec, arr, str atom
+        assert acc.state_nodes() >= acc.class_count()
+
+    def test_combine_rejects_mixed_equivalences(self):
+        a = TypeAccumulator(Equivalence.KIND)
+        b = TypeAccumulator(Equivalence.LABEL)
+        with pytest.raises(InferenceError):
+            a.combine(b)
+
+    def test_memo_is_bounded(self):
+        class SmallMemo(TypeAccumulator):
+            _MEMO_LIMIT = 8
+
+        acc = SmallMemo(Equivalence.KIND)
+        for i in range(32):
+            acc.add({f"k{i}": i})  # every document type distinct
+        assert len(acc._memo) <= 8
+        assert acc.document_count == 32
+        # Absorption stays correct past the bound.
+        assert acc.class_count() == 1
+
+    def test_result_is_samplable_mid_stream(self):
+        acc = TypeAccumulator(Equivalence.KIND)
+        acc.add({"x": 1})
+        first = acc.result()
+        acc.add({"x": 2.5})
+        second = acc.result()
+        assert first == RecType.of({"x": INT})
+        assert second == RecType.of({"x": NUM})

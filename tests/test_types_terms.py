@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import InferenceError
 from repro.types import (
     ANY,
     ArrType,
@@ -26,7 +27,7 @@ from repro.types import (
 
 class TestTerms:
     def test_atom_validation(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(InferenceError):
             AtomType("integer")
 
     def test_atom_kind(self):
