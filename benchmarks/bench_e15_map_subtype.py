@@ -1,0 +1,198 @@
+"""E15 — fused map phase & memoized subtyping: seed vs PR 2 engines.
+
+Artifact reconstructed: the map-side cost of parametric inference (every
+document typed exactly, per Baazizi et al.) and the comparison algebra
+that downstream tooling runs over inferred schemas.  Two measurements:
+
+- **map**: seed ``type_of`` (raw trees) and the seed composition
+  ``intern(type_of(d))`` vs the fused :class:`repro.types.build.TypeEncoder`
+  (canonical interned terms straight from the value, probe-first,
+  recursion-free, shape-cached).  Correctness is asserted by interned
+  identity against the composition on a verification sample.
+
+- **subtype**: the seed's unmemoized recursive ``_sub`` vs the memoized
+  iterative worklist checker, on (a) exact document types against the
+  wide LABEL-merged collection type and (b) repeated checks over a deep
+  synthetic pair — the memo turns repeat checks into dictionary probes.
+
+Emits ``BENCH_map.json`` under ``benchmarks/results/``.  Timing ratios
+are asserted only under ``REPRO_BENCH_ASSERT=1`` (wall-clock on shared CI
+runners is flaky); the agreement/identity asserts are the correctness
+gate and always run.  Acceptance: fused map ≥ 2x seed ``type_of`` at 50k
+docs (measured ~4x; the JSON records the trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.datasets import tweets
+from repro.inference.parametric import infer_type
+from repro.types import ArrType, Equivalence, INT, NUM, RecType, intern, is_subtype, type_of
+from repro.types.build import TypeEncoder
+from repro.types.intern import InternTable
+from repro.types.subtype import is_subtype_reference
+
+from helpers import RESULTS_DIR, emit, table
+
+SIZES = [10_000, 50_000]
+if os.environ.get("REPRO_BENCH_FULL"):
+    SIZES.append(100_000)
+
+ASSERT_TIMING = bool(os.environ.get("REPRO_BENCH_ASSERT"))
+
+
+def _bench_map(rows, records):
+    for n in SIZES:
+        docs = tweets(n, seed=15)
+
+        start = time.perf_counter()
+        for d in docs:
+            type_of(d)
+        seconds_seed = time.perf_counter() - start
+
+        composition_table = InternTable()
+        start = time.perf_counter()
+        for d in docs:
+            composition_table.intern(type_of(d))
+        seconds_composition = time.perf_counter() - start
+
+        fused_table = InternTable()
+        encoder = TypeEncoder(fused_table)
+        start = time.perf_counter()
+        for d in docs:
+            encoder.encode(d)
+        seconds_fused = time.perf_counter() - start
+
+        # Correctness gate: fused ≡ intern ∘ type_of by interned identity.
+        verify_table = InternTable()
+        verify_encoder = TypeEncoder(verify_table)
+        for d in docs[:500]:
+            assert verify_encoder.encode(d) is verify_table.intern(type_of(d))
+
+        speedup_seed = seconds_seed / seconds_fused
+        speedup_composition = seconds_composition / seconds_fused
+        if ASSERT_TIMING:
+            assert seconds_fused < seconds_composition
+        record = {
+            "documents": n,
+            "docs_per_sec_type_of": round(n / seconds_seed),
+            "docs_per_sec_intern_type_of": round(n / seconds_composition),
+            "docs_per_sec_fused": round(n / seconds_fused),
+            "speedup_vs_type_of": round(speedup_seed, 2),
+            "speedup_vs_composition": round(speedup_composition, 2),
+            "fused_table_nodes": len(fused_table),
+        }
+        records.append(record)
+        rows.append(
+            [
+                n,
+                record["docs_per_sec_type_of"],
+                record["docs_per_sec_intern_type_of"],
+                record["docs_per_sec_fused"],
+                f"{speedup_seed:5.1f}x",
+                f"{speedup_composition:5.1f}x",
+            ]
+        )
+    by_docs = {r["documents"]: r for r in records}
+    # Acceptance: >= 2x over the seed type_of on the 50k map (measured ~4x).
+    if ASSERT_TIMING:
+        assert by_docs[50_000]["speedup_vs_type_of"] >= 2.0
+
+
+def _deep_type(levels: int, leaf):
+    t = leaf
+    for i in range(levels):
+        t = RecType.of({"a": t, "b": ArrType(t)}) if i % 2 else ArrType(t)
+    return t
+
+
+def _bench_subtype(records):
+    docs = tweets(4_000, seed=15)
+    wide = infer_type(docs, Equivalence.LABEL)  # union of record variants
+    fused_schema = infer_type(docs, Equivalence.KIND)
+    samples = [intern(type_of(d)) for d in docs[:400]]
+    checks = [(s, wide) for s in samples] + [(wide, fused_schema)] * 5
+
+    start = time.perf_counter()
+    expected = [is_subtype_reference(s, t) for s, t in checks]
+    seconds_reference = time.perf_counter() - start
+
+    start = time.perf_counter()
+    got = [is_subtype(s, t) for s, t in checks]
+    seconds_memoized = time.perf_counter() - start
+    assert got == expected  # differential gate, always on
+
+    # Deep pair, repeated: canonical inputs make repeats pure memo probes.
+    deep_left = intern(_deep_type(24, INT))
+    deep_right = intern(_deep_type(24, NUM))
+    repeats = 50
+    start = time.perf_counter()
+    expected_deep = [is_subtype_reference(deep_left, deep_right) for _ in range(repeats)]
+    seconds_reference_deep = time.perf_counter() - start
+    start = time.perf_counter()
+    got_deep = [is_subtype(deep_left, deep_right) for _ in range(repeats)]
+    seconds_memoized_deep = time.perf_counter() - start
+    assert got_deep == expected_deep and got_deep[0] is True
+
+    if ASSERT_TIMING:
+        assert seconds_memoized < seconds_reference
+        assert seconds_memoized_deep < seconds_reference_deep
+    records.append(
+        {
+            "workload": "wide-label-union",
+            "checks": len(checks),
+            "reference_ms": round(seconds_reference * 1000, 1),
+            "memoized_ms": round(seconds_memoized * 1000, 1),
+            "speedup": round(seconds_reference / seconds_memoized, 2),
+        }
+    )
+    records.append(
+        {
+            "workload": "deep-pair-x50",
+            "checks": repeats,
+            "reference_ms": round(seconds_reference_deep * 1000, 1),
+            "memoized_ms": round(seconds_memoized_deep * 1000, 1),
+            "speedup": round(seconds_reference_deep / seconds_memoized_deep, 2),
+        }
+    )
+
+
+def test_e15_map_subtype():
+    map_rows: list[list] = []
+    map_records: list[dict] = []
+    _bench_map(map_rows, map_records)
+
+    subtype_records: list[dict] = []
+    _bench_subtype(subtype_records)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_map.json").write_text(
+        json.dumps(
+            {
+                "experiment": "e15-map-subtype",
+                "map_rows": map_records,
+                "subtype_rows": subtype_records,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    subtype_rows = [
+        [r["workload"], r["checks"], r["reference_ms"], r["memoized_ms"], f"{r['speedup']:5.1f}x"]
+        for r in subtype_records
+    ]
+    emit(
+        "E15-map-subtype",
+        table(
+            ["docs", "type_of/s", "intern∘type_of/s", "fused/s", "vs seed", "vs comp"],
+            map_rows,
+        )
+        + "\n\n"
+        + table(
+            ["subtype workload", "checks", "ref ms", "memo ms", "speedup"],
+            subtype_rows,
+        ),
+    )

@@ -157,30 +157,86 @@ class CUnion(CType):
 # ---------------------------------------------------------------------------
 
 
-def counted_type_of(value: Any, equivalence: Equivalence = Equivalence.KIND) -> CUnion:
-    """Type a single value with all counters at 1.
-
-    ``equivalence`` controls how array *elements* fuse (the only place the
-    map phase already merges); it must match the reduce-phase parameter.
-    """
-    kind = kind_of(value)
+def _counted_scalar(value: Any, kind: JsonKind) -> CUnion:
     if kind is JsonKind.NULL:
         return CUnion((CAtom("null", 1),))
     if kind is JsonKind.BOOLEAN:
         return CUnion((CAtom("bool", 1),))
     if kind is JsonKind.NUMBER:
         return CUnion((CAtom("int" if is_integer_value(value) else "flt", 1),))
-    if kind is JsonKind.STRING:
-        return CUnion((CAtom("str", 1),))
-    if kind is JsonKind.ARRAY:
-        items = merge_counted(
-            (counted_type_of(v, equivalence) for v in value), equivalence, _empty_ok=True
-        )
-        return CUnion((CArr(items, 1, len(value)),))
-    fields = tuple(
-        CField(name, counted_type_of(v, equivalence), 1) for name, v in value.items()
-    )
-    return CUnion((CRec(fields, 1),))
+    return CUnion((CAtom("str", 1),))
+
+
+def counted_type_of(value: Any, equivalence: Equivalence = Equivalence.KIND) -> CUnion:
+    """Type a single value with all counters at 1.
+
+    ``equivalence`` controls how array *elements* fuse (the only place the
+    map phase already merges); it must match the reduce-phase parameter.
+
+    Like the plain fused encoder (:class:`repro.types.build.TypeEncoder`),
+    the traversal uses an explicit frame stack, so deeply nested
+    documents type without hitting the recursion limit.
+    """
+    kind = kind_of(value)
+    if kind not in (JsonKind.ARRAY, JsonKind.OBJECT):
+        return _counted_scalar(value, kind)
+    # Frames: [is_object, iterator, parts, pending name, element count].
+    # Object parts collect CField; array parts collect element CUnions.
+    stack: list[list] = [_counted_open(value, kind)]
+    result: CUnion | None = None
+    while stack:
+        frame = stack[-1]
+        parts = frame[2]
+        pushed = False
+        if frame[0]:
+            for name, v in frame[1]:
+                ckind = kind_of(v)
+                if ckind in (JsonKind.ARRAY, JsonKind.OBJECT):
+                    frame[3] = name
+                    stack.append(_counted_open(v, ckind))
+                    pushed = True
+                    break
+                parts.append(CField(name, _counted_scalar(v, ckind), 1))
+            if pushed:
+                continue
+            done = CUnion((CRec(tuple(parts), 1),))
+        else:
+            for v in frame[1]:
+                ckind = kind_of(v)
+                if ckind in (JsonKind.ARRAY, JsonKind.OBJECT):
+                    stack.append(_counted_open(v, ckind))
+                    pushed = True
+                    break
+                parts.append(_counted_scalar(v, ckind))
+            if pushed:
+                continue
+            if len(parts) == 1:
+                # Merging a singleton union deep-rebuilds an equal
+                # structure (counts sum trivially, field/member order is
+                # already canonical) — skip it, keeping single-element
+                # arrays O(depth) instead of O(depth²).
+                items = parts[0]
+            else:
+                items = merge_counted(parts, equivalence, _empty_ok=True)
+            done = CUnion((CArr(items, 1, frame[4]),))
+        stack.pop()
+        if stack:
+            parent = stack[-1]
+            if parent[0]:
+                parent[2].append(CField(parent[3], done, 1))
+                parent[3] = None
+            else:
+                parent[2].append(done)
+        else:
+            result = done
+    assert result is not None
+    return result
+
+
+def _counted_open(value: Any, kind: JsonKind) -> list:
+    if kind is JsonKind.OBJECT:
+        return [True, iter(value.items()), [], None, 0]
+    return [False, iter(value), [], None, len(value)]
 
 
 # ---------------------------------------------------------------------------

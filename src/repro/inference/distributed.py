@@ -38,7 +38,8 @@ from typing import Any, Optional, Sequence
 
 from repro.errors import InferenceError
 from repro.inference.engine import TypeAccumulator, accumulate
-from repro.types import Equivalence, Type, merge_interned, type_of, type_to_string
+from repro.types import Equivalence, Type, merge_interned, type_to_string
+from repro.types.build import TypeEncoder
 
 
 @dataclass
@@ -115,6 +116,7 @@ def infer_distributed(
     partials: list[Type] = []
     map_costs: list[int] = []
     shipped = 0
+    encoder = TypeEncoder()  # fused map phase, shared across partitions
     for bucket in buckets:
         # One streaming accumulator per partition — the combiner the
         # papers run inside each Spark task, instead of materializing the
@@ -122,7 +124,7 @@ def infer_distributed(
         accumulator = TypeAccumulator(equivalence)
         units = 0
         for document in bucket:
-            t = type_of(document)
+            t = encoder.encode(document)
             # Cost model: one unit per typed node plus one per merged input.
             units += t.size() + 1
             accumulator.add_type(t)

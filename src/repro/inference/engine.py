@@ -30,7 +30,8 @@ from __future__ import annotations
 from typing import Any, Hashable, Iterable, Optional
 
 from repro.errors import InferenceError
-from repro.types import Equivalence, Type, class_key, type_of, union
+from repro.types import Equivalence, Type, class_key, union
+from repro.types.build import TypeEncoder
 from repro.types.intern import InternTable, global_table
 from repro.types.terms import UnionType
 
@@ -46,7 +47,15 @@ class TypeAccumulator:
     can be sampled mid-stream.
     """
 
-    __slots__ = ("equivalence", "_table", "_classes", "_order", "_memo", "_count")
+    __slots__ = (
+        "equivalence",
+        "_table",
+        "_encoder",
+        "_classes",
+        "_order",
+        "_memo",
+        "_count",
+    )
 
     def __init__(
         self,
@@ -56,6 +65,10 @@ class TypeAccumulator:
     ) -> None:
         self.equivalence = equivalence
         self._table = table if table is not None else global_table()
+        # Fused map phase: documents are encoded straight into canonical
+        # interned terms (no raw type_of tree), lazily so type-only
+        # accumulators never pay for the encoder's leaf setup.
+        self._encoder: Optional[TypeEncoder] = None
         # class key -> fused, reduced, interned representative
         self._classes: dict[Hashable, Type] = {}
         # first-appearance order of keys (merge_all parity; union() sorts
@@ -77,9 +90,17 @@ class TypeAccumulator:
 
     # ------------------------------------------------------------------
 
+    @property
+    def table(self) -> InternTable:
+        """The intern table this accumulator canonicalizes into."""
+        return self._table
+
     def add(self, document: Any) -> None:
-        """Type one document and absorb it."""
-        self.add_type(type_of(document))
+        """Type one document (fused encoder) and absorb it."""
+        encoder = self._encoder
+        if encoder is None:
+            encoder = self._encoder = TypeEncoder(self._table)
+        self.add_type(encoder.encode(document))
 
     def add_type(self, t: Type) -> None:
         """Absorb one already-typed document (or any type term)."""

@@ -4,7 +4,9 @@ The tutorial's own line of work: a *distributed, parametric* inference
 algorithm "capable of inferring schemas at different levels of abstraction".
 The algorithm is a map/reduce over the collection:
 
-- **map**: each document is typed exactly (:func:`repro.types.build.type_of`);
+- **map**: each document is typed exactly — fused straight into canonical
+  interned terms by :class:`repro.types.build.TypeEncoder`, the
+  recursion-free equivalent of ``intern(type_of(document))``;
 - **reduce**: types are merged monoidally under an *equivalence parameter*
   (:class:`repro.types.merge.Equivalence`) that controls precision:
   ``KIND`` fuses aggressively (one record type), ``LABEL`` keeps records
@@ -61,10 +63,12 @@ def infer_type(
 ) -> Type:
     """Infer the type of a collection under the given equivalence.
 
-    Runs through the incremental engine: documents are typed and folded
-    into a :class:`~repro.inference.engine.TypeAccumulator` one at a
-    time, so the collection is never materialized as a list of types.
-    The result is structurally identical to the seed's
+    Runs through the incremental engine: documents are typed by the
+    fused encoder and folded into a
+    :class:`~repro.inference.engine.TypeAccumulator` one at a time, so
+    the collection is never materialized as a list of types and no raw
+    (un-interned) type tree is ever built.  The result is structurally
+    identical to the seed's
     ``merge_all([type_of(d) for d in documents], equivalence)``.
     """
     accumulator = accumulate(documents, equivalence)

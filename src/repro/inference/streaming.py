@@ -24,6 +24,7 @@ from repro.errors import InferenceError
 from repro.inference.engine import TypeAccumulator
 from repro.jsonvalue.events import JsonEvent, JsonEventType, iter_events
 from repro.types import Equivalence, Type, union
+from repro.types.intern import InternTable
 from repro.types.terms import (
     ArrType,
     BOOL,
@@ -37,16 +38,71 @@ from repro.types.terms import (
 )
 
 
-def _scalar_type(value: Any) -> Type:
-    if value is None:
-        return NULL
-    if isinstance(value, bool):
-        return BOOL
-    if isinstance(value, int):
-        return INT
-    if isinstance(value, float):
-        return FLT
-    return STR
+class _Builder:
+    """Raw-term construction (the seed behavior, no intern table)."""
+
+    __slots__ = ()
+
+    def scalar(self, value: Any) -> Type:
+        if value is None:
+            return NULL
+        if isinstance(value, bool):
+            return BOOL
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLT
+        return STR
+
+    def record(self, fields: dict[str, Type]) -> Type:
+        return RecType(
+            tuple(FieldType(name, t, required=True) for name, t in fields.items())
+        )
+
+    def array(self, items: list[Type]) -> Type:
+        if not items:
+            return ArrType(BOT)
+        return ArrType(union(items))
+
+
+class _InternedBuilder(_Builder):
+    """Fused construction: canonical interned terms, probe-first.
+
+    The streaming analogue of :class:`repro.types.build.TypeEncoder` —
+    every closed container goes straight to the table's probe-first
+    constructors, so repeated event shapes allocate nothing.
+    """
+
+    __slots__ = ("table", "_scalars", "_empty_arr")
+
+    def __init__(self, table: InternTable) -> None:
+        self.table = table
+        self._scalars = {
+            type(None): table.intern(NULL),
+            bool: table.intern(BOOL),
+            int: table.intern(INT),
+            float: table.intern(FLT),
+            str: table.intern(STR),
+        }
+        self._empty_arr = table.arr_of(table.intern(BOT))
+
+    def scalar(self, value: Any) -> Type:
+        atom = self._scalars.get(type(value))
+        if atom is not None:
+            return atom
+        return self.table.intern(super().scalar(value))
+
+    def record(self, fields: dict[str, Type]) -> Type:
+        field_of = self.table.field_of
+        return self.table.rec_of([field_of(name, t) for name, t in fields.items()])
+
+    def array(self, items: list[Type]) -> Type:
+        if not items:
+            return self._empty_arr
+        return self.table.arr_of(self.table.union_of(items))
+
+
+_RAW_BUILDER = _Builder()
 
 
 class _Frame:
@@ -60,14 +116,10 @@ class _Frame:
         self.items: list[Type] = []
         self.pending_key: Optional[str] = None
 
-    def close(self) -> Type:
+    def close(self, builder: _Builder) -> Type:
         if self.is_object:
-            return RecType(
-                tuple(FieldType(name, t, required=True) for name, t in self.fields.items())
-            )
-        if not self.items:
-            return ArrType(BOT)
-        return ArrType(union(self.items))
+            return builder.record(self.fields)
+        return builder.array(self.items)
 
     def attach(self, t: Type) -> None:
         if self.is_object:
@@ -78,12 +130,26 @@ class _Frame:
             self.items.append(t)
 
 
-def type_from_events(events: Iterable[JsonEvent]) -> Iterator[Type]:
+def type_from_events(
+    events: Iterable[JsonEvent],
+    *,
+    table: Optional[InternTable] = None,
+    builder: Optional[_Builder] = None,
+) -> Iterator[Type]:
     """Yield the exact type of each top-level document in an event stream.
 
     Equivalent to ``type_of(value)`` for the value the events describe,
-    but without materialising the value.
+    but without materialising the value.  With ``table`` the types are
+    built canonically against it — identical (by interned identity) to
+    ``table.intern(type_of(value))`` — so the map phase of streaming
+    inference is fused just like the DOM path's
+    :class:`~repro.types.build.TypeEncoder`.  Per-stream callers can
+    construct one :class:`_InternedBuilder` and pass it as ``builder``
+    to amortize its leaf setup across documents.
     """
+    if builder is None:
+        builder = _RAW_BUILDER if table is None else _InternedBuilder(table)
+    scalar = builder.scalar
     stack: list[_Frame] = []
 
     def emit_or_attach(t: Type) -> Optional[Type]:
@@ -101,7 +167,7 @@ def type_from_events(events: Iterable[JsonEvent]) -> Iterator[Type]:
                 raise InferenceError("two key events without a value")
             stack[-1].pending_key = event.value
         elif etype is JsonEventType.VALUE:
-            done = emit_or_attach(_scalar_type(event.value))
+            done = emit_or_attach(scalar(event.value))
             if done is not None:
                 yield done
         elif etype is JsonEventType.START_OBJECT:
@@ -112,7 +178,7 @@ def type_from_events(events: Iterable[JsonEvent]) -> Iterator[Type]:
             if not stack:
                 raise InferenceError("container end without start")
             frame = stack.pop()
-            done = emit_or_attach(frame.close())
+            done = emit_or_attach(frame.close(builder))
             if done is not None:
                 yield done
         else:  # pragma: no cover - exhaustive enum
@@ -121,9 +187,14 @@ def type_from_events(events: Iterable[JsonEvent]) -> Iterator[Type]:
         raise InferenceError("event stream ended inside an unclosed container")
 
 
-def type_of_text(text: str) -> Type:
+def type_of_text(
+    text: str,
+    *,
+    table: Optional[InternTable] = None,
+    builder: Optional[_Builder] = None,
+) -> Type:
     """The exact type of one JSON text, computed in streaming fashion."""
-    types = list(type_from_events(iter_events(text)))
+    types = list(type_from_events(iter_events(text), table=table, builder=builder))
     if len(types) != 1:
         raise InferenceError(f"expected one document, found {len(types)}")
     return types[0]
@@ -142,10 +213,14 @@ def infer_type_streaming(
     — see the memory-model note in :mod:`repro.types.intern`.)
     """
     accumulator = TypeAccumulator(equivalence)
+    # Build each document's type canonically against the accumulator's
+    # own table: add_type then recognizes it as a fixpoint in O(1).  One
+    # builder for the whole stream — its leaf setup is paid once.
+    builder = _InternedBuilder(accumulator.table)
     for line in lines:
         if not line.strip():
             continue
-        accumulator.add_type(type_of_text(line))
+        accumulator.add_type(type_of_text(line, builder=builder))
     if accumulator.is_empty():
         raise InferenceError("cannot infer a schema from an empty stream")
     return accumulator.result()

@@ -28,7 +28,7 @@ from repro.types.terms import (
     walk,
 )
 from repro.types.simplify import simplify, union, union2
-from repro.types.build import type_of
+from repro.types.build import TypeEncoder, type_of, type_of_interned
 from repro.types.merge import Equivalence, class_key, merge, merge_all, reduce_type
 from repro.types.intern import (
     InternTable,
@@ -71,6 +71,8 @@ __all__ = [
     "union",
     "union2",
     "type_of",
+    "TypeEncoder",
+    "type_of_interned",
     "Equivalence",
     "class_key",
     "merge",

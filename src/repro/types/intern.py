@@ -177,6 +177,71 @@ class InternTable:
         return node
 
     # ------------------------------------------------------------------
+    # public probe-first constructors (the fused map phase)
+    # ------------------------------------------------------------------
+    #
+    # These build canonical nodes directly — no raw tree, no re-intern
+    # walk.  Preconditions (checked nowhere, for speed): every child
+    # passed in must be canonical in THIS table's current epoch and in
+    # simplify-normal form.  The fused encoder of repro.types.build and
+    # the streaming typer uphold this by constructing bottom-up.
+
+    def atom(self, tag: str) -> Type:
+        """The canonical atom for ``tag`` (allocates only on first use)."""
+        key = ("atom", tag)
+        node = self._nodes.get(key)
+        if node is not None:
+            self.hits += 1
+            return node
+        return self._adopt(key, AtomType(tag))
+
+    def arr_of(self, item: Type) -> Type:
+        """Canonical ``[item]`` for a canonical, normal ``item``."""
+        out = self._arr(item)
+        if not out._normal:
+            object.__setattr__(out, "_normal", True)
+        return out
+
+    def field_of(self, name: str, ftype: Type, required: bool = True) -> FieldType:
+        """Canonical field for a canonical, normal ``ftype``."""
+        out = self._field(name, ftype, required)
+        if not out._normal:
+            object.__setattr__(out, "_normal", True)
+        return out
+
+    def rec_of(self, fields: list) -> Type:
+        """Canonical record over canonical, normal fields.
+
+        Sorts by name when needed and rejects duplicate field names with
+        the same ``ValueError`` the raw :class:`RecType` constructor
+        raises — the fused and seed encoders fail identically.
+        """
+        out = self._rec(fields)
+        if not out._normal:
+            object.__setattr__(out, "_normal", True)
+        return out
+
+    def union_of(self, members) -> Type:
+        """Canonical union of canonical, normal members.
+
+        Runs the full :func:`repro.types.simplify.union` canonicalization
+        (flatten, drop Bot, dedupe, absorb, sort), then probes by member
+        identity so repeated shapes allocate nothing.
+        """
+        u = union(members)
+        if u.__class__ is UnionType:
+            key = ("union", tuple(map(id, u.members)))
+            node = self._nodes.get(key)
+            if node is not None:
+                self.hits += 1
+                if not node._normal:
+                    object.__setattr__(node, "_normal", True)
+                return node
+            return self._adopt(key, u)
+        # Bot, Any, or a single member that is already canonical.
+        return self.intern(u)
+
+    # ------------------------------------------------------------------
     # canonicalization (simplify ∘ intern in one pass)
     # ------------------------------------------------------------------
 
@@ -185,13 +250,25 @@ class InternTable:
 
         Equivalent to ``intern(simplify(t))``; canonical outputs are
         recorded as their own fixpoints, so re-canonicalizing a node the
-        table produced is a dictionary hit.
+        table produced is a dictionary hit.  Terms carrying the
+        normal-form mark (see :mod:`repro.types.simplify`) skip the
+        simplification walk entirely: they only need interning, and when
+        already interned here they are their own fixpoint.
         """
         if t._interned is self._token:
             out = self._canonical.get(id(t))
             if out is not None:
                 return out
+            if t._normal:
+                self._canonical[id(t)] = t
+                return t
+        elif t._normal:
+            out = self.intern(t)
+            object.__setattr__(out, "_normal", True)
+            self._canonical[id(out)] = out
+            return out
         out = self._canonicalize(t)
+        object.__setattr__(out, "_normal", True)
         self._canonical[id(out)] = out
         if t._interned is self._token:
             self._canonical[id(t)] = out
@@ -256,6 +333,7 @@ class InternTable:
                 out = self._reduce_member(t, equivalence)
             self._reduce_cache[key] = out
             # Reduction is idempotent: the output is its own normal form.
+            object.__setattr__(out, "_normal", True)
             self._reduce_cache[(id(out), equivalence)] = out
         return out
 
@@ -285,6 +363,7 @@ class InternTable:
         # Everything in `classes` is reduced, so the union of the
         # representatives is its own normal form: record the fixpoints so
         # later canonical()/reduce_types() probes are O(1).
+        object.__setattr__(out, "_normal", True)
         self._canonical[id(out)] = out
         self._reduce_cache[(id(out), equivalence)] = out
         return out
@@ -372,6 +451,16 @@ class InternTable:
     # ------------------------------------------------------------------
     # introspection / maintenance
     # ------------------------------------------------------------------
+
+    def epoch(self) -> object:
+        """The current epoch token.
+
+        Callers that key external memo caches on ``id()`` of canonical
+        nodes (e.g. the memoized subtype checker) compare this token to
+        detect a :meth:`clear` and invalidate, since cleared nodes may be
+        garbage-collected and their ids recycled.
+        """
+        return self._token
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -39,9 +39,10 @@ def union(members: Iterable[Type]) -> Type:
     flat: list[Type] = []
     seen: set[Type] = set()
     any_present = False
+    all_normal = True
 
     def add(t: Type) -> None:
-        nonlocal any_present
+        nonlocal any_present, all_normal
         if isinstance(t, UnionType):
             for m in t.members:
                 add(m)
@@ -49,9 +50,12 @@ def union(members: Iterable[Type]) -> Type:
             return
         elif isinstance(t, AnyType):
             any_present = True
-        elif t not in seen:
-            seen.add(t)
-            flat.append(t)
+        else:
+            if not t._normal:
+                all_normal = False
+            if t not in seen:
+                seen.add(t)
+                flat.append(t)
 
     for member in members:
         add(member)
@@ -68,25 +72,42 @@ def union(members: Iterable[Type]) -> Type:
     if len(flat) == 1:
         return flat[0]
     flat.sort(key=lambda t: t.sort_key())
-    return UnionType(tuple(flat))
+    out = UnionType(tuple(flat))
+    if all_normal:
+        # Flattened, deduplicated, absorbed and sorted over members that
+        # are themselves normal: the union is its own simplified form.
+        object.__setattr__(out, "_normal", True)
+    return out
 
 
 def simplify(t: Type) -> Type:
-    """Recursively canonicalize ``t`` (idempotent)."""
+    """Recursively canonicalize ``t`` (idempotent).
+
+    Terms carrying the normal-form mark (every output of this function,
+    plus everything the intern table records as a canonical fixpoint)
+    return unchanged in O(1), so re-simplifying results the fused
+    pipeline already canonicalized never re-walks the structure.
+    """
+    if t._normal:
+        return t
     if isinstance(t, UnionType):
         return union(simplify(m) for m in t.members)
     if isinstance(t, ArrType):
-        return ArrType(simplify(t.item))
-    if isinstance(t, RecType):
-        return RecType(
-            tuple(
-                FieldType(f.name, simplify(f.type), f.required)
-                for f in t.fields
-            )
-        )
-    if isinstance(t, FieldType):
-        return FieldType(t.name, simplify(t.type), t.required)
-    return t
+        out: Type = ArrType(simplify(t.item))
+    elif isinstance(t, RecType):
+        out = RecType(tuple(_simplify_field(f) for f in t.fields))
+    elif isinstance(t, FieldType):
+        out = _simplify_field(t)
+    else:
+        return t
+    object.__setattr__(out, "_normal", True)
+    return out
+
+
+def _simplify_field(f: FieldType) -> FieldType:
+    out = FieldType(f.name, simplify(f.type), f.required)
+    object.__setattr__(out, "_normal", True)
+    return out
 
 
 def union2(left: Type, right: Type) -> Type:

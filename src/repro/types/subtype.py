@@ -8,6 +8,19 @@ float).  General union-distribution over records is intentionally not
 chased — the tutorial's systems never need it, and the property tests pin
 the soundness direction instead.
 
+The checker runs on *canonical interned* forms: both sides are
+canonicalized into the intern table, every pair starts with the identity
+fast path (canonical terms are equal iff identical, so ``s is t`` answers
+reflexivity in O(1)), and verdicts are memoized on ``(id(s), id(t))``
+keyed to the table's epoch.  The evaluation itself is an **iterative
+worklist** over and/or frames — no recursion, so types as deep as the
+fused encoder can build decide without touching the recursion limit, and
+union goals short-circuit exactly like the seed's ``all()``/``any()``.
+
+``_sub`` is kept verbatim from the seed as the *unmemoized reference*;
+``tests/test_subtype_oracle.py`` pins the memoized engine against it on
+generated type pairs.
+
 ``matches(value, t)`` is the *semantics* of the algebra: does a concrete
 JSON value inhabit ``t``?  It is the ground truth that inference soundness
 and subtyping soundness are tested against.
@@ -15,9 +28,10 @@ and subtyping soundness are tested against.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Optional
 
 from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+from repro.types.intern import InternTable, global_table
 from repro.types.simplify import simplify
 from repro.types.terms import (
     AnyType,
@@ -29,10 +43,161 @@ from repro.types.terms import (
     UnionType,
 )
 
+# Frame modes: a conjunction of subgoals vs. a disjunction.
+_ALL = 0
+_ANY = 1
 
-def is_subtype(left: Type, right: Type) -> bool:
-    """Decide ``left <: right`` on simplified forms."""
-    return _sub(simplify(left), simplify(right))
+# Verdict memo for the global table, invalidated when the table starts a
+# new epoch (ids of cleared nodes may be recycled).  Private tables get a
+# fresh per-call memo instead — correctness never depends on the cache.
+_MEMO: dict = {}
+_MEMO_EPOCH: Optional[object] = None
+
+
+def _memo_for(table: InternTable) -> dict:
+    global _MEMO_EPOCH
+    if table is not global_table():
+        return {}
+    token = table.epoch()
+    if token is not _MEMO_EPOCH:
+        _MEMO.clear()
+        _MEMO_EPOCH = token
+    return _MEMO
+
+
+def is_subtype(left: Type, right: Type, *, table: Optional[InternTable] = None) -> bool:
+    """Decide ``left <: right`` on canonical forms (memoized, iterative)."""
+    if table is None:
+        table = global_table()
+    memo = _memo_for(table)
+    return _decide(table.canonical(left), table.canonical(right), memo)
+
+
+def is_equivalent(left: Type, right: Type, *, table: Optional[InternTable] = None) -> bool:
+    """Mutual subtyping (one canonicalization, shared memo)."""
+    if table is None:
+        table = global_table()
+    memo = _memo_for(table)
+    s = table.canonical(left)
+    t = table.canonical(right)
+    return _decide(s, t, memo) and _decide(t, s, memo)
+
+
+def _expand(s: Type, t: Type):
+    """Expand one canonical pair (``s is not t``) into a verdict or subgoals.
+
+    Returns ``(verdict, None, None)`` when the pair is decidable without
+    recursion, else ``(None, mode, pairs)`` where ``mode`` is ``_ALL`` or
+    ``_ANY`` over the child ``pairs``.  Case order mirrors the seed
+    ``_sub`` so the boolean result is identical by construction.
+    """
+    cs = s.__class__
+    ct = t.__class__
+    if cs is BotType:
+        return True, None, None
+    if ct is AnyType:
+        return True, None, None
+    if cs is AnyType:
+        return False, None, None
+    if cs is UnionType:
+        return None, _ALL, [(m, t) for m in s.members]
+    if ct is UnionType:
+        if cs is AtomType and s.tag == "num":
+            # Num <: Int + Flt: numbers split exactly into ints and floats.
+            tags = {m.tag for m in t.members if m.__class__ is AtomType}
+            if "int" in tags and "flt" in tags:
+                return True, None, None
+        return None, _ANY, [(s, m) for m in t.members]
+    if cs is AtomType:
+        if ct is not AtomType:
+            return False, None, None
+        if s.tag == t.tag:
+            return True, None, None
+        return (t.tag == "num" and s.kind == "number"), None, None
+    if cs is ArrType and ct is ArrType:
+        return None, _ALL, [(s.item, t.item)]
+    if cs is RecType and ct is RecType:
+        # Closed-record subtyping with optional fields: (1) every field s
+        # may exhibit is allowed by t, (2) every field t requires is
+        # required by s, (3) common field types are subgoals.
+        t_fields = t.field_map()
+        pairs = []
+        for f in s.fields:
+            tf = t_fields.get(f.name)
+            if tf is None:
+                return False, None, None
+            pairs.append((f.type, tf.type))
+        s_fields = s.field_map()
+        for tf in t.fields:
+            if tf.required:
+                sf = s_fields.get(tf.name)
+                if sf is None or not sf.required:
+                    return False, None, None
+        return None, _ALL, pairs
+    return False, None, None
+
+
+def _decide(s: Type, t: Type, memo: dict) -> bool:
+    """Iterative worklist evaluation of ``s <: t`` over canonical terms."""
+    if s is t:
+        return True
+    key = (id(s), id(t))
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    verdict, mode, pairs = _expand(s, t)
+    if verdict is not None:
+        memo[key] = verdict
+        return verdict
+    # Frames are [key, mode, pairs, resume-index]; a frame completes when
+    # its combinator short-circuits or its subgoals are exhausted, and
+    # the parent re-reads the child's verdict through the memo.
+    stack = [[key, mode, pairs, 0]]
+    while stack:
+        frame = stack[-1]
+        fmode = frame[1]
+        fpairs = frame[2]
+        i = frame[3]
+        n = len(fpairs)
+        verdict = None
+        pushed = False
+        while i < n:
+            cs, ct = fpairs[i]
+            if cs is ct:
+                r = True
+            else:
+                ckey = (id(cs), id(ct))
+                r = memo.get(ckey)
+                if r is None:
+                    r, cmode, cpairs = _expand(cs, ct)
+                    if r is None:
+                        frame[3] = i
+                        stack.append([ckey, cmode, cpairs, 0])
+                        pushed = True
+                        break
+                    memo[ckey] = r
+            i += 1
+            if fmode is _ANY:
+                if r:
+                    verdict = True
+                    break
+            elif not r:
+                verdict = False
+                break
+        if pushed:
+            continue
+        if verdict is None:
+            # Exhausted: a conjunction with no failures holds, a
+            # disjunction with no successes fails.
+            verdict = fmode is _ALL
+        memo[frame[0]] = verdict
+        stack.pop()
+    return memo[key]
+
+
+# ---------------------------------------------------------------------------
+# unmemoized reference (the seed semantics, kept as the testing oracle)
+# ---------------------------------------------------------------------------
 
 
 def _sub(s: Type, t: Type) -> bool:
@@ -88,9 +253,9 @@ def _sub_record(s: RecType, t: RecType) -> bool:
     return True
 
 
-def is_equivalent(left: Type, right: Type) -> bool:
-    """Mutual subtyping."""
-    return is_subtype(left, right) and is_subtype(right, left)
+def is_subtype_reference(left: Type, right: Type) -> bool:
+    """The seed's unmemoized recursive check (testing oracle)."""
+    return _sub(simplify(left), simplify(right))
 
 
 def matches(value: Any, t: Type) -> bool:

@@ -43,10 +43,15 @@ class Type:
     # Instance attributes shadow these class-level defaults lazily:
     # ``_interned`` is set (to the owning intern table's *epoch token*)
     # by :class:`repro.types.intern.InternTable`; ``_hash`` and
-    # ``_size`` cache the first computation.
+    # ``_size`` cache the first computation.  ``_normal`` marks terms
+    # known to be in simplify-normal form — a *structural* property, so
+    # unlike the intern mark it stays valid across table epochs and
+    # pickling; :func:`repro.types.simplify.simplify` returns marked
+    # terms unchanged in O(1).
     _interned: Optional[object] = None
     _hash: Optional[int] = None
     _size: Optional[int] = None
+    _normal: bool = False
 
     def size(self) -> int:
         """Number of AST nodes — the *succinctness* measure of EDBT '17."""
@@ -148,6 +153,13 @@ class AtomType(Type):
 
     def __repr__(self) -> str:
         return self.tag.capitalize()
+
+
+# Leaves have no substructure to canonicalize: every instance is already
+# in simplify-normal form.
+BotType._normal = True
+AnyType._normal = True
+AtomType._normal = True
 
 
 # Shared singleton-ish instances (dataclass equality makes these optional,

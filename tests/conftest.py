@@ -1,0 +1,24 @@
+"""Test-suite configuration: deterministic hypothesis profiles.
+
+CI runs the tier-1 suite with ``HYPOTHESIS_PROFILE=ci`` (see
+``.github/workflows/ci.yml``): ``derandomize=True`` fixes the generation
+seed so failures reproduce across runs, and the explicit deadline keeps a
+pathological shrink from hanging the workflow instead of failing loudly.
+Local runs keep hypothesis's default randomized exploration.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=1000,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
