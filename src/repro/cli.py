@@ -31,19 +31,43 @@ def _read_documents(path: str) -> list[Any]:
         return list(parse_lines(handle))
 
 
+def _read_lines(path: str) -> list[str]:
+    from repro.datasets.ndjson import read_ndjson_lines
+
+    return read_ndjson_lines(path)
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
-    from repro.inference import InferenceReport, infer, infer_distributed_parallel
+    from repro.inference import (
+        InferenceReport,
+        infer_distributed_text,
+        infer_report_streaming,
+    )
     from repro.jsonvalue.serializer import PRETTY, dumps
     from repro.pl import swift_declaration_for, typescript_declaration_for
     from repro.types import Equivalence, type_to_string
 
-    docs = _read_documents(args.data)
+    # Both routes below run the fused text→type pipeline on raw lines:
+    # no document DOM is built for the type/jsonschema outputs.  The
+    # corpus is materialised as a line list only when something needs
+    # it whole (partition slicing for --jobs, documents for codegen);
+    # the plain serial route streams the file in O(nesting) memory.
+    from repro.datasets.ndjson import iter_ndjson_lines
+
     equivalence = Equivalence(args.equivalence)
+    needs_documents = args.format in ("typescript", "swift")
+    lines = _read_lines(args.data) if args.jobs > 1 or needs_documents else None
     if args.jobs > 1:
-        # Real multi-process merge: one accumulator per partition, the
-        # parent combines the partials (bit-identical to the serial path).
-        run = infer_distributed_parallel(
-            docs, partitions=args.jobs, equivalence=equivalence, processes=args.jobs
+        # Real multi-process merge over the batched text feed: workers
+        # receive contiguous line slices (one pickle per batch, or a
+        # shared-memory byte range) and ship back only interned partition
+        # types (bit-identical to the serial path).
+        run = infer_distributed_text(
+            lines,
+            partitions=args.jobs,
+            equivalence=equivalence,
+            processes=args.jobs,
+            shared_memory=args.shared_memory,
         )
         report = InferenceReport(
             inferred=run.result,
@@ -51,16 +75,24 @@ def _cmd_infer(args: argparse.Namespace) -> int:
             document_count=run.document_count,
         )
     else:
-        report = infer(docs, equivalence)
+        report = infer_report_streaming(
+            lines if lines is not None else iter_ndjson_lines(args.data),
+            equivalence,
+        )
     print(f"# {report.document_count} documents, schema size {report.schema_size}")
     if args.format == "type":
         print(type_to_string(report.inferred))
     elif args.format == "jsonschema":
         print(dumps(report.to_jsonschema(), PRETTY))
-    elif args.format == "typescript":
-        print(typescript_declaration_for(docs, args.name), end="")
-    else:  # swift
-        print(swift_declaration_for(docs, args.name), end="")
+    else:
+        # Codegen renders from the documents; parse them only here.
+        from repro.jsonvalue.parser import parse_lines
+
+        docs = list(parse_lines(lines))
+        if args.format == "typescript":
+            print(typescript_declaration_for(docs, args.name), end="")
+        else:  # swift
+            print(swift_declaration_for(docs, args.name), end="")
     return 0
 
 
@@ -149,6 +181,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes for the parallel merge (default: 1, serial)",
+    )
+    p_infer.add_argument(
+        "--shared-memory", action="store_true",
+        help="with --jobs: ship the corpus to workers through one "
+        "shared-memory buffer instead of per-batch pickles",
     )
     p_infer.set_defaults(func=_cmd_infer)
 

@@ -12,6 +12,13 @@ from repro.datasets.generator import (
     heterogeneous_collection,
     ndjson_lines,
 )
+from repro.datasets.ndjson import (
+    iter_ndjson_lines,
+    read_ndjson_lines,
+    stream_documents,
+    stream_types,
+    write_ndjson,
+)
 from repro.datasets.twitter import tweets
 from repro.datasets.github import events as github_events
 from repro.datasets.nyt import articles as nyt_articles
@@ -23,6 +30,11 @@ __all__ = [
     "generate_collection",
     "heterogeneous_collection",
     "ndjson_lines",
+    "iter_ndjson_lines",
+    "read_ndjson_lines",
+    "stream_documents",
+    "stream_types",
+    "write_ndjson",
     "tweets",
     "github_events",
     "nyt_articles",

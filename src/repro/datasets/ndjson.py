@@ -1,0 +1,86 @@
+"""Line-oriented NDJSON loaders: raw lines in, documents or types out.
+
+The inference stack's fastest paths consume *raw lines*, not parsed
+documents — the fused text→type pipeline
+(:class:`repro.types.build.EventTypeEncoder`) goes straight from a line
+to a canonical interned type, and the batched parallel feed
+(:func:`repro.inference.distributed.infer_distributed_text`) ships line
+slices to workers.  These helpers normalise the usual sources (paths,
+``-`` for stdin, open handles, in-memory iterables) into that shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Optional, Union
+
+from repro.types import Type
+from repro.types.build import EventTypeEncoder
+from repro.types.intern import InternTable
+
+LineSource = Union[str, Path, Iterable[str]]
+
+
+def iter_ndjson_lines(source: LineSource) -> Iterator[str]:
+    """Yield the raw lines of an NDJSON source, newline-stripped.
+
+    ``source`` may be a file path, ``"-"`` for stdin, an open handle, or
+    any iterable of strings.  Blank lines are preserved (the consumers
+    skip them), so line numbers stay meaningful for error reporting.
+    """
+    if isinstance(source, Path):
+        source = str(source)
+    if isinstance(source, str):
+        if source == "-":
+            for line in sys.stdin:
+                yield line.rstrip("\r\n")
+            return
+        with open(source, "r", encoding="utf-8") as handle:
+            for line in handle:
+                yield line.rstrip("\r\n")
+        return
+    for line in source:
+        yield line.rstrip("\r\n")
+
+
+def read_ndjson_lines(source: LineSource) -> list[str]:
+    """The raw lines of an NDJSON source as a list (the parallel feed's
+    input shape — slices of it are shipped to workers)."""
+    return list(iter_ndjson_lines(source))
+
+
+def stream_documents(source: LineSource) -> Iterator[Any]:
+    """Parse an NDJSON source one document at a time (DOM path)."""
+    from repro.jsonvalue.parser import parse_lines
+
+    return parse_lines(iter_ndjson_lines(source))
+
+
+def stream_types(
+    source: LineSource, *, table: Optional[InternTable] = None
+) -> Iterator[Type]:
+    """The canonical interned type of each document in an NDJSON source.
+
+    Zero-materialization: every line runs the fused lexer→type pipeline;
+    no document DOM is ever built.  Blank lines are skipped.
+    """
+    encoder = EventTypeEncoder(table)
+    encode_text = encoder.encode_text
+    for line in iter_ndjson_lines(source):
+        if not line or line.isspace():
+            continue
+        yield encode_text(line)
+
+
+def write_ndjson(path: Union[str, Path], documents: Iterable[Any]) -> int:
+    """Serialize documents to an NDJSON file; returns the line count."""
+    from repro.jsonvalue.serializer import dumps
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for document in documents:
+            handle.write(dumps(document))
+            handle.write("\n")
+            count += 1
+    return count

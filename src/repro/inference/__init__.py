@@ -33,8 +33,10 @@ from repro.inference.counting import (
     CRec,
     CUnion,
     counted_type_of,
+    counted_type_of_text,
     field_presence_ratios,
     infer_counted,
+    infer_counted_streaming,
     merge_counted,
 )
 from repro.inference.spark import (
@@ -72,13 +74,19 @@ from repro.inference.relational import (
 )
 from repro.inference.profiling import SchemaProfile, candidate_features, train_profile
 from repro.inference.distributed import (
+    CountedParallelRun,
     DistributedRun,
     ParallelRun,
+    infer_counted_parallel,
     infer_distributed,
     infer_distributed_parallel,
+    infer_distributed_text,
     partition,
+    partition_contiguous,
+    partition_lines,
 )
 from repro.inference.streaming import (
+    infer_report_streaming,
     infer_type_streaming,
     type_from_events,
     type_of_text,
@@ -87,6 +95,7 @@ from repro.inference.engine import (
     CountingAccumulator,
     TypeAccumulator,
     accumulate,
+    accumulate_lines,
     accumulate_types,
 )
 
@@ -101,8 +110,10 @@ __all__ = [
     "CRec",
     "CUnion",
     "counted_type_of",
+    "counted_type_of_text",
     "field_presence_ratios",
     "infer_counted",
+    "infer_counted_streaming",
     "merge_counted",
     "infer_spark_schema",
     "render_spark_schema",
@@ -136,16 +147,23 @@ __all__ = [
     "SchemaProfile",
     "candidate_features",
     "train_profile",
+    "CountedParallelRun",
     "DistributedRun",
     "ParallelRun",
+    "infer_counted_parallel",
     "infer_distributed",
     "infer_distributed_parallel",
+    "infer_distributed_text",
     "partition",
+    "partition_contiguous",
+    "partition_lines",
+    "infer_report_streaming",
     "infer_type_streaming",
     "type_from_events",
     "type_of_text",
     "CountingAccumulator",
     "TypeAccumulator",
     "accumulate",
+    "accumulate_lines",
     "accumulate_types",
 ]

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from repro.errors import InferenceError
-from repro.inference.engine import TypeAccumulator, accumulate
+from repro.inference.engine import CountingAccumulator, TypeAccumulator, accumulate
 from repro.types import Equivalence, Type, merge_interned, type_to_string
 from repro.types.build import TypeEncoder
 
@@ -250,4 +250,243 @@ def infer_distributed_parallel(
         processes=processes,
         equivalence=equivalence,
         partition_documents=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# batched text feed: raw NDJSON lines to the workers, types back
+# ---------------------------------------------------------------------------
+
+
+def partition_contiguous(items: Sequence[Any], partitions: int) -> list[list[Any]]:
+    """Contiguous, balanced slices (deterministic).
+
+    The text feed ships each worker one pickle containing its whole
+    slice (or a byte range into a shared-memory buffer), so slices are
+    contiguous rather than round-robin.  For the plain type monoid any
+    partitioning yields the identical result; the *counting* algebra is
+    commutative only up to union member order (members keep
+    first-appearance order), and contiguous slices reproduce the serial
+    fold's appearance order exactly — so the parallel counting reduce is
+    equal member-for-member, not merely up to permutation.
+    """
+    if partitions < 1:
+        raise InferenceError("need at least one partition")
+    total = len(items)
+    buckets: list[list[Any]] = []
+    base, extra = divmod(total, partitions)
+    start = 0
+    for i in range(partitions):
+        size = base + (1 if i < extra else 0)
+        if size:
+            buckets.append(list(items[start : start + size]))
+            start += size
+    return buckets
+
+
+def partition_lines(lines: Sequence[str], partitions: int) -> list[list[str]]:
+    """Contiguous slices of a line corpus (the text feed's batch shape)."""
+    return partition_contiguous(lines, partitions)
+
+
+def _infer_lines_partition(payload: tuple[list[str], str]) -> tuple[Type, int]:
+    """Worker: run the fused text→type pipeline over one batch of lines.
+
+    Documents are never materialised — each line goes straight from the
+    lexer into the worker's accumulator; only the interned partition
+    type (and its document count) crosses back over the pipe.
+    """
+    from repro.inference.engine import accumulate_lines
+
+    lines, equivalence_value = payload
+    accumulator = accumulate_lines(lines, Equivalence(equivalence_value))
+    return accumulator.result(), accumulator.document_count
+
+
+def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]:
+    """Worker: decode one byte range of the shared corpus buffer and feed it.
+
+    The parent pickles only ``(segment name, start, end, equivalence)``
+    per partition — the corpus itself crosses the process boundary once,
+    through :mod:`multiprocessing.shared_memory`.
+    """
+    from multiprocessing import shared_memory
+
+    name, start, end, equivalence_value = payload
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        if multiprocessing.get_start_method(allow_none=True) == "spawn":
+            # Under spawn each worker runs its own resource tracker,
+            # which would "clean up" (unlink) the parent's segment when
+            # the worker exits; tell it this attach is not ours to free.
+            # Under fork the tracker is shared with the parent, whose
+            # own registration must stay — attaching registrations
+            # collapse into it (the tracker cache is a set).
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(segment._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        text = bytes(segment.buf[start:end]).decode("utf-8")
+    finally:
+        segment.close()
+    return _infer_lines_partition((text.split("\n"), equivalence_value))
+
+
+def infer_distributed_text(
+    lines: Sequence[str],
+    partitions: int,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    processes: Optional[int] = None,
+    shared_memory: bool = False,
+) -> ParallelRun:
+    """Run the partitioned inference on raw NDJSON lines.
+
+    The batched text feed closes the last materialization gap of the
+    multi-process mode: instead of parsing every document in the parent
+    and re-pickling the DOMs to the workers, each worker receives a
+    contiguous slice of raw lines (one pickle per batch, or — with
+    ``shared_memory=True`` — a byte range into one
+    :class:`multiprocessing.shared_memory.SharedMemory` buffer holding
+    the whole corpus) and runs the fused text→type pipeline locally,
+    folding through its own :class:`~repro.inference.engine.TypeAccumulator`.
+    Only the interned partition types come back; the parent combines
+    them, bit-identical to every serial path.  Blank lines are skipped.
+
+    ``shared_memory`` is a transport hint: workers recover line
+    boundaries from the newline-joined buffer, so when any "line"
+    itself contains a newline (legal JSON, not legal NDJSON) the feed
+    silently falls back to per-batch pickles — the result is identical
+    either way.
+    """
+    lines = list(lines)
+    if not any(line and not line.isspace() for line in lines):
+        raise InferenceError("cannot infer a schema from an empty collection")
+    buckets = partition_lines(lines, partitions)
+
+    if processes is None:
+        processes = min(len(buckets), multiprocessing.cpu_count())
+    processes = max(1, processes)
+
+    if shared_memory and any("\n" in line for line in lines):
+        shared_memory = False
+
+    if processes == 1 or len(buckets) == 1:
+        partials = [
+            _infer_lines_partition((bucket, equivalence.value)) for bucket in buckets
+        ]
+        processes = 1
+    elif shared_memory:
+        from multiprocessing import shared_memory as shm
+
+        encoded = [line.encode("utf-8") for line in lines]
+        data = b"\n".join(encoded)
+        spans: list[tuple[int, int]] = []
+        cursor = 0
+        index = 0
+        for bucket in buckets:
+            size = sum(len(encoded[index + j]) for j in range(len(bucket)))
+            size += len(bucket) - 1  # newlines joining the bucket's lines
+            spans.append((cursor, cursor + size))
+            cursor += size + 1  # the newline separating adjacent buckets
+            index += len(bucket)
+        segment = shm.SharedMemory(create=True, size=max(1, len(data)))
+        try:
+            segment.buf[: len(data)] = data
+            payloads = [
+                (segment.name, start, end, equivalence.value) for start, end in spans
+            ]
+            with multiprocessing.Pool(processes=processes) as pool:
+                partials = pool.map(_infer_shm_partition, payloads)
+        finally:
+            segment.close()
+            segment.unlink()
+    else:
+        batch_payloads = [(bucket, equivalence.value) for bucket in buckets]
+        with multiprocessing.Pool(processes=processes) as pool:
+            partials = pool.map(_infer_lines_partition, batch_payloads)
+
+    combined = TypeAccumulator(equivalence)
+    counts: list[int] = []
+    for partial_type, count in partials:
+        combined.add_type(partial_type)
+        counts.append(count)
+    return ParallelRun(
+        result=combined.result(),
+        partitions=len(buckets),
+        processes=processes,
+        equivalence=equivalence,
+        partition_documents=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# parallel counting-types reduce
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CountedParallelRun:
+    """Outcome of a multi-process counting-types inference."""
+
+    result: Any  # CUnion — typed loosely to keep the counting import lazy
+    partitions: int
+    processes: int
+    equivalence: Equivalence
+    document_count: int
+
+
+def _infer_counted_partition(payload: tuple[list[Any], str]) -> tuple[Any, int]:
+    """Worker: fold one partition through a counting accumulator."""
+    documents, equivalence_value = payload
+    accumulator = CountingAccumulator(Equivalence(equivalence_value))
+    for document in documents:
+        accumulator.add(document)
+    return accumulator.result(), accumulator.document_count
+
+
+def infer_counted_parallel(
+    documents: Sequence[Any],
+    partitions: int,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    processes: Optional[int] = None,
+) -> CountedParallelRun:
+    """Counting-types inference over real worker processes.
+
+    The counted algebra is a monoid too: per-partition counted unions
+    merge by adding counts, so the parallel reduce preserves every
+    cardinality exactly (pinned by the process-boundary regression
+    tests).
+    """
+    docs = list(documents)
+    if not docs:
+        raise InferenceError("cannot infer a counted schema from an empty collection")
+    # Contiguous (not round-robin) so union member order — which follows
+    # first appearance — matches the serial fold exactly.
+    buckets = partition_contiguous(docs, partitions)
+    payloads = [(bucket, equivalence.value) for bucket in buckets]
+
+    if processes is None:
+        processes = min(len(buckets), multiprocessing.cpu_count())
+    processes = max(1, processes)
+
+    if processes == 1 or len(buckets) == 1:
+        partials = [_infer_counted_partition(p) for p in payloads]
+        processes = 1
+    else:
+        with multiprocessing.Pool(processes=processes) as pool:
+            partials = pool.map(_infer_counted_partition, payloads)
+
+    combined = CountingAccumulator(equivalence)
+    for counted, count in partials:
+        combined.add_counted(counted, documents=count)
+    return CountedParallelRun(
+        result=combined.result(),
+        partitions=len(buckets),
+        processes=processes,
+        equivalence=equivalence,
+        document_count=combined.document_count,
     )

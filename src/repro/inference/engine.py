@@ -31,7 +31,7 @@ from typing import Any, Hashable, Iterable, Optional
 
 from repro.errors import InferenceError
 from repro.types import Equivalence, Type, class_key, union
-from repro.types.build import TypeEncoder
+from repro.types.build import EventTypeEncoder, TypeEncoder
 from repro.types.intern import InternTable, global_table
 from repro.types.terms import UnionType
 
@@ -51,6 +51,7 @@ class TypeAccumulator:
         "equivalence",
         "_table",
         "_encoder",
+        "_event_encoder",
         "_classes",
         "_order",
         "_memo",
@@ -67,8 +68,11 @@ class TypeAccumulator:
         self._table = table if table is not None else global_table()
         # Fused map phase: documents are encoded straight into canonical
         # interned terms (no raw type_of tree), lazily so type-only
-        # accumulators never pay for the encoder's leaf setup.
+        # accumulators never pay for the encoder's leaf setup.  The
+        # event encoder is the text-feed analogue (raw NDJSON lines in,
+        # canonical types out, no DOM in between).
         self._encoder: Optional[TypeEncoder] = None
+        self._event_encoder: Optional[EventTypeEncoder] = None
         # class key -> fused, reduced, interned representative
         self._classes: dict[Hashable, Type] = {}
         # first-appearance order of keys (merge_all parity; union() sorts
@@ -101,6 +105,18 @@ class TypeAccumulator:
         if encoder is None:
             encoder = self._encoder = TypeEncoder(self._table)
         self.add_type(encoder.encode(document))
+
+    def add_text(self, text: str) -> None:
+        """Type one raw JSON text (fused lexer→type pipeline) and absorb it.
+
+        The document is never materialised: the lexer's tokens build the
+        canonical interned type directly through the encoder's shape
+        caches, then merge in one ``add_type`` step.
+        """
+        encoder = self._event_encoder
+        if encoder is None:
+            encoder = self._event_encoder = EventTypeEncoder(self._table)
+        self.add_type(encoder.encode_text(text))
 
     def add_type(self, t: Type) -> None:
         """Absorb one already-typed document (or any type term)."""
@@ -203,13 +219,19 @@ class CountingAccumulator:
 
         self.add_counted(counted_type_of(document, self.equivalence))
 
-    def add_counted(self, counted: Any) -> None:
+    def add_counted(self, counted: Any, *, documents: int = 1) -> None:
+        """Absorb one counted union.
+
+        ``documents`` is how many source documents it represents: 1 for
+        a per-document type, the partition's document count when folding
+        a pre-merged partial (as the parallel reduce does).
+        """
         from repro.inference.counting import merge_counted
 
         self._acc = merge_counted(
             (self._acc, counted), self.equivalence, _empty_ok=True
         )
-        self._count += 1
+        self._count += documents
 
     def combine(self, other: "CountingAccumulator") -> None:
         if other.equivalence is not self.equivalence:
@@ -263,4 +285,21 @@ def accumulate_types(
     acc = TypeAccumulator(equivalence, table=table)
     for t in types:
         acc.add_type(t)
+    return acc
+
+
+def accumulate_lines(
+    lines: Iterable[str],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    table: Optional[InternTable] = None,
+) -> TypeAccumulator:
+    """Fold raw NDJSON lines into a fresh accumulator (blank lines are
+    skipped) — the zero-materialization text feed."""
+    acc = TypeAccumulator(equivalence, table=table)
+    add_text = acc.add_text
+    for line in lines:
+        if not line or line.isspace():
+            continue
+        add_text(line)
     return acc

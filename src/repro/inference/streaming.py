@@ -1,203 +1,124 @@
-"""Streaming schema inference: types straight from the event stream.
+"""Streaming schema inference: types straight from text, zero DOM.
 
 The tutorial emphasises streaming operation twice — mongodb-schema
 "processes them in a streaming fashion", and the parametric inference is
 built for "massive JSON datasets" where materialising documents is the
-wrong plan.  This module computes :func:`repro.types.build.type_of`
-*directly from the SAX-style event stream* of
-:mod:`repro.jsonvalue.events`, so the map phase of inference runs in
-memory proportional to nesting depth, not document size:
+wrong plan.  This module runs the *fully fused* text→type pipeline of
+:class:`repro.types.build.EventTypeEncoder`: the lexer's tokens (or a
+SAX-style event stream) drive the intern table's shape caches directly,
+so the map phase of inference goes from bytes to a canonical interned
+type with no ``JSONValue`` DOM, no per-document frame objects, and
+memory proportional to nesting depth:
 
-- :func:`type_from_events` — one type per top-level document in a stream;
-- :func:`infer_type_streaming` — full parametric inference over NDJSON
-  lines without ever building a DOM.
+- :func:`type_from_events` — one type per top-level document in an
+  event stream;
+- :func:`type_of_text` — the canonical type of one JSON text in a
+  single lexer pass (identical by object identity to
+  ``intern(type_of(parse(text)))``, with the parser's exact error
+  behaviour on malformed input);
+- :func:`infer_type_streaming` / :func:`infer_report_streaming` — full
+  parametric inference over NDJSON lines.
 
-Equivalence with the DOM path (``type_of(parse(text))``) is
-property-tested.
+Equivalence with the DOM path is pinned by the cross-path conformance
+matrix (``tests/test_conformance_matrix.py``) and the fuzz differential
+(``tests/test_streaming_fuzz.py``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import InferenceError
-from repro.inference.engine import TypeAccumulator
-from repro.jsonvalue.events import JsonEvent, JsonEventType, iter_events
-from repro.types import Equivalence, Type, union
-from repro.types.intern import InternTable
-from repro.types.terms import (
-    ArrType,
-    BOOL,
-    BOT,
-    FLT,
-    FieldType,
-    INT,
-    NULL,
-    RecType,
-    STR,
-)
+from repro.inference.engine import accumulate_lines
+from repro.inference.parametric import InferenceReport
+from repro.jsonvalue.events import JsonEvent
+from repro.types import Equivalence, Type
+from repro.types.build import EventTypeEncoder
+from repro.types.intern import InternTable, global_table
+
+_DEFAULT_ENCODER: Optional[EventTypeEncoder] = None
 
 
-class _Builder:
-    """Raw-term construction (the seed behavior, no intern table)."""
+def _shared_encoder(
+    table: Optional[InternTable], encoder: Optional[EventTypeEncoder]
+) -> EventTypeEncoder:
+    """Resolve the encoder to use: explicit > per-table > shared global.
 
-    __slots__ = ()
+    The process-wide default encoder is bound to the global intern table
+    (mirroring :func:`repro.types.build.type_of_interned`); pass a
+    ``table`` to keep workloads isolated, or hold an
+    :class:`~repro.types.build.EventTypeEncoder` yourself for batch work
+    so its shape caches persist across calls.
 
-    def scalar(self, value: Any) -> Type:
-        if value is None:
-            return NULL
-        if isinstance(value, bool):
-            return BOOL
-        if isinstance(value, int):
-            return INT
-        if isinstance(value, float):
-            return FLT
-        return STR
-
-    def record(self, fields: dict[str, Type]) -> Type:
-        return RecType(
-            tuple(FieldType(name, t, required=True) for name, t in fields.items())
-        )
-
-    def array(self, items: list[Type]) -> Type:
-        if not items:
-            return ArrType(BOT)
-        return ArrType(union(items))
-
-
-class _InternedBuilder(_Builder):
-    """Fused construction: canonical interned terms, probe-first.
-
-    The streaming analogue of :class:`repro.types.build.TypeEncoder` —
-    every closed container goes straight to the table's probe-first
-    constructors, so repeated event shapes allocate nothing.
+    Only safe for :meth:`~repro.types.build.EventTypeEncoder.encode_text`
+    callers: that path keeps its parse state in locals, so concurrent or
+    interleaved texts cannot corrupt each other through the shared
+    instance.  The event feed keeps *cross-call* state (its frame
+    stack), so :func:`type_from_events` never shares implicitly.
     """
-
-    __slots__ = ("table", "_scalars", "_empty_arr")
-
-    def __init__(self, table: InternTable) -> None:
-        self.table = table
-        self._scalars = {
-            type(None): table.intern(NULL),
-            bool: table.intern(BOOL),
-            int: table.intern(INT),
-            float: table.intern(FLT),
-            str: table.intern(STR),
-        }
-        self._empty_arr = table.arr_of(table.intern(BOT))
-
-    def scalar(self, value: Any) -> Type:
-        atom = self._scalars.get(type(value))
-        if atom is not None:
-            return atom
-        return self.table.intern(super().scalar(value))
-
-    def record(self, fields: dict[str, Type]) -> Type:
-        field_of = self.table.field_of
-        return self.table.rec_of([field_of(name, t) for name, t in fields.items()])
-
-    def array(self, items: list[Type]) -> Type:
-        if not items:
-            return self._empty_arr
-        return self.table.arr_of(self.table.union_of(items))
-
-
-_RAW_BUILDER = _Builder()
-
-
-class _Frame:
-    """One open container while typing the stream."""
-
-    __slots__ = ("is_object", "fields", "items", "pending_key")
-
-    def __init__(self, is_object: bool) -> None:
-        self.is_object = is_object
-        self.fields: dict[str, Type] = {}  # duplicate keys: last wins
-        self.items: list[Type] = []
-        self.pending_key: Optional[str] = None
-
-    def close(self, builder: _Builder) -> Type:
-        if self.is_object:
-            return builder.record(self.fields)
-        return builder.array(self.items)
-
-    def attach(self, t: Type) -> None:
-        if self.is_object:
-            assert self.pending_key is not None
-            self.fields[self.pending_key] = t
-            self.pending_key = None
-        else:
-            self.items.append(t)
+    global _DEFAULT_ENCODER
+    if encoder is not None:
+        return encoder
+    if table is None or table is global_table():
+        enc = _DEFAULT_ENCODER
+        if enc is None:
+            enc = _DEFAULT_ENCODER = EventTypeEncoder(global_table())
+        return enc
+    return EventTypeEncoder(table)
 
 
 def type_from_events(
     events: Iterable[JsonEvent],
     *,
     table: Optional[InternTable] = None,
-    builder: Optional[_Builder] = None,
+    encoder: Optional[EventTypeEncoder] = None,
 ) -> Iterator[Type]:
-    """Yield the exact type of each top-level document in an event stream.
+    """Yield the canonical type of each top-level document in an event
+    stream.
 
-    Equivalent to ``type_of(value)`` for the value the events describe,
-    but without materialising the value.  With ``table`` the types are
-    built canonically against it — identical (by interned identity) to
-    ``table.intern(type_of(value))`` — so the map phase of streaming
-    inference is fused just like the DOM path's
-    :class:`~repro.types.build.TypeEncoder`.  Per-stream callers can
-    construct one :class:`_InternedBuilder` and pass it as ``builder``
-    to amortize its leaf setup across documents.
+    Equivalent to ``intern(type_of(value))`` for the values the events
+    describe, but without materialising them: events feed the fused
+    encoder's shape caches directly.  Raises
+    :class:`~repro.errors.InferenceError` on ill-formed or truncated
+    streams.
+
+    With no explicit ``encoder`` a fresh one is built per call, so
+    concurrent or interleaved streams can never share a frame stack.
+    Callers that pass their own encoder (to amortize its shape caches)
+    must not interleave two streams through it.
     """
-    if builder is None:
-        builder = _RAW_BUILDER if table is None else _InternedBuilder(table)
-    scalar = builder.scalar
-    stack: list[_Frame] = []
-
-    def emit_or_attach(t: Type) -> Optional[Type]:
-        if not stack:
-            return t
-        stack[-1].attach(t)
-        return None
-
-    for event in events:
-        etype = event.type
-        if etype is JsonEventType.KEY:
-            if not stack or not stack[-1].is_object:
-                raise InferenceError("key event outside an object")
-            if stack[-1].pending_key is not None:
-                raise InferenceError("two key events without a value")
-            stack[-1].pending_key = event.value
-        elif etype is JsonEventType.VALUE:
-            done = emit_or_attach(scalar(event.value))
+    enc = encoder if encoder is not None else EventTypeEncoder(table)
+    if enc.depth:
+        enc.reset()  # discard state a previously failed stream left behind
+    feed_event = enc.feed_event
+    try:
+        for event in events:
+            done = feed_event(event)
             if done is not None:
                 yield done
-        elif etype is JsonEventType.START_OBJECT:
-            stack.append(_Frame(is_object=True))
-        elif etype is JsonEventType.START_ARRAY:
-            stack.append(_Frame(is_object=False))
-        elif etype in (JsonEventType.END_OBJECT, JsonEventType.END_ARRAY):
-            if not stack:
-                raise InferenceError("container end without start")
-            frame = stack.pop()
-            done = emit_or_attach(frame.close(builder))
-            if done is not None:
-                yield done
-        else:  # pragma: no cover - exhaustive enum
-            raise InferenceError(f"unknown event {etype!r}")
-    if stack:
-        raise InferenceError("event stream ended inside an unclosed container")
+        if enc.depth:
+            raise InferenceError("event stream ended inside an unclosed container")
+    finally:
+        # A raising event source (or an abandoned generator) must not
+        # leak half-built frames into a caller-held encoder.
+        if enc.depth:
+            enc.reset()
 
 
 def type_of_text(
     text: str,
     *,
     table: Optional[InternTable] = None,
-    builder: Optional[_Builder] = None,
+    encoder: Optional[EventTypeEncoder] = None,
+    max_depth: int = 512,
 ) -> Type:
-    """The exact type of one JSON text, computed in streaming fashion."""
-    types = list(type_from_events(iter_events(text), table=table, builder=builder))
-    if len(types) != 1:
-        raise InferenceError(f"expected one document, found {len(types)}")
-    return types[0]
+    """The canonical interned type of one JSON text, in one lexer pass.
+
+    Identical (by object identity against the backing table) to
+    ``table.intern(type_of(parse(text)))``; malformed input raises the
+    same error class/message/offset as the DOM parser.
+    """
+    return _shared_encoder(table, encoder).encode_text(text, max_depth=max_depth)
 
 
 def infer_type_streaming(
@@ -205,22 +126,30 @@ def infer_type_streaming(
 ) -> Type:
     """Parametric inference over NDJSON lines without building DOMs.
 
-    Merges incrementally through the engine's
-    :class:`~repro.inference.engine.TypeAccumulator`: per-accumulator
-    state is O(equivalence classes) plus a bounded memo, and only one
-    document's type is in flight at a time.  (The backing intern table
-    additionally caches one canonical node per *distinct* structure seen
-    — see the memory-model note in :mod:`repro.types.intern`.)
+    Each line runs through the fused text→type pipeline
+    (:meth:`~repro.inference.engine.TypeAccumulator.add_text`) and merges
+    incrementally: per-accumulator state is O(equivalence classes) plus a
+    bounded memo, and only one document's type is in flight at a time.
+    (The backing intern table additionally caches one canonical node per
+    *distinct* structure seen — see the memory-model note in
+    :mod:`repro.types.intern`.)  Blank lines are skipped.
     """
-    accumulator = TypeAccumulator(equivalence)
-    # Build each document's type canonically against the accumulator's
-    # own table: add_type then recognizes it as a fixpoint in O(1).  One
-    # builder for the whole stream — its leaf setup is paid once.
-    builder = _InternedBuilder(accumulator.table)
-    for line in lines:
-        if not line.strip():
-            continue
-        accumulator.add_type(type_of_text(line, builder=builder))
+    accumulator = accumulate_lines(lines, equivalence)
     if accumulator.is_empty():
         raise InferenceError("cannot infer a schema from an empty stream")
     return accumulator.result()
+
+
+def infer_report_streaming(
+    lines: Iterable[str], equivalence: Equivalence = Equivalence.KIND
+) -> InferenceReport:
+    """Streaming inference plus the report the papers' tables need
+    (type, size, document count) — the CLI's zero-materialization path."""
+    accumulator = accumulate_lines(lines, equivalence)
+    if accumulator.is_empty():
+        raise InferenceError("cannot infer a schema from an empty stream")
+    return InferenceReport(
+        inferred=accumulator.result(),
+        equivalence=equivalence,
+        document_count=accumulator.document_count,
+    )

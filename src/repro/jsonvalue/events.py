@@ -141,6 +141,22 @@ def iter_events(text: str, *, max_depth: int = 512) -> Iterator[JsonEvent]:
                 raise JsonParseError("expected ',' or closing bracket", token)
 
 
+def iter_line_events(
+    lines: Iterable[str], *, max_depth: int = 512
+) -> Iterator[JsonEvent]:
+    """Yield the concatenated event streams of NDJSON lines.
+
+    One document per non-blank line (blank lines are skipped), so the
+    stream feeds the multi-document consumers —
+    :func:`values_from_events` and the streaming typer — without ever
+    holding more than one line of text.
+    """
+    for line in lines:
+        if not line or line.isspace():
+            continue
+        yield from iter_events(line, max_depth=max_depth)
+
+
 def values_from_events(events: Iterable[JsonEvent]) -> Iterator[Any]:
     """Rebuild JSON values from an event stream.
 

@@ -21,9 +21,16 @@ class JsonLexError(JsonError):
 
     def __init__(self, message: str, offset: int, line: int, column: int) -> None:
         super().__init__(f"{message} at line {line}, column {column} (offset {offset})")
+        self.raw_message = message
         self.offset = offset
         self.line = line
         self.column = column
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # one formatted string); rebuild from the real signature instead
+        # so lexer errors survive the worker→parent pipe intact.
+        return (type(self), (self.raw_message, self.offset, self.line, self.column))
 
 
 class TokenType(enum.Enum):

@@ -38,7 +38,16 @@ class JsonParseError(JsonError):
             f"{message} at line {token.line}, column {token.column} "
             f"(offset {token.offset})"
         )
+        self.raw_message = message
         self.token = token
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with ``args`` (the
+        # one formatted string), which does not match this signature —
+        # rebuild from (raw message, token) so parse errors raised in
+        # worker processes cross the pipe intact instead of killing the
+        # pool's result handler.
+        return (type(self), (self.raw_message, self.token))
 
 
 @dataclass(frozen=True)

@@ -28,7 +28,12 @@ from repro.types.terms import (
     walk,
 )
 from repro.types.simplify import simplify, union, union2
-from repro.types.build import TypeEncoder, type_of, type_of_interned
+from repro.types.build import (
+    EventTypeEncoder,
+    TypeEncoder,
+    type_of,
+    type_of_interned,
+)
 from repro.types.merge import Equivalence, class_key, merge, merge_all, reduce_type
 from repro.types.intern import (
     InternTable,
@@ -71,6 +76,7 @@ __all__ = [
     "union",
     "union2",
     "type_of",
+    "EventTypeEncoder",
     "TypeEncoder",
     "type_of_interned",
     "Equivalence",

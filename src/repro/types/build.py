@@ -14,13 +14,28 @@ has seen the shape of before allocates nothing and never builds the raw
 tree that ``intern(type_of(value))`` would throw away.  The composition
 law ``type_of_interned(v) is intern(type_of(v))`` is pinned by the
 differential property tests in ``tests/test_build_fused_differential.py``.
+
+:class:`EventTypeEncoder` extends the fused map phase to *text*: it
+consumes SAX-style parse events (:meth:`EventTypeEncoder.feed_event`) or
+raw lexer tokens (:meth:`EventTypeEncoder.encode_text`) and resolves
+every closing container through the same record/array shape caches —
+no ``JSONValue`` DOM, no per-document frame objects, just bytes to a
+canonical interned type.  ``encode_text`` raises exactly the errors the
+DOM parser raises (same class, message and offset), so the streaming and
+parsing paths fail identically.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Iterable, Iterator, Optional
 
+import re
+
+from repro.errors import InferenceError
+from repro.jsonvalue.events import JsonEvent, JsonEventType
+from repro.jsonvalue.lexer import Token, TokenType, _Scanner
 from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
+from repro.jsonvalue.parser import JsonParseError
 from repro.types.intern import InternTable, global_table
 from repro.types.simplify import union
 from repro.types.terms import (
@@ -258,6 +273,482 @@ class TypeEncoder:
                 result = done
         assert result is not None
         return result
+
+
+# Parser phases of the fused text machine (mirrors the DOM parser and
+# the event parser: about to read a value / an object key / the
+# punctuation following a completed value).  The OR_CLOSE variants are
+# the "just opened a container" states where the closing bracket is
+# still legal.
+_PHASE_VALUE = 0
+_PHASE_KEY = 1
+_PHASE_AFTER = 2
+_PHASE_KEY_OR_CLOSE = 3
+_PHASE_VALUE_OR_CLOSE = 4
+
+# A JSON string's body may not contain these unescaped: a backslash
+# starts an escape, anything below 0x20 is a control character.  One
+# C-speed regex probe decides whether a string needs the lexer's full
+# decode (escapes/errors) or nothing at all.
+_STRING_SPECIAL = re.compile("[\x00-\x1f\\\\]")
+
+_WS = " \t\n\r"
+_DIGITS = "0123456789"
+_NUMBER_START = "-0123456789"
+
+
+class EventTypeEncoder(TypeEncoder):
+    """Event- and token-driven fused map phase: text → canonical type.
+
+    Extends :class:`TypeEncoder` with two zero-materialization inputs:
+
+    - :meth:`feed_event` / :meth:`feed` consume the SAX-style events of
+      :func:`repro.jsonvalue.events.iter_events` (or any well-formed
+      event stream) and build canonical interned types *directly* — no
+      DOM value, no per-document frame objects, just list frames of
+      ``(shape-signature parts, child types)`` resolved through the
+      shared record/array shape caches;
+    - :meth:`encode_text` fuses one step further and drives the raw
+      lexer itself: one pass from JSON text to the canonical interned
+      type, with the exact error behaviour (class, message, offset) of
+      the DOM parser under its default options.
+
+    Both paths produce, by object identity, the same node that
+    ``table.intern(type_of(parse(text)))`` would — the conformance and
+    fuzz suites pin this.  Duplicate object keys follow the parser's
+    default last-wins policy.
+    """
+
+    __slots__ = ("_stack", "_empty_rec")
+
+    def _rebind(self) -> None:
+        super()._rebind()
+        table = self.table
+        self._empty_rec = table.rec_of([])
+        # Open containers of the event-feed path.  Frames are plain
+        # lists ``[is_object, keyparts, child types]``: keyparts is the
+        # container's shape signature (alternating field name/child id
+        # for records, child ids for arrays), exactly the shape-cache
+        # key format of TypeEncoder.encode.
+        self._stack: list[list] = []
+
+    # ------------------------------------------------------------------
+    # shared close steps (shape-cache resolution)
+    # ------------------------------------------------------------------
+
+    def _close_record(self, keyparts: list, ctypes: list) -> Type:
+        key = tuple(keyparts)
+        done = self._rec_cache.get(key)
+        if done is None:
+            table = self.table
+            field_of = table.field_of
+            fields: dict = {}
+            # Duplicate keys: last wins, matching the DOM parser's
+            # default duplicate_keys="last" (dict insertion order keeps
+            # the record's shape signature stable either way).
+            for name, t in zip(keyparts[0::2], ctypes):
+                fields[name] = t
+            done = table.rec_of([field_of(n, t) for n, t in fields.items()])
+            self._rec_cache[key] = done
+        return done
+
+    def _close_array(self, keyparts: list, ctypes: list) -> Type:
+        if not ctypes:
+            return self._empty_arr
+        key = tuple(keyparts)
+        done = self._arr_cache.get(key)
+        if done is None:
+            table = self.table
+            done = table.arr_of(table.union_of(ctypes))
+            self._arr_cache[key] = done
+        return done
+
+    # ------------------------------------------------------------------
+    # event-driven feed
+    # ------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Number of containers currently open in the event feed."""
+        return len(self._stack)
+
+    def reset(self) -> None:
+        """Discard any in-flight event-feed state (after a bad stream)."""
+        del self._stack[:]
+
+    def _attach(self, done: Type) -> Optional[Type]:
+        """Store a completed child; returns the type when it was a
+        whole top-level document."""
+        stack = self._stack
+        if not stack:
+            return done
+        frame = stack[-1]
+        keyparts = frame[1]
+        if frame[0] and len(keyparts) != 2 * len(frame[2]) + 1:
+            raise InferenceError("object value without a preceding key event")
+        keyparts.append(id(done))
+        frame[2].append(done)
+        return None
+
+    def feed_event(self, event: JsonEvent) -> Optional[Type]:
+        """Absorb one parse event; returns the canonical interned type
+        each time a top-level document completes, else ``None``.
+
+        Raises :class:`~repro.errors.InferenceError` on ill-formed event
+        streams (key outside an object, unmatched container end, ...);
+        streams produced by :func:`repro.jsonvalue.events.iter_events`
+        are well-formed by construction.
+        """
+        etype = event.type
+        stack = self._stack
+        if etype is JsonEventType.KEY:
+            if not stack or not stack[-1][0]:
+                raise InferenceError("key event outside an object")
+            frame = stack[-1]
+            keyparts = frame[1]
+            if len(keyparts) != 2 * len(frame[2]):
+                raise InferenceError("two key events without a value")
+            keyparts.append(event.value)
+            return None
+        if etype is JsonEventType.VALUE:
+            if not stack and self.table.epoch() is not self._epoch:
+                self._rebind()
+                stack = self._stack
+            value = event.value
+            atom = self._scalars.get(type(value))
+            if atom is None:
+                atom = self._scalar_slow(value)
+                if atom is None:
+                    raise InferenceError(
+                        f"VALUE event carrying a container {value!r}"
+                    )
+            return self._attach(atom)
+        if etype is JsonEventType.START_OBJECT or etype is JsonEventType.START_ARRAY:
+            if not stack and self.table.epoch() is not self._epoch:
+                self._rebind()
+                stack = self._stack
+            stack.append([etype is JsonEventType.START_OBJECT, [], []])
+            return None
+        if etype is JsonEventType.END_OBJECT or etype is JsonEventType.END_ARRAY:
+            if not stack:
+                raise InferenceError("container end without start")
+            frame = stack[-1]
+            if frame[0] is not (etype is JsonEventType.END_OBJECT):
+                raise InferenceError("mismatched container end event")
+            stack.pop()
+            if frame[0]:
+                keyparts = frame[1]
+                if len(keyparts) != 2 * len(frame[2]):
+                    raise InferenceError("key event without a following value")
+                done = self._close_record(keyparts, frame[2])
+            else:
+                done = self._close_array(frame[1], frame[2])
+            return self._attach(done)
+        raise InferenceError(f"unknown event {etype!r}")  # pragma: no cover
+
+    def feed(self, events: Iterable[JsonEvent]) -> Iterator[Type]:
+        """Yield the canonical type of each top-level document in
+        ``events`` (the generator analogue of :meth:`feed_event`)."""
+        feed_event = self.feed_event
+        for event in events:
+            done = feed_event(event)
+            if done is not None:
+                yield done
+
+    # ------------------------------------------------------------------
+    # fused lexer loop: one pass from text to canonical type
+    # ------------------------------------------------------------------
+
+    def _fail_at(self, text: str, pos: int, line: int, line_start: int, message: str):
+        """Raise the structural error the DOM parser would raise here.
+
+        The parser works token-at-a-time, so its structural errors carry
+        the *lexed* offending token — and when that token is itself
+        malformed, the lexical error wins.  Reproduce both by lexing the
+        offending position with the real scanner.
+        """
+        scanner = _Scanner(text)
+        scanner.pos = pos
+        scanner.line = line
+        scanner.line_start = line_start
+        token = scanner.next_token()  # may raise the (correct) lex error
+        raise JsonParseError(message, token)
+
+    def encode_text(self, text: str, *, max_depth: int = 512) -> Type:
+        """The canonical interned type of one JSON text.
+
+        Identical (by object identity) to
+        ``table.intern(type_of(parse(text)))`` but runs a character-level
+        machine over the text: no DOM, no event objects, no token
+        objects on the happy path — scalar literals resolve to canonical
+        atoms after a validity scan (a string's *content* never matters
+        to its type, only that it lexes), closing containers resolve
+        through the shape caches.  Anything unusual (escapes, malformed
+        literals, structural errors) defers to the real lexer at the
+        exact same position, so malformed text raises exactly what
+        :func:`repro.jsonvalue.parser.parse` raises under its default
+        options: the same :class:`~repro.jsonvalue.parser.JsonParseError`
+        / :class:`~repro.jsonvalue.lexer.JsonLexError` class, message
+        and offset.
+        """
+        table = self.table
+        if table.epoch() is not self._epoch:
+            self._rebind()
+        int_atom = self._int
+        flt_atom = self._flt
+        str_atom = self._str
+        bool_atom = self._bool
+        null_atom = self._null
+        special = _STRING_SPECIAL.search
+        find_quote = text.find
+        length = len(text)
+        pos = 0
+        line = 1
+        line_start = 0
+        scanner: Optional[_Scanner] = None  # lazily built for slow paths
+        stack: list[list] = []
+        phase = _PHASE_VALUE
+        result: Optional[Type] = None
+        while True:
+            # Inter-token whitespace (tracks line numbers for errors).
+            while pos < length:
+                ch = text[pos]
+                if ch == " " or ch == "\t" or ch == "\r":
+                    pos += 1
+                elif ch == "\n":
+                    pos += 1
+                    line += 1
+                    line_start = pos
+                else:
+                    break
+            if pos >= length:
+                if phase == _PHASE_AFTER and not stack:
+                    assert result is not None
+                    return result
+                eof = Token(
+                    TokenType.EOF, None, pos, pos, line, pos - line_start + 1
+                )
+                if phase == _PHASE_AFTER:
+                    raise JsonParseError("expected ',' or closing bracket", eof)
+                if phase == _PHASE_KEY or phase == _PHASE_KEY_OR_CLOSE:
+                    raise JsonParseError("expected object key string", eof)
+                raise JsonParseError("expected a JSON value", eof)
+
+            if phase == _PHASE_VALUE_OR_CLOSE:
+                if ch == "]":
+                    pos += 1
+                    stack.pop()
+                    completed = self._empty_arr
+                    if stack:
+                        frame = stack[-1]
+                        frame[1].append(id(completed))
+                        frame[2].append(completed)
+                    else:
+                        result = completed
+                    phase = _PHASE_AFTER
+                    continue
+                phase = _PHASE_VALUE
+            elif phase == _PHASE_KEY_OR_CLOSE:
+                if ch == "}":
+                    pos += 1
+                    stack.pop()
+                    completed = self._empty_rec
+                    if stack:
+                        frame = stack[-1]
+                        frame[1].append(id(completed))
+                        frame[2].append(completed)
+                    else:
+                        result = completed
+                    phase = _PHASE_AFTER
+                    continue
+                phase = _PHASE_KEY
+
+            if phase == _PHASE_VALUE:
+                if ch == '"':
+                    end = find_quote('"', pos + 1)
+                    if end != -1 and special(text, pos + 1, end) is None:
+                        pos = end + 1
+                    else:
+                        # Escapes, control characters, or unterminated:
+                        # the real lexer decodes (or raises) in place.
+                        if scanner is None:
+                            scanner = _Scanner(text)
+                        scanner.pos = pos
+                        scanner.line = line
+                        scanner.line_start = line_start
+                        scanner.scan_string()
+                        pos = scanner.pos
+                    completed = str_atom
+                elif ch in _NUMBER_START:
+                    npos = pos
+                    ok = True
+                    if ch == "-":
+                        npos += 1
+                        if npos >= length or text[npos] not in _DIGITS:
+                            ok = False
+                    if ok:
+                        if text[npos] == "0":
+                            npos += 1
+                            if npos < length and text[npos] in _DIGITS:
+                                ok = False  # leading zero
+                        else:
+                            while npos < length and text[npos] in _DIGITS:
+                                npos += 1
+                    is_float = False
+                    if ok and npos < length and text[npos] == ".":
+                        is_float = True
+                        npos += 1
+                        if npos >= length or text[npos] not in _DIGITS:
+                            ok = False
+                        else:
+                            while npos < length and text[npos] in _DIGITS:
+                                npos += 1
+                    if ok and npos < length and text[npos] in "eE":
+                        is_float = True
+                        npos += 1
+                        if npos < length and text[npos] in "+-":
+                            npos += 1
+                        if npos >= length or text[npos] not in _DIGITS:
+                            ok = False
+                        else:
+                            while npos < length and text[npos] in _DIGITS:
+                                npos += 1
+                    if ok:
+                        pos = npos
+                        completed = flt_atom if is_float else int_atom
+                    else:
+                        # Anomalous literal: the lexer re-scans in place
+                        # and raises the exact message/offset the parser
+                        # would (today the fast walk declines only
+                        # shapes scan_number rejects; the classification
+                        # below is drift insurance, not a live path).
+                        if scanner is None:
+                            scanner = _Scanner(text)
+                        scanner.pos = pos
+                        scanner.line = line
+                        scanner.line_start = line_start
+                        token = scanner.scan_number()
+                        pos = scanner.pos
+                        completed = (
+                            int_atom if token.value.__class__ is int else flt_atom
+                        )
+                elif ch == "t":
+                    if not text.startswith("true", pos):
+                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
+                    pos += 4
+                    completed = bool_atom
+                elif ch == "f":
+                    if not text.startswith("false", pos):
+                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
+                    pos += 5
+                    completed = bool_atom
+                elif ch == "n":
+                    if not text.startswith("null", pos):
+                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
+                    pos += 4
+                    completed = null_atom
+                elif ch == "{":
+                    if len(stack) >= max_depth:
+                        raise JsonParseError(
+                            f"maximum nesting depth of {max_depth} exceeded",
+                            Token(
+                                TokenType.LBRACE, None, pos, pos + 1,
+                                line, pos - line_start + 1,
+                            ),
+                        )
+                    pos += 1
+                    stack.append([True, [], []])
+                    phase = _PHASE_KEY_OR_CLOSE
+                    continue
+                elif ch == "[":
+                    if len(stack) >= max_depth:
+                        raise JsonParseError(
+                            f"maximum nesting depth of {max_depth} exceeded",
+                            Token(
+                                TokenType.LBRACKET, None, pos, pos + 1,
+                                line, pos - line_start + 1,
+                            ),
+                        )
+                    pos += 1
+                    stack.append([False, [], []])
+                    phase = _PHASE_VALUE_OR_CLOSE
+                    continue
+                else:
+                    self._fail_at(text, pos, line, line_start, "expected a JSON value")
+                if stack:
+                    frame = stack[-1]
+                    frame[1].append(id(completed))
+                    frame[2].append(completed)
+                else:
+                    result = completed
+                phase = _PHASE_AFTER
+            elif phase == _PHASE_KEY:
+                if ch != '"':
+                    self._fail_at(
+                        text, pos, line, line_start, "expected object key string"
+                    )
+                end = find_quote('"', pos + 1)
+                if end != -1 and special(text, pos + 1, end) is None:
+                    name = text[pos + 1 : end]
+                    pos = end + 1
+                else:
+                    if scanner is None:
+                        scanner = _Scanner(text)
+                    scanner.pos = pos
+                    scanner.line = line
+                    scanner.line_start = line_start
+                    name = scanner.scan_string().value
+                    pos = scanner.pos
+                stack[-1][1].append(name)
+                while pos < length:
+                    ch = text[pos]
+                    if ch == " " or ch == "\t" or ch == "\r":
+                        pos += 1
+                    elif ch == "\n":
+                        pos += 1
+                        line += 1
+                        line_start = pos
+                    else:
+                        break
+                if pos >= length or text[pos] != ":":
+                    self._fail_at(text, pos, line, line_start, "expected ':'")
+                pos += 1
+                phase = _PHASE_VALUE
+            else:  # _PHASE_AFTER: a value has just been completed.
+                if not stack:
+                    self._fail_at(
+                        text, pos, line, line_start,
+                        "trailing data after JSON document",
+                    )
+                frame = stack[-1]
+                if ch == ",":
+                    pos += 1
+                    phase = _PHASE_KEY if frame[0] else _PHASE_VALUE
+                elif ch == "}" and frame[0]:
+                    pos += 1
+                    stack.pop()
+                    completed = self._close_record(frame[1], frame[2])
+                    if stack:
+                        parent = stack[-1]
+                        parent[1].append(id(completed))
+                        parent[2].append(completed)
+                    else:
+                        result = completed
+                elif ch == "]" and not frame[0]:
+                    pos += 1
+                    stack.pop()
+                    completed = self._close_array(frame[1], frame[2])
+                    if stack:
+                        parent = stack[-1]
+                        parent[1].append(id(completed))
+                        parent[2].append(completed)
+                    else:
+                        result = completed
+                else:
+                    self._fail_at(
+                        text, pos, line, line_start,
+                        "expected ',' or closing bracket",
+                    )
 
 
 _DEFAULT_ENCODER: Optional[TypeEncoder] = None

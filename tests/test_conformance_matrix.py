@@ -1,0 +1,186 @@
+"""Cross-path conformance matrix: every inference route, one interned answer.
+
+The paper's map/reduce design means there are many ways to compute "the
+type of this collection" — DOM fold, fused batch, streaming text, event
+stream, counting (stripped of counts), the distributed simulator, the
+real multiprocessing modes (document pickles, batched text, shared
+memory), and the schema repository's per-structure groups.  The monoid
+laws say they must all agree; hash-consing sharpens "agree" to *object
+identity* once each answer is canonicalized into one intern table.
+
+This suite pins that: every route below, on shared corpora
+(twitter/github/nyt generator samples) under both equivalences, yields
+the interned-identical type.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import github_events, ndjson_lines, nyt_articles, tweets
+from repro.inference import (
+    accumulate,
+    accumulate_lines,
+    accumulate_types,
+    infer_counted,
+    infer_counted_streaming,
+    infer_distributed,
+    infer_distributed_parallel,
+    infer_distributed_text,
+    infer_type,
+    infer_type_streaming,
+    type_from_events,
+)
+from repro.inference.engine import TypeAccumulator
+from repro.jsonvalue.events import iter_line_events
+from repro.repository import SchemaRepository
+from repro.types import Equivalence, type_of, type_of_interned
+from repro.types.intern import global_table
+from repro.types.merge import merge_all
+
+CORPORA = {
+    "twitter": lambda: tweets(120, seed=7),
+    "github": lambda: github_events(120, seed=7),
+    "nyt": lambda: nyt_articles(120, seed=7),
+}
+
+EQUIVALENCES = [Equivalence.KIND, Equivalence.LABEL]
+
+
+def _route_seed_merge_all(docs, lines, equivalence):
+    """The seed oracle: raw per-document types, batch merge."""
+    return merge_all([type_of(d) for d in docs], equivalence)
+
+
+def _route_engine_fold(docs, lines, equivalence):
+    """Incremental engine fold over documents (fused DOM encoder)."""
+    return accumulate(docs, equivalence).result()
+
+
+def _route_fused_batch(docs, lines, equivalence):
+    """type_of_interned batch: canonical map phase, then the type fold."""
+    return accumulate_types(
+        (type_of_interned(d) for d in docs), equivalence
+    ).result()
+
+
+def _route_streaming_text(docs, lines, equivalence):
+    """Fused lexer→type pipeline over NDJSON lines."""
+    return infer_type_streaming(lines, equivalence)
+
+
+def _route_engine_lines(docs, lines, equivalence):
+    """TypeAccumulator.add_text fold (the engine's own text feed)."""
+    return accumulate_lines(lines, equivalence).result()
+
+
+def _route_event_stream(docs, lines, equivalence):
+    """SAX events of every line through the event-driven encoder."""
+    return accumulate_types(
+        type_from_events(iter_line_events(lines)), equivalence
+    ).result()
+
+
+def _route_counting(docs, lines, equivalence):
+    """Counting types (DBPL '17), counts stripped."""
+    return infer_counted(docs, equivalence).plain()
+
+
+def _route_counting_text(docs, lines, equivalence):
+    """Counting types over raw lines, counts stripped."""
+    return infer_counted_streaming(lines, equivalence).plain()
+
+
+def _route_distributed_serial(docs, lines, equivalence):
+    """The deterministic distributed simulator (map/combine/reduce tree)."""
+    return infer_distributed(docs, partitions=4, equivalence=equivalence).result
+
+
+def _route_distributed_parallel(docs, lines, equivalence):
+    """Real multiprocessing over document pickles."""
+    return infer_distributed_parallel(
+        docs, partitions=3, equivalence=equivalence, processes=2
+    ).result
+
+
+def _route_distributed_text(docs, lines, equivalence):
+    """Real multiprocessing over the batched raw-line feed."""
+    return infer_distributed_text(
+        lines, partitions=3, equivalence=equivalence, processes=2
+    ).result
+
+
+def _route_distributed_shm(docs, lines, equivalence):
+    """Real multiprocessing over one shared-memory corpus buffer."""
+    return infer_distributed_text(
+        lines,
+        partitions=3,
+        equivalence=equivalence,
+        processes=2,
+        shared_memory=True,
+    ).result
+
+
+def _route_repository(docs, lines, equivalence):
+    """Schema repository: per-structure group types, re-merged.
+
+    With ``k`` larger than the number of distinct structures every
+    document lands in a group, and associativity makes the merge of the
+    group merges equal the flat merge.
+    """
+    entry = SchemaRepository().register(
+        "conformance", docs, k=10_000, equivalence=equivalence
+    )
+    accumulator = TypeAccumulator(equivalence)
+    for group_type in entry.group_types.values():
+        accumulator.add_type(group_type)
+    assert accumulator.document_count == len(entry.group_types)
+    return accumulator.result()
+
+
+ROUTES = {
+    "seed-merge-all": _route_seed_merge_all,
+    "engine-fold": _route_engine_fold,
+    "fused-batch": _route_fused_batch,
+    "streaming-text": _route_streaming_text,
+    "engine-lines": _route_engine_lines,
+    "event-stream": _route_event_stream,
+    "counting": _route_counting,
+    "counting-text": _route_counting_text,
+    "distributed-serial": _route_distributed_serial,
+    "distributed-parallel": _route_distributed_parallel,
+    "distributed-text": _route_distributed_text,
+    "distributed-shm": _route_distributed_shm,
+    "repository": _route_repository,
+}
+
+
+def test_matrix_covers_enough_routes():
+    assert len(ROUTES) >= 8
+
+
+@pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)
+@pytest.mark.parametrize("corpus", sorted(CORPORA), ids=str)
+def test_every_route_yields_the_interned_identical_type(corpus, equivalence):
+    docs = CORPORA[corpus]()
+    lines = ndjson_lines(docs)
+    table = global_table()
+    reference = table.canonical(infer_type(docs, equivalence))
+    for name, route in ROUTES.items():
+        result = table.canonical(route(docs, lines, equivalence))
+        assert result is reference, (
+            f"route {name!r} diverged on {corpus}/{equivalence.value}: "
+            f"{result} != {reference}"
+        )
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA), ids=str)
+def test_counting_text_path_preserves_counts(corpus):
+    """The counted text path must agree with the counted DOM path on the
+    full counted structure, not just the stripped type."""
+    docs = CORPORA[corpus]()
+    lines = ndjson_lines(docs)
+    for equivalence in EQUIVALENCES:
+        assert infer_counted_streaming(lines, equivalence) == infer_counted(
+            docs, equivalence
+        )

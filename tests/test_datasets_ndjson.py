@@ -1,0 +1,52 @@
+"""Tests for the line-oriented NDJSON loaders (`repro.datasets.ndjson`)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.datasets import (
+    github_events,
+    iter_ndjson_lines,
+    ndjson_lines,
+    read_ndjson_lines,
+    stream_documents,
+    stream_types,
+    tweets,
+    write_ndjson,
+)
+from repro.inference import accumulate_types, infer_type
+from repro.types.intern import global_table
+
+
+def test_write_then_read_round_trips(tmp_path):
+    docs = tweets(40, seed=21)
+    path = tmp_path / "docs.ndjson"
+    assert write_ndjson(path, docs) == len(docs)
+    assert read_ndjson_lines(path) == ndjson_lines(docs)
+    assert list(stream_documents(path)) == docs
+
+
+def test_iter_lines_accepts_handles_and_iterables(tmp_path):
+    docs = github_events(10, seed=2)
+    path = tmp_path / "docs.ndjson"
+    write_ndjson(path, docs)
+    from_path = list(iter_ndjson_lines(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        from_handle = list(iter_ndjson_lines(handle))
+    from_iterable = list(iter_ndjson_lines(io.StringIO("\n".join(from_path))))
+    assert from_path == from_handle == from_iterable == ndjson_lines(docs)
+
+
+def test_stream_types_matches_the_batch_path(tmp_path):
+    docs = tweets(60, seed=22)
+    path = tmp_path / "docs.ndjson"
+    write_ndjson(path, docs)
+    streamed = accumulate_types(stream_types(path)).result()
+    assert global_table().canonical(streamed) is global_table().canonical(
+        infer_type(docs)
+    )
+
+
+def test_stream_types_skips_blank_lines():
+    lines = ['{"a": 1}', "", "  \t", '{"a": 2}']
+    assert len(list(stream_types(lines))) == 2

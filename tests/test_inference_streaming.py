@@ -80,6 +80,40 @@ class TestInferStreaming:
             infer_type_streaming([])
 
 
+def _dying_events(text: str, keep: int):
+    """The first ``keep`` events of ``text``, then a source failure."""
+    yield from list(iter_events(text))[:keep]
+    raise ValueError("source died")
+
+
+class TestStreamIsolation:
+    def test_interleaved_streams_do_not_share_state(self):
+        # Drive two generators alternately: each must keep its own
+        # frame stack (a fresh encoder per call).
+        first = type_from_events(iter_events("[1, 2]"))
+        second = type_from_events(iter_events('{"a": 1}'))
+        assert next(second) == RecType.of({"a": INT})
+        assert next(first) == ArrType(INT)
+
+    def test_failing_event_source_does_not_poison_other_streams(self):
+        survivor = type_from_events(iter_events('{"a": 1}'))
+        with pytest.raises(ValueError):
+            # Dies mid-document (after START_OBJECT, KEY).
+            list(type_from_events(_dying_events('{"a": 1}', keep=2)))
+        assert list(survivor) == [RecType.of({"a": INT})]
+
+    def test_caller_held_encoder_is_reset_after_a_failing_stream(self):
+        from repro.types import EventTypeEncoder
+
+        encoder = EventTypeEncoder()
+        with pytest.raises(ValueError):
+            list(type_from_events(_dying_events("[1, 2]", keep=2), encoder=encoder))
+        assert encoder.depth == 0  # no half-built frames leak
+        assert list(type_from_events(iter_events("[1]"), encoder=encoder)) == [
+            ArrType(INT)
+        ]
+
+
 @given(json_values(max_leaves=20))
 @settings(max_examples=80, deadline=None)
 def test_streaming_type_equals_dom_type(value):

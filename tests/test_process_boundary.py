@@ -1,0 +1,146 @@
+"""Process-boundary regressions: pickling, re-interning, parallel counts.
+
+The multiprocessing modes ship interned terms over pipes.  Three
+invariants keep that sound:
+
+- pickling strips intern marks and caches (``Type.__getstate__``), so a
+  rehydrated term is a plain structural term that cannot falsely alias
+  canonical nodes of any table;
+- re-interning a rehydrated term in the parent lands on the *identical*
+  canonical node the original had — partial types from workers merge at
+  full memo speed;
+- the counting algebra's cardinalities survive the parallel reduce
+  unchanged (counts add across partitions, document counts included).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.datasets import github_events, ndjson_lines, tweets
+from repro.inference import (
+    field_presence_ratios,
+    infer_counted,
+    infer_counted_parallel,
+    infer_distributed_parallel,
+    infer_distributed_text,
+    infer_type,
+)
+from repro.types import walk
+from repro.types.intern import global_table
+
+
+def test_pickled_interned_terms_strip_marks_and_reintern_to_identity():
+    table = global_table()
+    t = table.canonical(infer_type(tweets(60, seed=3)))
+    assert t._interned is table.epoch()
+
+    clone = pickle.loads(pickle.dumps(t))
+    assert clone is not t
+    assert clone == t  # structural equality survives
+    for node in walk(clone):
+        assert node._interned is None  # no mark crosses the boundary
+        assert node._hash is None and node._size is None
+    # The normal-form mark is structural, so it does survive: the clone
+    # re-canonicalizes without a simplify walk.
+    assert clone._normal
+
+    assert table.intern(clone) is t
+    assert table.canonical(clone) is t
+
+
+def test_parallel_partials_reintern_to_the_serial_result():
+    docs = github_events(150, seed=11)
+    reference = infer_type(docs)
+    run = infer_distributed_parallel(docs, partitions=4, processes=2)
+    assert run.result is reference  # interned identity, not mere equality
+    assert run.document_count == len(docs)
+    assert run.processes == 2
+
+    lines = ndjson_lines(docs)
+    text_run = infer_distributed_text(lines, partitions=4, processes=2)
+    assert text_run.result is reference
+    assert text_run.document_count == len(docs)
+
+    shm_run = infer_distributed_text(
+        lines, partitions=4, processes=2, shared_memory=True
+    )
+    assert shm_run.result is reference
+    assert shm_run.document_count == len(docs)
+
+
+def test_shared_memory_feed_handles_embedded_newlines():
+    """Multi-line JSON texts are legal inputs to the batched feed; the
+    shared-memory transport cannot delimit them, so it must fall back to
+    pickles and produce the identical result rather than mis-split."""
+    lines = ['{"a":\n1}', '{"a": 2}'] * 3
+    plain = infer_distributed_text(lines, partitions=2, processes=2)
+    shm = infer_distributed_text(
+        lines, partitions=2, processes=2, shared_memory=True
+    )
+    assert shm.result is plain.result
+    assert shm.document_count == plain.document_count == len(lines)
+
+
+def test_single_process_fallback_matches_pool_execution():
+    docs = tweets(80, seed=9)
+    lines = ndjson_lines(docs)
+    reference = infer_type(docs)
+    serial = infer_distributed_text(lines, partitions=3, processes=1)
+    assert serial.processes == 1
+    assert serial.result is reference
+    assert serial.document_count == len(docs)
+
+
+def test_counting_counts_survive_the_parallel_reduce():
+    docs = tweets(120, seed=4)
+    serial = infer_counted(docs)
+    run = infer_counted_parallel(docs, partitions=4, processes=2)
+    assert run.result == serial  # every cardinality identical
+    assert run.result.count == serial.count == len(docs)
+    assert run.document_count == len(docs)
+    assert field_presence_ratios(run.result) == field_presence_ratios(serial)
+
+    # The counted union itself crosses the boundary intact.
+    clone = pickle.loads(pickle.dumps(serial))
+    assert clone == serial and clone.count == serial.count
+
+
+def test_parser_errors_cross_the_process_boundary_intact():
+    """A malformed line in a worker must surface in the parent as the
+    same error, not kill the pool's result handler (the default
+    exception pickling would replay ``__init__`` with the formatted
+    message and crash on the signature mismatch)."""
+    import pytest
+
+    from repro.errors import JsonError
+    from repro.jsonvalue.lexer import JsonLexError
+    from repro.jsonvalue.parser import JsonParseError, parse
+
+    for text in ['{"broken', "[1, 2", "tru"]:
+        try:
+            parse(text)
+        except JsonError as exc:
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert str(clone) == str(exc)
+            if isinstance(exc, JsonLexError):
+                assert clone.offset == exc.offset
+            else:
+                assert isinstance(exc, JsonParseError)
+                assert clone.token.offset == exc.token.offset
+        else:  # pragma: no cover - all cases are malformed
+            raise AssertionError(f"{text!r} parsed")
+
+    lines = ['{"a": 1}'] * 6 + ['{"broken'] + ['{"a": 2}'] * 5
+    with pytest.raises(JsonError) as caught:
+        infer_distributed_text(lines, partitions=3, processes=2)
+    assert "unterminated string" in str(caught.value)
+
+
+def test_counting_parallel_single_process_fallback():
+    docs = tweets(50, seed=13)
+    run = infer_counted_parallel(docs, partitions=2, processes=1)
+    assert run.processes == 1
+    assert run.result == infer_counted(docs)
+    assert run.document_count == len(docs)

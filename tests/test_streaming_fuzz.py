@@ -1,0 +1,174 @@
+"""Fuzz differential for the fused text→type pipeline.
+
+Two claims, both by construction of :meth:`EventTypeEncoder.encode_text`:
+
+- on any valid JSON text ``s``, ``type_of_text(s)`` is the *object-
+  identical* canonical node ``intern(type_of(parse(s)))`` — the whole
+  zero-materialization pipeline commutes with the DOM path;
+- on any malformed text, the streaming path raises exactly what the DOM
+  parser raises: same error class, same message, same offset.
+
+Hypothesis drives both with arbitrary values (serialized) and arbitrary
+raw text (mostly malformed); the parametrized cases pin the named edge
+cases — unicode escapes and surrogate pairs, exponent/big numbers, deep
+nesting at the ``max_depth`` boundary, NDJSON with blank lines, and
+duplicate object keys under the parser's default last-wins policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import JsonError
+from repro.inference import infer_type, infer_type_streaming, type_of_text
+from repro.jsonvalue.lexer import JsonLexError
+from repro.jsonvalue.parser import JsonParseError, parse, parse_lines
+from repro.jsonvalue.serializer import dumps
+from repro.types import type_of
+from repro.types.intern import global_table
+
+from tests.strategies import json_values
+
+
+def _dom_type(text: str):
+    return global_table().intern(type_of(parse(text)))
+
+
+def _failure(fn):
+    """Error fingerprint: (class, message, offset), or None on success."""
+    try:
+        fn()
+    except JsonLexError as exc:
+        return (type(exc), str(exc), exc.offset)
+    except JsonParseError as exc:
+        return (type(exc), str(exc), exc.token.offset)
+    return None
+
+
+@given(json_values(max_leaves=30))
+@settings(max_examples=150, deadline=None)
+def test_text_type_is_interned_dom_type(value):
+    text = dumps(value)
+    assert type_of_text(text) is _dom_type(text)
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_arbitrary_text_differential(text):
+    """On raw text — valid or garbage — both paths succeed identically
+    or fail identically."""
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert streaming_failure == parser_failure
+    if parser_failure is None:
+        assert type_of_text(text) is _dom_type(text)
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        # unicode escapes, incl. surrogate pairs and lone surrogates
+        '"\\u00e9\\u0041"',
+        '"\\ud834\\udd1e"',
+        '"\\ud800"',
+        '{"\\u006b": [true, "\\t\\n\\\\"]}',
+        # exponents and big numbers
+        "1e308",
+        "2.5E-3",
+        "-0.0",
+        "123456789012345678901234567890",
+        '{"n": [0, -1, 1.5e10, 9007199254740993]}',
+        # duplicate keys (parser default: last wins)
+        '{"a": 1, "a": "x", "b": 2}',
+        '{"a": {"b": 1}, "a": [2]}',
+        # whitespace / structure corners
+        ' \t\n {"a" :\r [ ] } \n',
+        "[[[[[[[[[[1]]]]]]]]]]",
+    ],
+)
+def test_edge_case_texts(text):
+    assert type_of_text(text) is _dom_type(text)
+
+
+@pytest.mark.parametrize("depth", [511, 512])
+def test_nesting_at_the_depth_boundary(depth):
+    # The recursive seed type_of blows Python's recursion limit here, so
+    # the oracle is the recursion-free fused DOM encoder (itself pinned
+    # to intern∘type_of by the differential suite on shallow values).
+    from repro.types import type_of_interned
+
+    text = "[" * depth + "1" + "]" * depth
+    assert type_of_text(text) is type_of_interned(parse(text))
+
+
+@pytest.mark.parametrize("depth", [513, 600])
+def test_nesting_beyond_the_depth_boundary(depth):
+    text = "[" * depth + "1" + "]" * depth
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert parser_failure is not None
+    assert streaming_failure == parser_failure
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "   ",
+        '{"a":}',
+        "[1,]",
+        '{"a" 1}',
+        "{1: 2}",
+        "tru",
+        '"\\x"',
+        '"unterminated',
+        '{"a": 1',
+        "[1, 2",
+        "01",
+        "1 2",
+        '{"a": 1}}',
+        "{,}",
+        "\x00",
+        '["\\ud834\\u12"]',
+        "- 1",
+        "1.e5",
+        "NaN",
+    ],
+)
+def test_malformed_text_fails_like_the_parser(text):
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert parser_failure is not None, text
+    assert streaming_failure == parser_failure
+
+
+@given(
+    st.lists(json_values(max_leaves=12), min_size=1, max_size=8),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_ndjson_with_blank_lines(values, blanks):
+    lines: list[str] = []
+    for value in values:
+        lines.append(dumps(value))
+        lines.extend([""] * blanks + ["   \t "] * (blanks % 2))
+    assert infer_type_streaming(lines) is global_table().canonical(
+        infer_type(list(parse_lines(lines)))
+    )
+
+
+def test_empty_stream_still_raises():
+    from repro.errors import InferenceError
+
+    with pytest.raises(InferenceError):
+        infer_type_streaming(["", "  "])
+
+
+def test_error_is_a_json_error_subclass():
+    # CLI and callers catch ReproError/JsonError; the streaming path must
+    # stay inside that hierarchy.
+    with pytest.raises(JsonError):
+        type_of_text("{")
