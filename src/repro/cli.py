@@ -37,42 +37,48 @@ def _read_lines(path: str) -> list[str]:
     return read_ndjson_lines(path)
 
 
+def _jobs_arg(value: str):
+    """Parse ``--jobs``: a positive worker count, or ``auto`` (None) to
+    size the pool from CPU affinity."""
+    if value == "auto":
+        return None
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--jobs expects a positive integer or 'auto', got {value!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("--jobs must be at least 1")
+    return jobs
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
-    from repro.inference import (
-        InferenceReport,
-        infer_distributed_text,
-        infer_report_streaming,
-    )
+    from repro.inference import infer_report_path, infer_report_streaming
     from repro.jsonvalue.serializer import PRETTY, dumps
     from repro.pl import swift_declaration_for, typescript_declaration_for
     from repro.types import Equivalence, type_to_string
 
     # Both routes below run the fused text→type pipeline on raw lines:
     # no document DOM is built for the type/jsonschema outputs.  The
-    # corpus is materialised as a line list only when something needs
-    # it whole (partition slicing for --jobs, documents for codegen);
-    # the plain serial route streams the file in O(nesting) memory.
+    # corpus is materialised as a line list only when codegen needs the
+    # documents whole; the serial route streams the file in O(nesting)
+    # memory, and the parallel route maps it as a zero-copy corpus and
+    # routes through the adaptive scheduler (see --jobs in --help).
     from repro.datasets.ndjson import iter_ndjson_lines
 
     equivalence = Equivalence(args.equivalence)
     needs_documents = args.format in ("typescript", "swift")
-    lines = _read_lines(args.data) if args.jobs > 1 or needs_documents else None
-    if args.jobs > 1:
-        # Real multi-process merge over the batched text feed: workers
-        # receive contiguous line slices (one pickle per batch, or a
-        # shared-memory byte range) and ship back only interned partition
-        # types (bit-identical to the serial path).
-        run = infer_distributed_text(
-            lines,
-            partitions=args.jobs,
-            equivalence=equivalence,
-            processes=args.jobs,
+    lines = _read_lines(args.data) if needs_documents else None
+    if args.jobs != 1:
+        # When codegen already pulled the corpus into memory, reuse it
+        # (re-reading the file — or a consumed pipe — would be worse);
+        # otherwise hand the path over for the zero-copy mmap route.
+        report = infer_report_path(
+            lines if lines is not None else args.data,
+            equivalence,
+            jobs=args.jobs,
             shared_memory=args.shared_memory,
-        )
-        report = InferenceReport(
-            inferred=run.result,
-            equivalence=equivalence,
-            document_count=run.document_count,
         )
     else:
         report = infer_report_streaming(
@@ -179,13 +185,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_infer.add_argument("--name", default="Root", help="declaration name for codegen")
     p_infer.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the parallel merge (default: 1, serial)",
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="worker processes for the parallel merge (default: 1, serial). "
+        "'auto' sizes the pool from CPU affinity; N and 'auto' both route "
+        "through the adaptive scheduler, which times a small sample of the "
+        "corpus, models the parallel run (per-worker startup + the fold "
+        "split across usable CPUs + corpus shipping), and falls back to "
+        "the serial fold whenever the modeled win is negative — so small "
+        "corpora and single-CPU machines never pay for a worker pool. "
+        "File inputs are mapped as a zero-copy mmap corpus.",
     )
     p_infer.add_argument(
         "--shared-memory", action="store_true",
         help="with --jobs: ship the corpus to workers through one "
-        "shared-memory buffer instead of per-batch pickles",
+        "shared-memory buffer (for mmap corpora, one memcpy of the raw "
+        "file bytes plus per-worker byte ranges) instead of per-batch "
+        "pickles",
     )
     p_infer.set_defaults(func=_cmd_infer)
 

@@ -13,8 +13,11 @@ from repro.datasets.generator import (
     ndjson_lines,
 )
 from repro.datasets.ndjson import (
+    MmapCorpus,
     iter_ndjson_lines,
+    open_corpus,
     read_ndjson_lines,
+    split_corpus_lines,
     stream_documents,
     stream_types,
     write_ndjson,
@@ -30,8 +33,11 @@ __all__ = [
     "generate_collection",
     "heterogeneous_collection",
     "ndjson_lines",
+    "MmapCorpus",
     "iter_ndjson_lines",
+    "open_corpus",
     "read_ndjson_lines",
+    "split_corpus_lines",
     "stream_documents",
     "stream_types",
     "write_ndjson",

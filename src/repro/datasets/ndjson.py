@@ -11,15 +11,168 @@ slices to workers.  These helpers normalise the usual sources (paths,
 
 from __future__ import annotations
 
+import mmap
+import os
+import re
 import sys
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Optional, Union
+from typing import Any, Iterable, Iterator, Optional, Sequence, Union
 
 from repro.types import Type
 from repro.types.build import EventTypeEncoder
 from repro.types.intern import InternTable
 
 LineSource = Union[str, Path, Iterable[str]]
+
+# Line-break grammar shared by the byte-range index and the worker-side
+# re-split of shared-memory byte ranges: "\r\n" first (one break, not
+# two), then the universal-newline singles — matching the translation
+# Python's text mode applies in :func:`iter_ndjson_lines`.
+LINE_BREAK_PATTERN = r"\r\n|\r|\n"
+_LINE_BREAK_BYTES = re.compile(LINE_BREAK_PATTERN.encode("ascii"))
+_LINE_BREAK_STR = re.compile(LINE_BREAK_PATTERN)
+
+
+def split_corpus_lines(text: str) -> list[str]:
+    """Split a decoded corpus byte range back into its lines.
+
+    Inverse of the byte-range index: for any contiguous range of corpus
+    lines (original separators included), returns exactly those lines —
+    the worker-side step of the zero-copy shared-memory feed.
+    """
+    return _LINE_BREAK_STR.split(text)
+
+
+class MmapCorpus(Sequence[str]):
+    """An NDJSON corpus as an mmap-backed byte buffer plus a line index.
+
+    ``open_corpus`` maps the file read-only and builds a byte-range
+    index of its lines in one C-speed scan — no line is decoded, split,
+    or copied until something asks for it.  The corpus then behaves as a
+    lazy ``Sequence[str]`` whose items are exactly what
+    :func:`iter_ndjson_lines` would yield for the same file (universal
+    newlines, terminators stripped, blank lines preserved), which the
+    round-trip tests pin.
+
+    The raw buffer and the index are what the distributed text feed
+    consumes: :func:`repro.inference.distributed.infer_distributed_text`
+    copies the bytes *once* into a ``multiprocessing.shared_memory``
+    segment and ships ``(start, end)`` line-aligned byte ranges to the
+    workers, so the parent process never splits, decodes, or pickles the
+    corpus line-by-line.
+    """
+
+    __slots__ = ("path", "_file", "_mm", "_spans")
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = str(path)
+        self._file = open(self.path, "rb")
+        try:
+            size = os.fstat(self._file.fileno()).st_size
+            # mmap rejects empty files; an empty corpus has no lines.
+            self._mm: Optional[mmap.mmap] = (
+                mmap.mmap(self._file.fileno(), 0, access=mmap.ACCESS_READ)
+                if size
+                else None
+            )
+            data = self._mm if self._mm is not None else b""
+            spans: list[tuple[int, int]] = []
+            pos = 0
+            if size and data.find(b"\r") == -1:
+                # LF-only corpus (the overwhelmingly common case): a
+                # bare C find loop, no match objects.
+                find = data.find
+                while True:
+                    newline = find(b"\n", pos)
+                    if newline == -1:
+                        break
+                    spans.append((pos, newline))
+                    pos = newline + 1
+            else:
+                for match in _LINE_BREAK_BYTES.finditer(data):
+                    spans.append((pos, match.start()))
+                    pos = match.end()
+            if pos < size:
+                spans.append((pos, size))  # final line without a terminator
+            self._spans = spans
+        except BaseException:
+            self._file.close()
+            raise
+
+    # -- the lazy Sequence[str] view ------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            mm = self._mm
+            return [
+                mm[start:end].decode("utf-8") if end > start else ""
+                for start, end in self._spans[index]
+            ]
+        start, end = self._spans[index]
+        if end <= start:
+            return ""
+        return self._mm[start:end].decode("utf-8")
+
+    def __iter__(self) -> Iterator[str]:
+        mm = self._mm
+        for start, end in self._spans:
+            yield mm[start:end].decode("utf-8") if end > start else ""
+
+    # -- the zero-copy byte view ----------------------------------------
+
+    @property
+    def spans(self) -> list[tuple[int, int]]:
+        """Byte range of every line (terminators excluded), in order."""
+        return self._spans
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the backing file in bytes."""
+        return len(self._mm) if self._mm is not None else 0
+
+    def buffer(self):
+        """The raw file bytes as a buffer (``b""`` for an empty file)."""
+        return self._mm if self._mm is not None else b""
+
+    def byte_range(self, start_line: int, stop_line: int) -> tuple[int, int]:
+        """Byte range covering lines ``[start_line, stop_line)`` with
+        their original separators in between — re-splittable with
+        :func:`split_corpus_lines` into exactly those lines."""
+        if not 0 <= start_line < stop_line <= len(self._spans):
+            raise IndexError(
+                f"line range [{start_line}, {stop_line}) out of bounds "
+                f"for a corpus of {len(self._spans)} lines"
+            )
+        return self._spans[start_line][0], self._spans[stop_line - 1][1]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if self._mm is not None:
+            self._mm.close()
+            self._mm = None
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "MmapCorpus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MmapCorpus({self.path!r}, lines={len(self._spans)}, "
+            f"bytes={self.size_bytes})"
+        )
+
+
+def open_corpus(path: Union[str, Path]) -> MmapCorpus:
+    """Map an NDJSON file as a zero-copy :class:`MmapCorpus`."""
+    return MmapCorpus(path)
 
 
 def iter_ndjson_lines(source: LineSource) -> Iterator[str]:

@@ -77,15 +77,21 @@ from repro.inference.distributed import (
     CountedParallelRun,
     DistributedRun,
     ParallelRun,
+    SchedulePlan,
+    auto_jobs,
+    infer_adaptive_text,
     infer_counted_parallel,
     infer_distributed,
     infer_distributed_parallel,
     infer_distributed_text,
     partition,
+    partition_bounds,
     partition_contiguous,
     partition_lines,
+    plan_schedule,
 )
 from repro.inference.streaming import (
+    infer_report_path,
     infer_report_streaming,
     infer_type_streaming,
     type_from_events,
@@ -150,13 +156,19 @@ __all__ = [
     "CountedParallelRun",
     "DistributedRun",
     "ParallelRun",
+    "SchedulePlan",
+    "auto_jobs",
+    "infer_adaptive_text",
     "infer_counted_parallel",
     "infer_distributed",
     "infer_distributed_parallel",
     "infer_distributed_text",
     "partition",
+    "partition_bounds",
     "partition_contiguous",
     "partition_lines",
+    "plan_schedule",
+    "infer_report_path",
     "infer_report_streaming",
     "infer_type_streaming",
     "type_from_events",

@@ -33,6 +33,8 @@ a faithful substitute for the cluster.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
@@ -192,6 +194,8 @@ class ParallelRun:
     processes: int
     equivalence: Equivalence
     partition_documents: list[int] = field(default_factory=list)
+    # Set when the run was routed by the adaptive scheduler.
+    plan: Optional["SchedulePlan"] = None
 
     @property
     def document_count(self) -> int:
@@ -229,7 +233,7 @@ def infer_distributed_parallel(
     payloads = [(bucket, equivalence.value) for bucket in buckets]
 
     if processes is None:
-        processes = min(len(buckets), multiprocessing.cpu_count())
+        processes = min(len(buckets), auto_jobs())
     processes = max(1, processes)
 
     if processes == 1 or len(buckets) == 1:
@@ -258,6 +262,26 @@ def infer_distributed_parallel(
 # ---------------------------------------------------------------------------
 
 
+def partition_bounds(total: int, partitions: int) -> list[tuple[int, int]]:
+    """Contiguous, balanced ``[start, stop)`` index ranges (deterministic).
+
+    The index-level form of :func:`partition_contiguous`: the mmap
+    corpus feed partitions *byte ranges* through these bounds without
+    materialising any slice.
+    """
+    if partitions < 1:
+        raise InferenceError("need at least one partition")
+    bounds: list[tuple[int, int]] = []
+    base, extra = divmod(total, partitions)
+    start = 0
+    for i in range(partitions):
+        size = base + (1 if i < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+            start += size
+    return bounds
+
+
 def partition_contiguous(items: Sequence[Any], partitions: int) -> list[list[Any]]:
     """Contiguous, balanced slices (deterministic).
 
@@ -270,18 +294,10 @@ def partition_contiguous(items: Sequence[Any], partitions: int) -> list[list[Any
     fold's appearance order exactly — so the parallel counting reduce is
     equal member-for-member, not merely up to permutation.
     """
-    if partitions < 1:
-        raise InferenceError("need at least one partition")
-    total = len(items)
-    buckets: list[list[Any]] = []
-    base, extra = divmod(total, partitions)
-    start = 0
-    for i in range(partitions):
-        size = base + (1 if i < extra else 0)
-        if size:
-            buckets.append(list(items[start : start + size]))
-            start += size
-    return buckets
+    return [
+        list(items[start:stop])
+        for start, stop in partition_bounds(len(items), partitions)
+    ]
 
 
 def partition_lines(lines: Sequence[str], partitions: int) -> list[list[str]]:
@@ -303,16 +319,10 @@ def _infer_lines_partition(payload: tuple[list[str], str]) -> tuple[Type, int]:
     return accumulator.result(), accumulator.document_count
 
 
-def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]:
-    """Worker: decode one byte range of the shared corpus buffer and feed it.
-
-    The parent pickles only ``(segment name, start, end, equivalence)``
-    per partition — the corpus itself crosses the process boundary once,
-    through :mod:`multiprocessing.shared_memory`.
-    """
+def _read_shared_range(name: str, start: int, end: int) -> str:
+    """Attach a shared-memory segment and decode one byte range of it."""
     from multiprocessing import shared_memory
 
-    name, start, end, equivalence_value = payload
     segment = shared_memory.SharedMemory(name=name)
     try:
         if multiprocessing.get_start_method(allow_none=True) == "spawn":
@@ -328,10 +338,52 @@ def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]
                 resource_tracker.unregister(segment._name, "shared_memory")
             except Exception:  # pragma: no cover - tracker internals moved
                 pass
-        text = bytes(segment.buf[start:end]).decode("utf-8")
+        return bytes(segment.buf[start:end]).decode("utf-8")
     finally:
         segment.close()
+
+
+def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]:
+    """Worker: decode one byte range of the shared corpus buffer and feed it.
+
+    The parent pickles only ``(segment name, start, end, equivalence)``
+    per partition — the corpus itself crosses the process boundary once,
+    through :mod:`multiprocessing.shared_memory`.
+    """
+    name, start, end, equivalence_value = payload
+    text = _read_shared_range(name, start, end)
     return _infer_lines_partition((text.split("\n"), equivalence_value))
+
+
+def _infer_file_range_partition(
+    payload: tuple[str, int, int, str]
+) -> tuple[Type, int]:
+    """Worker: read one byte range of the corpus file directly.
+
+    The parent ships only ``(path, start, end, equivalence)`` — no
+    parent-side decode, no per-line pickles; the worker reads and
+    re-splits its own slice with the corpus line-break grammar."""
+    from repro.datasets.ndjson import split_corpus_lines
+
+    file_path, start, end, equivalence_value = payload
+    with open(file_path, "rb") as handle:
+        handle.seek(start)
+        text = handle.read(end - start).decode("utf-8")
+    return _infer_lines_partition((split_corpus_lines(text), equivalence_value))
+
+
+def _infer_shm_corpus_partition(
+    payload: tuple[str, int, int, str]
+) -> tuple[Type, int]:
+    """Worker: one byte range of a shared mmap corpus, original
+    separators included — re-split with the corpus line-break grammar
+    (``\\r\\n``/``\\r``/``\\n``), so the lines are exactly the parent
+    index's lines without the parent ever splitting them."""
+    from repro.datasets.ndjson import split_corpus_lines
+
+    name, start, end, equivalence_value = payload
+    text = _read_shared_range(name, start, end)
+    return _infer_lines_partition((split_corpus_lines(text), equivalence_value))
 
 
 def infer_distributed_text(
@@ -360,14 +412,31 @@ def infer_distributed_text(
     itself contains a newline (legal JSON, not legal NDJSON) the feed
     silently falls back to per-batch pickles — the result is identical
     either way.
+
+    An :class:`~repro.datasets.ndjson.MmapCorpus` input takes the
+    zero-copy route: the parent copies the raw file bytes *once* into
+    the shared segment and ships line-aligned byte ranges from the
+    corpus index — it never splits, decodes, or pickles lines itself
+    (and corpus lines cannot contain line breaks by construction, so
+    there is no fallback case).
     """
+    from repro.datasets.ndjson import MmapCorpus
+
+    if isinstance(lines, MmapCorpus):
+        return _infer_corpus_text(
+            lines,
+            partitions,
+            equivalence,
+            processes=processes,
+            shared_memory=shared_memory,
+        )
     lines = list(lines)
     if not any(line and not line.isspace() for line in lines):
         raise InferenceError("cannot infer a schema from an empty collection")
     buckets = partition_lines(lines, partitions)
 
     if processes is None:
-        processes = min(len(buckets), multiprocessing.cpu_count())
+        processes = min(len(buckets), auto_jobs())
     processes = max(1, processes)
 
     if shared_memory and any("\n" in line for line in lines):
@@ -422,6 +491,320 @@ def infer_distributed_text(
     )
 
 
+def _infer_corpus_text(
+    corpus,
+    partitions: int,
+    equivalence: Equivalence,
+    *,
+    processes: Optional[int],
+    shared_memory: bool,
+) -> ParallelRun:
+    """The mmap-corpus execution of :func:`infer_distributed_text`."""
+    total = len(corpus)
+    has_content = False
+    for index, (start, end) in enumerate(corpus.spans):
+        if end > start:
+            line = corpus[index]
+            if line and not line.isspace():
+                has_content = True
+                break
+    if not has_content:
+        raise InferenceError("cannot infer a schema from an empty collection")
+    bounds = partition_bounds(total, partitions)
+
+    if processes is None:
+        processes = min(len(bounds), auto_jobs())
+    processes = max(1, processes)
+
+    if processes == 1 or len(bounds) == 1:
+        partials = [
+            _infer_lines_partition((corpus[start:stop], equivalence.value))
+            for start, stop in bounds
+        ]
+        processes = 1
+    elif shared_memory:
+        from multiprocessing import shared_memory as shm
+
+        size = corpus.size_bytes
+        segment = shm.SharedMemory(create=True, size=max(1, size))
+        try:
+            # The corpus crosses the process boundary as one memcpy of
+            # the raw file bytes; workers slice it by line-aligned byte
+            # ranges from the index.
+            segment.buf[:size] = corpus.buffer()
+            payloads = [
+                (segment.name, *corpus.byte_range(start, stop), equivalence.value)
+                for start, stop in bounds
+            ]
+            with multiprocessing.Pool(processes=processes) as pool:
+                partials = pool.map(_infer_shm_corpus_partition, payloads)
+        finally:
+            segment.close()
+            segment.unlink()
+    else:
+        # No shared memory requested: workers still avoid any
+        # parent-side decode by reading their own byte range straight
+        # from the backing file.
+        range_payloads = [
+            (corpus.path, *corpus.byte_range(start, stop), equivalence.value)
+            for start, stop in bounds
+        ]
+        with multiprocessing.Pool(processes=processes) as pool:
+            partials = pool.map(_infer_file_range_partition, range_payloads)
+
+    combined = TypeAccumulator(equivalence)
+    counts: list[int] = []
+    for partial_type, count in partials:
+        combined.add_type(partial_type)
+        counts.append(count)
+    return ParallelRun(
+        result=combined.result(),
+        partitions=len(bounds),
+        processes=processes,
+        equivalence=equivalence,
+        partition_documents=counts,
+    )
+
+
+# ---------------------------------------------------------------------------
+# adaptive scheduler: auto jobs, timed-sample cost model, serial fallback
+# ---------------------------------------------------------------------------
+
+
+def auto_jobs() -> int:
+    """Worker processes this machine can actually run in parallel.
+
+    Prefers ``os.sched_getaffinity`` (container/cgroup and taskset
+    aware — ``cpu_count`` over-reports inside CPU-limited containers),
+    falling back to ``multiprocessing.cpu_count``.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return max(1, multiprocessing.cpu_count())
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """The adaptive scheduler's decision for one corpus.
+
+    ``mode`` is ``"serial"`` or ``"parallel"``; the estimate fields
+    record the cost model's inputs so benchmarks and the CLI can report
+    *why* the scheduler chose what it chose.
+    """
+
+    mode: str
+    jobs: int
+    partitions: int
+    documents: int
+    cpus: int
+    sample_docs_per_sec: float
+    estimated_serial_seconds: float
+    estimated_parallel_seconds: float
+    reason: str
+
+    @property
+    def parallel(self) -> bool:
+        return self.mode == "parallel"
+
+
+# Cost-model constants.  Startup covers fork + pool handshake + module
+# import per worker; shipping covers pickling line batches to workers
+# (the shared-memory feed pays one memcpy instead, but modelling the
+# pickle cost keeps the decision conservative).
+def _worker_startup_seconds() -> float:
+    """Per-worker startup cost for the plan's model.
+
+    Read from ``REPRO_WORKER_STARTUP_SECONDS`` on *every* plan, so
+    tuning the override takes effect without re-importing the package;
+    malformed values fall back to the default rather than raising.
+    """
+    try:
+        return float(os.environ.get("REPRO_WORKER_STARTUP_SECONDS", "0.08"))
+    except ValueError:
+        return 0.08
+_SHIP_BYTES_PER_SECOND = 150e6
+_PARALLEL_ADVANTAGE = 1.15  # modeled win required before spawning workers
+_SAMPLE_SIZE = 200
+# The timed sample is throwaway work; cap it by wall clock as well as
+# count so corpora of few-but-huge lines don't pay a large fraction of
+# the fold just to decide the plan.
+_SAMPLE_BUDGET_SECONDS = 0.05
+_SAMPLE_MINIMUM = 8
+
+
+def plan_schedule(
+    lines: Sequence[str],
+    *,
+    jobs: Optional[int] = None,
+    shared_memory: bool = False,
+    sample_size: int = _SAMPLE_SIZE,
+) -> SchedulePlan:
+    """Decide serial vs. parallel execution for a line corpus.
+
+    The model: parallel wall-clock is per-worker startup, plus the
+    serial fold divided across the CPUs that can really run (requested
+    jobs capped by :func:`auto_jobs`), plus corpus shipping.  The timed
+    sample measures the *map* rate (text to canonical type), which
+    dominates the fold and does not depend on the equivalence — so one
+    plan serves both equivalences.  The serial
+    fold rate is *measured*, not assumed — a small prefix of the corpus
+    is typed through the fused pipeline into a throwaway table — so the
+    decision tracks the actual machine and document shape.  When the
+    modeled parallel win is under ``_PARALLEL_ADVANTAGE`` the plan is
+    serial: spawning workers that lose to the serial fold (the E16
+    regression: 0.94x at ``--jobs 2`` on one usable CPU) is the one
+    outcome this scheduler exists to prevent.
+    """
+    documents = len(lines)
+    cpus = auto_jobs()
+    requested = cpus if jobs is None else max(1, jobs)
+
+    def serial_plan(reason: str, rate: float = 0.0, serial_s: float = 0.0,
+                    parallel_s: float = 0.0) -> SchedulePlan:
+        return SchedulePlan(
+            mode="serial",
+            jobs=1,
+            partitions=1,
+            documents=documents,
+            cpus=cpus,
+            sample_docs_per_sec=rate,
+            estimated_serial_seconds=serial_s,
+            estimated_parallel_seconds=parallel_s,
+            reason=reason,
+        )
+
+    if documents == 0:
+        return serial_plan("empty corpus")
+    if jobs is not None and requested == 1:
+        return serial_plan("one worker requested")
+    if cpus == 1:
+        return serial_plan(
+            "one usable CPU: parallel workers would only contend"
+        )
+
+    sample_limit = min(documents, max(1, sample_size))
+    encoder = _sample_encoder()
+    sample_bytes = 0
+    sampled = 0
+    start_time = time.perf_counter()
+    for index in range(sample_limit):
+        line = lines[index]
+        sample_bytes += len(line)
+        if line and not line.isspace():
+            encoder.encode_text(line)
+        sampled += 1
+        if (
+            sampled >= _SAMPLE_MINIMUM
+            and time.perf_counter() - start_time > _SAMPLE_BUDGET_SECONDS
+        ):
+            break
+    elapsed = max(time.perf_counter() - start_time, 1e-9)
+    rate = sampled / elapsed
+
+    serial_seconds = documents / rate
+    effective = min(requested, cpus)
+    total_bytes = sample_bytes * (documents / sampled)
+    # Shipping: per-batch pickles for in-memory line lists only.  Both
+    # corpus transports avoid it — workers read their own byte ranges
+    # from the file or from one shared-memory memcpy.
+    from repro.datasets.ndjson import MmapCorpus
+
+    ships_lines = not shared_memory and not isinstance(lines, MmapCorpus)
+    ship_seconds = total_bytes / _SHIP_BYTES_PER_SECOND if ships_lines else 0.0
+    parallel_seconds = (
+        _worker_startup_seconds() * effective
+        + serial_seconds / effective
+        + ship_seconds
+    )
+
+    if serial_seconds > parallel_seconds * _PARALLEL_ADVANTAGE:
+        return SchedulePlan(
+            mode="parallel",
+            jobs=effective,
+            partitions=effective,
+            documents=documents,
+            cpus=cpus,
+            sample_docs_per_sec=rate,
+            estimated_serial_seconds=serial_seconds,
+            estimated_parallel_seconds=parallel_seconds,
+            reason=(
+                f"modeled {serial_seconds / parallel_seconds:.2f}x win "
+                f"on {effective} of {cpus} CPUs"
+            ),
+        )
+    return serial_plan(
+        f"modeled parallel win {serial_seconds / parallel_seconds:.2f}x is "
+        f"under the {_PARALLEL_ADVANTAGE:.2f}x threshold (startup + "
+        "shipping eat the split fold)",
+        rate,
+        serial_seconds,
+        parallel_seconds,
+    )
+
+
+def _sample_encoder():
+    """A fused text encoder over a private table (samples must not
+    pollute the global intern table's statistics)."""
+    from repro.types.build import EventTypeEncoder
+    from repro.types.intern import InternTable
+
+    return EventTypeEncoder(InternTable())
+
+
+def infer_adaptive_text(
+    lines: Sequence[str],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = None,
+    shared_memory: bool = False,
+    sample_size: int = _SAMPLE_SIZE,
+) -> ParallelRun:
+    """The batched text feed behind the adaptive scheduler.
+
+    ``lines`` is any in-memory line sequence or an
+    :class:`~repro.datasets.ndjson.MmapCorpus`.  ``jobs=None`` sizes the
+    worker pool from CPU affinity; any requested ``jobs`` is treated as
+    a *cap*, not a command — the scheduler still falls back to a serial
+    fold when the timed-sample cost model says workers would lose
+    (guaranteeing ``--jobs N`` is never slower than serial by more than
+    the sample cost).  The result is bit-identical to every other path.
+    """
+    plan = plan_schedule(
+        lines,
+        jobs=jobs,
+        shared_memory=shared_memory,
+        sample_size=sample_size,
+    )
+    if not plan.parallel:
+        from repro.inference.engine import accumulate_lines
+
+        accumulator = accumulate_lines(lines, equivalence)
+        if accumulator.is_empty():
+            raise InferenceError(
+                "cannot infer a schema from an empty collection"
+            )
+        return ParallelRun(
+            result=accumulator.result(),
+            partitions=1,
+            processes=1,
+            equivalence=equivalence,
+            partition_documents=[accumulator.document_count],
+            plan=plan,
+        )
+    run = infer_distributed_text(
+        lines,
+        partitions=plan.partitions,
+        equivalence=equivalence,
+        processes=plan.jobs,
+        shared_memory=shared_memory,
+    )
+    run.plan = plan
+    return run
+
+
 # ---------------------------------------------------------------------------
 # parallel counting-types reduce
 # ---------------------------------------------------------------------------
@@ -470,7 +853,7 @@ def infer_counted_parallel(
     payloads = [(bucket, equivalence.value) for bucket in buckets]
 
     if processes is None:
-        processes = min(len(buckets), multiprocessing.cpu_count())
+        processes = min(len(buckets), auto_jobs())
     processes = max(1, processes)
 
     if processes == 1 or len(buckets) == 1:

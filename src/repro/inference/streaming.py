@@ -153,3 +153,56 @@ def infer_report_streaming(
         equivalence=equivalence,
         document_count=accumulator.document_count,
     )
+
+
+def infer_report_path(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = 1,
+    shared_memory: bool = False,
+) -> InferenceReport:
+    """One-stop inference over an NDJSON source — the CLI's entry point.
+
+    ``source`` is a file path, ``"-"`` for stdin, or any line iterable.
+    With ``jobs=1`` the corpus streams serially in O(nesting) memory.
+    Otherwise the run routes through the adaptive scheduler
+    (:func:`repro.inference.distributed.infer_adaptive_text`):
+    ``jobs=None`` sizes the worker pool from CPU affinity, ``jobs=N``
+    caps it at N, and either way the scheduler falls back to a serial
+    fold when its timed-sample cost model says workers would lose.  Real
+    files are mapped as a zero-copy
+    :class:`~repro.datasets.ndjson.MmapCorpus`, so the parallel feed
+    ships byte ranges without the parent ever splitting lines.
+    """
+    import os
+
+    from repro.datasets.ndjson import iter_ndjson_lines, open_corpus
+
+    if jobs == 1:
+        return infer_report_streaming(iter_ndjson_lines(source), equivalence)
+
+    from repro.inference.distributed import infer_adaptive_text
+
+    corpus = None
+    if (
+        isinstance(source, (str, os.PathLike))
+        and str(source) != "-"
+        and os.path.isfile(source)
+    ):
+        # Only regular files can be mapped; FIFOs, /dev/stdin and other
+        # special files stat as size 0 and must be read as streams.
+        corpus = open_corpus(source)
+    try:
+        lines = corpus if corpus is not None else list(iter_ndjson_lines(source))
+        run = infer_adaptive_text(
+            lines, equivalence, jobs=jobs, shared_memory=shared_memory
+        )
+    finally:
+        if corpus is not None:
+            corpus.close()
+    return InferenceReport(
+        inferred=run.result,
+        equivalence=equivalence,
+        document_count=run.document_count,
+    )

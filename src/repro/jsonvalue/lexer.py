@@ -10,6 +10,7 @@ and decodes string escapes including surrogate pairs.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -87,6 +88,44 @@ _ESCAPES = {
 _NUMBER_START = set("-0123456789")
 _DIGITS = set("0123456789")
 
+# --------------------------------------------------------------------------
+# Shared token patterns.
+#
+# The lexer's own fast paths and the regex-vectorized structural scan of
+# :mod:`repro.types.build` compose these fragments, so there is exactly one
+# definition of "a simple string" / "an RFC 8259 number" in the system.
+#
+# - SIMPLE_STRING_PATTERN matches a string literal with no escapes and no
+#   unescaped control characters — the overwhelmingly common case, which
+#   needs no decoding at all (its value is the raw slice between the
+#   quotes).  Strings containing ``\`` or a control character fail the
+#   pattern *entirely* (the character class cannot match them), so a match
+#   is always a complete, valid literal.
+# - FLOAT_PATTERN / INT_PATTERN split the number grammar by whether the
+#   literal has a fraction or exponent; FLOAT must be tried first (regex
+#   alternation is first-match, and every float starts with a valid int).
+#   Both match *maximally*, but a match followed by one of
+#   NUMBER_BOUNDARY_CHARS (".", "e", "E", a digit) may extend into a
+#   malformed literal ("01", "1.e5", "1e+") — callers must defer those to
+#   the character-level scan for the exact error.
+# --------------------------------------------------------------------------
+
+STRING_BODY_PATTERN = r'[^"\\\x00-\x1f]*'
+SIMPLE_STRING_PATTERN = '"' + STRING_BODY_PATTERN + '"'
+INT_PATTERN = r"-?(?:0|[1-9][0-9]*)"
+FLOAT_PATTERN = (
+    r"-?(?:0|[1-9][0-9]*)(?:\.[0-9]+(?:[eE][+-]?[0-9]+)?|[eE][+-]?[0-9]+)"
+)
+WHITESPACE_PATTERN = r"[ \t\n\r]*"
+NUMBER_BOUNDARY_CHARS = ".eE0123456789"
+
+_SIMPLE_STRING_RE = re.compile(SIMPLE_STRING_PATTERN)
+# One capturing group around the float alternative: ``lastindex`` is 1
+# exactly when the literal has a fraction or exponent.
+_NUMBER_RE = re.compile("(" + FLOAT_PATTERN + ")|" + INT_PATTERN)
+_WHITESPACE_RE = re.compile(WHITESPACE_PATTERN)
+_NUMBER_BOUNDARY = frozenset(NUMBER_BOUNDARY_CHARS)
+
 
 class _Scanner:
     """Mutable cursor over the source text with line/column tracking."""
@@ -109,23 +148,33 @@ class _Scanner:
         return JsonLexError(message, pos, self.line, pos - self.line_start + 1)
 
     def skip_whitespace(self) -> None:
-        text = self.text
         pos = self.pos
-        length = self.length
-        while pos < length:
-            ch = text[pos]
-            if ch == "\n":
-                self.line += 1
-                self.line_start = pos + 1
-            elif ch not in _WHITESPACE:
-                break
-            pos += 1
-        self.pos = pos
+        end = _WHITESPACE_RE.match(self.text, pos).end()
+        if end != pos:
+            # One C-speed match consumes the whole run; newlines are
+            # re-counted only when the run contains any.
+            newlines = self.text.count("\n", pos, end)
+            if newlines:
+                self.line += newlines
+                self.line_start = self.text.rfind("\n", pos, end) + 1
+            self.pos = end
 
     def scan_string(self) -> Token:
         """Scan a string literal; ``pos`` must sit on the opening quote."""
         text = self.text
         start = self.pos
+        simple = _SIMPLE_STRING_RE.match(text, start)
+        if simple is not None:
+            # No escapes, no control characters: the value is the raw
+            # slice (and cannot contain a newline, so line bookkeeping
+            # is untouched).
+            end = simple.end()
+            token = Token(
+                TokenType.STRING, text[start + 1 : end - 1], start, end,
+                self.line, self.column,
+            )
+            self.pos = end
+            return token
         line = self.line
         column = self.column
         pos = start + 1
@@ -198,6 +247,18 @@ class _Scanner:
         column = self.column
         pos = start
         length = self.length
+        fast = _NUMBER_RE.match(text, start)
+        if fast is not None:
+            end = fast.end()
+            if end >= length or text[end] not in _NUMBER_BOUNDARY:
+                # Maximal valid literal with a clean boundary; a trailing
+                # ".", "e"/"E" or digit could extend into a malformed
+                # literal ("01", "1.e5", "1e+"), which the character walk
+                # below rejects with the exact error.
+                literal = text[start:end]
+                value = float(literal) if fast.lastindex else int(literal)
+                self.pos = end
+                return Token(TokenType.NUMBER, value, start, end, line, column)
         if text[pos] == "-":
             pos += 1
             if pos >= length or text[pos] not in _DIGITS:

@@ -233,8 +233,19 @@ def _encode(schema: AvroSchema, value: Any, out: bytearray) -> None:
         _write_long(out, 0)
         return
     if isinstance(schema, AUnion):
+        # Two-pass pick.  First an *exact* branch (every record field
+        # present, numbers by their own kind), so roundtrips are
+        # lossless whenever a lossless branch exists; then the lenient
+        # fallback where an int may ride a double branch (the fused
+        # ``Num`` idiom).  Field presence is required in both passes —
+        # the record encoder below never fills gaps.
         for index, branch in enumerate(schema.branches):
-            if _accepts(branch, value):
+            if _accepts(branch, value, strict=True, exact_numbers=True):
+                _write_long(out, index)
+                _encode(branch, value, out)
+                return
+        for index, branch in enumerate(schema.branches):
+            if _accepts(branch, value, strict=True):
                 _write_long(out, index)
                 _encode(branch, value, out)
                 return
@@ -242,8 +253,23 @@ def _encode(schema: AvroSchema, value: Any, out: bytearray) -> None:
     raise TranslationError(f"cannot encode with schema node {schema!r}")
 
 
-def _accepts(schema: AvroSchema, value: Any) -> bool:
-    """Fully recursive membership test, used to pick union branches."""
+def _accepts(
+    schema: AvroSchema,
+    value: Any,
+    strict: bool = False,
+    exact_numbers: bool = False,
+) -> bool:
+    """Fully recursive membership test, used to pick union branches.
+
+    ``strict`` requires every record field to be *present* (at every
+    depth) — what :func:`encode` needs when picking a union branch,
+    since its record encoder does not fill gaps.  The default, lenient
+    mode additionally admits documents whose missing fields are
+    nullable — what :func:`_fill_missing` needs to pick the branch it
+    is about to fill.  ``exact_numbers`` makes ``double`` accept only
+    floats, so :func:`encode` can prefer a lossless branch before
+    falling back to the int-as-double idiom.
+    """
     if isinstance(schema, APrimitive):
         if schema.name == "null":
             return value is None
@@ -252,6 +278,8 @@ def _accepts(schema: AvroSchema, value: Any) -> bool:
         if schema.name == "long":
             return is_integer_value(value)
         if schema.name == "double":
+            if exact_numbers:
+                return isinstance(value, float)
             return isinstance(value, (int, float)) and not isinstance(value, bool)
         return isinstance(value, str)
     if isinstance(schema, ARecord):
@@ -262,19 +290,22 @@ def _accepts(schema: AvroSchema, value: Any) -> bool:
             return False
         for f in schema.fields:
             if f.name in value:
-                if not _accepts(f.type, value[f.name]):
+                if not _accepts(f.type, value[f.name], strict, exact_numbers):
                     return False
-            elif not _accepts(f.type, None):
-                return False  # missing non-nullable field
+            elif strict or not _accepts(f.type, None):
+                return False  # missing (strict) / non-nullable field
         return True
     if isinstance(schema, AMap):
         return isinstance(value, dict) and all(
-            isinstance(k, str) and _accepts(schema.values, v) for k, v in value.items()
+            isinstance(k, str) and _accepts(schema.values, v, strict, exact_numbers)
+            for k, v in value.items()
         )
     if isinstance(schema, AArray):
-        return isinstance(value, list) and all(_accepts(schema.items, v) for v in value)
+        return isinstance(value, list) and all(
+            _accepts(schema.items, v, strict, exact_numbers) for v in value
+        )
     if isinstance(schema, AUnion):
-        return any(_accepts(b, value) for b in schema.branches)
+        return any(_accepts(b, value, strict, exact_numbers) for b in schema.branches)
     return False
 
 

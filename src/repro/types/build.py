@@ -17,12 +17,17 @@ differential property tests in ``tests/test_build_fused_differential.py``.
 
 :class:`EventTypeEncoder` extends the fused map phase to *text*: it
 consumes SAX-style parse events (:meth:`EventTypeEncoder.feed_event`) or
-raw lexer tokens (:meth:`EventTypeEncoder.encode_text`) and resolves
+raw JSON text (:meth:`EventTypeEncoder.encode_text`) and resolves
 every closing container through the same record/array shape caches —
 no ``JSONValue`` DOM, no per-document frame objects, just bytes to a
-canonical interned type.  ``encode_text`` raises exactly the errors the
-DOM parser raises (same class, message and offset), so the streaming and
-parsing paths fail identically.
+canonical interned type.  ``encode_text`` is a **regex-vectorized
+structural scan**: compiled phase-specific master patterns (built from
+the lexer's shared token fragments) consume the inter-token whitespace
+and the next token — or a whole ``"key": scalar-value ,`` member /
+array element — per C-speed ``match`` call, so the happy path does no
+per-character Python dispatch at all.  ``encode_text`` raises exactly
+the errors the DOM parser raises (same class, message and offset), so
+the streaming and parsing paths fail identically.
 """
 
 from __future__ import annotations
@@ -33,7 +38,15 @@ import re
 
 from repro.errors import InferenceError
 from repro.jsonvalue.events import JsonEvent, JsonEventType
-from repro.jsonvalue.lexer import Token, TokenType, _Scanner
+from repro.jsonvalue.lexer import (
+    INT_PATTERN,
+    NUMBER_BOUNDARY_CHARS,
+    STRING_BODY_PATTERN,
+    WHITESPACE_PATTERN,
+    Token,
+    TokenType,
+    _Scanner,
+)
 from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
 from repro.jsonvalue.parser import JsonParseError
 from repro.types.intern import InternTable, global_table
@@ -286,15 +299,119 @@ _PHASE_AFTER = 2
 _PHASE_KEY_OR_CLOSE = 3
 _PHASE_VALUE_OR_CLOSE = 4
 
-# A JSON string's body may not contain these unescaped: a backslash
-# starts an escape, anything below 0x20 is a control character.  One
-# C-speed regex probe decides whether a string needs the lexer's full
-# decode (escapes/errors) or nothing at all.
-_STRING_SPECIAL = re.compile("[\x00-\x1f\\\\]")
+# --------------------------------------------------------------------------
+# The regex-vectorized structural scan.
+#
+# One compiled master pattern per parser phase, composed from the lexer's
+# shared token fragments.  Each pattern folds the inter-token whitespace
+# run and the next token into a *single* C-speed ``match`` call, so the
+# per-token Python cost of ``encode_text`` is one regex call plus one
+# integer dispatch on ``lastindex`` — no per-character work at all on the
+# happy path.  Anything a pattern declines (escaped strings, malformed
+# literals, EOF, garbage) drops to the real lexer at the same position,
+# which either resolves the token or raises the exact parser error.
+#
+# Line/column bookkeeping is *lazy*: newlines are only counted (from a
+# monotonically advancing anchor, so the total work stays linear) when a
+# slow path or an error actually needs a position.
+# --------------------------------------------------------------------------
 
-_WS = " \t\n\r"
-_DIGITS = "0123456789"
+_STRING_BODY = STRING_BODY_PATTERN
+# INT ∪ FLOAT as one backtrack-free alternative: the (always
+# participating, possibly empty) tail group is what makes the literal a
+# float, so integers match in a single forward scan — no failed-float
+# re-scan — and the kind falls out of the tail group's width.
+_NUMBER_TAIL = r"(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
+
+# The scalar alternatives, one capturing group each so ``lastindex``
+# names the kind in a single attribute read (the opening quote stands
+# in for the whole string — its content never matters to its type;
+# true/false and null are separate groups for the same reason).
+# Relative groups: +1 string, +2 number (containing +3 tail),
+# +4 true/false, +5 null, +6 empty array, +7 empty object.
+_SCALAR_GROUPS = (
+    '(")' + _STRING_BODY + '"'
+    + "|(" + INT_PATTERN + "(" + _NUMBER_TAIL + "))"
+    + "|(true|false)|(null)"
+    + r"|(\[" + WHITESPACE_PATTERN + r"\])"
+    + r"|(\{" + WHITESPACE_PATTERN + r"\})"
+)
+
+# Expect-a-value contexts.  Group indices drive the dispatch:
+#   1 string   2 number   3 number tail   4 true/false   5 null
+#   6 empty array   7 empty object
+#   8 "{"   9 "["   10 "]" (legal only just after "[")
+_VALUE_SCAN = re.compile(
+    WHITESPACE_PATTERN + "(?:"
+    + _SCALAR_GROUPS
+    + r"|(\{)|(\[)|(\])"
+    ")"
+)
+# Expect-an-object-key contexts: the key string *and* its colon in one
+# match (group 1 captures the key's content), or the closing brace
+# (group 2, legal only just after "{").
+_KEY_SCAN = re.compile(
+    WHITESPACE_PATTERN
+    + '(?:"(' + _STRING_BODY + ')"' + WHITESPACE_PATTERN + r":|(\}))"
+)
+# After-a-completed-value contexts: the only legal tokens are "," and the
+# closing brackets.
+_AFTER_SCAN = re.compile(WHITESPACE_PATTERN + r"([,\]}])")
+
+# The member/element fused fast paths: a whole scalar object member
+# (key, colon, value, and the following "," or "}") or a whole scalar
+# array element (value plus "," or "]") in *one* match — and when the
+# value is itself a container, the key and its opening bracket in one
+# match.  These are the shapes that dominate real collections — flat
+# records of scalars and arrays of scalars — and fusing them drops the
+# Python loop from one iteration per token to one per member or
+# element.  The (captureless) terminator doubles as the number-boundary
+# guard: a maximal number match followed by anything but
+# whitespace-then-terminator fails the whole pattern, so malformed
+# literals ("01", "1.e5") can never sneak through — they fall back to
+# the per-token machine and its exact errors.
+#
+# Member groups: 1 key content, 2 string, 3 number, 4 number tail,
+# 5 true/false, 6 null, 7 empty array, 8 empty object,
+# 9 "{" or "[" (the value opens a container).
+_MEMBER_BODY = (
+    '"(' + _STRING_BODY + ')"'
+    + WHITESPACE_PATTERN + ":" + WHITESPACE_PATTERN
+    + "(?:(?:" + _SCALAR_GROUPS + ")"
+    + WHITESPACE_PATTERN + r"[,}]|([{\[]))"
+)
+_MEMBER_SCAN = re.compile(WHITESPACE_PATTERN + _MEMBER_BODY)
+# Element groups: 1 string, 2 number, 3 number tail, 4 true/false,
+# 5 null, 6 empty array, 7 empty object, 8 "{" or "[".
+_ELEMENT_BODY = (
+    "(?:(?:" + _SCALAR_GROUPS + ")"
+    + WHITESPACE_PATTERN + r"[,\]]|([{\[]))"
+)
+_ELEMENT_SCAN = re.compile(WHITESPACE_PATTERN + _ELEMENT_BODY)
+# Continuation variants: after a nested container closes, its sibling
+# member/element (comma included) in one match — so closing a child
+# flows straight back into the parent's fused loop without a trip
+# through the phase machine.
+_AFTER_MEMBER_SCAN = re.compile(
+    WHITESPACE_PATTERN + "," + WHITESPACE_PATTERN + _MEMBER_BODY
+)
+_AFTER_ELEMENT_SCAN = re.compile(
+    WHITESPACE_PATTERN + "," + WHITESPACE_PATTERN + _ELEMENT_BODY
+)
+
+_WS_RUN = re.compile(WHITESPACE_PATTERN)
+_NUMBER_BOUNDARY = frozenset(NUMBER_BOUNDARY_CHARS)
 _NUMBER_START = "-0123456789"
+
+# Shape-signature key domains.  The fused loops append their small-int
+# group code for scalar children (and 0 for floats, whose group is
+# shared with ints), while every other path — feed_event, the
+# value_scan fallback, TypeEncoder.encode, and container attaches —
+# appends ``id(child)``.  The two domains can never collide: CPython
+# ids are object addresses, far above the single-digit codes, so the
+# same shape reached through different paths at worst occupies two
+# cache slots resolving to the same canonical node (rec_of/arr_of are
+# probe-first).  Any future code scheme must stay outside the id range.
 
 
 class EventTypeEncoder(TypeEncoder):
@@ -308,10 +425,11 @@ class EventTypeEncoder(TypeEncoder):
       DOM value, no per-document frame objects, just list frames of
       ``(shape-signature parts, child types)`` resolved through the
       shared record/array shape caches;
-    - :meth:`encode_text` fuses one step further and drives the raw
-      lexer itself: one pass from JSON text to the canonical interned
-      type, with the exact error behaviour (class, message, offset) of
-      the DOM parser under its default options.
+    - :meth:`encode_text` fuses one step further and runs the compiled
+      structural scan: one regex-driven pass from JSON text to the
+      canonical interned type (whole scalar members and elements per
+      C-speed match), with the exact error behaviour (class, message,
+      offset) of the DOM parser under its default options.
 
     Both paths produce, by object identity, the same node that
     ``table.intern(type_of(parse(text)))`` would — the conformance and
@@ -459,37 +577,66 @@ class EventTypeEncoder(TypeEncoder):
     # fused lexer loop: one pass from text to canonical type
     # ------------------------------------------------------------------
 
-    def _fail_at(self, text: str, pos: int, line: int, line_start: int, message: str):
+    def _fail_at(self, text: str, pos: int, message: str):
         """Raise the structural error the DOM parser would raise here.
 
         The parser works token-at-a-time, so its structural errors carry
         the *lexed* offending token — and when that token is itself
         malformed, the lexical error wins.  Reproduce both by lexing the
-        offending position with the real scanner.
+        offending position with the real scanner.  Line bookkeeping is
+        computed here, on the terminal path, rather than tracked during
+        the scan.
         """
         scanner = _Scanner(text)
         scanner.pos = pos
-        scanner.line = line
-        scanner.line_start = line_start
+        scanner.line = text.count("\n", 0, pos) + 1
+        scanner.line_start = text.rfind("\n", 0, pos) + 1
         token = scanner.next_token()  # may raise the (correct) lex error
         raise JsonParseError(message, token)
+
+    def _fail_eof(self, text: str, phase: int):
+        """Raise the phase-appropriate error for input ending early."""
+        pos = len(text)
+        line = text.count("\n") + 1
+        column = pos - (text.rfind("\n") + 1) + 1
+        eof = Token(TokenType.EOF, None, pos, pos, line, column)
+        if phase == _PHASE_AFTER:
+            raise JsonParseError("expected ',' or closing bracket", eof)
+        if phase == _PHASE_KEY or phase == _PHASE_KEY_OR_CLOSE:
+            raise JsonParseError("expected object key string", eof)
+        raise JsonParseError("expected a JSON value", eof)
+
+    def _fail_depth(self, text: str, pos: int, max_depth: int, is_object: bool):
+        """Raise the parser's nesting-limit error for the bracket at ``pos``."""
+        line = text.count("\n", 0, pos) + 1
+        column = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        token_type = TokenType.LBRACE if is_object else TokenType.LBRACKET
+        raise JsonParseError(
+            f"maximum nesting depth of {max_depth} exceeded",
+            Token(token_type, None, pos, pos + 1, line, column),
+        )
 
     def encode_text(self, text: str, *, max_depth: int = 512) -> Type:
         """The canonical interned type of one JSON text.
 
         Identical (by object identity) to
-        ``table.intern(type_of(parse(text)))`` but runs a character-level
-        machine over the text: no DOM, no event objects, no token
-        objects on the happy path — scalar literals resolve to canonical
-        atoms after a validity scan (a string's *content* never matters
-        to its type, only that it lexes), closing containers resolve
-        through the shape caches.  Anything unusual (escapes, malformed
-        literals, structural errors) defers to the real lexer at the
-        exact same position, so malformed text raises exactly what
-        :func:`repro.jsonvalue.parser.parse` raises under its default
-        options: the same :class:`~repro.jsonvalue.parser.JsonParseError`
-        / :class:`~repro.jsonvalue.lexer.JsonLexError` class, message
-        and offset.
+        ``table.intern(type_of(parse(text)))`` but runs the compiled
+        structural scan over the text: one phase-specific master regex
+        consumes the inter-token whitespace *and* the next token per
+        C-speed ``match`` call (strings, numbers, literals, punctuation
+        — and for object members the key and its colon together), so no
+        per-character Python dispatch happens on the happy path.  Scalar
+        literals resolve to canonical atoms straight from which
+        alternative matched (a string's *content* never matters to its
+        type, only that it lexes); closing containers resolve through
+        the shape caches.  Anything the patterns decline (escapes,
+        malformed literals, structural errors) defers to the real lexer
+        at the exact same position, so malformed text raises exactly
+        what :func:`repro.jsonvalue.parser.parse` raises under its
+        default options: the same
+        :class:`~repro.jsonvalue.parser.JsonParseError` /
+        :class:`~repro.jsonvalue.lexer.JsonLexError` class, message and
+        offset.
         """
         table = self.table
         if table.epoch() is not self._epoch:
@@ -499,256 +646,418 @@ class EventTypeEncoder(TypeEncoder):
         str_atom = self._str
         bool_atom = self._bool
         null_atom = self._null
-        special = _STRING_SPECIAL.search
-        find_quote = text.find
+        value_scan = _VALUE_SCAN.match
+        key_scan = _KEY_SCAN.match
+        after_scan = _AFTER_SCAN.match
+        member_scan = _MEMBER_SCAN.match
+        element_scan = _ELEMENT_SCAN.match
+        after_member_scan = _AFTER_MEMBER_SCAN.match
+        after_element_scan = _AFTER_ELEMENT_SCAN.match
+        ws_run = _WS_RUN.match
+        close_record = self._close_record
+        close_array = self._close_array
+        empty_arr = self._empty_arr
+        empty_rec = self._empty_rec
         length = len(text)
         pos = 0
-        line = 1
-        line_start = 0
-        scanner: Optional[_Scanner] = None  # lazily built for slow paths
         stack: list[list] = []
         phase = _PHASE_VALUE
         result: Optional[Type] = None
+        # Set when the fused loop just declined at the current position:
+        # the outer dispatch skips the (guaranteed-failing) re-match and
+        # goes straight to the per-token scan.
+        declined = False
+
+        # Lazily synchronized lexer for the slow paths.  ``nl_pos`` is a
+        # monotonically advancing anchor with known line bookkeeping, so
+        # repeated slow tokens re-count newlines only over the text
+        # between anchors (linear total), not from the start each time.
+        scanner: Optional[_Scanner] = None
+        nl_pos = 0
+        nl_line = 1
+        nl_start = 0
+
+        def lex_at(p: int) -> _Scanner:
+            nonlocal scanner, nl_pos, nl_line, nl_start
+            if scanner is None:
+                scanner = _Scanner(text)
+            if p > nl_pos:
+                newlines = text.count("\n", nl_pos, p)
+                if newlines:
+                    nl_line += newlines
+                    nl_start = text.rfind("\n", nl_pos, p) + 1
+                nl_pos = p
+            scanner.pos = p
+            scanner.line = nl_line
+            scanner.line_start = nl_start
+            return scanner
+
         while True:
-            # Inter-token whitespace (tracks line numbers for errors).
-            while pos < length:
-                ch = text[pos]
-                if ch == " " or ch == "\t" or ch == "\r":
-                    pos += 1
-                elif ch == "\n":
-                    pos += 1
-                    line += 1
-                    line_start = pos
-                else:
-                    break
-            if pos >= length:
-                if phase == _PHASE_AFTER and not stack:
-                    assert result is not None
-                    return result
-                eof = Token(
-                    TokenType.EOF, None, pos, pos, line, pos - line_start + 1
-                )
-                if phase == _PHASE_AFTER:
-                    raise JsonParseError("expected ',' or closing bracket", eof)
-                if phase == _PHASE_KEY or phase == _PHASE_KEY_OR_CLOSE:
-                    raise JsonParseError("expected object key string", eof)
-                raise JsonParseError("expected a JSON value", eof)
-
-            if phase == _PHASE_VALUE_OR_CLOSE:
-                if ch == "]":
-                    pos += 1
-                    stack.pop()
-                    completed = self._empty_arr
-                    if stack:
-                        frame = stack[-1]
-                        frame[1].append(id(completed))
-                        frame[2].append(completed)
-                    else:
-                        result = completed
-                    phase = _PHASE_AFTER
-                    continue
-                phase = _PHASE_VALUE
-            elif phase == _PHASE_KEY_OR_CLOSE:
-                if ch == "}":
-                    pos += 1
-                    stack.pop()
-                    completed = self._empty_rec
-                    if stack:
-                        frame = stack[-1]
-                        frame[1].append(id(completed))
-                        frame[2].append(completed)
-                    else:
-                        result = completed
-                    phase = _PHASE_AFTER
-                    continue
-                phase = _PHASE_KEY
-
-            if phase == _PHASE_VALUE:
-                if ch == '"':
-                    end = find_quote('"', pos + 1)
-                    if end != -1 and special(text, pos + 1, end) is None:
-                        pos = end + 1
-                    else:
-                        # Escapes, control characters, or unterminated:
-                        # the real lexer decodes (or raises) in place.
-                        if scanner is None:
-                            scanner = _Scanner(text)
-                        scanner.pos = pos
-                        scanner.line = line
-                        scanner.line_start = line_start
-                        scanner.scan_string()
-                        pos = scanner.pos
-                    completed = str_atom
-                elif ch in _NUMBER_START:
-                    npos = pos
-                    ok = True
-                    if ch == "-":
-                        npos += 1
-                        if npos >= length or text[npos] not in _DIGITS:
-                            ok = False
-                    if ok:
-                        if text[npos] == "0":
-                            npos += 1
-                            if npos < length and text[npos] in _DIGITS:
-                                ok = False  # leading zero
-                        else:
-                            while npos < length and text[npos] in _DIGITS:
-                                npos += 1
-                    is_float = False
-                    if ok and npos < length and text[npos] == ".":
-                        is_float = True
-                        npos += 1
-                        if npos >= length or text[npos] not in _DIGITS:
-                            ok = False
-                        else:
-                            while npos < length and text[npos] in _DIGITS:
-                                npos += 1
-                    if ok and npos < length and text[npos] in "eE":
-                        is_float = True
-                        npos += 1
-                        if npos < length and text[npos] in "+-":
-                            npos += 1
-                        if npos >= length or text[npos] not in _DIGITS:
-                            ok = False
-                        else:
-                            while npos < length and text[npos] in _DIGITS:
-                                npos += 1
-                    if ok:
-                        pos = npos
-                        completed = flt_atom if is_float else int_atom
-                    else:
-                        # Anomalous literal: the lexer re-scans in place
-                        # and raises the exact message/offset the parser
-                        # would (today the fast walk declines only
-                        # shapes scan_number rejects; the classification
-                        # below is drift insurance, not a live path).
-                        if scanner is None:
-                            scanner = _Scanner(text)
-                        scanner.pos = pos
-                        scanner.line = line
-                        scanner.line_start = line_start
-                        token = scanner.scan_number()
-                        pos = scanner.pos
-                        completed = (
-                            int_atom if token.value.__class__ is int else flt_atom
+            fused = None
+            if phase == _PHASE_AFTER:
+                m = after_scan(text, pos)
+                if m is None:
+                    # EOF (success at top level), or a non-punctuation
+                    # token the parser would lex before failing.
+                    ws_end = ws_run(text, pos).end()
+                    if ws_end >= length:
+                        if not stack:
+                            assert result is not None
+                            return result
+                        self._fail_eof(text, phase)
+                    if not stack:
+                        self._fail_at(
+                            text, ws_end, "trailing data after JSON document"
                         )
-                elif ch == "t":
-                    if not text.startswith("true", pos):
-                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
-                    pos += 4
-                    completed = bool_atom
-                elif ch == "f":
-                    if not text.startswith("false", pos):
-                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
-                    pos += 5
-                    completed = bool_atom
-                elif ch == "n":
-                    if not text.startswith("null", pos):
-                        self._fail_at(text, pos, line, line_start, "expected a JSON value")
-                    pos += 4
-                    completed = null_atom
-                elif ch == "{":
-                    if len(stack) >= max_depth:
-                        raise JsonParseError(
-                            f"maximum nesting depth of {max_depth} exceeded",
-                            Token(
-                                TokenType.LBRACE, None, pos, pos + 1,
-                                line, pos - line_start + 1,
-                            ),
-                        )
-                    pos += 1
-                    stack.append([True, [], []])
-                    phase = _PHASE_KEY_OR_CLOSE
-                    continue
-                elif ch == "[":
-                    if len(stack) >= max_depth:
-                        raise JsonParseError(
-                            f"maximum nesting depth of {max_depth} exceeded",
-                            Token(
-                                TokenType.LBRACKET, None, pos, pos + 1,
-                                line, pos - line_start + 1,
-                            ),
-                        )
-                    pos += 1
-                    stack.append([False, [], []])
-                    phase = _PHASE_VALUE_OR_CLOSE
-                    continue
-                else:
-                    self._fail_at(text, pos, line, line_start, "expected a JSON value")
-                if stack:
-                    frame = stack[-1]
-                    frame[1].append(id(completed))
-                    frame[2].append(completed)
-                else:
-                    result = completed
-                phase = _PHASE_AFTER
-            elif phase == _PHASE_KEY:
-                if ch != '"':
-                    self._fail_at(
-                        text, pos, line, line_start, "expected object key string"
-                    )
-                end = find_quote('"', pos + 1)
-                if end != -1 and special(text, pos + 1, end) is None:
-                    name = text[pos + 1 : end]
-                    pos = end + 1
-                else:
-                    if scanner is None:
-                        scanner = _Scanner(text)
-                    scanner.pos = pos
-                    scanner.line = line
-                    scanner.line_start = line_start
-                    name = scanner.scan_string().value
-                    pos = scanner.pos
-                stack[-1][1].append(name)
-                while pos < length:
-                    ch = text[pos]
-                    if ch == " " or ch == "\t" or ch == "\r":
-                        pos += 1
-                    elif ch == "\n":
-                        pos += 1
-                        line += 1
-                        line_start = pos
-                    else:
-                        break
-                if pos >= length or text[pos] != ":":
-                    self._fail_at(text, pos, line, line_start, "expected ':'")
-                pos += 1
-                phase = _PHASE_VALUE
-            else:  # _PHASE_AFTER: a value has just been completed.
+                    self._fail_at(text, ws_end, "expected ',' or closing bracket")
+                end = m.end()
+                ch = text[end - 1]
                 if not stack:
                     self._fail_at(
-                        text, pos, line, line_start,
-                        "trailing data after JSON document",
+                        text, end - 1, "trailing data after JSON document"
                     )
                 frame = stack[-1]
                 if ch == ",":
-                    pos += 1
+                    pos = end
                     phase = _PHASE_KEY if frame[0] else _PHASE_VALUE
-                elif ch == "}" and frame[0]:
-                    pos += 1
-                    stack.pop()
-                    completed = self._close_record(frame[1], frame[2])
-                    if stack:
-                        parent = stack[-1]
-                        parent[1].append(id(completed))
-                        parent[2].append(completed)
-                    else:
-                        result = completed
-                elif ch == "]" and not frame[0]:
-                    pos += 1
-                    stack.pop()
-                    completed = self._close_array(frame[1], frame[2])
-                    if stack:
-                        parent = stack[-1]
-                        parent[1].append(id(completed))
-                        parent[2].append(completed)
-                    else:
-                        result = completed
+                    continue
+                # "}" or "]": must close the innermost container's kind.
+                if (ch == "}") != frame[0]:
+                    self._fail_at(text, end - 1, "expected ',' or closing bracket")
+                pos = end
+                stack.pop()
+                if frame[0]:
+                    completed = close_record(frame[1], frame[2])
                 else:
-                    self._fail_at(
-                        text, pos, line, line_start,
-                        "expected ',' or closing bracket",
+                    completed = close_array(frame[1], frame[2])
+                if not stack:
+                    result = completed
+                    continue
+                parent = stack[-1]
+                parent[1].append(id(completed))
+                parent[2].append(completed)
+                # Chain straight back into the fused loop when the next
+                # sibling member/element (comma included) matches.
+                if parent[0]:
+                    fused = after_member_scan(text, pos)
+                else:
+                    fused = after_element_scan(text, pos)
+                if fused is None:
+                    continue
+
+            elif phase == _PHASE_KEY or phase == _PHASE_KEY_OR_CLOSE:
+                # Fused fast path: whole scalar members (key, colon,
+                # value, terminator) in one match each — or the key and
+                # its opening bracket when the value is a container —
+                # handled by the unified fused loop below.  Anything
+                # else (escaped keys, malformed input, "}") takes the
+                # per-token scan here.
+                if declined:
+                    declined = False
+                else:
+                    fused = member_scan(text, pos)
+                if fused is None:
+                    m = key_scan(text, pos)
+                    if m is None:
+                        # Escaped key string, missing colon, EOF, garbage.
+                        ws_end = ws_run(text, pos).end()
+                        if ws_end >= length:
+                            self._fail_eof(text, phase)
+                        if text[ws_end] != '"':
+                            self._fail_at(
+                                text, ws_end, "expected object key string"
+                            )
+                        lexer = lex_at(ws_end)
+                        name = lexer.scan_string().value  # may raise in place
+                        colon = ws_run(text, lexer.pos).end()
+                        if colon >= length or text[colon] != ":":
+                            self._fail_at(text, colon, "expected ':'")
+                        stack[-1][1].append(name)
+                        pos = colon + 1
+                        phase = _PHASE_VALUE
+                        continue
+                    end = m.end()
+                    if m.lastindex == 2:  # "}"
+                        if phase == _PHASE_KEY:
+                            # A comma promised another member.
+                            self._fail_at(
+                                text, end - 1, "expected object key string"
+                            )
+                        pos = end
+                        stack.pop()
+                        completed = self._empty_rec
+                        if stack:
+                            parent = stack[-1]
+                            parent[1].append(id(completed))
+                            parent[2].append(completed)
+                        else:
+                            result = completed
+                        phase = _PHASE_AFTER
+                        continue
+                    # Key string and its colon, one match.
+                    stack[-1][1].append(m.group(1))
+                    pos = end
+                    phase = _PHASE_VALUE
+                    continue
+
+            elif stack and not stack[-1][0]:
+                # _PHASE_VALUE / _PHASE_VALUE_OR_CLOSE inside an array:
+                # scalar elements (and container-opening elements) take
+                # the unified fused loop below.
+                if declined:
+                    declined = False
+                else:
+                    fused = element_scan(text, pos)
+
+            if fused is not None:
+                # ------------------------------------------------------
+                # The unified fused loop: one iteration per member or
+                # element.  ``m`` is a member match (in objects) or an
+                # element match (in arrays); closing a container flows
+                # straight into the parent's next sibling through the
+                # ","-including continuation patterns, so deeply nested
+                # documents stay inside this loop.
+                # ------------------------------------------------------
+                m = fused
+                frame = stack[-1]
+                keyparts = frame[1]
+                ctypes = frame[2]
+                in_object = frame[0]
+                while True:
+                    if in_object:
+                        keyparts.append(m.group(1))
+                        kind = m.lastindex
+                        pos = m.end()
+                        if kind == 2:
+                            atom = str_atom
+                        elif kind == 3:
+                            tail_start, tail_end = m.span(4)
+                            if tail_start == tail_end:
+                                atom = int_atom
+                            else:
+                                # Distinct signature code: ints and
+                                # floats share the number group.
+                                kind = 0
+                                atom = flt_atom
+                        elif kind == 5:
+                            atom = bool_atom
+                        elif kind == 6:
+                            atom = null_atom
+                        elif kind == 7:  # empty array value
+                            if len(stack) >= max_depth:
+                                self._fail_depth(text, m.start(7), max_depth, False)
+                            atom = empty_arr
+                        elif kind == 8:  # empty object value
+                            if len(stack) >= max_depth:
+                                self._fail_depth(text, m.start(8), max_depth, True)
+                            atom = empty_rec
+                        else:  # kind == 9: the value opens a container
+                            in_object = text[pos - 1] == "{"
+                            if len(stack) >= max_depth:
+                                self._fail_depth(
+                                    text, pos - 1, max_depth, in_object
+                                )
+                            frame = [in_object, [], []]
+                            stack.append(frame)
+                            keyparts = frame[1]
+                            ctypes = frame[2]
+                            if in_object:
+                                m = member_scan(text, pos)
+                                if m is None:
+                                    declined = True
+                                    phase = _PHASE_KEY_OR_CLOSE
+                                    break
+                            else:
+                                m = element_scan(text, pos)
+                                if m is None:
+                                    declined = True
+                                    phase = _PHASE_VALUE_OR_CLOSE
+                                    break
+                            continue
+                        keyparts.append(kind)
+                        ctypes.append(atom)
+                        if text[pos - 1] == ",":
+                            m = member_scan(text, pos)
+                            if m is not None:
+                                continue
+                            declined = True
+                            phase = _PHASE_KEY
+                            break
+                        # "}" — the record is complete.
+                        stack.pop()
+                        completed = close_record(keyparts, ctypes)
+                    else:
+                        kind = m.lastindex
+                        pos = m.end()
+                        if kind == 1:
+                            atom = str_atom
+                        elif kind == 2:
+                            tail_start, tail_end = m.span(3)
+                            if tail_start == tail_end:
+                                atom = int_atom
+                            else:
+                                # Distinct signature code: ints and
+                                # floats share the number group.
+                                kind = 0
+                                atom = flt_atom
+                        elif kind == 4:
+                            atom = bool_atom
+                        elif kind == 5:
+                            atom = null_atom
+                        elif kind == 6:  # empty array element
+                            if len(stack) >= max_depth:
+                                self._fail_depth(text, m.start(6), max_depth, False)
+                            atom = empty_arr
+                        elif kind == 7:  # empty object element
+                            if len(stack) >= max_depth:
+                                self._fail_depth(text, m.start(7), max_depth, True)
+                            atom = empty_rec
+                        else:  # kind == 8: the element opens a container
+                            in_object = text[pos - 1] == "{"
+                            if len(stack) >= max_depth:
+                                self._fail_depth(
+                                    text, pos - 1, max_depth, in_object
+                                )
+                            frame = [in_object, [], []]
+                            stack.append(frame)
+                            keyparts = frame[1]
+                            ctypes = frame[2]
+                            if in_object:
+                                m = member_scan(text, pos)
+                                if m is None:
+                                    declined = True
+                                    phase = _PHASE_KEY_OR_CLOSE
+                                    break
+                            else:
+                                m = element_scan(text, pos)
+                                if m is None:
+                                    declined = True
+                                    phase = _PHASE_VALUE_OR_CLOSE
+                                    break
+                            continue
+                        keyparts.append(kind)
+                        ctypes.append(atom)
+                        if text[pos - 1] == ",":
+                            m = element_scan(text, pos)
+                            if m is not None:
+                                continue
+                            declined = True
+                            phase = _PHASE_VALUE
+                            break
+                        # "]" — the array is complete.
+                        stack.pop()
+                        completed = close_array(keyparts, ctypes)
+                    # Attach the closed container and continue with its
+                    # parent's next sibling, comma fused into the match.
+                    if not stack:
+                        result = completed
+                        phase = _PHASE_AFTER
+                        break
+                    frame = stack[-1]
+                    keyparts = frame[1]
+                    ctypes = frame[2]
+                    in_object = frame[0]
+                    keyparts.append(id(completed))
+                    ctypes.append(completed)
+                    if in_object:
+                        m = after_member_scan(text, pos)
+                    else:
+                        m = after_element_scan(text, pos)
+                    if m is None:
+                        phase = _PHASE_AFTER
+                        break
+                continue
+
+            # _PHASE_VALUE / _PHASE_VALUE_OR_CLOSE, per-token scan.
+            m = value_scan(text, pos)
+            if m is None:
+                # Escaped string, malformed literal, EOF, or garbage —
+                # the real lexer resolves or raises at this position.
+                ws_end = ws_run(text, pos).end()
+                if ws_end >= length:
+                    self._fail_eof(text, phase)
+                ch = text[ws_end]
+                if ch == '"':
+                    lexer = lex_at(ws_end)
+                    lexer.scan_string()  # may raise in place
+                    pos = lexer.pos
+                    completed = str_atom
+                elif ch in _NUMBER_START:
+                    lexer = lex_at(ws_end)
+                    token = lexer.scan_number()  # raises (the scan declined)
+                    pos = lexer.pos
+                    completed = (
+                        int_atom if token.value.__class__ is int else flt_atom
                     )
+                else:
+                    self._fail_at(text, ws_end, "expected a JSON value")
+            else:
+                idx = m.lastindex
+                end = m.end()
+                if idx == 1:  # simple string: its content never matters
+                    pos = end
+                    completed = str_atom
+                elif idx == 2:  # number
+                    if end < length and text[end] in _NUMBER_BOUNDARY:
+                        # The maximal match may extend into a malformed
+                        # literal ("01", "1.e5", "1e+"): re-scan with the
+                        # lexer for the exact outcome.
+                        lexer = lex_at(m.start(2))
+                        token = lexer.scan_number()
+                        pos = lexer.pos
+                        completed = (
+                            int_atom if token.value.__class__ is int else flt_atom
+                        )
+                    else:
+                        pos = end
+                        tail_start, tail_end = m.span(3)
+                        completed = (
+                            int_atom if tail_start == tail_end else flt_atom
+                        )
+                elif idx == 4:  # true / false
+                    pos = end
+                    completed = bool_atom
+                elif idx == 5:  # null
+                    pos = end
+                    completed = null_atom
+                elif idx == 6:  # empty array
+                    if len(stack) >= max_depth:
+                        self._fail_depth(text, m.start(6), max_depth, False)
+                    pos = end
+                    completed = empty_arr
+                elif idx == 7:  # empty object
+                    if len(stack) >= max_depth:
+                        self._fail_depth(text, m.start(7), max_depth, True)
+                    pos = end
+                    completed = empty_rec
+                elif idx == 8:  # "{"
+                    if len(stack) >= max_depth:
+                        self._fail_depth(text, end - 1, max_depth, True)
+                    pos = end
+                    stack.append([True, [], []])
+                    phase = _PHASE_KEY_OR_CLOSE
+                    continue
+                elif idx == 9:  # "["
+                    if len(stack) >= max_depth:
+                        self._fail_depth(text, end - 1, max_depth, False)
+                    pos = end
+                    stack.append([False, [], []])
+                    phase = _PHASE_VALUE_OR_CLOSE
+                    continue
+                else:  # idx == 10: "]"
+                    if phase != _PHASE_VALUE_OR_CLOSE:
+                        self._fail_at(text, end - 1, "expected a JSON value")
+                    pos = end
+                    stack.pop()
+                    completed = empty_arr
+            if stack:
+                frame = stack[-1]
+                frame[1].append(id(completed))
+                frame[2].append(completed)
+            else:
+                result = completed
+            phase = _PHASE_AFTER
+            continue
 
 
 _DEFAULT_ENCODER: Optional[TypeEncoder] = None

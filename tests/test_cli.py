@@ -51,6 +51,40 @@ class TestInfer:
         assert main(["infer", str(path), "--format", "swift"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_jobs_routes_through_the_adaptive_scheduler(self, data_file, capsys):
+        """--jobs N on a small corpus must produce the serial output
+        (the scheduler falls back rather than paying for a pool)."""
+        assert main(["infer", data_file]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["infer", data_file, "--jobs", "4"]) == 0
+        assert capsys.readouterr().out == serial_out
+        assert main(["infer", data_file, "--jobs", "auto", "--shared-memory"]) == 0
+        assert capsys.readouterr().out == serial_out
+
+    def test_jobs_rejects_non_numeric_values(self, data_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["infer", data_file, "--jobs", "fast"])
+        with pytest.raises(SystemExit):
+            main(["infer", data_file, "--jobs", "0"])
+
+    def test_jobs_help_documents_the_heuristic(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        help_text = subparsers.choices["infer"].format_help()
+        # argparse wraps help across lines; normalise before asserting.
+        flat = " ".join(help_text.split())
+        assert "adaptive scheduler" in flat
+        assert "falls back to the serial fold" in flat
+        assert "mmap" in flat
+
 
 class TestValidate:
     def test_all_valid(self, data_file, schema_file, capsys):

@@ -22,6 +22,7 @@ from repro.inference import (
     accumulate,
     accumulate_lines,
     accumulate_types,
+    infer_adaptive_text,
     infer_counted,
     infer_counted_streaming,
     infer_distributed,
@@ -121,6 +122,32 @@ def _route_distributed_shm(docs, lines, equivalence):
     ).result
 
 
+def _route_mmap_corpus(docs, lines, equivalence):
+    """Zero-copy mmap corpus through the shared-memory byte-range feed."""
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.datasets import open_corpus
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _Path(tmp) / "corpus.ndjson"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with open_corpus(path) as corpus:
+            return infer_distributed_text(
+                corpus,
+                partitions=3,
+                equivalence=equivalence,
+                processes=2,
+                shared_memory=True,
+            ).result
+
+
+def _route_adaptive(docs, lines, equivalence):
+    """The adaptive scheduler (serial fallback or worker pool — the
+    result must be identical either way)."""
+    return infer_adaptive_text(lines, equivalence, jobs=2).result
+
+
 def _route_repository(docs, lines, equivalence):
     """Schema repository: per-structure group types, re-merged.
 
@@ -151,12 +178,14 @@ ROUTES = {
     "distributed-parallel": _route_distributed_parallel,
     "distributed-text": _route_distributed_text,
     "distributed-shm": _route_distributed_shm,
+    "mmap-corpus": _route_mmap_corpus,
+    "adaptive": _route_adaptive,
     "repository": _route_repository,
 }
 
 
 def test_matrix_covers_enough_routes():
-    assert len(ROUTES) >= 8
+    assert len(ROUTES) >= 13
 
 
 @pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)

@@ -4,11 +4,15 @@ from __future__ import annotations
 
 import io
 
+import pytest
+
 from repro.datasets import (
     github_events,
     iter_ndjson_lines,
     ndjson_lines,
+    open_corpus,
     read_ndjson_lines,
+    split_corpus_lines,
     stream_documents,
     stream_types,
     tweets,
@@ -50,3 +54,81 @@ def test_stream_types_matches_the_batch_path(tmp_path):
 def test_stream_types_skips_blank_lines():
     lines = ['{"a": 1}', "", "  \t", '{"a": 2}']
     assert len(list(stream_types(lines))) == 2
+
+
+# ---------------------------------------------------------------------------
+# the mmap-backed corpus
+# ---------------------------------------------------------------------------
+
+
+class TestMmapCorpus:
+    # Every newline convention the text-mode loader understands:
+    # LF, CRLF, lone CR (universal newlines), blank lines, a missing
+    # trailing terminator, and the empty file.
+    CONTENTS = {
+        "empty-file": "",
+        "blank-line-only": "\n",
+        "no-trailing-newline": '{"a": 1}',
+        "trailing-newline": '{"a": 1}\n',
+        "crlf": '{"a": 1}\r\n{"b": 2}\r\n',
+        "lone-cr": '{"a": 1}\r{"b": 2}',
+        "mixed-breaks": '{"a": 1}\r\r\n{"b": 2}\n',
+        "blank-lines": '{"a": 1}\n\n  \t\n{"b": 2}\n\n',
+    }
+
+    @pytest.mark.parametrize("name", sorted(CONTENTS))
+    def test_index_matches_iter_ndjson_lines(self, tmp_path, name):
+        path = tmp_path / "corpus.ndjson"
+        path.write_bytes(self.CONTENTS[name].encode("utf-8"))
+        expected = list(iter_ndjson_lines(path))
+        with open_corpus(path) as corpus:
+            assert len(corpus) == len(expected)
+            assert list(corpus) == expected
+            assert [corpus[i] for i in range(len(corpus))] == expected
+            assert corpus[0:len(corpus)] == expected
+
+    def test_byte_ranges_round_trip_through_split(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        path.write_bytes(b'{"a": 1}\r\n\r\nx\r{"b": 2}\n{"c": 3}')
+        with open_corpus(path) as corpus:
+            lines = list(corpus)
+            data = bytes(corpus.buffer())
+            for start in range(len(corpus)):
+                for stop in range(start + 1, len(corpus) + 1):
+                    byte_start, byte_end = corpus.byte_range(start, stop)
+                    text = data[byte_start:byte_end].decode("utf-8")
+                    assert split_corpus_lines(text) == lines[start:stop]
+
+    def test_byte_range_bounds_are_checked(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        path.write_text('{"a": 1}\n')
+        with open_corpus(path) as corpus:
+            with pytest.raises(IndexError):
+                corpus.byte_range(0, 2)
+            with pytest.raises(IndexError):
+                corpus.byte_range(1, 1)
+
+    def test_corpus_feeds_the_inference_paths(self, tmp_path):
+        docs = tweets(50, seed=23)
+        path = tmp_path / "docs.ndjson"
+        write_ndjson(path, docs)
+        reference = global_table().canonical(infer_type(docs))
+        with open_corpus(path) as corpus:
+            streamed = accumulate_types(stream_types(corpus)).result()
+            assert global_table().canonical(streamed) is reference
+
+    def test_unicode_lines_decode_exactly(self, tmp_path):
+        lines = ['{"k": "héllo   wörld"}', '{"k": "\U0001f600"}']
+        path = tmp_path / "unicode.ndjson"
+        path.write_bytes(("\n".join(lines) + "\n").encode("utf-8"))
+        with open_corpus(path) as corpus:
+            assert list(corpus) == lines
+            assert list(corpus) == list(iter_ndjson_lines(path))
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "corpus.ndjson"
+        path.write_text('{"a": 1}\n')
+        corpus = open_corpus(path)
+        assert corpus.size_bytes == len('{"a": 1}\n')
+        corpus.close()
+        corpus.close()

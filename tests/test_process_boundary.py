@@ -144,3 +144,67 @@ def test_counting_parallel_single_process_fallback():
     assert run.processes == 1
     assert run.result == infer_counted(docs)
     assert run.document_count == len(docs)
+
+
+def test_mmap_corpus_survives_the_process_boundary(tmp_path):
+    """The zero-copy corpus feed — byte ranges into one shared-memory
+    segment, workers re-splitting with the corpus line-break grammar —
+    must land on the identical canonical node for every transport."""
+    from repro.datasets import open_corpus, write_ndjson
+
+    docs = tweets(90, seed=17)
+    path = tmp_path / "corpus.ndjson"
+    write_ndjson(path, docs)
+    reference = infer_type(docs)
+    with open_corpus(path) as corpus:
+        for shared in (False, True):
+            run = infer_distributed_text(
+                corpus, partitions=3, processes=2, shared_memory=shared
+            )
+            assert run.result is reference
+            assert run.document_count == len(docs)
+            assert run.partitions == 3
+        serial = infer_distributed_text(corpus, partitions=3, processes=1)
+        assert serial.processes == 1
+        assert serial.result is reference
+
+
+def test_mmap_corpus_crlf_and_blanks_across_processes(tmp_path):
+    """CRLF terminators and blank lines must survive the byte-range
+    transport exactly as they do the in-memory line feed."""
+    from repro.datasets import ndjson_lines, open_corpus
+
+    docs = github_events(40, seed=19)
+    lines = ndjson_lines(docs)
+    content = "\r\n".join(lines[:20]) + "\r\n\r\n" + "\n".join(lines[20:])
+    path = tmp_path / "crlf.ndjson"
+    path.write_bytes(content.encode("utf-8"))
+    reference = infer_type(docs)
+    with open_corpus(path) as corpus:
+        run = infer_distributed_text(
+            corpus, partitions=4, processes=2, shared_memory=True
+        )
+    assert run.result is reference
+    assert run.document_count == len(docs)
+
+
+def test_adaptive_feed_is_identical_across_the_boundary(tmp_path):
+    """infer_adaptive_text must produce the canonical node whether the
+    scheduler lands on the serial fold or a worker pool."""
+    from repro.datasets import ndjson_lines, open_corpus, write_ndjson
+    from repro.inference import infer_adaptive_text
+
+    docs = tweets(70, seed=29)
+    lines = ndjson_lines(docs)
+    reference = infer_type(docs)
+    adaptive = infer_adaptive_text(lines, jobs=4)
+    assert adaptive.result is reference
+    assert adaptive.document_count == len(docs)
+    assert adaptive.plan is not None and adaptive.plan.mode in ("serial", "parallel")
+
+    path = tmp_path / "corpus.ndjson"
+    write_ndjson(path, docs)
+    with open_corpus(path) as corpus:
+        from_corpus = infer_adaptive_text(corpus, jobs=None, shared_memory=True)
+    assert from_corpus.result is reference
+    assert from_corpus.document_count == len(docs)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import JsonError
@@ -50,6 +50,9 @@ def _failure(fn):
 
 @given(json_values(max_leaves=30))
 @settings(max_examples=150, deadline=None)
+@example(
+    value=[0],
+).via('discovered failure')
 def test_text_type_is_interned_dom_type(value):
     text = dumps(value)
     assert type_of_text(text) is _dom_type(text)
@@ -87,10 +90,60 @@ def test_arbitrary_text_differential(text):
         # whitespace / structure corners
         ' \t\n {"a" :\r [ ] } \n',
         "[[[[[[[[[[1]]]]]]]]]]",
+        # fused-scan corners: empty containers as values/elements, runs
+        # of scalar members, container opens mid-member, escaped keys
+        # next to simple ones
+        '{"urls": []}',
+        '{"a": {}}',
+        "[[]]",
+        "[{}, {}, []]",
+        '{"a": [], "b": {}, "c": [[]]}',
+        '{"a": 1, "b": {"c": 2, "d": [3, 4]}, "e": "x"}',
+        '{"a\\"b": 1, "c": 2}',
+        '{"k": -0, "e": 1e5, "E": 2E-3, "f": 0.125}',
+        '{ "a" : 1 , "b" : [ 2 , 3 ] }',
+        '[{"a": [{"b": []}]}]',
+        '{\n  "a": [1, 2],\n  "b": "x"\n}',
+        '["", {"": 0}]',
     ],
 )
 def test_edge_case_texts(text):
     assert type_of_text(text) is _dom_type(text)
+
+
+# Near-miss literal shapes: the scanner classifies numbers and literals
+# from a maximal regex match plus a boundary guard, so every "almost a
+# number" / "almost a keyword" must fall back to the lexer's exact
+# error (or value).  Each shape is checked bare, as an array element,
+# and as an object member value — the three scan contexts.
+_NUMBER_SHAPES = [
+    "01", "-", "- 1", "--1", "+1", ".5", "1.", "1.e5", "1e", "1e+",
+    "1e+5", "1..5", "1.5.5", "1e5e", "0x1", "9.", "-0", "0e0", "1 2",
+]
+_LITERAL_SHAPES = ["tru", "truex", "fals", "falsex", "nul", "nullx", "none"]
+
+
+@pytest.mark.parametrize("shape", _NUMBER_SHAPES + _LITERAL_SHAPES)
+@pytest.mark.parametrize("template", ["{}", "[{}]", '{{"k": {}}}'])
+def test_near_miss_literals_fail_like_the_parser(shape, template):
+    text = template.format(shape)
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert streaming_failure == parser_failure
+    if parser_failure is None:
+        assert type_of_text(text) is _dom_type(text)
+
+
+@given(st.text(alphabet='abk"\\{}[]:,.-0123456789eE \t\n', max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_structural_soup_differential(text):
+    """JSON-alphabet soup: mostly-malformed structural shapes that
+    stress the fused member/element patterns and their fallbacks."""
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert streaming_failure == parser_failure
+    if parser_failure is None:
+        assert type_of_text(text) is _dom_type(text)
 
 
 @pytest.mark.parametrize("depth", [511, 512])
@@ -111,6 +164,22 @@ def test_nesting_beyond_the_depth_boundary(depth):
     streaming_failure = _failure(lambda: type_of_text(text))
     assert parser_failure is not None
     assert streaming_failure == parser_failure
+
+
+@pytest.mark.parametrize("leaf", ["[]", "{}", '{"k": 1}', "[1]"])
+@pytest.mark.parametrize("depth", [511, 512, 513])
+def test_fused_containers_at_the_depth_boundary(leaf, depth):
+    """The fused member/element paths resolve empty and scalar-only
+    containers without opening a frame — the nesting limit must apply
+    to them exactly as the parser's push does."""
+    text = "[" * depth + leaf + "]" * depth
+    parser_failure = _failure(lambda: parse(text))
+    streaming_failure = _failure(lambda: type_of_text(text))
+    assert streaming_failure == parser_failure
+    if parser_failure is None:
+        from repro.types import type_of_interned
+
+        assert type_of_text(text) is type_of_interned(parse(text))
 
 
 @pytest.mark.parametrize(

@@ -1,6 +1,6 @@
 """Property tests for the translation substrate (DESIGN.md invariant 6)."""
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.errors import TranslationError
@@ -34,6 +34,12 @@ def test_parquet_roundtrip_with_resolved_schema(docs):
 
 @given(json_values(max_leaves=12))
 @settings(max_examples=80, deadline=None)
+@example(
+    value=[{'0': False}, {'': None, '0': False}],
+).via('discovered failure')
+@example(
+    value=[[None, 0], [None, False, 0.0]],
+).via('discovered failure')
 def test_avro_roundtrip(value):
     t = type_of(value)
     schema = avro.from_algebra(t)
