@@ -70,20 +70,23 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     equivalence = Equivalence(args.equivalence)
     needs_documents = args.format in ("typescript", "swift")
     lines = _read_lines(args.data) if needs_documents else None
-    if args.jobs != 1:
+    shared_memory = {"always": True, "never": False}.get(
+        args.shared_memory, "auto"
+    )
+    if lines is not None and args.jobs == 1:
+        # Codegen already pulled the corpus into memory: stream it.
+        report = infer_report_streaming(lines, equivalence)
+    else:
         # When codegen already pulled the corpus into memory, reuse it
         # (re-reading the file — or a consumed pipe — would be worse);
-        # otherwise hand the path over for the zero-copy mmap route.
+        # otherwise hand the path over so regular files take the
+        # zero-copy mmap route — the bytes fold when serial, byte-range
+        # workers when parallel.
         report = infer_report_path(
             lines if lines is not None else args.data,
             equivalence,
             jobs=args.jobs,
-            shared_memory=args.shared_memory,
-        )
-    else:
-        report = infer_report_streaming(
-            lines if lines is not None else iter_ndjson_lines(args.data),
-            equivalence,
+            shared_memory=shared_memory,
         )
     print(f"# {report.document_count} documents, schema size {report.schema_size}")
     if args.format == "type":
@@ -186,21 +189,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_infer.add_argument("--name", default="Root", help="declaration name for codegen")
     p_infer.add_argument(
         "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
-        help="worker processes for the parallel merge (default: 1, serial). "
+        help="worker processes for the parallel merge (default: 1, serial — "
+        "regular files then fold as undecoded mmap byte ranges). "
         "'auto' sizes the pool from CPU affinity; N and 'auto' both route "
         "through the adaptive scheduler, which times a small sample of the "
         "corpus, models the parallel run (per-worker startup + the fold "
-        "split across usable CPUs + corpus shipping), and falls back to "
+        "split across usable CPUs + corpus shipping, with the startup and "
+        "shipping constants loaded from the per-machine calibration "
+        "profile at ~/.cache/repro/sched.json — measured once, "
+        "REPRO_SCHED_PROFILE overrides the path), and falls back to "
         "the serial fold whenever the modeled win is negative — so small "
         "corpora and single-CPU machines never pay for a worker pool. "
         "File inputs are mapped as a zero-copy mmap corpus.",
     )
     p_infer.add_argument(
-        "--shared-memory", action="store_true",
-        help="with --jobs: ship the corpus to workers through one "
-        "shared-memory buffer (for mmap corpora, one memcpy of the raw "
-        "file bytes plus per-worker byte ranges) instead of per-batch "
-        "pickles",
+        "--shared-memory", nargs="?", const="always", default="auto",
+        choices=["auto", "always", "never"],
+        help="with --jobs: corpus transport to the workers. 'always' ships "
+        "one shared-memory buffer (for mmap corpora, one memcpy of the "
+        "raw file bytes plus per-worker byte ranges; workers fold the "
+        "shared bytes directly) instead of per-batch pickles; 'never' "
+        "keeps pickles (or, for mapped files, per-worker byte-range "
+        "reads). The default 'auto' lets the scheduler decide from "
+        "corpus size and worker count: shared memory when in-memory "
+        "lines total at least 4 MiB with more than one worker (batch "
+        "pickles would dominate), never for mapped files (their workers "
+        "already read byte ranges straight from the file, shipping "
+        "nothing). Bare --shared-memory means 'always'.",
     )
     p_infer.set_defaults(func=_cmd_infer)
 

@@ -14,9 +14,11 @@ from repro.datasets.generator import (
 )
 from repro.datasets.ndjson import (
     MmapCorpus,
+    iter_line_spans,
     iter_ndjson_lines,
     open_corpus,
     read_ndjson_lines,
+    split_corpus_bytes,
     split_corpus_lines,
     stream_documents,
     stream_types,
@@ -34,9 +36,11 @@ __all__ = [
     "heterogeneous_collection",
     "ndjson_lines",
     "MmapCorpus",
+    "iter_line_spans",
     "iter_ndjson_lines",
     "open_corpus",
     "read_ndjson_lines",
+    "split_corpus_bytes",
     "split_corpus_lines",
     "stream_documents",
     "stream_types",

@@ -43,6 +43,36 @@ def split_corpus_lines(text: str) -> list[str]:
     return _LINE_BREAK_STR.split(text)
 
 
+def split_corpus_bytes(data: bytes) -> list[bytes]:
+    """Split an *undecoded* corpus byte range into its line bytes.
+
+    The bytes twin of :func:`split_corpus_lines`: same line-break
+    grammar, no decode — each returned item is the raw UTF-8 bytes of
+    one corpus line, ready for the bytes-native fold
+    (:func:`repro.inference.engine.accumulate_ranges` /
+    :meth:`~repro.types.build.EventTypeEncoder.encode_lines`).
+    """
+    return _LINE_BREAK_BYTES.split(data)
+
+
+def iter_line_spans(data, start: int = 0, end: Optional[int] = None):
+    """Yield the ``(start, end)`` byte span of every line in a range.
+
+    The in-place form of :func:`split_corpus_bytes` for buffers that
+    should not be sliced up front (mmap, shared memory): spans exclude
+    the separators, blank segments are preserved, and the final segment
+    is yielded even when empty — exactly the segments the split
+    functions return for the same bytes.
+    """
+    if end is None:
+        end = len(data)
+    pos = start
+    for match in _LINE_BREAK_BYTES.finditer(data, start, end):
+        yield pos, match.start()
+        pos = match.end()
+    yield pos, end
+
+
 class MmapCorpus(Sequence[str]):
     """An NDJSON corpus as an mmap-backed byte buffer plus a line index.
 
@@ -100,24 +130,41 @@ class MmapCorpus(Sequence[str]):
             raise
 
     # -- the lazy Sequence[str] view ------------------------------------
+    #
+    # __getitem__ deliberately caches nothing: every access decodes
+    # straight from the mapped bytes, so a corpus holds O(index) memory
+    # no matter how it is iterated.  Indexing follows Sequence semantics
+    # exactly — negative indices, slices (step and negative step
+    # included, returning lists), ``__index__``-bearing index objects,
+    # IndexError past either end, TypeError on non-indices — pinned by
+    # the regression tests in ``tests/test_datasets_ndjson.py``.
 
     def __len__(self) -> int:
         return len(self._spans)
 
+    def _mapped(self):
+        """The live map; a closed corpus fails loudly, not with the
+        confusing ``TypeError`` of subscripting ``None``."""
+        mm = self._mm
+        if mm is None and self._file.closed:
+            raise ValueError("I/O operation on closed MmapCorpus")
+        return mm
+
     def __getitem__(self, index):
         if isinstance(index, slice):
-            mm = self._mm
+            spans = self._spans[index]
+            mm = self._mapped() if spans else None
             return [
                 mm[start:end].decode("utf-8") if end > start else ""
-                for start, end in self._spans[index]
+                for start, end in spans
             ]
         start, end = self._spans[index]
         if end <= start:
             return ""
-        return self._mm[start:end].decode("utf-8")
+        return self._mapped()[start:end].decode("utf-8")
 
     def __iter__(self) -> Iterator[str]:
-        mm = self._mm
+        mm = self._mapped() if self._spans else None
         for start, end in self._spans:
             yield mm[start:end].decode("utf-8") if end > start else ""
 

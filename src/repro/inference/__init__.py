@@ -33,6 +33,7 @@ from repro.inference.counting import (
     CRec,
     CUnion,
     counted_type_of,
+    counted_type_of_bytes,
     counted_type_of_text,
     field_presence_ratios,
     infer_counted,
@@ -73,12 +74,18 @@ from repro.inference.relational import (
     normalize,
 )
 from repro.inference.profiling import SchemaProfile, candidate_features, train_profile
+from repro.inference.calibration import (
+    SchedCalibration,
+    load_calibration,
+    measure_calibration,
+)
 from repro.inference.distributed import (
     CountedParallelRun,
     DistributedRun,
     ParallelRun,
     SchedulePlan,
     auto_jobs,
+    choose_shared_memory,
     infer_adaptive_text,
     infer_counted_parallel,
     infer_distributed,
@@ -91,10 +98,12 @@ from repro.inference.distributed import (
     plan_schedule,
 )
 from repro.inference.streaming import (
+    infer_report_corpus,
     infer_report_path,
     infer_report_streaming,
     infer_type_streaming,
     type_from_events,
+    type_of_bytes,
     type_of_text,
 )
 from repro.inference.engine import (
@@ -102,6 +111,7 @@ from repro.inference.engine import (
     TypeAccumulator,
     accumulate,
     accumulate_lines,
+    accumulate_ranges,
     accumulate_types,
 )
 
@@ -116,6 +126,7 @@ __all__ = [
     "CRec",
     "CUnion",
     "counted_type_of",
+    "counted_type_of_bytes",
     "counted_type_of_text",
     "field_presence_ratios",
     "infer_counted",
@@ -156,8 +167,12 @@ __all__ = [
     "CountedParallelRun",
     "DistributedRun",
     "ParallelRun",
+    "SchedCalibration",
     "SchedulePlan",
     "auto_jobs",
+    "choose_shared_memory",
+    "load_calibration",
+    "measure_calibration",
     "infer_adaptive_text",
     "infer_counted_parallel",
     "infer_distributed",
@@ -168,14 +183,17 @@ __all__ = [
     "partition_contiguous",
     "partition_lines",
     "plan_schedule",
+    "infer_report_corpus",
     "infer_report_path",
     "infer_report_streaming",
     "infer_type_streaming",
     "type_from_events",
+    "type_of_bytes",
     "type_of_text",
     "CountingAccumulator",
     "TypeAccumulator",
     "accumulate",
     "accumulate_lines",
+    "accumulate_ranges",
     "accumulate_types",
 ]

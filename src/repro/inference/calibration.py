@@ -1,0 +1,196 @@
+"""Persisted per-machine scheduler calibration.
+
+:func:`repro.inference.distributed.plan_schedule` models a parallel run
+as *per-worker startup* plus the fold split across CPUs plus *corpus
+shipping*.  The startup and shipping constants are machine properties,
+not corpus properties — so instead of re-sampling them per process or
+falling back to hard-coded defaults, they are measured **once per
+machine** and cached in a small JSON profile:
+
+- ``$REPRO_SCHED_PROFILE`` if set, else
+- ``$XDG_CACHE_HOME/repro/sched.json``, else ``~/.cache/repro/sched.json``.
+
+Resolution order for each constant (first hit wins):
+
+1. the env overrides ``REPRO_WORKER_STARTUP_SECONDS`` /
+   ``REPRO_SHIP_BYTES_PER_SECOND`` (read on every plan, so tests and
+   operators can pin values without touching the profile);
+2. the persisted profile;
+3. a fresh measurement, persisted best-effort (an unwritable cache
+   directory degrades to measuring once per process);
+4. the built-in defaults, when measurement is disabled or fails.
+
+Measurement is deliberately cheap and one-shot: worker startup times a
+no-op ``multiprocessing.Process`` spawn+join (the dominant fork/exec +
+import cost the pool pays per worker), and shipping times ``pickle``
+round-tripping a few-MiB bytes payload (the serialize half of a batch
+pickle crossing the pipe).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional
+
+DEFAULT_WORKER_STARTUP_SECONDS = 0.08
+DEFAULT_SHIP_BYTES_PER_SECOND = 150e6
+
+_PROFILE_ENV = "REPRO_SCHED_PROFILE"
+_STARTUP_ENV = "REPRO_WORKER_STARTUP_SECONDS"
+_SHIP_ENV = "REPRO_SHIP_BYTES_PER_SECOND"
+
+_SHIP_PROBE_BYTES = 4 << 20
+
+
+@dataclass(frozen=True)
+class SchedCalibration:
+    """The scheduler's machine constants and where they came from.
+
+    ``source`` is ``"measured"``, ``"profile"``, or ``"default"`` —
+    benchmarks and the CLI surface it so a run can prove it consumed
+    the persisted profile rather than a fallback.
+    """
+
+    worker_startup_seconds: float
+    ship_bytes_per_second: float
+    source: str = "default"
+
+
+_DEFAULT = SchedCalibration(
+    DEFAULT_WORKER_STARTUP_SECONDS, DEFAULT_SHIP_BYTES_PER_SECOND, "default"
+)
+
+# Process-level cache, keyed by resolved profile path so tests pointing
+# REPRO_SCHED_PROFILE at fresh files are isolated from each other.
+_LOADED: dict = {}
+
+
+def profile_path() -> Path:
+    """Where this machine's calibration profile lives."""
+    override = os.environ.get(_PROFILE_ENV)
+    if override:
+        return Path(override)
+    cache_home = os.environ.get("XDG_CACHE_HOME")
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro" / "sched.json"
+
+
+def _noop() -> None:  # pragma: no cover - runs in the probe child
+    pass
+
+
+def measure_calibration() -> SchedCalibration:
+    """Measure the machine constants (one no-op worker, one pickle probe)."""
+    import multiprocessing
+
+    start = time.perf_counter()
+    process = multiprocessing.Process(target=_noop)
+    process.start()
+    process.join()
+    startup = max(time.perf_counter() - start, 1e-4)
+
+    payload = b"\x00" * _SHIP_PROBE_BYTES
+    start = time.perf_counter()
+    pickle.loads(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    ship_rate = _SHIP_PROBE_BYTES / elapsed
+
+    return SchedCalibration(
+        worker_startup_seconds=round(startup, 5),
+        ship_bytes_per_second=round(ship_rate, 1),
+        source="measured",
+    )
+
+
+def _read_profile(path: Path) -> Optional[SchedCalibration]:
+    """Parse a profile file; ``None`` on missing or malformed data."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        startup = float(raw["worker_startup_seconds"])
+        ship = float(raw["ship_bytes_per_second"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    if not (startup >= 0 and ship > 0):
+        return None
+    return SchedCalibration(startup, ship, "profile")
+
+
+def save_calibration(calibration: SchedCalibration, path: Path) -> bool:
+    """Persist a measurement; returns False when the path is unwritable."""
+    record = asdict(calibration)
+    record["source"] = "measured"
+    record["measured_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    except OSError:
+        return False
+    return True
+
+
+def load_calibration(*, measure_if_missing: bool = True) -> SchedCalibration:
+    """The machine constants: profile if present, else measure-and-persist.
+
+    Cached per process (per profile path).  Malformed profiles fall back
+    to the defaults without re-measuring — a hand-edited file should be
+    fixed, not silently overwritten.
+    """
+    path = profile_path()
+    key = str(path)
+    cached = _LOADED.get(key)
+    if cached is not None:
+        return cached
+    calibration: Optional[SchedCalibration] = None
+    if path.exists():
+        calibration = _read_profile(path)
+        if calibration is None:
+            calibration = _DEFAULT
+    elif measure_if_missing:
+        try:
+            calibration = measure_calibration()
+        except Exception:  # pragma: no cover - exotic platforms
+            calibration = None
+        else:
+            save_calibration(calibration, path)
+    if calibration is None:
+        calibration = _DEFAULT
+    _LOADED[key] = calibration
+    return calibration
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def worker_startup_seconds() -> float:
+    """Per-worker startup cost: env override > profile > measurement."""
+    override = _env_float(_STARTUP_ENV)
+    if override is not None:
+        return override
+    return load_calibration().worker_startup_seconds
+
+
+def ship_bytes_per_second() -> float:
+    """Corpus shipping throughput: env override > profile > measurement."""
+    override = _env_float(_SHIP_ENV)
+    if override is not None:
+        return override
+    return load_calibration().ship_bytes_per_second
+
+
+def calibration_source() -> str:
+    """Provenance of the constants the next plan will use."""
+    if _env_float(_STARTUP_ENV) is not None or _env_float(_SHIP_ENV) is not None:
+        return "env"
+    return load_calibration().source

@@ -20,7 +20,7 @@ merge of the underlying types (a property test pins this commuting square).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Tuple
+from typing import Any, Hashable, Iterable, Optional, Tuple
 
 from repro.errors import InferenceError
 from repro.jsonvalue.events import JsonEventType, iter_events
@@ -322,6 +322,31 @@ def counted_type_of_text(
                 result = done
     assert result is not None  # iter_events yields exactly one document
     return result
+
+
+def counted_type_of_bytes(
+    data,
+    start: int = 0,
+    end: Optional[int] = None,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    max_depth: int = 512,
+) -> CUnion:
+    """Counted type of one JSON document held as UTF-8 bytes.
+
+    The counting algebra's entry point for the bytes pipeline (mmap
+    ranges, shared-memory views).  Unlike the plain-type bytes scan,
+    the counting event machine classifies scalars from decoded event
+    values, so this decodes the range lazily — one slice, one decode —
+    and feeds :func:`counted_type_of_text`; the decode raises the exact
+    ``UnicodeDecodeError`` the text pipeline's up-front decode would.
+    Fusing the counters into the bytes scan is future work.
+    """
+    if end is None:
+        end = len(data)
+    return counted_type_of_text(
+        bytes(data[start:end]).decode("utf-8"), equivalence, max_depth=max_depth
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -319,40 +319,65 @@ def _infer_lines_partition(payload: tuple[list[str], str]) -> tuple[Type, int]:
     return accumulator.result(), accumulator.document_count
 
 
-def _read_shared_range(name: str, start: int, end: int) -> str:
-    """Attach a shared-memory segment and decode one byte range of it."""
+def _attach_shared(name: str):
+    """Attach a shared-memory segment without adopting its lifetime."""
     from multiprocessing import shared_memory
 
     segment = shared_memory.SharedMemory(name=name)
-    try:
-        if multiprocessing.get_start_method(allow_none=True) == "spawn":
-            # Under spawn each worker runs its own resource tracker,
-            # which would "clean up" (unlink) the parent's segment when
-            # the worker exits; tell it this attach is not ours to free.
-            # Under fork the tracker is shared with the parent, whose
-            # own registration must stay — attaching registrations
-            # collapse into it (the tracker cache is a set).
-            try:
-                from multiprocessing import resource_tracker
+    if multiprocessing.get_start_method(allow_none=True) == "spawn":
+        # Under spawn each worker runs its own resource tracker, which
+        # would "clean up" (unlink) the parent's segment when the
+        # worker exits; tell it this attach is not ours to free.  Under
+        # fork the tracker is shared with the parent, whose own
+        # registration must stay — attaching registrations collapse
+        # into it (the tracker cache is a set).
+        try:
+            from multiprocessing import resource_tracker
 
-                resource_tracker.unregister(segment._name, "shared_memory")
-            except Exception:  # pragma: no cover - tracker internals moved
-                pass
-        return bytes(segment.buf[start:end]).decode("utf-8")
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+    return segment
+
+
+def _fold_bytes_range(data, start: int, end: int, equivalence_value: str):
+    """Fold one undecoded byte range of corpus lines — the worker-side
+    bytes feed.  Lines are recovered as byte spans with the corpus
+    line-break grammar and typed by the bytes-native pipeline; no
+    decoded line ever exists in the worker."""
+    from repro.datasets.ndjson import iter_line_spans
+    from repro.inference.engine import accumulate_ranges
+
+    accumulator = accumulate_ranges(
+        data, list(iter_line_spans(data, start, end)), Equivalence(equivalence_value)
+    )
+    return accumulator.result(), accumulator.document_count
+
+
+def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]:
+    """Worker: fold one byte range of the shared corpus buffer.
+
+    The parent pickles only ``(segment name, start, end, equivalence)``
+    per partition — the corpus itself crosses the process boundary once,
+    through :mod:`multiprocessing.shared_memory` — and the worker runs
+    the bytes-native fold directly on the attached buffer: zero decoded
+    intermediaries between the shared bytes and the interned partial.
+    """
+    name, start, end, equivalence_value = payload
+    segment = _attach_shared(name)
+    try:
+        buf = segment.buf
+        try:
+            return _fold_bytes_range(buf, start, end, equivalence_value)
+        finally:
+            del buf
     finally:
         segment.close()
 
 
-def _infer_shm_partition(payload: tuple[str, int, int, str]) -> tuple[Type, int]:
-    """Worker: decode one byte range of the shared corpus buffer and feed it.
-
-    The parent pickles only ``(segment name, start, end, equivalence)``
-    per partition — the corpus itself crosses the process boundary once,
-    through :mod:`multiprocessing.shared_memory`.
-    """
-    name, start, end, equivalence_value = payload
-    text = _read_shared_range(name, start, end)
-    return _infer_lines_partition((text.split("\n"), equivalence_value))
+# The mmap-corpus shared-memory worker is the same fold: byte ranges of
+# the one shared buffer, lines recovered by the corpus grammar.
+_infer_shm_corpus_partition = _infer_shm_partition
 
 
 def _infer_file_range_partition(
@@ -361,29 +386,42 @@ def _infer_file_range_partition(
     """Worker: read one byte range of the corpus file directly.
 
     The parent ships only ``(path, start, end, equivalence)`` — no
-    parent-side decode, no per-line pickles; the worker reads and
-    re-splits its own slice with the corpus line-break grammar."""
-    from repro.datasets.ndjson import split_corpus_lines
-
+    parent-side decode, no per-line pickles; the worker reads its own
+    slice and folds the raw bytes."""
     file_path, start, end, equivalence_value = payload
     with open(file_path, "rb") as handle:
         handle.seek(start)
-        text = handle.read(end - start).decode("utf-8")
-    return _infer_lines_partition((split_corpus_lines(text), equivalence_value))
+        data = handle.read(end - start)
+    return _fold_bytes_range(data, 0, len(data), equivalence_value)
 
 
-def _infer_shm_corpus_partition(
-    payload: tuple[str, int, int, str]
-) -> tuple[Type, int]:
-    """Worker: one byte range of a shared mmap corpus, original
-    separators included — re-split with the corpus line-break grammar
-    (``\\r\\n``/``\\r``/``\\n``), so the lines are exactly the parent
-    index's lines without the parent ever splitting them."""
-    from repro.datasets.ndjson import split_corpus_lines
+# Auto shared-memory heuristic: below this corpus size the per-batch
+# pickles are cheap enough that a shared segment (create + one memcpy +
+# per-worker attach) is not worth its setup.
+_SHM_AUTO_MIN_BYTES = 4 << 20
 
-    name, start, end, equivalence_value = payload
-    text = _read_shared_range(name, start, end)
-    return _infer_lines_partition((split_corpus_lines(text), equivalence_value))
+
+def choose_shared_memory(corpus_bytes: int, jobs: int, *, file_backed: bool = False) -> bool:
+    """The ``--shared-memory auto`` decision.
+
+    Use one shared-memory segment when the corpus would otherwise be
+    *pickled* to workers and is big enough (≥ 4 MiB) that batch pickles
+    dominate the segment's setup cost, with more than one worker to
+    share it.  File-backed corpora (mmap) default to ``False``: their
+    workers already read byte ranges straight from the file, shipping
+    nothing, so a segment would only add a memcpy.
+    """
+    if jobs <= 1 or file_backed:
+        return False
+    return corpus_bytes >= _SHM_AUTO_MIN_BYTES
+
+
+def _resolve_shared_memory(shared_memory, corpus_bytes: int, jobs: int,
+                           *, file_backed: bool = False) -> bool:
+    """Normalise a ``True``/``False``/``"auto"`` transport request."""
+    if shared_memory == "auto":
+        return choose_shared_memory(corpus_bytes, jobs, file_backed=file_backed)
+    return bool(shared_memory)
 
 
 def infer_distributed_text(
@@ -392,7 +430,7 @@ def infer_distributed_text(
     equivalence: Equivalence = Equivalence.KIND,
     *,
     processes: Optional[int] = None,
-    shared_memory: bool = False,
+    shared_memory="auto",
 ) -> ParallelRun:
     """Run the partitioned inference on raw NDJSON lines.
 
@@ -407,11 +445,13 @@ def infer_distributed_text(
     Only the interned partition types come back; the parent combines
     them, bit-identical to every serial path.  Blank lines are skipped.
 
-    ``shared_memory`` is a transport hint: workers recover line
-    boundaries from the newline-joined buffer, so when any "line"
-    itself contains a newline (legal JSON, not legal NDJSON) the feed
-    silently falls back to per-batch pickles — the result is identical
-    either way.
+    ``shared_memory`` is a transport hint — ``True``, ``False``, or
+    ``"auto"`` (default), which applies
+    :func:`choose_shared_memory`'s size/jobs heuristic.  Workers
+    recover line boundaries from the newline-joined buffer with the
+    corpus line-break grammar, so when any "line" itself contains a
+    line break (legal JSON, not legal NDJSON) the feed silently falls
+    back to per-batch pickles — the result is identical either way.
 
     An :class:`~repro.datasets.ndjson.MmapCorpus` input takes the
     zero-copy route: the parent copies the raw file bytes *once* into
@@ -439,7 +479,12 @@ def infer_distributed_text(
         processes = min(len(buckets), auto_jobs())
     processes = max(1, processes)
 
-    if shared_memory and any("\n" in line for line in lines):
+    shared_memory = _resolve_shared_memory(
+        shared_memory, sum(map(len, lines)), processes
+    )
+    if shared_memory and any("\n" in line or "\r" in line for line in lines):
+        # Workers re-split the joined buffer with the line-break
+        # grammar; embedded breaks would change the line count.
         shared_memory = False
 
     if processes == 1 or len(buckets) == 1:
@@ -497,7 +542,7 @@ def _infer_corpus_text(
     equivalence: Equivalence,
     *,
     processes: Optional[int],
-    shared_memory: bool,
+    shared_memory,
 ) -> ParallelRun:
     """The mmap-corpus execution of :func:`infer_distributed_text`."""
     total = len(corpus)
@@ -515,12 +560,23 @@ def _infer_corpus_text(
     if processes is None:
         processes = min(len(bounds), auto_jobs())
     processes = max(1, processes)
+    shared_memory = _resolve_shared_memory(
+        shared_memory, corpus.size_bytes, processes, file_backed=True
+    )
 
     if processes == 1 or len(bounds) == 1:
-        partials = [
-            _infer_lines_partition((corpus[start:stop], equivalence.value))
-            for start, stop in bounds
-        ]
+        # Serial corpus fold: undecoded byte ranges straight to interned
+        # types — no per-line decode anywhere.
+        from repro.inference.engine import accumulate_ranges
+
+        buffer = corpus.buffer()
+        spans = corpus.spans
+        partials = []
+        for start, stop in bounds:
+            accumulator = accumulate_ranges(
+                buffer, spans[start:stop], equivalence
+            )
+            partials.append((accumulator.result(), accumulator.document_count))
         processes = 1
     elif shared_memory:
         from multiprocessing import shared_memory as shm
@@ -592,7 +648,10 @@ class SchedulePlan:
 
     ``mode`` is ``"serial"`` or ``"parallel"``; the estimate fields
     record the cost model's inputs so benchmarks and the CLI can report
-    *why* the scheduler chose what it chose.
+    *why* the scheduler chose what it chose.  ``calibration_source``
+    records where the startup/shipping constants came from (``"env"``,
+    ``"profile"``, ``"measured"``, or ``"default"`` — see
+    :mod:`repro.inference.calibration`).
     """
 
     mode: str
@@ -604,6 +663,7 @@ class SchedulePlan:
     estimated_serial_seconds: float
     estimated_parallel_seconds: float
     reason: str
+    calibration_source: str = "default"
 
     @property
     def parallel(self) -> bool:
@@ -613,19 +673,10 @@ class SchedulePlan:
 # Cost-model constants.  Startup covers fork + pool handshake + module
 # import per worker; shipping covers pickling line batches to workers
 # (the shared-memory feed pays one memcpy instead, but modelling the
-# pickle cost keeps the decision conservative).
-def _worker_startup_seconds() -> float:
-    """Per-worker startup cost for the plan's model.
-
-    Read from ``REPRO_WORKER_STARTUP_SECONDS`` on *every* plan, so
-    tuning the override takes effect without re-importing the package;
-    malformed values fall back to the default rather than raising.
-    """
-    try:
-        return float(os.environ.get("REPRO_WORKER_STARTUP_SECONDS", "0.08"))
-    except ValueError:
-        return 0.08
-_SHIP_BYTES_PER_SECOND = 150e6
+# pickle cost keeps the decision conservative).  Both constants resolve
+# through :mod:`repro.inference.calibration`: env override first, then
+# the persisted per-machine profile (measured once and cached in
+# ``~/.cache/repro/sched.json``), then the built-in defaults.
 _PARALLEL_ADVANTAGE = 1.15  # modeled win required before spawning workers
 _SAMPLE_SIZE = 200
 # The timed sample is throwaway work; cap it by wall clock as well as
@@ -639,31 +690,38 @@ def plan_schedule(
     lines: Sequence[str],
     *,
     jobs: Optional[int] = None,
-    shared_memory: bool = False,
+    shared_memory="auto",
     sample_size: int = _SAMPLE_SIZE,
 ) -> SchedulePlan:
     """Decide serial vs. parallel execution for a line corpus.
 
     The model: parallel wall-clock is per-worker startup, plus the
     serial fold divided across the CPUs that can really run (requested
-    jobs capped by :func:`auto_jobs`), plus corpus shipping.  The timed
+    jobs capped by :func:`auto_jobs`), plus corpus shipping.  The
+    startup and shipping constants come from the persisted per-machine
+    calibration profile (:mod:`repro.inference.calibration` — measured
+    once, env-overridable) rather than per-plan guesses.  The timed
     sample measures the *map* rate (text to canonical type), which
     dominates the fold and does not depend on the equivalence — so one
-    plan serves both equivalences.  The serial
-    fold rate is *measured*, not assumed — a small prefix of the corpus
-    is typed through the fused pipeline into a throwaway table — so the
+    plan serves both equivalences.  An
+    :class:`~repro.datasets.ndjson.MmapCorpus` is sampled through the
+    bytes-native scan (no decode); in-memory lines through the str
+    scan.  The serial fold rate is *measured*, not assumed, so the
     decision tracks the actual machine and document shape.  When the
     modeled parallel win is under ``_PARALLEL_ADVANTAGE`` the plan is
     serial: spawning workers that lose to the serial fold (the E16
     regression: 0.94x at ``--jobs 2`` on one usable CPU) is the one
     outcome this scheduler exists to prevent.
     """
+    from repro.inference import calibration
+
     documents = len(lines)
     cpus = auto_jobs()
     requested = cpus if jobs is None else max(1, jobs)
 
     def serial_plan(reason: str, rate: float = 0.0, serial_s: float = 0.0,
-                    parallel_s: float = 0.0) -> SchedulePlan:
+                    parallel_s: float = 0.0,
+                    calibration_source: str = "default") -> SchedulePlan:
         return SchedulePlan(
             mode="serial",
             jobs=1,
@@ -674,6 +732,7 @@ def plan_schedule(
             estimated_serial_seconds=serial_s,
             estimated_parallel_seconds=parallel_s,
             reason=reason,
+            calibration_source=calibration_source,
         )
 
     if documents == 0:
@@ -685,22 +744,56 @@ def plan_schedule(
             "one usable CPU: parallel workers would only contend"
         )
 
+    from repro.datasets.ndjson import MmapCorpus
+
+    is_corpus = isinstance(lines, MmapCorpus)
     sample_limit = min(documents, max(1, sample_size))
     encoder = _sample_encoder()
     sample_bytes = 0
     sampled = 0
     start_time = time.perf_counter()
-    for index in range(sample_limit):
-        line = lines[index]
-        sample_bytes += len(line)
-        if line and not line.isspace():
-            encoder.encode_text(line)
-        sampled += 1
-        if (
-            sampled >= _SAMPLE_MINIMUM
-            and time.perf_counter() - start_time > _SAMPLE_BUDGET_SECONDS
-        ):
-            break
+    if is_corpus:
+        # Bytes-native sampling: scan undecoded ranges of the mapped
+        # file, exactly what the serial fold would run — blank lines
+        # (str.isspace parity included) skipped exactly as it skips
+        # them.
+        from repro.inference.engine import _EXTRA_SPACE_BYTES, _BYTES_WS_RUN
+
+        buffer = lines.buffer()
+        encode_bytes = encoder.encode_bytes
+        ws_match = _BYTES_WS_RUN.match
+        for start, end in lines.spans[:sample_limit]:
+            sample_bytes += end - start
+            if end > start:
+                ws_end = ws_match(buffer, start, end).end()
+                if ws_end < end and not (
+                    buffer[ws_end] >= 0x80
+                    or buffer[ws_end] in _EXTRA_SPACE_BYTES
+                ):
+                    encode_bytes(buffer, start, end)
+                elif ws_end < end:
+                    text = bytes(buffer[start:end]).decode("utf-8")
+                    if not text.isspace():
+                        encoder.encode_text(text)
+            sampled += 1
+            if (
+                sampled >= _SAMPLE_MINIMUM
+                and time.perf_counter() - start_time > _SAMPLE_BUDGET_SECONDS
+            ):
+                break
+    else:
+        encode_text = encoder.encode_text
+        for index in range(sample_limit):
+            line = lines[index]
+            sample_bytes += len(line)
+            if line and not line.isspace():
+                encode_text(line)
+            sampled += 1
+            if (
+                sampled >= _SAMPLE_MINIMUM
+                and time.perf_counter() - start_time > _SAMPLE_BUDGET_SECONDS
+            ):
+                break
     elapsed = max(time.perf_counter() - start_time, 1e-9)
     rate = sampled / elapsed
 
@@ -710,12 +803,16 @@ def plan_schedule(
     # Shipping: per-batch pickles for in-memory line lists only.  Both
     # corpus transports avoid it — workers read their own byte ranges
     # from the file or from one shared-memory memcpy.
-    from repro.datasets.ndjson import MmapCorpus
-
-    ships_lines = not shared_memory and not isinstance(lines, MmapCorpus)
-    ship_seconds = total_bytes / _SHIP_BYTES_PER_SECOND if ships_lines else 0.0
+    use_shm = _resolve_shared_memory(
+        shared_memory, total_bytes, effective, file_backed=is_corpus
+    )
+    ships_lines = not use_shm and not is_corpus
+    ship_seconds = (
+        total_bytes / calibration.ship_bytes_per_second() if ships_lines else 0.0
+    )
+    source = calibration.calibration_source()
     parallel_seconds = (
-        _worker_startup_seconds() * effective
+        calibration.worker_startup_seconds() * effective
         + serial_seconds / effective
         + ship_seconds
     )
@@ -734,6 +831,7 @@ def plan_schedule(
                 f"modeled {serial_seconds / parallel_seconds:.2f}x win "
                 f"on {effective} of {cpus} CPUs"
             ),
+            calibration_source=source,
         )
     return serial_plan(
         f"modeled parallel win {serial_seconds / parallel_seconds:.2f}x is "
@@ -742,6 +840,7 @@ def plan_schedule(
         rate,
         serial_seconds,
         parallel_seconds,
+        source,
     )
 
 
@@ -759,7 +858,7 @@ def infer_adaptive_text(
     equivalence: Equivalence = Equivalence.KIND,
     *,
     jobs: Optional[int] = None,
-    shared_memory: bool = False,
+    shared_memory="auto",
     sample_size: int = _SAMPLE_SIZE,
 ) -> ParallelRun:
     """The batched text feed behind the adaptive scheduler.
@@ -770,7 +869,11 @@ def infer_adaptive_text(
     a *cap*, not a command — the scheduler still falls back to a serial
     fold when the timed-sample cost model says workers would lose
     (guaranteeing ``--jobs N`` is never slower than serial by more than
-    the sample cost).  The result is bit-identical to every other path.
+    the sample cost).  A mapped corpus folds serially through the
+    bytes-native pipeline — no per-line decode.  ``shared_memory`` is
+    ``True``, ``False``, or ``"auto"`` (the
+    :func:`choose_shared_memory` heuristic).  The result is
+    bit-identical to every other path.
     """
     plan = plan_schedule(
         lines,
@@ -779,9 +882,15 @@ def infer_adaptive_text(
         sample_size=sample_size,
     )
     if not plan.parallel:
-        from repro.inference.engine import accumulate_lines
+        from repro.datasets.ndjson import MmapCorpus
+        from repro.inference.engine import accumulate_lines, accumulate_ranges
 
-        accumulator = accumulate_lines(lines, equivalence)
+        if isinstance(lines, MmapCorpus):
+            accumulator = accumulate_ranges(
+                lines.buffer(), lines.spans, equivalence
+            )
+        else:
+            accumulator = accumulate_lines(lines, equivalence)
         if accumulator.is_empty():
             raise InferenceError(
                 "cannot infer a schema from an empty collection"

@@ -27,13 +27,20 @@ Laws (property-tested in ``tests/test_engine_properties.py``):
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional
+import re
+from typing import Any, Hashable, Iterable, Optional, Sequence
 
 from repro.errors import InferenceError
+from repro.jsonvalue.lexer import WHITESPACE_PATTERN_BYTES
 from repro.types import Equivalence, Type, class_key, union
 from repro.types.build import EventTypeEncoder, TypeEncoder
 from repro.types.intern import InternTable, global_table
 from repro.types.terms import UnionType
+
+_BYTES_WS_RUN = re.compile(WHITESPACE_PATTERN_BYTES)
+# ASCII bytes str.isspace() accepts beyond JSON's own whitespace: a line
+# of these is blank to the str feed, so the bytes feed must agree.
+_EXTRA_SPACE_BYTES = frozenset(b"\x0b\x0c\x1c\x1d\x1e\x1f")
 
 
 class TypeAccumulator:
@@ -117,6 +124,20 @@ class TypeAccumulator:
         if encoder is None:
             encoder = self._event_encoder = EventTypeEncoder(self._table)
         self.add_type(encoder.encode_text(text))
+
+    def add_bytes(self, data, start: int = 0, end: Optional[int] = None) -> None:
+        """Type one raw UTF-8 document held as bytes and absorb it.
+
+        The bytes-native analogue of :meth:`add_text`: ``data`` may be
+        ``bytes``, an mmap, or a shared-memory view, and the byte range
+        is scanned straight to a canonical interned type — no
+        ``.decode`` on the happy path, identical types *and* identical
+        errors to ``add_text(bytes(data[start:end]).decode("utf-8"))``.
+        """
+        encoder = self._event_encoder
+        if encoder is None:
+            encoder = self._event_encoder = EventTypeEncoder(self._table)
+        self.add_type(encoder.encode_bytes(data, start, end))
 
     def add_type(self, t: Type) -> None:
         """Absorb one already-typed document (or any type term)."""
@@ -302,4 +323,71 @@ def accumulate_lines(
         if not line or line.isspace():
             continue
         add_text(line)
+    return acc
+
+
+# Line batches fed to the encoder's batched skeleton passes grow from a
+# small probe (so shape-poor corpora disable the line cache cheaply) to
+# a size that amortizes the per-batch C passes.
+_RANGE_CHUNK_START = 2048
+_RANGE_CHUNK_LIMIT = 32768
+
+
+def accumulate_ranges(
+    data,
+    spans: Sequence[tuple],
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    table: Optional[InternTable] = None,
+) -> TypeAccumulator:
+    """Fold undecoded byte ranges of an NDJSON buffer — the bytes feed.
+
+    ``data`` is any byte buffer (an :class:`~repro.datasets.ndjson.MmapCorpus`
+    buffer, a shared-memory view, plain ``bytes``) and ``spans`` the
+    ``(start, end)`` byte range of each line, e.g.
+    ``corpus.spans`` or :func:`repro.datasets.ndjson.iter_line_spans`
+    output.  No line is ever decoded to ``str`` on the happy path: the
+    ranges run through :meth:`EventTypeEncoder.encode_lines` — the
+    batched skeleton cache plus the bytes-native structural scan — in
+    growing chunks, and blank lines (including the rare non-ASCII
+    whitespace-only line, for exact :func:`accumulate_lines` parity)
+    are skipped.  The result is interned-identical to
+    ``accumulate_lines`` over the decoded lines, with identical errors.
+    """
+    acc = TypeAccumulator(equivalence, table=table)
+    encoder = EventTypeEncoder(acc.table)
+    add_type = acc.add_type
+    ws_match = _BYTES_WS_RUN.match
+    batch: list[bytes] = []
+    append = batch.append
+    chunk = _RANGE_CHUNK_START
+    for start, end in spans:
+        if end > start:
+            ws_end = ws_match(data, start, end).end()
+            if ws_end >= end:
+                continue  # ASCII whitespace only
+            if data[ws_end] >= 0x80 or data[ws_end] in _EXTRA_SPACE_BYTES:
+                # Possibly whitespace-only by str.isspace's wider rules
+                # (unicode spaces, \x0b/\x0c/\x1c-\x1f) — the str feed
+                # skips those lines, so decide exactly as it would (and
+                # let a malformed-UTF-8 line raise its exact decode
+                # error).  Flush first: earlier lines must surface
+                # their errors before this line's decode, as they do
+                # serially.
+                if batch:
+                    for t in encoder.encode_lines(batch):
+                        add_type(t)
+                    del batch[:]
+                text = bytes(data[start:end]).decode("utf-8")
+                if text.isspace():
+                    continue
+            append(bytes(data[start:end]))
+            if len(batch) >= chunk:
+                for t in encoder.encode_lines(batch):
+                    add_type(t)
+                del batch[:]
+                chunk = min(_RANGE_CHUNK_LIMIT, chunk * 4)
+    if batch:
+        for t in encoder.encode_lines(batch):
+            add_type(t)
     return acc

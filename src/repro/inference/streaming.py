@@ -121,6 +121,52 @@ def type_of_text(
     return _shared_encoder(table, encoder).encode_text(text, max_depth=max_depth)
 
 
+def type_of_bytes(
+    data,
+    start: int = 0,
+    end: Optional[int] = None,
+    *,
+    table: Optional[InternTable] = None,
+    encoder: Optional[EventTypeEncoder] = None,
+    max_depth: int = 512,
+) -> Type:
+    """The canonical interned type of one JSON document held as UTF-8
+    bytes — the bytes-native twin of :func:`type_of_text`.
+
+    ``data`` may be ``bytes``, an mmap, or a shared-memory view; the
+    byte range is scanned without decoding (string content skipped
+    structurally, keys through a bytes→str cache).  Identical by object
+    identity to ``type_of_text(bytes(data[start:end]).decode("utf-8"))``,
+    with identical errors: undecodable input raises the exact
+    ``UnicodeDecodeError`` the decode would, and malformed JSON raises
+    the parser's exact error with character offsets relative to
+    ``start``.
+    """
+    return _shared_encoder(table, encoder).encode_bytes(
+        data, start, end, max_depth=max_depth
+    )
+
+
+def infer_report_corpus(
+    corpus, equivalence: Equivalence = Equivalence.KIND
+) -> InferenceReport:
+    """Inference over an :class:`~repro.datasets.ndjson.MmapCorpus` via
+    the bytes-native fold: the mapped file's line ranges go straight to
+    canonical interned types (batched skeleton cache + bytes scan) with
+    zero per-line ``str`` decode.  Interned-identical to every other
+    route."""
+    from repro.inference.engine import accumulate_ranges
+
+    accumulator = accumulate_ranges(corpus.buffer(), corpus.spans, equivalence)
+    if accumulator.is_empty():
+        raise InferenceError("cannot infer a schema from an empty stream")
+    return InferenceReport(
+        inferred=accumulator.result(),
+        equivalence=equivalence,
+        document_count=accumulator.document_count,
+    )
+
+
 def infer_type_streaming(
     lines: Iterable[str], equivalence: Equivalence = Equivalence.KIND
 ) -> Type:
@@ -160,39 +206,47 @@ def infer_report_path(
     equivalence: Equivalence = Equivalence.KIND,
     *,
     jobs: Optional[int] = 1,
-    shared_memory: bool = False,
+    shared_memory="auto",
 ) -> InferenceReport:
     """One-stop inference over an NDJSON source — the CLI's entry point.
 
     ``source`` is a file path, ``"-"`` for stdin, or any line iterable.
-    With ``jobs=1`` the corpus streams serially in O(nesting) memory.
-    Otherwise the run routes through the adaptive scheduler
+    With ``jobs=1`` a regular file takes the **bytes fold** by default:
+    the file is mapped as a zero-copy
+    :class:`~repro.datasets.ndjson.MmapCorpus` and its byte ranges run
+    straight to interned types (:func:`infer_report_corpus`) with no
+    per-line decode; non-file sources stream serially in O(nesting)
+    memory.  Otherwise the run routes through the adaptive scheduler
     (:func:`repro.inference.distributed.infer_adaptive_text`):
     ``jobs=None`` sizes the worker pool from CPU affinity, ``jobs=N``
     caps it at N, and either way the scheduler falls back to a serial
-    fold when its timed-sample cost model says workers would lose.  Real
-    files are mapped as a zero-copy
-    :class:`~repro.datasets.ndjson.MmapCorpus`, so the parallel feed
-    ships byte ranges without the parent ever splitting lines.
+    fold when its timed-sample cost model says workers would lose.
+
+    ``shared_memory`` is ``True``, ``False``, or ``"auto"`` (default):
+    auto lets the scheduler pick the corpus transport from corpus size
+    and worker count (see
+    :func:`repro.inference.distributed.choose_shared_memory`).
     """
     import os
 
     from repro.datasets.ndjson import iter_ndjson_lines, open_corpus
 
+    is_file = (
+        isinstance(source, (str, os.PathLike))
+        and str(source) != "-"
+        and os.path.isfile(source)
+    )
     if jobs == 1:
+        if is_file:
+            # Only regular files can be mapped; FIFOs, /dev/stdin and
+            # other special files stat as size 0 and stream instead.
+            with open_corpus(source) as corpus:
+                return infer_report_corpus(corpus, equivalence)
         return infer_report_streaming(iter_ndjson_lines(source), equivalence)
 
     from repro.inference.distributed import infer_adaptive_text
 
-    corpus = None
-    if (
-        isinstance(source, (str, os.PathLike))
-        and str(source) != "-"
-        and os.path.isfile(source)
-    ):
-        # Only regular files can be mapped; FIFOs, /dev/stdin and other
-        # special files stat as size 0 and must be read as streams.
-        corpus = open_corpus(source)
+    corpus = open_corpus(source) if is_file else None
     try:
         lines = corpus if corpus is not None else list(iter_ndjson_lines(source))
         run = infer_adaptive_text(

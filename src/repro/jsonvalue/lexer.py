@@ -119,6 +119,64 @@ FLOAT_PATTERN = (
 WHITESPACE_PATTERN = r"[ \t\n\r]*"
 NUMBER_BOUNDARY_CHARS = ".eE0123456789"
 
+# --------------------------------------------------------------------------
+# Bytes mirrors of the shared fragments.
+#
+# The bytes-native structural scan (`EventTypeEncoder.encode_bytes`) runs
+# the same grammar directly over mmap / shared-memory buffers.  Every
+# fragment mirrors its str twin by plain ASCII encoding — including the
+# string body: in bytes mode the very same class ``[^"\\\x00-\x1f]``
+# matches any byte ``\x20``–``\xff`` except ``"`` and ``\``, which skips
+# UTF-8 multibyte content *structurally* (multibyte sequences contain no
+# bytes below ``\x80``, so they can never hide a quote or backslash and
+# the byte-level string extent agrees with the char-level one whenever
+# the bytes are valid UTF-8).  Validity itself is checked separately and
+# lazily with UTF8_VALIDATION_PATTERN — strict RFC 3629 (no overlongs,
+# no surrogates, nothing above U+10FFFF, exactly the sequences
+# ``bytes.decode("utf-8")`` accepts), laid out as "ASCII runs separated
+# by single multibyte sequences" so every alternative is disjoint on its
+# first byte and the backtracking engine scans in one forward pass.
+# --------------------------------------------------------------------------
+
+INT_PATTERN_BYTES = INT_PATTERN.encode("ascii")
+FLOAT_PATTERN_BYTES = FLOAT_PATTERN.encode("ascii")
+WHITESPACE_PATTERN_BYTES = WHITESPACE_PATTERN.encode("ascii")
+NUMBER_BOUNDARY_BYTES = NUMBER_BOUNDARY_CHARS.encode("ascii")
+STRING_BODY_PATTERN_BYTES = STRING_BODY_PATTERN.encode("ascii")
+
+# One valid escape sequence.  Any \uXXXX is lexically valid (the lexer
+# preserves lone surrogates), so four hex digits suffice.
+STRING_ESCAPE_PATTERN_BYTES = rb'\\(?:["\\/bfnrt]|u[0-9a-fA-F]{4})'
+# A whole string-literal body, escapes included — used by the bytes
+# scan's per-token tier, where a match is a complete literal whose
+# decoded content would lex identically (escape validity included; only
+# UTF-8 validity remains for the lazy document-level check).
+FULL_STRING_BODY_PATTERN_BYTES = (
+    STRING_BODY_PATTERN_BYTES
+    + rb"(?:(?:"
+    + STRING_ESCAPE_PATTERN_BYTES
+    + rb")"
+    + STRING_BODY_PATTERN_BYTES
+    + rb")*"
+)
+
+# One well-formed multibyte UTF-8 sequence (RFC 3629 table).
+UTF8_MULTIBYTE_PATTERN = (
+    rb"[\xc2-\xdf][\x80-\xbf]"
+    rb"|\xe0[\xa0-\xbf][\x80-\xbf]"
+    rb"|[\xe1-\xec][\x80-\xbf][\x80-\xbf]"
+    rb"|\xed[\x80-\x9f][\x80-\xbf]"
+    rb"|[\xee-\xef][\x80-\xbf][\x80-\xbf]"
+    rb"|\xf0[\x90-\xbf][\x80-\xbf][\x80-\xbf]"
+    rb"|[\xf1-\xf3][\x80-\xbf][\x80-\xbf][\x80-\xbf]"
+    rb"|\xf4[\x80-\x8f][\x80-\xbf][\x80-\xbf]"
+)
+# Maximal well-formed UTF-8 prefix: a match ending before the region's
+# end pinpoints the first invalid sequence.
+UTF8_VALIDATION_PATTERN = (
+    rb"[\x00-\x7f]*(?:(?:" + UTF8_MULTIBYTE_PATTERN + rb")[\x00-\x7f]*)*"
+)
+
 _SIMPLE_STRING_RE = re.compile(SIMPLE_STRING_PATTERN)
 # One capturing group around the float alternative: ``lastindex`` is 1
 # exactly when the literal has a fraction or exponent.

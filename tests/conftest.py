@@ -9,7 +9,9 @@ Local runs keep hypothesis's default randomized exploration.
 
 from __future__ import annotations
 
+import json
 import os
+import tempfile
 
 from hypothesis import HealthCheck, settings
 
@@ -22,3 +24,18 @@ settings.register_profile(
 )
 
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+# Pin the scheduler's machine calibration to a known profile for the
+# whole session: plans stay deterministic, and no test run measures (or
+# writes into) the real ~/.cache/repro/sched.json.  Tests that exercise
+# the calibration machinery point REPRO_SCHED_PROFILE elsewhere.
+if "REPRO_SCHED_PROFILE" not in os.environ:
+    _profile = os.path.join(
+        tempfile.mkdtemp(prefix="repro-sched-"), "sched.json"
+    )
+    with open(_profile, "w", encoding="utf-8") as _handle:
+        json.dump(
+            {"worker_startup_seconds": 0.08, "ship_bytes_per_second": 150e6},
+            _handle,
+        )
+    os.environ["REPRO_SCHED_PROFILE"] = _profile

@@ -148,6 +148,47 @@ def _route_adaptive(docs, lines, equivalence):
     return infer_adaptive_text(lines, equivalence, jobs=2).result
 
 
+def _with_corpus(lines, fn):
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.datasets import open_corpus
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _Path(tmp) / "corpus.ndjson"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with open_corpus(path) as corpus:
+            return fn(corpus)
+
+
+def _route_bytes_serial(docs, lines, equivalence):
+    """Bytes-native serial fold: undecoded mmap ranges through the
+    batched line-shape cache + bytes scan (zero per-line str decode)."""
+    from repro.inference import accumulate_ranges
+
+    return _with_corpus(
+        lines,
+        lambda corpus: accumulate_ranges(
+            corpus.buffer(), corpus.spans, equivalence
+        ).result(),
+    )
+
+
+def _route_bytes_parallel(docs, lines, equivalence):
+    """Bytes-native workers reading their own byte ranges from the file
+    (no shared memory, no parent-side decode, no per-line pickles)."""
+    return _with_corpus(
+        lines,
+        lambda corpus: infer_distributed_text(
+            corpus,
+            partitions=3,
+            equivalence=equivalence,
+            processes=2,
+            shared_memory=False,
+        ).result,
+    )
+
+
 def _route_repository(docs, lines, equivalence):
     """Schema repository: per-structure group types, re-merged.
 
@@ -180,12 +221,14 @@ ROUTES = {
     "distributed-shm": _route_distributed_shm,
     "mmap-corpus": _route_mmap_corpus,
     "adaptive": _route_adaptive,
+    "bytes-serial": _route_bytes_serial,
+    "bytes-parallel": _route_bytes_parallel,
     "repository": _route_repository,
 }
 
 
 def test_matrix_covers_enough_routes():
-    assert len(ROUTES) >= 13
+    assert len(ROUTES) >= 17
 
 
 @pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)

@@ -132,3 +132,89 @@ class TestMmapCorpus:
         assert corpus.size_bytes == len('{"a": 1}\n')
         corpus.close()
         corpus.close()
+
+
+class TestMmapCorpusSequenceSemantics:
+    """Regression pins for ``MmapCorpus.__getitem__``: Sequence semantics
+    exactly, caching nothing."""
+
+    LINES = ["a", "bb", "", "ccc", "  "]
+
+    @pytest.fixture()
+    def corpus(self, tmp_path):
+        path = tmp_path / "seq.ndjson"
+        path.write_text("\n".join(self.LINES) + "\n", encoding="utf-8")
+        with open_corpus(path) as corpus:
+            yield corpus
+
+    def test_negative_indices(self, corpus):
+        for i in range(-len(self.LINES), len(self.LINES)):
+            assert corpus[i] == self.LINES[i]
+
+    def test_out_of_range_raises_index_error(self, corpus):
+        with pytest.raises(IndexError):
+            corpus[len(self.LINES)]
+        with pytest.raises(IndexError):
+            corpus[-len(self.LINES) - 1]
+
+    def test_slices_match_list_semantics(self, corpus):
+        cases = [
+            slice(None), slice(1, 3), slice(-2, None), slice(None, None, 2),
+            slice(None, None, -1), slice(3, 1, -1), slice(10, 20), slice(0, 0),
+        ]
+        for s in cases:
+            assert corpus[s] == self.LINES[s], s
+
+    def test_index_like_objects_and_type_errors(self, corpus):
+        class IndexLike:
+            def __index__(self):
+                return 1
+
+        assert corpus[IndexLike()] == self.LINES[1]
+        with pytest.raises(TypeError):
+            corpus[1.5]
+        with pytest.raises(TypeError):
+            corpus["0"]
+
+    def test_sequence_mixins(self, corpus):
+        assert "bb" in corpus and "zz" not in corpus
+        assert corpus.index("ccc") == 3
+        assert corpus.count("") == 1
+        assert list(reversed(corpus)) == list(reversed(self.LINES))
+
+    def test_getitem_caches_nothing(self, corpus):
+        first = corpus[1]
+        second = corpus[1]
+        assert first == second == "bb"
+        assert first is not second  # decoded fresh from the map each time
+
+    def test_closed_corpus_raises_value_error(self, tmp_path):
+        path = tmp_path / "closed.ndjson"
+        path.write_text('{"a": 1}\n{"b": 2}\n', encoding="utf-8")
+        corpus = open_corpus(path)
+        corpus.close()
+        with pytest.raises(ValueError):
+            corpus[0]
+        with pytest.raises(ValueError):
+            corpus[0:2]
+        with pytest.raises(ValueError):
+            list(corpus)
+
+
+def test_split_corpus_bytes_matches_str_split(tmp_path):
+    from repro.datasets import iter_line_spans, split_corpus_bytes
+
+    raw = b'{"a": 1}\r\n{"b": 2}\r{"c": 3}\n\n{"d": 4}'
+    assert [
+        part.decode("utf-8") for part in split_corpus_bytes(raw)
+    ] == split_corpus_lines(raw.decode("utf-8"))
+    spans = list(iter_line_spans(raw))
+    assert [raw[s:e] for s, e in spans] == split_corpus_bytes(raw)
+
+
+def test_iter_line_spans_subrange(tmp_path):
+    raw = b"aa\nbb\ncc"
+    from repro.datasets import iter_line_spans
+
+    assert [raw[s:e] for s, e in iter_line_spans(raw, 3, len(raw))] == [b"bb", b"cc"]
+    assert list(iter_line_spans(b"")) == [(0, 0)]

@@ -1,0 +1,182 @@
+"""Tests for the persisted scheduler calibration and the auto
+shared-memory heuristic (`repro.inference.calibration` /
+`repro.inference.distributed`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.inference import calibration as calibration_module
+from repro.inference import distributed as distributed_module
+from repro.inference.distributed import choose_shared_memory, plan_schedule
+from repro.datasets import ndjson_lines, open_corpus, tweets, write_ndjson
+
+
+@pytest.fixture()
+def fresh_profile(tmp_path, monkeypatch):
+    """Point the profile at a fresh path and drop the process cache."""
+    path = tmp_path / "sched.json"
+    monkeypatch.setenv("REPRO_SCHED_PROFILE", str(path))
+    monkeypatch.delenv("REPRO_WORKER_STARTUP_SECONDS", raising=False)
+    monkeypatch.delenv("REPRO_SHIP_BYTES_PER_SECOND", raising=False)
+    calibration_module._LOADED.clear()
+    yield path
+    calibration_module._LOADED.clear()
+
+
+@pytest.fixture()
+def many_cpus(monkeypatch):
+    monkeypatch.setattr(distributed_module, "auto_jobs", lambda: 8)
+    return 8
+
+
+class TestCalibrationProfile:
+    def test_profile_file_is_loaded_not_remeasured(self, fresh_profile):
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": 0.5, "ship_bytes_per_second": 1e6}
+            )
+        )
+        loaded = calibration_module.load_calibration()
+        assert loaded.source == "profile"
+        assert loaded.worker_startup_seconds == 0.5
+        assert calibration_module.worker_startup_seconds() == 0.5
+        assert calibration_module.ship_bytes_per_second() == 1e6
+
+    def test_missing_profile_measures_once_and_persists(self, fresh_profile):
+        loaded = calibration_module.load_calibration()
+        assert loaded.source == "measured"
+        assert loaded.worker_startup_seconds > 0
+        assert loaded.ship_bytes_per_second > 0
+        assert fresh_profile.exists()
+        record = json.loads(fresh_profile.read_text())
+        assert record["worker_startup_seconds"] == loaded.worker_startup_seconds
+        # a second load (fresh cache) reads the persisted file
+        calibration_module._LOADED.clear()
+        again = calibration_module.load_calibration()
+        assert again.source == "profile"
+        assert again.worker_startup_seconds == loaded.worker_startup_seconds
+
+    def test_malformed_profile_falls_back_to_defaults(self, fresh_profile):
+        fresh_profile.write_text("{not json")
+        loaded = calibration_module.load_calibration()
+        assert loaded.source == "default"
+        assert (
+            loaded.worker_startup_seconds
+            == calibration_module.DEFAULT_WORKER_STARTUP_SECONDS
+        )
+        # the hand-broken file is not silently overwritten
+        assert fresh_profile.read_text() == "{not json"
+
+    def test_nonpositive_profile_values_rejected(self, fresh_profile):
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": -1, "ship_bytes_per_second": 0}
+            )
+        )
+        assert calibration_module.load_calibration().source == "default"
+
+    def test_env_overrides_beat_the_profile(self, fresh_profile, monkeypatch):
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": 0.5, "ship_bytes_per_second": 1e6}
+            )
+        )
+        monkeypatch.setenv("REPRO_WORKER_STARTUP_SECONDS", "0.25")
+        assert calibration_module.worker_startup_seconds() == 0.25
+        assert calibration_module.calibration_source() == "env"
+        # ship rate still comes from the profile
+        assert calibration_module.ship_bytes_per_second() == 1e6
+
+    def test_measure_calibration_is_sane(self):
+        measured = calibration_module.measure_calibration()
+        assert 0 < measured.worker_startup_seconds < 30
+        assert measured.ship_bytes_per_second > 1e4
+        assert measured.source == "measured"
+
+
+class TestPlanConsumesCalibration:
+    def test_plan_records_profile_source(self, fresh_profile, many_cpus):
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": 0.0, "ship_bytes_per_second": 1e12}
+            )
+        )
+        lines = ndjson_lines(tweets(400, seed=3)) * 25  # 10k docs
+        plan = plan_schedule(lines, jobs=4)
+        assert plan.calibration_source == "profile"
+        assert plan.mode == "parallel"  # zero startup: workers always win
+
+    def test_profile_startup_changes_the_decision(self, fresh_profile, many_cpus):
+        # A machine profile with pathological startup cost forces serial.
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": 3600.0, "ship_bytes_per_second": 1e12}
+            )
+        )
+        lines = ndjson_lines(tweets(200, seed=3))
+        plan = plan_schedule(lines, jobs=4)
+        assert plan.mode == "serial"
+        assert plan.calibration_source == "profile"
+
+    def test_corpus_sampling_is_bytes_native(self, fresh_profile, many_cpus, tmp_path):
+        fresh_profile.write_text(
+            json.dumps(
+                {"worker_startup_seconds": 0.0, "ship_bytes_per_second": 1e12}
+            )
+        )
+        path = tmp_path / "corpus.ndjson"
+        write_ndjson(path, tweets(2000, seed=5))
+        with open_corpus(path) as corpus:
+            plan = plan_schedule(corpus, jobs=2)
+            assert plan.sample_docs_per_sec > 0
+            assert plan.documents == 2000
+
+
+class TestAutoSharedMemory:
+    def test_heuristic(self):
+        big, small = 10 << 20, 1 << 20
+        assert choose_shared_memory(big, 4)
+        assert not choose_shared_memory(small, 4)
+        assert not choose_shared_memory(big, 1)
+        assert not choose_shared_memory(big, 4, file_backed=True)
+
+    def test_resolver_passes_booleans_through(self):
+        resolve = distributed_module._resolve_shared_memory
+        assert resolve(True, 0, 1) is True
+        assert resolve(False, 1 << 30, 8) is False
+        assert resolve("auto", 10 << 20, 4) is True
+        assert resolve("auto", 10 << 20, 4, file_backed=True) is False
+
+    def test_auto_is_identical_to_explicit(self):
+        from repro.inference import infer_distributed_text, infer_type
+        from repro.types.intern import global_table
+
+        docs = tweets(120, seed=11)
+        lines = ndjson_lines(docs)
+        reference = infer_type(docs)
+        for shared in ("auto", True, False):
+            run = infer_distributed_text(
+                lines, partitions=3, processes=2, shared_memory=shared
+            )
+            assert global_table().canonical(run.result) is reference
+
+    def test_cli_shared_memory_choices(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["infer", "x"]).shared_memory == "auto"
+        assert (
+            parser.parse_args(["infer", "x", "--shared-memory"]).shared_memory
+            == "always"
+        )
+        assert (
+            parser.parse_args(
+                ["infer", "x", "--shared-memory", "never"]
+            ).shared_memory
+            == "never"
+        )
+        with pytest.raises(SystemExit):
+            parser.parse_args(["infer", "x", "--shared-memory", "bogus"])
