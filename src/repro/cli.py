@@ -192,14 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the parallel merge (default: 1, serial — "
         "regular files then fold as undecoded mmap byte ranges). "
         "'auto' sizes the pool from CPU affinity; N and 'auto' both route "
-        "through the adaptive scheduler, which times a small sample of the "
-        "corpus, models the parallel run (per-worker startup + the fold "
-        "split across usable CPUs + corpus shipping, with the startup and "
-        "shipping constants loaded from the per-machine calibration "
-        "profile at ~/.cache/repro/sched.json — measured once, "
-        "REPRO_SCHED_PROFILE overrides the path), and falls back to "
-        "the serial fold whenever the modeled win is negative — so small "
-        "corpora and single-CPU machines never pay for a worker pool. "
+        "through the adaptive scheduler, which picks one of three modes: "
+        "'serial' (the mmap bytes fold), 'parallel' (line-parallel — "
+        "byte-range line batches to workers), or 'subtree' (intra-document "
+        "parallel — a corpus dominated by one huge single-line document is "
+        "split into top-level subtree byte ranges, typed by workers, and "
+        "merged through the same monoid, yielding the identical interned "
+        "type). The scheduler times a small sample of the corpus (adjusted "
+        "by the measured line-shape-cache hit rate), models each mode "
+        "(per-worker startup + the fold split across usable CPUs + corpus "
+        "shipping or splitting, with the constants loaded from the "
+        "per-machine calibration profile at ~/.cache/repro/sched.json — "
+        "measured once, REPRO_SCHED_PROFILE overrides the path), and falls "
+        "back to the serial fold whenever the modeled win is negative — so "
+        "small corpora and single-CPU machines never pay for a worker pool. "
         "File inputs are mapped as a zero-copy mmap corpus.",
     )
     p_infer.add_argument(

@@ -180,6 +180,13 @@ class MmapCorpus(Sequence[str]):
         """Size of the backing file in bytes."""
         return len(self._mm) if self._mm is not None else 0
 
+    @property
+    def max_line_bytes(self) -> int:
+        """Size of the longest line — the adaptive scheduler's shape
+        probe: a corpus dominated by one huge line wants the subtree
+        (intra-document) mode, not line parallelism."""
+        return max((end - start for start, end in self._spans), default=0)
+
     def buffer(self):
         """The raw file bytes as a buffer (``b""`` for an empty file)."""
         return self._mm if self._mm is not None else b""

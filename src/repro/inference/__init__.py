@@ -91,6 +91,7 @@ from repro.inference.distributed import (
     infer_distributed,
     infer_distributed_parallel,
     infer_distributed_text,
+    infer_subtree_text,
     partition,
     partition_bounds,
     partition_contiguous,
@@ -178,6 +179,7 @@ __all__ = [
     "infer_distributed",
     "infer_distributed_parallel",
     "infer_distributed_text",
+    "infer_subtree_text",
     "partition",
     "partition_bounds",
     "partition_contiguous",

@@ -39,10 +39,23 @@ from typing import Optional
 
 DEFAULT_WORKER_STARTUP_SECONDS = 0.08
 DEFAULT_SHIP_BYTES_PER_SECOND = 150e6
+# Bytes-rate constants for the subtree (intra-document) mode, where the
+# timed per-line sample is useless: a corpus of few huge lines would pay
+# whole-document scans just to decide the plan.  ``scan`` is the serial
+# bytes-native typing rate; ``split`` the structural splitter's carving
+# rate (speculative separator searches — near memory bandwidth).
+DEFAULT_SCAN_BYTES_PER_SECOND = 80e6
+DEFAULT_SPLIT_BYTES_PER_SECOND = 2e9
+# Warm line-shape-cache speedup: how much faster a cached line folds
+# than a full structural scan (feeds the hit-rate-adjusted cost model).
+DEFAULT_CACHE_HIT_SPEEDUP = 4.0
 
 _PROFILE_ENV = "REPRO_SCHED_PROFILE"
 _STARTUP_ENV = "REPRO_WORKER_STARTUP_SECONDS"
 _SHIP_ENV = "REPRO_SHIP_BYTES_PER_SECOND"
+_SCAN_ENV = "REPRO_SCAN_BYTES_PER_SECOND"
+_SPLIT_ENV = "REPRO_SPLIT_BYTES_PER_SECOND"
+_CACHE_SPEEDUP_ENV = "REPRO_CACHE_HIT_SPEEDUP"
 
 _SHIP_PROBE_BYTES = 4 << 20
 
@@ -59,6 +72,9 @@ class SchedCalibration:
     worker_startup_seconds: float
     ship_bytes_per_second: float
     source: str = "default"
+    scan_bytes_per_second: float = DEFAULT_SCAN_BYTES_PER_SECOND
+    split_bytes_per_second: float = DEFAULT_SPLIT_BYTES_PER_SECOND
+    cache_hit_speedup: float = DEFAULT_CACHE_HIT_SPEEDUP
 
 
 _DEFAULT = SchedCalibration(
@@ -113,11 +129,18 @@ def _read_profile(path: Path) -> Optional[SchedCalibration]:
         raw = json.loads(path.read_text(encoding="utf-8"))
         startup = float(raw["worker_startup_seconds"])
         ship = float(raw["ship_bytes_per_second"])
+        # Newer constants default when absent so profiles written by
+        # older versions keep loading.
+        scan = float(raw.get("scan_bytes_per_second", DEFAULT_SCAN_BYTES_PER_SECOND))
+        split = float(
+            raw.get("split_bytes_per_second", DEFAULT_SPLIT_BYTES_PER_SECOND)
+        )
+        speedup = float(raw.get("cache_hit_speedup", DEFAULT_CACHE_HIT_SPEEDUP))
     except (OSError, ValueError, KeyError, TypeError):
         return None
-    if not (startup >= 0 and ship > 0):
+    if not (startup >= 0 and ship > 0 and scan > 0 and split > 0 and speedup >= 1):
         return None
-    return SchedCalibration(startup, ship, "profile")
+    return SchedCalibration(startup, ship, "profile", scan, split, speedup)
 
 
 def save_calibration(calibration: SchedCalibration, path: Path) -> bool:
@@ -189,8 +212,33 @@ def ship_bytes_per_second() -> float:
     return load_calibration().ship_bytes_per_second
 
 
+def scan_bytes_per_second() -> float:
+    """Serial bytes-native typing throughput (subtree-mode cost model)."""
+    override = _env_float(_SCAN_ENV)
+    if override is not None:
+        return override
+    return load_calibration().scan_bytes_per_second
+
+
+def split_bytes_per_second() -> float:
+    """Structural-splitter carving throughput (subtree-mode cost model)."""
+    override = _env_float(_SPLIT_ENV)
+    if override is not None:
+        return override
+    return load_calibration().split_bytes_per_second
+
+
+def cache_hit_speedup() -> float:
+    """Warm line-cache speedup over a full structural scan (>= 1)."""
+    override = _env_float(_CACHE_SPEEDUP_ENV)
+    if override is not None:
+        return max(1.0, override)
+    return load_calibration().cache_hit_speedup
+
+
 def calibration_source() -> str:
     """Provenance of the constants the next plan will use."""
-    if _env_float(_STARTUP_ENV) is not None or _env_float(_SHIP_ENV) is not None:
+    envs = (_STARTUP_ENV, _SHIP_ENV, _SCAN_ENV, _SPLIT_ENV, _CACHE_SPEEDUP_ENV)
+    if any(_env_float(name) is not None for name in envs):
         return "env"
     return load_calibration().source

@@ -395,6 +395,257 @@ def _infer_file_range_partition(
     return _fold_bytes_range(data, 0, len(data), equivalence_value)
 
 
+# ---------------------------------------------------------------------------
+# intra-document parallelism: subtree chunks to workers, partials back
+# ---------------------------------------------------------------------------
+
+
+# Documents below this size stay on the line-parallel / serial paths:
+# splitting them cannot beat the fixed worker round-trip.
+_SUBTREE_MIN_BYTES = 4 << 20
+# Re-plan budget when a speculative chunking fails validation (the
+# separators sat one level deeper than assumed); each retry forces the
+# planner to descend past the level that lied.
+_SUBTREE_ATTEMPTS = 3
+
+
+def _infer_subtree_chunks(payload) -> Optional[list]:
+    """Worker: type one group of chunk spans read straight from the file.
+
+    The parent ships only ``(path, kind, [(start, end), ...], max_depth)``;
+    the worker reads one covering slice, wraps each chunk in its
+    container's brackets, and runs the full bytes machine — keys,
+    escapes, UTF-8 runs and depth all get the serial scan's exact
+    validation.  Returns the per-chunk contribution lists, or ``None``
+    when any chunk fails: failure means the parent's speculative
+    boundaries were wrong (or the document is malformed), and the parent
+    falls back to the authoritative serial scan for exact errors.
+    """
+    path, kind, chunks, max_depth = payload
+    try:
+        from repro.inference.engine import type_subtree_chunks
+        from repro.types.build import EventTypeEncoder
+        from repro.types.intern import InternTable
+
+        lo = min(start for start, _ in chunks)
+        hi = max(end for _, end in chunks)
+        with open(path, "rb") as handle:
+            handle.seek(lo)
+            data = handle.read(hi - lo)
+        encoder = EventTypeEncoder(InternTable())
+        relative = [(start - lo, end - lo) for start, end in chunks]
+        return type_subtree_chunks(
+            encoder, data, kind, relative, max_depth=max_depth
+        )
+    except Exception:
+        return None
+
+
+def _subtree_span_type(
+    buffer,
+    path: Optional[str],
+    start: int,
+    end: int,
+    *,
+    encoder,
+    table,
+    processes: int,
+    targets: int,
+    min_bytes: int,
+    pool_state: dict,
+    max_depth: int = 512,
+):
+    """Type one document span through the subtree-parallel pipeline.
+
+    Returns the canonical type, or ``None`` when the span is not worth
+    (or not amenable to) splitting — the caller then runs the serial
+    ``encode_bytes``, which also owns all error reporting.  The worker
+    pool is created lazily in ``pool_state`` on the first parallel
+    dispatch and reused across spans.
+    """
+    from repro.inference.engine import (
+        combine_subtree,
+        plan_subtree_split,
+        type_subtree_chunks,
+    )
+
+    skip = 0
+    for _ in range(_SUBTREE_ATTEMPTS):
+        split = plan_subtree_split(
+            buffer,
+            start,
+            end,
+            targets=targets,
+            min_bytes=min_bytes,
+            skip_chunk_levels=skip,
+        )
+        if split is None:
+            return None
+        chunk_depth = max_depth - split.spine_depth
+        if chunk_depth <= 1:
+            return None
+        chunks = split.chunks
+        if processes > 1 and len(chunks) > 1 and path is not None:
+            bounds = partition_bounds(len(chunks), min(processes, len(chunks)))
+            payloads = [
+                (path, split.kind, list(chunks[a:b]), chunk_depth)
+                for a, b in bounds
+            ]
+            pool = pool_state.get("pool")
+            if pool is None:
+                pool = pool_state["pool"] = multiprocessing.Pool(
+                    processes=processes
+                )
+            results = pool.map(_infer_subtree_chunks, payloads)
+            if any(group is None for group in results):
+                skip = split.spine_depth + 1
+                continue
+            chunk_parts = [parts for group in results for parts in group]
+        else:
+            try:
+                chunk_parts = type_subtree_chunks(
+                    encoder, buffer, split.kind, chunks, max_depth=chunk_depth
+                )
+            except Exception:
+                skip = split.spine_depth + 1
+                continue
+        try:
+            # Spine heads (the members preceding a dominant last member)
+            # are small; type them parent-side.
+            heads = []
+            for level, frame in enumerate(split.frames):
+                if frame[0] == "recw" and frame[1] is not None:
+                    heads.append(
+                        type_subtree_chunks(
+                            encoder,
+                            buffer,
+                            "object",
+                            [frame[1]],
+                            max_depth=max_depth - level,
+                        )[0]
+                    )
+                else:
+                    heads.append(None)
+        except Exception:
+            # A lying spine frame cannot be re-planned around.
+            return None
+        return combine_subtree(table, split, chunk_parts, heads)
+    return None
+
+
+def infer_subtree_text(
+    corpus,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    processes: Optional[int] = None,
+    min_split_bytes: int = _SUBTREE_MIN_BYTES,
+    targets: Optional[int] = None,
+) -> ParallelRun:
+    """Inference over an mmap corpus with *intra-document* parallelism.
+
+    Lines of at least ``min_split_bytes`` are carved into top-level
+    subtree chunks by the bytes-native structural splitter
+    (:mod:`repro.parsing.structural`) and typed by ``encode_bytes``
+    machines in parallel workers reading their own byte ranges from the
+    backing file; the partial contributions merge back through the
+    reassembly algebra and the :class:`~repro.inference.engine.TypeAccumulator`
+    monoid.  Smaller lines fold through the batched bytes pipeline
+    exactly as :func:`~repro.inference.engine.accumulate_ranges` runs
+    them.  The result is interned-identical to the serial scan of every
+    line, with identical errors: any span the splitter cannot carve (or
+    whose speculative chunking fails validation) is re-scanned serially
+    by the authoritative bytes machine.
+    """
+    from repro.inference.engine import (
+        _EXTRA_SPACE_BYTES,
+        _BYTES_WS_RUN,
+        _RANGE_CHUNK_LIMIT,
+        _RANGE_CHUNK_START,
+        TypeAccumulator,
+    )
+    from repro.types.build import EventTypeEncoder
+
+    if processes is None:
+        processes = auto_jobs()
+    processes = max(1, processes)
+    if targets is None:
+        targets = max(2, processes)
+
+    accumulator = TypeAccumulator(equivalence)
+    encoder = EventTypeEncoder(accumulator.table)
+    add_type = accumulator.add_type
+    buffer = corpus.buffer()
+    path = getattr(corpus, "path", None)
+    threshold = max(min_split_bytes, 2)
+    ws_match = _BYTES_WS_RUN.match
+    pool_state: dict = {}
+    batch: list[bytes] = []
+    chunk = _RANGE_CHUNK_START
+    split_documents = 0
+
+    def flush() -> None:
+        if batch:
+            for t in encoder.encode_lines(batch):
+                add_type(t)
+            del batch[:]
+
+    try:
+        for start, end in corpus.spans:
+            if end <= start:
+                continue
+            ws_end = ws_match(buffer, start, end).end()
+            if ws_end >= end:
+                continue  # ASCII whitespace only
+            if buffer[ws_end] >= 0x80 or buffer[ws_end] in _EXTRA_SPACE_BYTES:
+                # str.isspace-parity blank check, flushing first so
+                # earlier lines surface their errors in serial order.
+                flush()
+                text = bytes(buffer[start:end]).decode("utf-8")
+                if text.isspace():
+                    continue
+            if end - start >= threshold:
+                flush()
+                t = _subtree_span_type(
+                    buffer,
+                    path,
+                    start,
+                    end,
+                    encoder=encoder,
+                    table=accumulator.table,
+                    processes=processes,
+                    targets=targets,
+                    min_bytes=min_split_bytes,
+                    pool_state=pool_state,
+                )
+                if t is None:
+                    # Serial authority: exact type, exact errors.
+                    t = encoder.encode_bytes(buffer, start, end)
+                else:
+                    split_documents += 1
+                add_type(t)
+                continue
+            batch.append(bytes(buffer[start:end]))
+            if len(batch) >= chunk:
+                flush()
+                chunk = min(_RANGE_CHUNK_LIMIT, chunk * 4)
+        flush()
+    finally:
+        pool = pool_state.get("pool")
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    if accumulator.is_empty():
+        raise InferenceError("cannot infer a schema from an empty collection")
+    return ParallelRun(
+        result=accumulator.result(),
+        partitions=max(1, split_documents),
+        processes=processes if pool_state.get("pool") is not None else 1,
+        equivalence=equivalence,
+        partition_documents=[accumulator.document_count],
+    )
+
+
 # Auto shared-memory heuristic: below this corpus size the per-batch
 # pickles are cheap enough that a shared segment (create + one memcpy +
 # per-worker attach) is not worth its setup.
@@ -646,12 +897,16 @@ def auto_jobs() -> int:
 class SchedulePlan:
     """The adaptive scheduler's decision for one corpus.
 
-    ``mode`` is ``"serial"`` or ``"parallel"``; the estimate fields
-    record the cost model's inputs so benchmarks and the CLI can report
-    *why* the scheduler chose what it chose.  ``calibration_source``
-    records where the startup/shipping constants came from (``"env"``,
-    ``"profile"``, ``"measured"``, or ``"default"`` — see
-    :mod:`repro.inference.calibration`).
+    ``mode`` is ``"serial"``, ``"parallel"`` (line-parallel workers), or
+    ``"subtree"`` (intra-document parallelism: huge documents carved
+    into top-level chunks); the estimate fields record the cost model's
+    inputs so benchmarks and the CLI can report *why* the scheduler
+    chose what it chose.  ``calibration_source`` records where the
+    startup/shipping constants came from (``"env"``, ``"profile"``,
+    ``"measured"``, or ``"default"`` — see
+    :mod:`repro.inference.calibration`).  ``sample_cache_hit_rate`` is
+    the line-shape-cache hit rate the timed sample measured (0.0 when
+    the sample ran the str path, which has no line cache).
     """
 
     mode: str
@@ -664,10 +919,15 @@ class SchedulePlan:
     estimated_parallel_seconds: float
     reason: str
     calibration_source: str = "default"
+    sample_cache_hit_rate: float = 0.0
 
     @property
     def parallel(self) -> bool:
         return self.mode == "parallel"
+
+    @property
+    def subtree(self) -> bool:
+        return self.mode == "subtree"
 
 
 # Cost-model constants.  Startup covers fork + pool handshake + module
@@ -684,6 +944,10 @@ _SAMPLE_SIZE = 200
 # the fold just to decide the plan.
 _SAMPLE_BUDGET_SECONDS = 0.05
 _SAMPLE_MINIMUM = 8
+# Corpus sampling feeds the batched line pipeline in sub-batches so the
+# line-shape cache participates (its hit rate feeds the cost model);
+# the wall-clock budget is re-checked between batches.
+_SAMPLE_BATCH_LINES = 32
 
 
 def plan_schedule(
@@ -721,7 +985,8 @@ def plan_schedule(
 
     def serial_plan(reason: str, rate: float = 0.0, serial_s: float = 0.0,
                     parallel_s: float = 0.0,
-                    calibration_source: str = "default") -> SchedulePlan:
+                    calibration_source: str = "default",
+                    cache_hit_rate: float = 0.0) -> SchedulePlan:
         return SchedulePlan(
             mode="serial",
             jobs=1,
@@ -733,6 +998,7 @@ def plan_schedule(
             estimated_parallel_seconds=parallel_s,
             reason=reason,
             calibration_source=calibration_source,
+            sample_cache_hit_rate=cache_hit_rate,
         )
 
     if documents == 0:
@@ -747,21 +1013,81 @@ def plan_schedule(
     from repro.datasets.ndjson import MmapCorpus
 
     is_corpus = isinstance(lines, MmapCorpus)
+
+    # --- corpus-shape probe: few huge lines → intra-document mode -------
+    # Decided *before* the timed sample: sampling a corpus of 100 MB
+    # lines would scan whole documents just to plan, and the per-line
+    # rate is meaningless when one line is the corpus.  Bytes-rate
+    # calibration constants model it instead.
+    if is_corpus and documents <= max(1, sample_size):
+        biggest = lines.max_line_bytes
+        if biggest >= _SUBTREE_MIN_BYTES:
+            total_bytes = lines.size_bytes
+            huge_bytes = sum(
+                end - start
+                for start, end in lines.spans
+                if end - start >= _SUBTREE_MIN_BYTES
+            )
+            if huge_bytes * 2 > total_bytes:
+                effective = min(requested, cpus)
+                serial_seconds = (
+                    total_bytes / calibration.scan_bytes_per_second()
+                )
+                subtree_seconds = (
+                    calibration.worker_startup_seconds() * effective
+                    + total_bytes / calibration.split_bytes_per_second()
+                    + serial_seconds / effective
+                )
+                source = calibration.calibration_source()
+                if serial_seconds > subtree_seconds * _PARALLEL_ADVANTAGE:
+                    return SchedulePlan(
+                        mode="subtree",
+                        jobs=effective,
+                        partitions=effective,
+                        documents=documents,
+                        cpus=cpus,
+                        sample_docs_per_sec=0.0,
+                        estimated_serial_seconds=serial_seconds,
+                        estimated_parallel_seconds=subtree_seconds,
+                        reason=(
+                            f"huge-document corpus ({huge_bytes / 1e6:.0f} MB "
+                            f"in splittable lines): modeled "
+                            f"{serial_seconds / subtree_seconds:.2f}x win "
+                            f"from intra-document chunks on {effective} of "
+                            f"{cpus} CPUs"
+                        ),
+                        calibration_source=source,
+                    )
+                return serial_plan(
+                    f"huge-document corpus but modeled subtree win "
+                    f"{serial_seconds / subtree_seconds:.2f}x is under the "
+                    f"{_PARALLEL_ADVANTAGE:.2f}x threshold",
+                    0.0,
+                    serial_seconds,
+                    subtree_seconds,
+                    source,
+                )
+
     sample_limit = min(documents, max(1, sample_size))
     encoder = _sample_encoder()
     sample_bytes = 0
     sampled = 0
+    cache_hit_rate = 0.0
+    full_hit_rate = 0.0
     start_time = time.perf_counter()
     if is_corpus:
-        # Bytes-native sampling: scan undecoded ranges of the mapped
-        # file, exactly what the serial fold would run — blank lines
-        # (str.isspace parity included) skipped exactly as it skips
-        # them.
+        # Bytes-native sampling: run undecoded ranges of the mapped file
+        # through the *batched* line pipeline — the exact code the
+        # serial fold runs, line-shape cache included, so the measured
+        # rate reflects warm-cache folding, not the cold structural
+        # scan.  Blank lines (str.isspace parity included) are skipped
+        # exactly as the fold skips them.
         from repro.inference.engine import _EXTRA_SPACE_BYTES, _BYTES_WS_RUN
 
         buffer = lines.buffer()
-        encode_bytes = encoder.encode_bytes
         ws_match = _BYTES_WS_RUN.match
+        encode_lines = encoder.encode_lines
+        batch: list[bytes] = []
         for start, end in lines.spans[:sample_limit]:
             sample_bytes += end - start
             if end > start:
@@ -770,17 +1096,25 @@ def plan_schedule(
                     buffer[ws_end] >= 0x80
                     or buffer[ws_end] in _EXTRA_SPACE_BYTES
                 ):
-                    encode_bytes(buffer, start, end)
+                    batch.append(bytes(buffer[start:end]))
                 elif ws_end < end:
                     text = bytes(buffer[start:end]).decode("utf-8")
                     if not text.isspace():
                         encoder.encode_text(text)
             sampled += 1
-            if (
-                sampled >= _SAMPLE_MINIMUM
-                and time.perf_counter() - start_time > _SAMPLE_BUDGET_SECONDS
-            ):
-                break
+            if len(batch) >= _SAMPLE_BATCH_LINES:
+                for _ in encode_lines(batch):
+                    pass
+                del batch[:]
+                if (
+                    sampled >= _SAMPLE_MINIMUM
+                    and time.perf_counter() - start_time
+                    > _SAMPLE_BUDGET_SECONDS
+                ):
+                    break
+        if batch:
+            for _ in encode_lines(batch):
+                pass
     else:
         encode_text = encoder.encode_text
         for index in range(sample_limit):
@@ -798,6 +1132,26 @@ def plan_schedule(
     rate = sampled / elapsed
 
     serial_seconds = documents / rate
+    if is_corpus:
+        attempts, hits, _enabled = encoder.line_cache_stats
+        if attempts:
+            # Hit-rate feedback: the sample's warm-cache rate, projected
+            # to the full fold.  The sample under-measures the hit rate
+            # when most lines repeat a shape it saw once (every distinct
+            # shape costs one miss, amortized over the *whole* corpus,
+            # not the sample) — so project the full-corpus rate from the
+            # distinct-shape count and cost cached lines at the
+            # calibrated speedup.
+            speedup = calibration.cache_hit_speedup()
+            cache_hit_rate = hits / attempts
+            distinct = attempts - hits
+            full_hit_rate = max(
+                cache_hit_rate, 1.0 - distinct / max(documents, 1)
+            )
+            sample_cost = (1.0 - cache_hit_rate) + cache_hit_rate / speedup
+            full_cost = (1.0 - full_hit_rate) + full_hit_rate / speedup
+            if sample_cost > 0:
+                serial_seconds = (documents / rate) * (full_cost / sample_cost)
     effective = min(requested, cpus)
     total_bytes = sample_bytes * (documents / sampled)
     # Shipping: per-batch pickles for in-memory line lists only.  Both
@@ -832,6 +1186,7 @@ def plan_schedule(
                 f"on {effective} of {cpus} CPUs"
             ),
             calibration_source=source,
+            sample_cache_hit_rate=cache_hit_rate,
         )
     return serial_plan(
         f"modeled parallel win {serial_seconds / parallel_seconds:.2f}x is "
@@ -841,6 +1196,7 @@ def plan_schedule(
         serial_seconds,
         parallel_seconds,
         source,
+        cache_hit_rate,
     )
 
 
@@ -881,6 +1237,10 @@ def infer_adaptive_text(
         shared_memory=shared_memory,
         sample_size=sample_size,
     )
+    if plan.subtree:
+        run = infer_subtree_text(lines, equivalence, processes=plan.jobs)
+        run.plan = plan
+        return run
     if not plan.parallel:
         from repro.datasets.ndjson import MmapCorpus
         from repro.inference.engine import accumulate_lines, accumulate_ranges

@@ -28,6 +28,7 @@ Laws (property-tested in ``tests/test_engine_properties.py``):
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Optional, Sequence
 
 from repro.errors import InferenceError
@@ -35,7 +36,7 @@ from repro.jsonvalue.lexer import WHITESPACE_PATTERN_BYTES
 from repro.types import Equivalence, Type, class_key, union
 from repro.types.build import EventTypeEncoder, TypeEncoder
 from repro.types.intern import InternTable, global_table
-from repro.types.terms import UnionType
+from repro.types.terms import ArrType, BotType, RecType, UnionType
 
 _BYTES_WS_RUN = re.compile(WHITESPACE_PATTERN_BYTES)
 # ASCII bytes str.isspace() accepts beyond JSON's own whitespace: a line
@@ -391,3 +392,274 @@ def accumulate_ranges(
         for t in encoder.encode_lines(batch):
             add_type(t)
     return acc
+
+
+# ---------------------------------------------------------------------------
+# intra-document parallelism: split planning and partial reassembly
+# ---------------------------------------------------------------------------
+#
+# One huge document serializes the whole line-parallel pipeline.  The
+# functions below turn its *top-level container* into independently
+# typable byte ranges and fold the partial results back to the exact
+# interned node the serial ``encode_bytes`` would produce:
+#
+# - :func:`plan_subtree_split` descends to a splittable container
+#   (recording a *spine* of wrapper frames for each level it enters) and
+#   carves its children into contiguous chunk spans;
+# - each chunk, re-wrapped in its container's brackets, is a complete
+#   JSON document the unmodified bytes machine types and validates
+#   (:func:`type_subtree_chunks`) — in this process or in a worker;
+# - :func:`combine_subtree` merges the per-chunk contributions (array
+#   element unions / record member maps) and re-applies the spine.
+#
+# Identity rests on the shape-closing algebra being reassociable:
+# ``union`` is flattening, duplicate-insensitive and order-insensitive,
+# so per-chunk element unions compose to the whole array's union; record
+# members resolve duplicate keys last-wins, which chunk-ordered folding
+# preserves; ``rec_of`` sorts fields, erasing chunk boundaries.  Any
+# speculation failure (a separator matched inside a string, malformed
+# input, depth overflow) fails chunk validation, and the caller falls
+# back to the serial scan — exact errors, never a silently wrong type.
+
+# Below this size the splitter runs the exact linear depth-1 scan; above
+# it, speculative separator searches keep the parent's carving cost
+# O(workers) instead of O(bytes).
+_SUBTREE_EXACT_LIMIT = 1 << 20
+# Spine recursion cap: levels of single-child wrappers to descend
+# looking for a splittable container before giving up.
+_SUBTREE_MAX_SPINE = 8
+
+
+@dataclass(frozen=True)
+class SubtreeSplit:
+    """A plan for typing one document as parallel top-level chunks.
+
+    ``frames`` is the wrapper spine, outermost first: ``("arr1",)`` for
+    a single-element array entered, ``("recw", head_span, key)`` for an
+    object entered through its last member ``key`` (``head_span`` is the
+    byte span of the preceding members, ``None`` when there are none).
+    ``chunks`` are ``(start, end)`` byte spans of ``kind``'s element or
+    member lists; each must parse completely once wrapped in the
+    container's brackets.
+    """
+
+    frames: tuple
+    kind: str  # "object" | "array"
+    chunks: tuple
+
+    @property
+    def spine_depth(self) -> int:
+        return len(self.frames)
+
+
+def plan_subtree_split(
+    data,
+    start: int = 0,
+    end: Optional[int] = None,
+    *,
+    targets: int = 4,
+    min_bytes: int = 0,
+    exact_limit: int = _SUBTREE_EXACT_LIMIT,
+    max_spine: int = _SUBTREE_MAX_SPINE,
+    skip_chunk_levels: int = 0,
+):
+    """Plan the chunking of one document's byte range, or ``None``.
+
+    ``None`` means "type it serially": top-level scalars, empty
+    containers, ranges under ``min_bytes``, unsplittable shapes, and
+    anything the speculative carver declines.  A returned plan is still
+    only *speculative* above ``exact_limit`` — chunk validation decides.
+
+    ``skip_chunk_levels`` suppresses chunk proposal for the first N
+    spine levels: when a proposed chunking fails validation (separators
+    that really sat one level deeper, e.g. ``[ {"rows": [{...},{...}]} ]``),
+    the driver re-plans with ``split.spine_depth + 1`` to force the
+    descent past the level that lied.  The exact tier is never skipped —
+    it cannot lie.
+    """
+    from repro.parsing.structural import (
+        document_bounds,
+        propose_chunks,
+        propose_spine,
+        scan_depth1_spans,
+    )
+
+    if end is None:
+        end = len(data)
+    if targets < 1:
+        return None
+    frames: list = []
+    lo, hi = start, end
+    ws_match = _BYTES_WS_RUN.match
+    while True:
+        if hi - lo < max(min_bytes, 2):
+            return None
+        if hi - lo <= exact_limit:
+            scan = scan_depth1_spans(data, lo, hi)
+            if scan is None or not scan.parts:
+                return None
+            parts = scan.parts
+            groups = min(targets, len(parts))
+            base, extra = divmod(len(parts), groups)
+            chunks = []
+            index = 0
+            for g in range(groups):
+                count = base + (1 if g < extra else 0)
+                first = parts[index]
+                last = parts[index + count - 1]
+                # A chunk spans from the first part's start (the key
+                # quote for objects) to the last part's value end; the
+                # separators in between ride along and re-parse as the
+                # wrapped container's own commas.
+                chunks.append((first[0], last[-1]))
+                index += count
+            return SubtreeSplit(tuple(frames), scan.kind, tuple(chunks))
+        bounds = document_bounds(data, lo, hi)
+        if bounds is None:
+            return None
+        kind, open_, close = bounds
+        chunks = (
+            propose_chunks(data, open_, close, kind, targets)
+            if len(frames) >= skip_chunk_levels
+            else None
+        )
+        if chunks:
+            return SubtreeSplit(tuple(frames), kind, tuple(chunks))
+        if len(frames) >= max_spine:
+            return None
+        if kind == "array":
+            # No separators found: speculate that the array holds one
+            # huge container element and descend into it.
+            pos = ws_match(data, open_ + 1, close).end()
+            if pos >= close:
+                return None
+            opener = data[pos]
+            if opener == 0x7B:
+                closer = 0x7D
+            elif opener == 0x5B:
+                closer = 0x5D
+            else:
+                return None
+            last = close - 1
+            while last > pos and data[last] in b" \t\n\r":
+                last -= 1
+            if data[last] != closer:
+                return None
+            frames.append(("arr1",))
+            lo, hi = pos, last + 1
+        else:
+            spine = propose_spine(data, open_, close)
+            if spine is None:
+                return None
+            head, key_span, (vopen, vend) = spine
+            raw = bytes(data[key_span[0] : key_span[1]])
+            if b"\\" in raw:
+                # Escaped keys would need the scanner's unescape to
+                # rebuild the member; rare enough to punt to serial.
+                return None
+            try:
+                key = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                return None
+            frames.append(("recw", head, key))
+            lo, hi = vopen, vend
+
+
+def _subtree_parts(kind: str, t: Type) -> list:
+    """One typed, wrapped chunk → its mergeable contributions.
+
+    Arrays contribute their element-union members; objects contribute
+    ``(name, type, required)`` member triples.
+    """
+    if kind == "array":
+        item = t.item
+        if isinstance(item, UnionType):
+            return list(item.members)
+        if isinstance(item, BotType):
+            return []
+        return [item]
+    return [(f.name, f.type, f.required) for f in t.fields]
+
+
+def type_subtree_chunks(
+    encoder: EventTypeEncoder,
+    data,
+    kind: str,
+    chunks,
+    *,
+    max_depth: int = 512,
+) -> list:
+    """Type each chunk span through the full bytes machine.
+
+    Every chunk is wrapped in its container's brackets and scanned as a
+    complete document, so keys, escapes, UTF-8 runs, and nesting depth
+    get the machine's exact validation; the wrapper contributes exactly
+    the one level the real container contributes.  Raises whatever the
+    machine raises on an invalid chunk — callers treat any failure as
+    "this speculation was wrong, go serial".
+    """
+    wrap_open, wrap_close = (b"[", b"]") if kind == "array" else (b"{", b"}")
+    encode = encoder.encode_bytes
+    out = []
+    for s, e in chunks:
+        doc = wrap_open + bytes(data[s:e]) + wrap_close
+        t = encode(doc, max_depth=max_depth)
+        if kind == "array":
+            if not isinstance(t, ArrType):  # pragma: no cover - wrap invariant
+                raise InferenceError("subtree chunk did not type as an array")
+        elif not isinstance(t, RecType):  # pragma: no cover - wrap invariant
+            raise InferenceError("subtree chunk did not type as a record")
+        out.append(_subtree_parts(kind, t))
+    return out
+
+
+def combine_subtree(
+    table: InternTable, split: SubtreeSplit, chunk_parts, head_parts=None
+) -> Type:
+    """Reassemble chunk contributions into the whole document's type.
+
+    ``chunk_parts`` is one :func:`_subtree_parts` list per chunk, in
+    chunk order (possibly from other processes — everything is
+    re-canonicalized into ``table``).  ``head_parts`` aligns with
+    ``split.frames``: the typed member triples of each ``recw`` frame's
+    head span (``None`` elsewhere).  The result is interned-identical to
+    the serial scan of the whole document.
+    """
+    canonical = table.canonical
+    if split.kind == "array":
+        members: list = []
+        seen: set = set()
+        for parts in chunk_parts:
+            for member in parts:
+                member = canonical(member)
+                if member not in seen:
+                    seen.add(member)
+                    members.append(member)
+        t = table.arr_of(table.union_of(members))
+    else:
+        fields: dict = {}
+        for parts in chunk_parts:
+            for name, ftype, required in parts:
+                # Duplicate keys across (and within) chunks: last wins,
+                # matching the serial scan's dict overwrite.
+                fields[name] = (canonical(ftype), required)
+        t = table.rec_of(
+            [table.field_of(n, ft, req) for n, (ft, req) in fields.items()]
+        )
+    frames = split.frames
+    heads = head_parts if head_parts is not None else (None,) * len(frames)
+    for frame, head in zip(reversed(frames), reversed(tuple(heads))):
+        if frame[0] == "arr1":
+            t = table.arr_of(table.union_of([t]))
+        else:
+            fields = {}
+            if head:
+                for name, ftype, required in head:
+                    fields[name] = (canonical(ftype), required)
+            # The spine member is the object's last member; assignment
+            # order keeps last-wins exact if its key repeats in the head.
+            fields[frame[2]] = (t, True)
+            t = table.rec_of(
+                [table.field_of(n, ft, req) for n, (ft, req) in fields.items()]
+            )
+    return t

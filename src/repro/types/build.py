@@ -548,6 +548,23 @@ _SKEL_STRIP_FULL = re.compile(b'"' + FULL_STRING_BODY_PATTERN_BYTES + b'"')
 _SKEL_WSKEY = re.compile(rb'"[ \t]+:')
 _SKEL_KEYDIG = re.compile(rb'"[^\x04"0-9]*[0-9]')
 _SKEL_LEADING_ZERO = re.compile(rb"(?<![0-9.eE+])(?<![eE]-)0[0-9]")
+# Digit-bearing keys (``p99``, ``utf8``, ``h2o``…) used to trip the
+# keydig guard wholesale and push their lines to the scan machine.
+# Instead, a protect pass shifts digits *inside key regions* (an
+# opening quote through its ``\x04`` key marker, never spanning a line
+# break) up into \x10-\x19 — length-preserving and injective, so
+# distinct keys keep distinct skeletons, and the value-digit fold no
+# longer touches them.  Raw \x10-\x19 bytes in input cannot collide:
+# they are control bytes, and control-bearing lines never touch the
+# cache.  Keys the protect pattern cannot cover (an escaped quote
+# before the digit keeps the ``"…\x04`` shape from matching) still
+# match the keydig search afterwards and fall back per line as before.
+_SKEL_KEYDIG_PROTECT = re.compile(rb'"[^"\x04\r\n]*[0-9][^"\x04\r\n]*\x04')
+_SKEL_DIGIT_SHIFT = bytes.maketrans(b"0123456789", bytes(range(0x10, 0x1A)))
+
+
+def _skel_shift_key_digits(match) -> bytes:
+    return match.group(0).translate(_SKEL_DIGIT_SHIFT)
 _SKEL_FOLD = bytes.maketrans(b"123456789", b"000000000")
 _SKEL_RUNS = re.compile(rb"00+")
 _SKEL_BREAK = re.compile(rb"\r\n|\r|\n")
@@ -1790,6 +1807,19 @@ class EventTypeEncoder(TypeEncoder):
             stats[2] = False
         return out
 
+    @property
+    def line_cache_stats(self) -> tuple:
+        """``(attempts, hits, enabled)`` of the line-shape cache.
+
+        Attempts count lines that entered :meth:`encode_lines` with the
+        cache enabled; hits are the ones resolved by a cached skeleton.
+        The adaptive scheduler reads the measured hit rate back into its
+        cost model, so the timed sample prices warm cached folding
+        instead of assuming every line pays the full structural scan.
+        """
+        attempts, hits, enabled = self._line_stats
+        return attempts, hits, bool(enabled)
+
 
 def _SKEL_STRIP(whole: bytes):
     """Run the corpus-level skeleton passes over one joined buffer.
@@ -1804,6 +1834,10 @@ def _SKEL_STRIP(whole: bytes):
     marked = whole.replace(b'":', b"\x04")
     strip = _SKEL_STRIP_FULL if bsl_any else _SKEL_STRIP_SIMPLE
     sk_pre = strip.sub(b"\x03", marked)
+    if _SKEL_KEYDIG.search(sk_pre) is not None:
+        # Shift key-region digits out of the fold's way; the guards
+        # below then see only what the protect pass could not cover.
+        sk_pre = _SKEL_KEYDIG_PROTECT.sub(_skel_shift_key_digits, sk_pre)
     lz_any = _SKEL_LEADING_ZERO.search(sk_pre) is not None
     kd_any = _SKEL_KEYDIG.search(sk_pre) is not None
     sk_all = _SKEL_RUNS.sub(b"0", sk_pre.translate(_SKEL_FOLD))

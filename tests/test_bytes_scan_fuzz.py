@@ -176,6 +176,67 @@ def test_edge_cases_share_one_encoder_and_its_caches():
 
 
 # ---------------------------------------------------------------------------
+# the counting bytes scan (counted_type_of_bytes)
+# ---------------------------------------------------------------------------
+
+
+def _counted_differential(raw: bytes):
+    """counted_type_of_bytes(raw) must equal decode + counted_type_of_text
+    in outcome: structurally equal counted type, or the identical error."""
+    from repro.inference.counting import counted_type_of_bytes, counted_type_of_text
+    from repro.types import Equivalence
+
+    for equivalence in (Equivalence.KIND, Equivalence.LABEL):
+
+        def str_path():
+            return counted_type_of_text(raw.decode("utf-8"), equivalence)
+
+        reference = _failure(str_path)
+        observed = _failure(lambda: counted_type_of_bytes(raw, equivalence=equivalence))
+        assert observed == reference, (raw, observed, reference)
+        if reference is None:
+            assert counted_type_of_bytes(raw, equivalence=equivalence) == str_path()
+
+
+@given(json_values(max_leaves=25))
+@settings(max_examples=100, deadline=None)
+def test_counted_bytes_matches_counted_text(value):
+    _counted_differential(dumps(value).encode("utf-8"))
+
+
+@given(st.binary(max_size=40))
+@settings(max_examples=150, deadline=None)
+def test_counted_bytes_arbitrary_bytes_differential(raw):
+    _counted_differential(raw)
+
+
+@pytest.mark.parametrize("text", _EDGE_TEXTS)
+def test_counted_bytes_edge_texts(text):
+    _counted_differential(text.encode("utf-8"))
+
+
+@pytest.mark.parametrize("raw", _EDGE_BYTES)
+def test_counted_bytes_edge_bytes(raw):
+    _counted_differential(raw)
+
+
+def test_counted_bytes_range_offsets_and_depth():
+    from repro.inference.counting import counted_type_of_bytes, counted_type_of_text
+    from repro.jsonvalue.parser import JsonParseError as ParseError
+
+    buf = b'xxx{"a": [1, 2.5, "s"]}yyy'
+    assert counted_type_of_bytes(buf, 3, len(buf) - 3) == counted_type_of_text(
+        '{"a": [1, 2.5, "s"]}'
+    )
+    deep = b"[" * 8 + b"1" + b"]" * 8
+    assert counted_type_of_bytes(deep, max_depth=8) == counted_type_of_text(
+        deep.decode(), max_depth=8
+    )
+    with pytest.raises(ParseError):
+        counted_type_of_bytes(deep, max_depth=7)
+
+
+# ---------------------------------------------------------------------------
 # the batched line-shape cache (encode_lines / accumulate_ranges)
 # ---------------------------------------------------------------------------
 

@@ -189,6 +189,46 @@ def _route_bytes_parallel(docs, lines, equivalence):
     )
 
 
+def _route_subtree_serial(docs, lines, equivalence):
+    """Intra-document splitter, in-process: every line over the split
+    threshold is carved into top-level subtree ranges, typed chunk by
+    chunk, and reassembled — identical to the serial bytes fold."""
+    from repro.inference import infer_subtree_text
+
+    return _with_corpus(
+        lines,
+        lambda corpus: infer_subtree_text(
+            corpus, equivalence, processes=1, min_split_bytes=0
+        ).result,
+    )
+
+
+def _route_subtree_parallel(docs, lines, equivalence):
+    """Intra-document splitter with chunk groups shipped to workers
+    (byte-range reads from the file, partials re-interned on merge)."""
+    from repro.inference import infer_subtree_text
+
+    return _with_corpus(
+        lines,
+        lambda corpus: infer_subtree_text(
+            corpus, equivalence, processes=2, min_split_bytes=0
+        ).result,
+    )
+
+
+def _route_counting_bytes(docs, lines, equivalence):
+    """Counting types via the bytes-native counted scan, counts stripped."""
+    from repro.inference import counted_type_of_bytes
+    from repro.inference.engine import CountingAccumulator
+
+    accumulator = CountingAccumulator(equivalence)
+    for line in lines:
+        if not line or line.isspace():
+            continue
+        accumulator.add_counted(counted_type_of_bytes(line.encode("utf-8"), equivalence=equivalence))
+    return accumulator.result().plain()
+
+
 def _route_repository(docs, lines, equivalence):
     """Schema repository: per-structure group types, re-merged.
 
@@ -223,12 +263,15 @@ ROUTES = {
     "adaptive": _route_adaptive,
     "bytes-serial": _route_bytes_serial,
     "bytes-parallel": _route_bytes_parallel,
+    "subtree-serial": _route_subtree_serial,
+    "subtree-parallel": _route_subtree_parallel,
+    "counting-bytes": _route_counting_bytes,
     "repository": _route_repository,
 }
 
 
 def test_matrix_covers_enough_routes():
-    assert len(ROUTES) >= 17
+    assert len(ROUTES) >= 19
 
 
 @pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)

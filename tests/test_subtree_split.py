@@ -1,0 +1,452 @@
+"""The intra-document splitter: carve, type, reassemble — identically.
+
+The subtree-parallel pipeline types one huge document as parallel
+top-level chunks and must be indistinguishable from the serial bytes
+machine: the *interned-identical* type on every valid document (the
+speculative chunker may decline or fail validation, falling back to the
+serial fold — never to a wrong answer), and the exact serial error on
+every malformed one (the fallback path IS the serial machine).
+
+Covers the scanner (``scan_depth1_spans``), the planner
+(``plan_subtree_split`` + ``combine_subtree``), the driver
+(``infer_subtree_text``, serial and multiprocess), the scheduler's
+third mode, the calibration constants feeding its cost model, and the
+digit-key line-cache regression that rode along with this change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datasets import open_corpus
+from repro.inference import infer_subtree_text
+from repro.inference.engine import (
+    TypeAccumulator,
+    accumulate_ranges,
+    combine_subtree,
+    plan_subtree_split,
+    type_subtree_chunks,
+)
+from repro.parsing.structural import document_bounds, scan_depth1_spans
+from repro.types import Equivalence
+from repro.types.build import EventTypeEncoder
+from repro.types.intern import InternTable
+
+
+def _corpus_path(tmp_path, lines):
+    path = tmp_path / "corpus.ndjson"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def _subtree_result(tmp_path, lines, processes, **kwargs):
+    with open_corpus(_corpus_path(tmp_path, lines)) as corpus:
+        return infer_subtree_text(
+            corpus, processes=processes, min_split_bytes=0, **kwargs
+        )
+
+
+def _reference(lines, table):
+    encoder = EventTypeEncoder(table)
+    accumulator = TypeAccumulator(table=table)
+    for line in lines:
+        if not line or line.isspace():
+            continue
+        accumulator.add_type(encoder.encode_text(line))
+    return accumulator.result()
+
+
+# ---------------------------------------------------------------------------
+# the exact depth-1 scanner
+# ---------------------------------------------------------------------------
+
+
+class TestScanner:
+    def test_array_spans_cover_every_element(self):
+        data = b'  [1, "two", [3, 4], {"five": 5}, null]  '
+        scan = scan_depth1_spans(data)
+        assert scan is not None and scan.kind == "array"
+        values = [data[s:e] for s, e in scan.parts]
+        assert values == [b"1", b'"two"', b"[3, 4]", b'{"five": 5}', b"null"]
+
+    def test_object_spans_carry_key_and_value(self):
+        data = b'{"a": 1, "b c": [2], "d": {"e": 3}}'
+        scan = scan_depth1_spans(data)
+        assert scan is not None and scan.kind == "object"
+        members = [
+            (data[kb:ke], data[vs:ve]) for (_ks, kb, ke, vs, ve) in scan.parts
+        ]
+        assert members == [
+            (b"a", b"1"),
+            (b"b c", b"[2]"),
+            (b"d", b'{"e": 3}'),
+        ]
+
+    def test_escaped_quotes_never_break_a_span(self):
+        # Strings whose contents mimic structure: escaped quotes,
+        # brackets, commas and colons inside literals.
+        data = rb'["a\"b", "}{", "[,]", {"k\"": ":"}]'
+        scan = scan_depth1_spans(data)
+        assert scan is not None
+        values = [data[s:e] for s, e in scan.parts]
+        assert values == [rb'"a\"b"', b'"}{"', b'"[,]"', rb'{"k\"": ":"}']
+
+    def test_backslash_runs_before_closing_quotes(self):
+        # \\" ends the string (escaped backslash, real quote); \\\" does
+        # not (escaped backslash, escaped quote).
+        data = rb'["a\\", "b\\\"c", "\\\\"]'
+        scan = scan_depth1_spans(data)
+        assert scan is not None
+        values = [data[s:e] for s, e in scan.parts]
+        assert values == [rb'"a\\"', rb'"b\\\"c"', rb'"\\\\"']
+
+    def test_multibyte_utf8_inside_strings(self):
+        doc = '["héllo", {"日本": "語"}, "𝄞𝄞"]'
+        data = doc.encode("utf-8")
+        scan = scan_depth1_spans(data)
+        assert scan is not None
+        assert len(scan.parts) == 3
+        assert data[scan.parts[1][0] : scan.parts[1][1]] == '{"日本": "語"}'.encode()
+
+    def test_top_level_scalars_and_empty_containers(self):
+        assert scan_depth1_spans(b"42") is None
+        assert scan_depth1_spans(b'"str"') is None
+        assert scan_depth1_spans(b"null") is None
+        assert scan_depth1_spans(b"   ") is None
+        for empty, kind in ((b"[]", "array"), (b"{ }", "object")):
+            scan = scan_depth1_spans(empty)
+            assert scan is not None and scan.kind == kind
+            assert scan.parts == ()
+
+    def test_malformed_buffers_decline(self):
+        for bad in (
+            b"[1, 2",  # unterminated
+            b"[1, 2]]",  # trailing garbage
+            b"[1 2]",  # missing comma
+            b'{"a" 1}',  # missing colon
+            b'{"a": }',  # missing value
+            b"[,]",  # leading comma
+            b'["unterminated]',
+        ):
+            assert scan_depth1_spans(bad) is None, bad
+
+    def test_document_bounds_checks_edges_only(self):
+        assert document_bounds(b" [1, 2] ") == ("array", 1, 6)
+        assert document_bounds(b'{"a": 1}') == ("object", 0, 7)
+        assert document_bounds(b"42") is None
+        assert document_bounds(b"[1, 2}") is None
+
+
+# ---------------------------------------------------------------------------
+# the planner + reassembly (exact tier)
+# ---------------------------------------------------------------------------
+
+
+EXACT_DOCS = [
+    '[{"a": 1}, {"a": 2, "b": "x"}, {"a": 3.5}, null, [1, 2], "s"]',
+    '{"a": 1, "b": [1, 2, 3], "c": {"d": null}, "e": "f", "g": true}',
+    "[[1], [2.5], [3], [], [[4]]]",
+    '[{"k": [{"n": 1}]}, {"k": []}]',
+    '["é", "日本語", "𝄞", {"ключ": "значение"}]',
+    "[0, -1, 2.5, 3e10, 123456789012345678901234567890]",
+]
+
+
+@pytest.mark.parametrize("doc", EXACT_DOCS)
+@pytest.mark.parametrize("targets", [2, 3, 5])
+def test_exact_tier_reassembles_identically(doc, targets):
+    data = doc.encode("utf-8")
+    table = InternTable()
+    encoder = EventTypeEncoder(table)
+    reference = encoder.encode_bytes(data)
+    split = plan_subtree_split(data, targets=targets)
+    assert split is not None, doc
+    chunk_parts = type_subtree_chunks(encoder, data, split.kind, split.chunks)
+    assert combine_subtree(table, split, chunk_parts) is reference
+
+
+def _speculative_type(data, table, encoder, *, targets=3, exact_limit=16):
+    """The driver's descend-retry loop, with the exact tier forced off
+    so the speculative carver and spine logic run on small docs."""
+    skip = 0
+    for _ in range(3):
+        split = plan_subtree_split(
+            data, targets=targets, exact_limit=exact_limit, skip_chunk_levels=skip
+        )
+        if split is None:
+            return None
+        try:
+            chunk_parts = type_subtree_chunks(
+                encoder, data, split.kind, split.chunks, max_depth=512 - split.spine_depth
+            )
+        except Exception:  # noqa: BLE001 - validation failure → re-plan deeper
+            skip = split.spine_depth + 1
+            continue
+        try:
+            heads = [
+                type_subtree_chunks(encoder, data, "object", [frame[1]])[0]
+                if frame[0] == "recw" and frame[1] is not None
+                else None
+                for frame in split.frames
+            ]
+        except Exception:  # noqa: BLE001 - a lying spine frame
+            return None
+        return combine_subtree(table, split, chunk_parts, heads)
+    return None
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        # Wrapper spines: single-element arrays and last-member objects
+        # around one splittable payload.
+        '[{"meta": {"v": 1}, "rows": %s}]'
+        % json.dumps([{"n": i, "v": i * 0.5} for i in range(200)]),
+        json.dumps([[{"n": i} for i in range(150)]]),
+        json.dumps({"rows": [{"n": i, "s": "x" * 10} for i in range(150)]}),
+    ],
+)
+def test_deeply_nested_single_subtree_descends_the_spine(doc):
+    data = doc.encode("utf-8")
+    table = InternTable()
+    encoder = EventTypeEncoder(table)
+    reference = encoder.encode_bytes(data)
+    got = _speculative_type(data, table, encoder)
+    # The carver may decline (serial fallback) but must never be wrong.
+    if got is not None:
+        assert got is reference
+
+
+def test_planner_declines_unsplittable_ranges():
+    assert plan_subtree_split(b"42") is None
+    assert plan_subtree_split(b"[]") is None
+    assert plan_subtree_split(b"{}") is None
+    assert plan_subtree_split(b"[1, 2]", min_bytes=1000) is None
+    assert plan_subtree_split(b"not json at all") is None
+
+
+# ---------------------------------------------------------------------------
+# the driver: identity on valid corpora, error parity on malformed ones
+# ---------------------------------------------------------------------------
+
+
+DRIVER_DOCS = [
+    json.dumps({"rows": [{"id": i, "tags": ["a", "b"], "w": i * 1.5} for i in range(300)]}),
+    json.dumps([{"k": i} if i % 3 else {"k": i, "extra": None} for i in range(250)]),
+    json.dumps([[i, i + 1] for i in range(200)]),
+    json.dumps(list(range(500))),
+    json.dumps({"meta": {"v": 1}, "rows": [{"n": i} for i in range(200)]}),
+    json.dumps([{"rows": [{"n": i, "s": "x" * 20} for i in range(150)]}]),
+]
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_driver_is_interned_identical_per_document(tmp_path, processes):
+    for doc in DRIVER_DOCS:
+        run = _subtree_result(tmp_path, [doc], processes)
+        table = InternTable()
+        assert table.canonical(run.result) is _reference([doc], table)
+
+
+@pytest.mark.parametrize("processes", [1, 2])
+def test_driver_mixes_small_and_huge_lines(tmp_path, processes):
+    lines = ['{"small": 1}', "", DRIVER_DOCS[0], "   ", '{"small": 2.5}', DRIVER_DOCS[3]]
+    run = _subtree_result(tmp_path, lines, processes)
+    table = InternTable()
+    assert table.canonical(run.result) is _reference(lines, table)
+
+
+def test_driver_error_parity_with_serial_fold(tmp_path):
+    # Malformed documents must raise exactly what the serial bytes fold
+    # raises — same class, message, and position — because the subtree
+    # route's authority on any decline IS the serial machine.
+    for bad in (
+        '[{"a": 1}, {"a": 01}]',  # leading zero deep in a chunk
+        '[{"a": 1}, {"a": 2},]',  # trailing comma
+        '[{"a": 1}, {"a": 2}] x',  # trailing garbage
+        '{"rows": [1, 2, 3}',  # mismatched close
+    ):
+        path = _corpus_path(tmp_path, [bad])
+        serial_exc = None
+        try:
+            with open_corpus(path) as corpus:
+                accumulate_ranges(
+                    corpus.buffer(), corpus.spans, table=InternTable()
+                ).result()
+        except Exception as exc:  # noqa: BLE001 - parity fingerprint
+            serial_exc = (type(exc), str(exc))
+        assert serial_exc is not None
+        with open_corpus(path) as corpus:
+            with pytest.raises(serial_exc[0]) as caught:
+                infer_subtree_text(corpus, processes=1, min_split_bytes=0)
+        assert str(caught.value) == serial_exc[1]
+
+
+def test_driver_both_equivalences(tmp_path):
+    lines = [DRIVER_DOCS[1]]
+    for equivalence in (Equivalence.KIND, Equivalence.LABEL):
+        run = _subtree_result(tmp_path, lines, 2, equivalence=equivalence)
+        table = InternTable()
+        encoder = EventTypeEncoder(table)
+        accumulator = TypeAccumulator(equivalence, table=table)
+        accumulator.add_type(encoder.encode_text(lines[0]))
+        assert table.canonical(run.result) is accumulator.result()
+
+
+def test_driver_empty_corpus_raises(tmp_path):
+    from repro.errors import InferenceError
+
+    path = tmp_path / "empty.ndjson"
+    path.write_text("\n \n", encoding="utf-8")
+    with open_corpus(path) as corpus:
+        with pytest.raises(InferenceError):
+            infer_subtree_text(corpus, processes=1, min_split_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# the scheduler's third mode
+# ---------------------------------------------------------------------------
+
+
+class TestSchedulerSubtreeMode:
+    def _huge_line(self):
+        return json.dumps(
+            {"rows": [{"id": i, "name": "x" * 40, "tags": ["a", "b"]} for i in range(60000)]}
+        )
+
+    @pytest.fixture(autouse=True)
+    def _pinned_calibration(self, monkeypatch):
+        # Deterministic cost model: the machine's measured profile must
+        # not decide whether this 5 MB corpus clears the 1.15x bar.
+        monkeypatch.setenv("REPRO_WORKER_STARTUP_SECONDS", "0.001")
+        monkeypatch.setenv("REPRO_SHIP_BYTES_PER_SECOND", "150e6")
+        monkeypatch.setenv("REPRO_SCAN_BYTES_PER_SECOND", "80e6")
+        monkeypatch.setenv("REPRO_SPLIT_BYTES_PER_SECOND", "2e9")
+        monkeypatch.setenv("REPRO_CACHE_HIT_SPEEDUP", "4.0")
+
+    def test_huge_single_document_plans_subtree(self, tmp_path, monkeypatch):
+        from repro.inference import distributed as dist
+
+        monkeypatch.setattr(dist, "auto_jobs", lambda: 4)
+        path = _corpus_path(tmp_path, [self._huge_line()])
+        with open_corpus(path) as corpus:
+            plan = dist.plan_schedule(corpus)
+        assert plan.mode == "subtree"
+        assert plan.subtree and not plan.parallel
+        assert plan.jobs == 4
+
+    def test_adaptive_routes_subtree_plan_identically(self, tmp_path, monkeypatch):
+        from repro.inference import distributed as dist
+
+        monkeypatch.setattr(dist, "auto_jobs", lambda: 4)
+        line = self._huge_line()
+        path = _corpus_path(tmp_path, [line])
+        with open_corpus(path) as corpus:
+            run = dist.infer_adaptive_text(corpus)
+        assert run.plan is not None and run.plan.mode == "subtree"
+        table = InternTable()
+        assert table.canonical(run.result) is _reference([line], table)
+
+    def test_many_small_lines_still_plan_line_modes(self, tmp_path, monkeypatch):
+        from repro.inference import distributed as dist
+
+        monkeypatch.setattr(dist, "auto_jobs", lambda: 4)
+        path = _corpus_path(tmp_path, ['{"k": %d}' % i for i in range(200)])
+        with open_corpus(path) as corpus:
+            plan = dist.plan_schedule(corpus)
+        assert plan.mode in ("serial", "parallel")
+        assert not plan.subtree
+
+
+# ---------------------------------------------------------------------------
+# calibration constants for the subtree cost model
+# ---------------------------------------------------------------------------
+
+
+class TestCalibrationConstants:
+    def test_env_overrides(self, monkeypatch):
+        from repro.inference import calibration
+
+        monkeypatch.setenv("REPRO_SCAN_BYTES_PER_SECOND", "123e6")
+        monkeypatch.setenv("REPRO_SPLIT_BYTES_PER_SECOND", "456e6")
+        monkeypatch.setenv("REPRO_CACHE_HIT_SPEEDUP", "2.5")
+        assert calibration.scan_bytes_per_second() == 123e6
+        assert calibration.split_bytes_per_second() == 456e6
+        assert calibration.cache_hit_speedup() == 2.5
+        assert calibration.calibration_source() == "env"
+
+    def test_cache_speedup_clamps_to_at_least_one(self, monkeypatch):
+        from repro.inference import calibration
+
+        monkeypatch.setenv("REPRO_CACHE_HIT_SPEEDUP", "0.25")
+        assert calibration.cache_hit_speedup() == 1.0
+
+    def test_profile_back_compat_without_new_keys(self, tmp_path, monkeypatch):
+        # A profile written before the subtree mode must still load,
+        # with the new constants at their defaults.
+        from repro.inference import calibration
+
+        profile = tmp_path / "sched.json"
+        profile.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "worker_startup_seconds": 0.05,
+                    "ship_bytes_per_second": 200e6,
+                }
+            ),
+            encoding="utf-8",
+        )
+        monkeypatch.setenv("REPRO_SCHED_PROFILE", str(profile))
+        loaded = calibration.load_calibration(measure_if_missing=False)
+        assert loaded is not None
+        assert loaded.worker_startup_seconds == 0.05
+        assert loaded.scan_bytes_per_second == calibration.DEFAULT_SCAN_BYTES_PER_SECOND
+        assert loaded.split_bytes_per_second == calibration.DEFAULT_SPLIT_BYTES_PER_SECOND
+        assert loaded.cache_hit_speedup == calibration.DEFAULT_CACHE_HIT_SPEEDUP
+
+
+# ---------------------------------------------------------------------------
+# the digit-key line-cache regression (satellite fix)
+# ---------------------------------------------------------------------------
+
+
+class TestDigitKeyCache:
+    def test_digit_keys_no_longer_disable_the_cache(self):
+        # Keys like "p99" used to fold into the skeleton's digit class,
+        # missing the cache on every line; now key-region digits are
+        # protected and identical shapes hit.
+        encoder = EventTypeEncoder(InternTable())
+        lines = [b'{"p99": %d, "sha256": "x"}' % i for i in range(50)]
+        out = encoder.encode_lines(lines)
+        attempts, hits, enabled = encoder.line_cache_stats
+        assert enabled
+        assert attempts == 50
+        assert hits >= 48  # every repeat of the shape hits
+        for line, got in zip(lines, out):
+            assert got is encoder.encode_text(line.decode()), line
+
+    def test_distinct_digit_keys_do_not_alias(self):
+        encoder = EventTypeEncoder(InternTable())
+        a = encoder.encode_lines([b'{"k1": 5}'])[0]
+        b = encoder.encode_lines([b'{"k2": 5}'])[0]
+        assert a is not b
+        assert a is encoder.encode_text('{"k1": 5}')
+        assert b is encoder.encode_text('{"k2": 5}')
+
+    def test_value_digits_still_participate_in_the_shape(self):
+        # Digits in VALUES must still fold (that is what makes the cache
+        # hit across lines with different numbers).
+        encoder = EventTypeEncoder(InternTable())
+        lines = [b'{"n": %d}' % i for i in range(20)]
+        encoder.encode_lines(lines)
+        attempts, hits, _ = encoder.line_cache_stats
+        assert hits >= 19
+
+    def test_escaped_quote_in_key_keeps_parity(self):
+        encoder = EventTypeEncoder(InternTable())
+        line = rb'{"a\"9": 1}'
+        got = encoder.encode_lines([line])[0]
+        assert got is encoder.encode_text(line.decode())
