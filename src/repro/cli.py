@@ -23,12 +23,12 @@ from repro.errors import ReproError
 
 
 def _read_documents(path: str) -> list[Any]:
-    from repro.jsonvalue.parser import parse_lines
+    # stream_documents routes "-" to stdin and gzip/zstd paths through
+    # the chunked decompression reader, so every subcommand accepts
+    # compressed corpora.
+    from repro.datasets.ndjson import stream_documents
 
-    if path == "-":
-        return list(parse_lines(sys.stdin))
-    with open(path, "r", encoding="utf-8") as handle:
-        return list(parse_lines(handle))
+    return list(stream_documents(path))
 
 
 def _read_lines(path: str) -> list[str]:
@@ -175,7 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_infer = sub.add_parser("infer", help="infer a schema from NDJSON data")
-    p_infer.add_argument("data", help="NDJSON file, or - for stdin")
+    p_infer.add_argument(
+        "data",
+        help="NDJSON file (plain, gzip, or zstd — detected by magic "
+        "bytes), or - for stdin",
+    )
     p_infer.add_argument(
         "--equivalence", choices=["kind", "label"], default="kind",
         help="fusion parameter (default: kind)",
@@ -206,7 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
         "measured once, REPRO_SCHED_PROFILE overrides the path), and falls "
         "back to the serial fold whenever the modeled win is negative — so "
         "small corpora and single-CPU machines never pay for a worker pool. "
-        "File inputs are mapped as a zero-copy mmap corpus.",
+        "File inputs are mapped as a zero-copy mmap corpus. Compressed "
+        "files (gzip, or zstd with the optional zstandard module) instead "
+        "stream through the chunked decompression fold; with jobs, a "
+        "multi-member container lets workers decompress and fold "
+        "independent member byte ranges in parallel, priced by a "
+        "decompress-rate calibration constant "
+        "(REPRO_DECOMPRESS_BYTES_PER_SECOND overrides) — single-member "
+        "streams are inherently sequential and stay serial.",
     )
     p_infer.add_argument(
         "--shared-memory", nargs="?", const="always", default="auto",

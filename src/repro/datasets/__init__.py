@@ -12,6 +12,19 @@ from repro.datasets.generator import (
     heterogeneous_collection,
     ndjson_lines,
 )
+from repro.datasets.compressed import (
+    CompressedCorpus,
+    CompressedCorpusError,
+    CorruptStreamError,
+    TruncatedStreamError,
+    compress_corpus,
+    compress_member,
+    detect_compression,
+    iter_compressed_lines,
+    iter_line_blocks,
+    member_candidates,
+    zstd_available,
+)
 from repro.datasets.ndjson import (
     MmapCorpus,
     iter_line_spans,
@@ -35,6 +48,17 @@ __all__ = [
     "generate_collection",
     "heterogeneous_collection",
     "ndjson_lines",
+    "CompressedCorpus",
+    "CompressedCorpusError",
+    "CorruptStreamError",
+    "TruncatedStreamError",
+    "compress_corpus",
+    "compress_member",
+    "detect_compression",
+    "iter_compressed_lines",
+    "iter_line_blocks",
+    "member_candidates",
+    "zstd_available",
     "MmapCorpus",
     "iter_line_spans",
     "iter_ndjson_lines",

@@ -224,8 +224,22 @@ class MmapCorpus(Sequence[str]):
         )
 
 
-def open_corpus(path: Union[str, Path]) -> MmapCorpus:
-    """Map an NDJSON file as a zero-copy :class:`MmapCorpus`."""
+def open_corpus(path: Union[str, Path]):
+    """Open an NDJSON corpus as a lazy ``Sequence[str]``.
+
+    Plain files map as a zero-copy :class:`MmapCorpus`; gzip/zstd files
+    (detected by magic bytes) open as a
+    :class:`~repro.datasets.compressed.CompressedCorpus` with identical
+    line-index semantics over the decompressed bytes — the same
+    universal-newline grammar, terminators stripped, blank lines
+    preserved, no phantom line after a trailing terminator, and an
+    empty (or empty-decompressing) corpus has zero lines.
+    """
+    from repro.datasets.compressed import CompressedCorpus, detect_compression
+
+    fmt = detect_compression(path)
+    if fmt is not None:
+        return CompressedCorpus(path, fmt)
     return MmapCorpus(path)
 
 
@@ -242,6 +256,14 @@ def iter_ndjson_lines(source: LineSource) -> Iterator[str]:
         if source == "-":
             for line in sys.stdin:
                 yield line.rstrip("\r\n")
+            return
+        from repro.datasets.compressed import (
+            detect_compression,
+            iter_compressed_lines,
+        )
+
+        if os.path.isfile(source) and detect_compression(source) is not None:
+            yield from iter_compressed_lines(source)
             return
         with open(source, "r", encoding="utf-8") as handle:
             for line in handle:

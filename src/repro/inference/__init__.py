@@ -37,6 +37,7 @@ from repro.inference.counting import (
     counted_type_of_text,
     field_presence_ratios,
     infer_counted,
+    infer_counted_compressed,
     infer_counted_streaming,
     merge_counted,
 )
@@ -87,6 +88,7 @@ from repro.inference.distributed import (
     auto_jobs,
     choose_shared_memory,
     infer_adaptive_text,
+    infer_compressed_parallel,
     infer_counted_parallel,
     infer_distributed,
     infer_distributed_parallel,
@@ -96,9 +98,12 @@ from repro.inference.distributed import (
     partition_bounds,
     partition_contiguous,
     partition_lines,
+    plan_compressed_schedule,
     plan_schedule,
 )
 from repro.inference.streaming import (
+    fold_compressed,
+    infer_report_compressed,
     infer_report_corpus,
     infer_report_path,
     infer_report_streaming,
@@ -109,6 +114,7 @@ from repro.inference.streaming import (
 )
 from repro.inference.engine import (
     CountingAccumulator,
+    RangeFolder,
     TypeAccumulator,
     accumulate,
     accumulate_lines,
@@ -131,6 +137,7 @@ __all__ = [
     "counted_type_of_text",
     "field_presence_ratios",
     "infer_counted",
+    "infer_counted_compressed",
     "infer_counted_streaming",
     "merge_counted",
     "infer_spark_schema",
@@ -175,6 +182,7 @@ __all__ = [
     "load_calibration",
     "measure_calibration",
     "infer_adaptive_text",
+    "infer_compressed_parallel",
     "infer_counted_parallel",
     "infer_distributed",
     "infer_distributed_parallel",
@@ -184,6 +192,7 @@ __all__ = [
     "partition_bounds",
     "partition_contiguous",
     "partition_lines",
+    "plan_compressed_schedule",
     "plan_schedule",
     "infer_report_corpus",
     "infer_report_path",
@@ -197,5 +206,8 @@ __all__ = [
     "accumulate",
     "accumulate_lines",
     "accumulate_ranges",
+    "RangeFolder",
+    "fold_compressed",
+    "infer_report_compressed",
     "accumulate_types",
 ]

@@ -49,6 +49,10 @@ DEFAULT_SPLIT_BYTES_PER_SECOND = 2e9
 # Warm line-shape-cache speedup: how much faster a cached line folds
 # than a full structural scan (feeds the hit-rate-adjusted cost model).
 DEFAULT_CACHE_HIT_SPEEDUP = 4.0
+# Decompression output rate for the compressed-corpus mode
+# (zlib/zstd single-stream decode in decompressed bytes per second) —
+# prices the I/O-bound stage the member-parallel fold overlaps.
+DEFAULT_DECOMPRESS_BYTES_PER_SECOND = 250e6
 
 _PROFILE_ENV = "REPRO_SCHED_PROFILE"
 _STARTUP_ENV = "REPRO_WORKER_STARTUP_SECONDS"
@@ -56,6 +60,7 @@ _SHIP_ENV = "REPRO_SHIP_BYTES_PER_SECOND"
 _SCAN_ENV = "REPRO_SCAN_BYTES_PER_SECOND"
 _SPLIT_ENV = "REPRO_SPLIT_BYTES_PER_SECOND"
 _CACHE_SPEEDUP_ENV = "REPRO_CACHE_HIT_SPEEDUP"
+_DECOMPRESS_ENV = "REPRO_DECOMPRESS_BYTES_PER_SECOND"
 
 _SHIP_PROBE_BYTES = 4 << 20
 
@@ -75,6 +80,7 @@ class SchedCalibration:
     scan_bytes_per_second: float = DEFAULT_SCAN_BYTES_PER_SECOND
     split_bytes_per_second: float = DEFAULT_SPLIT_BYTES_PER_SECOND
     cache_hit_speedup: float = DEFAULT_CACHE_HIT_SPEEDUP
+    decompress_bytes_per_second: float = DEFAULT_DECOMPRESS_BYTES_PER_SECOND
 
 
 _DEFAULT = SchedCalibration(
@@ -136,11 +142,25 @@ def _read_profile(path: Path) -> Optional[SchedCalibration]:
             raw.get("split_bytes_per_second", DEFAULT_SPLIT_BYTES_PER_SECOND)
         )
         speedup = float(raw.get("cache_hit_speedup", DEFAULT_CACHE_HIT_SPEEDUP))
+        decompress = float(
+            raw.get(
+                "decompress_bytes_per_second", DEFAULT_DECOMPRESS_BYTES_PER_SECOND
+            )
+        )
     except (OSError, ValueError, KeyError, TypeError):
         return None
-    if not (startup >= 0 and ship > 0 and scan > 0 and split > 0 and speedup >= 1):
+    if not (
+        startup >= 0
+        and ship > 0
+        and scan > 0
+        and split > 0
+        and speedup >= 1
+        and decompress > 0
+    ):
         return None
-    return SchedCalibration(startup, ship, "profile", scan, split, speedup)
+    return SchedCalibration(
+        startup, ship, "profile", scan, split, speedup, decompress
+    )
 
 
 def save_calibration(calibration: SchedCalibration, path: Path) -> bool:
@@ -236,9 +256,24 @@ def cache_hit_speedup() -> float:
     return load_calibration().cache_hit_speedup
 
 
+def decompress_bytes_per_second() -> float:
+    """Decompression output rate (compressed-corpus cost model)."""
+    override = _env_float(_DECOMPRESS_ENV)
+    if override is not None:
+        return override
+    return load_calibration().decompress_bytes_per_second
+
+
 def calibration_source() -> str:
     """Provenance of the constants the next plan will use."""
-    envs = (_STARTUP_ENV, _SHIP_ENV, _SCAN_ENV, _SPLIT_ENV, _CACHE_SPEEDUP_ENV)
+    envs = (
+        _STARTUP_ENV,
+        _SHIP_ENV,
+        _SCAN_ENV,
+        _SPLIT_ENV,
+        _CACHE_SPEEDUP_ENV,
+        _DECOMPRESS_ENV,
+    )
     if any(_env_float(name) is not None for name in envs):
         return "env"
     return load_calibration().source

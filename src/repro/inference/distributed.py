@@ -409,6 +409,205 @@ _SUBTREE_MIN_BYTES = 4 << 20
 _SUBTREE_ATTEMPTS = 3
 
 
+# ---------------------------------------------------------------------------
+# compressed-member parallelism: per-worker decompress + fold, stitched
+# ---------------------------------------------------------------------------
+
+
+def _fold_compressed_range(
+    path: str, start: int, end: int, fmt: str, equivalence_value: str
+):
+    """Worker: decompress one member-aligned compressed byte range and
+    fold its *interior* lines; the boundary lines come home raw.
+
+    A worker cannot know where the previous member's last line ends or
+    its own last line ends, so it returns
+    ``(head, partial_type, interior_count, tail)``: ``head`` is the raw
+    bytes of its decompressed output up to and **including** the first
+    line break, ``tail`` the raw bytes after the last break.  The
+    parent stitches ``tail_{i} + head_{i+1}`` and types those boundary
+    lines itself — keeping the break bytes means a ``\\r\\n`` pair
+    split across two members reassembles into one break, not two lines.
+    When the range's whole output contains no break at all, ``tail`` is
+    ``None`` and ``head`` carries the full output for the parent to
+    merge into the running boundary.
+    """
+    from repro.datasets.compressed import (
+        _iter_decompressed,
+        _line_aligned_cut,
+    )
+    from repro.datasets.ndjson import _LINE_BREAK_BYTES, iter_line_spans
+    from repro.inference.engine import RangeFolder
+
+    accumulator = TypeAccumulator(Equivalence(equivalence_value))
+    folder = RangeFolder(accumulator)
+    head = None
+    pending = b""
+    for chunk in _iter_decompressed(path, fmt, start, end):
+        data = pending + chunk if pending else chunk
+        if head is None:
+            match = _LINE_BREAK_BYTES.search(data)
+            if match is None or (
+                match.end() == len(data) and data[match.start() :] == b"\r"
+            ):
+                # No complete first break yet (a trailing lone \r may
+                # still pair with a \n in the next chunk).
+                pending = data
+                continue
+            head = data[: match.end()]
+            data = data[match.end() :]
+        cut = _line_aligned_cut(data)
+        if cut is None:
+            pending = data
+            continue
+        block = data[:cut]
+        pending = data[cut:]
+        folder.feed(block, iter_line_spans(block))
+    folder.finish()
+    if head is None:
+        return pending, None, 0, None
+    return head, accumulator.result(), accumulator.document_count, pending
+
+
+def _compressed_range_worker(payload):
+    """Pool wrapper: any failure (false member candidate, damaged bytes,
+    JSON error) becomes ``None`` — the parent then abandons the
+    speculative parallel run and the serial fold reports the real
+    error in its canonical order."""
+    path, start, end, fmt, equivalence_value = payload
+    try:
+        return _fold_compressed_range(path, start, end, fmt, equivalence_value)
+    except Exception:
+        return None
+
+
+def _type_boundary_line(accumulator: TypeAccumulator, encoder, line: bytes) -> int:
+    """Type one stitched boundary line with the fold's exact blank
+    semantics; returns the document count contribution (0 for blanks)."""
+    from repro.inference.engine import _BYTES_WS_RUN, _EXTRA_SPACE_BYTES
+
+    if not line:
+        return 0
+    ws_end = _BYTES_WS_RUN.match(line).end()
+    if ws_end >= len(line):
+        return 0
+    if line[ws_end] >= 0x80 or line[ws_end] in _EXTRA_SPACE_BYTES:
+        if line.decode("utf-8").isspace():
+            return 0
+    accumulator.add_type(encoder.encode_bytes(line))
+    return 1
+
+
+def infer_compressed_parallel(
+    path,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    processes: Optional[int] = None,
+    format: Optional[str] = None,
+    candidates: Optional[Sequence[int]] = None,
+) -> Optional[ParallelRun]:
+    """Member-parallel fold of a compressed corpus, or ``None``.
+
+    Groups the speculative member/frame candidates
+    (:func:`repro.datasets.compressed.member_candidates`) into one
+    contiguous compressed byte range per worker; each worker
+    decompresses and folds its own range and ships back
+    ``(head, partial, count, tail)``; the parent types the stitched
+    boundary lines and combines the partials through the monoid —
+    interned-identical to the serial fold by commutativity.
+
+    Speculative like the subtree splitter: **any** failure — a
+    candidate that was payload coincidence, a range not ending on a
+    member boundary, corrupt bytes, a JSON error — returns ``None``,
+    and the caller's serial fold owns the error report.  Returns
+    ``None`` likewise when the container has no exploitable parallelism
+    (fewer than two candidate members).
+    """
+    from repro.datasets.compressed import detect_compression, member_candidates
+    from repro.datasets.ndjson import split_corpus_bytes
+    from repro.types.build import EventTypeEncoder
+
+    path = str(path)
+    fmt = format or detect_compression(path)
+    if fmt is None:
+        return None
+    if candidates is None:
+        candidates = member_candidates(path, fmt)
+    if len(candidates) < 2:
+        return None
+    size = os.path.getsize(path)
+    jobs = processes if processes is not None else auto_jobs()
+    groups = min(max(1, jobs), len(candidates))
+    if groups < 2:
+        return None
+    bounds = partition_bounds(len(candidates), groups)
+    ranges = [
+        (
+            candidates[lo],
+            candidates[hi] if hi < len(candidates) else size,
+        )
+        for lo, hi in bounds
+    ]
+    payloads = [
+        (path, start, end, fmt, equivalence.value) for start, end in ranges
+    ]
+    try:
+        with multiprocessing.Pool(processes=groups) as pool:
+            results = pool.map(_compressed_range_worker, payloads)
+    except Exception:
+        return None
+    if any(result is None for result in results):
+        return None
+
+    accumulator = TypeAccumulator(equivalence)
+    encoder = EventTypeEncoder(accumulator.table)
+    partition_documents: list[int] = []
+    boundary_documents = 0
+    pending = b""
+    try:
+        for head, partial, count, tail in results:
+            if tail is None:
+                # The whole range produced no line break: its output is
+                # one fragment of a boundary line spanning workers.
+                pending = pending + head
+                continue
+            # pending + head ends with the break that terminated this
+            # worker's first line; the final (empty) split segment is
+            # the worker's interior, already folded.
+            for line in split_corpus_bytes(pending + head)[:-1]:
+                boundary_documents += _type_boundary_line(
+                    accumulator, encoder, line
+                )
+            if partial is not None and count:
+                # A zero-count partial is BOT (all-blank interior) and
+                # contributes nothing to the merge.
+                accumulator.add_type(partial)
+                partition_documents.append(count)
+            pending = tail
+        tail_lines = split_corpus_bytes(pending) if pending else []
+        if tail_lines and tail_lines[-1] == b"":
+            # A terminator at true EOF produces no extra line — the
+            # MmapCorpus index semantics.
+            tail_lines = tail_lines[:-1]
+        for line in tail_lines:
+            boundary_documents += _type_boundary_line(accumulator, encoder, line)
+    except Exception:
+        return None
+    if accumulator.is_empty() or (
+        not partition_documents and not boundary_documents
+    ):
+        # Zero documents: the serial fold owns the empty-stream error.
+        return None
+    partition_documents.append(boundary_documents)
+    return ParallelRun(
+        result=accumulator.result(),
+        partitions=len(ranges),
+        processes=groups,
+        equivalence=equivalence,
+        partition_documents=partition_documents,
+    )
+
+
 def _infer_subtree_chunks(payload) -> Optional[list]:
     """Worker: type one group of chunk spans read straight from the file.
 
@@ -1197,6 +1396,102 @@ def plan_schedule(
         parallel_seconds,
         source,
         cache_hit_rate,
+    )
+
+
+def plan_compressed_schedule(
+    path,
+    *,
+    format: Optional[str] = None,
+    jobs: Optional[int] = None,
+) -> SchedulePlan:
+    """Decide serial vs. member-parallel decode for a compressed corpus.
+
+    The timed per-line sample is useless here (lines don't exist until
+    decompression runs), so the model prices the two pipeline stages by
+    bytes rates: decompression
+    (:func:`repro.inference.calibration.decompress_bytes_per_second`,
+    the new I/O-bound stage) plus the bytes-native scan, over the
+    decompressed size estimated from a bounded first-blocks ratio probe
+    (:func:`repro.datasets.compressed.estimate_ratio`).  A container
+    with fewer than two member/frame candidates is inherently
+    sequential — one DEFLATE stream cannot be split — and plans serial
+    regardless of size.
+    """
+    from repro.datasets.compressed import (
+        detect_compression,
+        estimate_ratio,
+        member_candidates,
+    )
+    from repro.inference import calibration
+
+    path = str(path)
+    fmt = format or detect_compression(path)
+    cpus = auto_jobs()
+    requested = cpus if jobs is None else max(1, jobs)
+
+    def serial_plan(reason: str, serial_s: float = 0.0, parallel_s: float = 0.0,
+                    source: str = "default") -> SchedulePlan:
+        return SchedulePlan(
+            mode="serial",
+            jobs=1,
+            partitions=1,
+            documents=0,
+            cpus=cpus,
+            sample_docs_per_sec=0.0,
+            estimated_serial_seconds=serial_s,
+            estimated_parallel_seconds=parallel_s,
+            reason=reason,
+            calibration_source=source,
+        )
+
+    if fmt is None:
+        return serial_plan("not a compressed corpus")
+    if jobs is not None and requested == 1:
+        return serial_plan("one worker requested")
+    if cpus == 1:
+        return serial_plan("one usable CPU: parallel workers would only contend")
+    candidates = member_candidates(path, fmt)
+    if len(candidates) < 2:
+        return serial_plan(
+            f"single {fmt} member: one compressed stream decodes sequentially"
+        )
+    compressed_size = os.path.getsize(path)
+    total_out = compressed_size * estimate_ratio(path, fmt)
+    serial_seconds = (
+        total_out / calibration.decompress_bytes_per_second()
+        + total_out / calibration.scan_bytes_per_second()
+    )
+    effective = min(requested, cpus, len(candidates))
+    parallel_seconds = (
+        calibration.worker_startup_seconds() * effective
+        + serial_seconds / effective
+    )
+    source = calibration.calibration_source()
+    if serial_seconds > parallel_seconds * _PARALLEL_ADVANTAGE:
+        return SchedulePlan(
+            mode="parallel",
+            jobs=effective,
+            partitions=effective,
+            documents=0,
+            cpus=cpus,
+            sample_docs_per_sec=0.0,
+            estimated_serial_seconds=serial_seconds,
+            estimated_parallel_seconds=parallel_seconds,
+            reason=(
+                f"{len(candidates)} independent {fmt} member candidates: "
+                f"modeled {serial_seconds / parallel_seconds:.2f}x win from "
+                f"per-worker decompression on {effective} of {cpus} CPUs"
+            ),
+            calibration_source=source,
+        )
+    return serial_plan(
+        f"{len(candidates)} {fmt} members but modeled parallel win "
+        f"{serial_seconds / parallel_seconds:.2f}x is under the "
+        f"{_PARALLEL_ADVANTAGE:.2f}x threshold",
+        serial_seconds,
+        parallel_seconds,
+        source,
     )
 
 

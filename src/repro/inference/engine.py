@@ -334,6 +334,84 @@ _RANGE_CHUNK_START = 2048
 _RANGE_CHUNK_LIMIT = 32768
 
 
+class RangeFolder:
+    """The bytes feed as a resumable object: byte ranges in, types folded.
+
+    The engine core of :func:`accumulate_ranges`, factored out so
+    producers that materialise the corpus a *block at a time* — the
+    chunked decompression reader in :mod:`repro.datasets.compressed` —
+    can push successive line-aligned buffers through one batched
+    pipeline: the line batch, the escalating chunk size, and the
+    line-shape cache all persist across :meth:`feed` calls, so a corpus
+    fed in 1 MiB decompressed blocks folds exactly like one contiguous
+    mmap.  ``finish`` flushes the tail batch.
+
+    Error ordering is the serial contract: a line surfaces its error no
+    later than the first flush after it, and any line needing the
+    str-blank decision flushes everything before it first — identical to
+    :func:`accumulate_ranges` over the concatenated spans.
+    """
+
+    __slots__ = ("_acc", "_encoder", "_batch", "_chunk")
+
+    def __init__(
+        self,
+        accumulator: TypeAccumulator,
+        *,
+        encoder: Optional[EventTypeEncoder] = None,
+    ) -> None:
+        self._acc = accumulator
+        self._encoder = (
+            encoder if encoder is not None else EventTypeEncoder(accumulator.table)
+        )
+        self._batch: list[bytes] = []
+        self._chunk = _RANGE_CHUNK_START
+
+    @property
+    def accumulator(self) -> TypeAccumulator:
+        return self._acc
+
+    def _flush(self) -> None:
+        batch = self._batch
+        if batch:
+            add_type = self._acc.add_type
+            for t in self._encoder.encode_lines(batch):
+                add_type(t)
+            del batch[:]
+
+    def feed(self, data, spans) -> None:
+        """Absorb the line ``spans`` of one buffer (bytes are copied into
+        the batch, so ``data`` may be reused after the call)."""
+        ws_match = _BYTES_WS_RUN.match
+        batch = self._batch
+        append = batch.append
+        for start, end in spans:
+            if end > start:
+                ws_end = ws_match(data, start, end).end()
+                if ws_end >= end:
+                    continue  # ASCII whitespace only
+                if data[ws_end] >= 0x80 or data[ws_end] in _EXTRA_SPACE_BYTES:
+                    # Possibly whitespace-only by str.isspace's wider
+                    # rules (unicode spaces, \x0b/\x0c/\x1c-\x1f) — the
+                    # str feed skips those lines, so decide exactly as
+                    # it would (and let a malformed-UTF-8 line raise its
+                    # exact decode error).  Flush first: earlier lines
+                    # must surface their errors before this line's
+                    # decode, as they do serially.
+                    self._flush()
+                    text = bytes(data[start:end]).decode("utf-8")
+                    if text.isspace():
+                        continue
+                append(bytes(data[start:end]))
+                if len(batch) >= self._chunk:
+                    self._flush()
+                    self._chunk = min(_RANGE_CHUNK_LIMIT, self._chunk * 4)
+
+    def finish(self) -> None:
+        """Flush the pending batch (call once, after the last feed)."""
+        self._flush()
+
+
 def accumulate_ranges(
     data,
     spans: Sequence[tuple],
@@ -356,41 +434,9 @@ def accumulate_ranges(
     ``accumulate_lines`` over the decoded lines, with identical errors.
     """
     acc = TypeAccumulator(equivalence, table=table)
-    encoder = EventTypeEncoder(acc.table)
-    add_type = acc.add_type
-    ws_match = _BYTES_WS_RUN.match
-    batch: list[bytes] = []
-    append = batch.append
-    chunk = _RANGE_CHUNK_START
-    for start, end in spans:
-        if end > start:
-            ws_end = ws_match(data, start, end).end()
-            if ws_end >= end:
-                continue  # ASCII whitespace only
-            if data[ws_end] >= 0x80 or data[ws_end] in _EXTRA_SPACE_BYTES:
-                # Possibly whitespace-only by str.isspace's wider rules
-                # (unicode spaces, \x0b/\x0c/\x1c-\x1f) — the str feed
-                # skips those lines, so decide exactly as it would (and
-                # let a malformed-UTF-8 line raise its exact decode
-                # error).  Flush first: earlier lines must surface
-                # their errors before this line's decode, as they do
-                # serially.
-                if batch:
-                    for t in encoder.encode_lines(batch):
-                        add_type(t)
-                    del batch[:]
-                text = bytes(data[start:end]).decode("utf-8")
-                if text.isspace():
-                    continue
-            append(bytes(data[start:end]))
-            if len(batch) >= chunk:
-                for t in encoder.encode_lines(batch):
-                    add_type(t)
-                del batch[:]
-                chunk = min(_RANGE_CHUNK_LIMIT, chunk * 4)
-    if batch:
-        for t in encoder.encode_lines(batch):
-            add_type(t)
+    folder = RangeFolder(acc)
+    folder.feed(data, spans)
+    folder.finish()
     return acc
 
 

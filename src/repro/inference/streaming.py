@@ -167,6 +167,112 @@ def infer_report_corpus(
     )
 
 
+def fold_compressed(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    table: Optional[InternTable] = None,
+    format: Optional[str] = None,
+    block_bytes: Optional[int] = None,
+):
+    """Fold a compressed NDJSON corpus through the bytes pipeline.
+
+    The serial compressed route: the chunked decompression reader
+    (:func:`repro.datasets.compressed.iter_line_blocks`) yields
+    line-aligned decompressed blocks which feed one persistent
+    :class:`~repro.inference.engine.RangeFolder` — the same batched
+    line-shape-cache + bytes-scan fold an uncompressed mmap corpus
+    runs, so the result is interned-identical to the plain-file fold of
+    the decompressed bytes.  No decompressed corpus is ever
+    materialised: memory is one block plus the longest line.
+
+    This path **owns error ordering**: JSON/decode errors of earlier
+    lines surface before a later decompression failure, exactly as a
+    plain serial fold would order them.
+    """
+    from repro.datasets.compressed import (
+        DEFAULT_BLOCK_BYTES,
+        CompressedCorpusError,
+        iter_block_line_spans,
+        iter_line_blocks,
+    )
+    from repro.inference.engine import RangeFolder, TypeAccumulator
+
+    accumulator = TypeAccumulator(equivalence, table=table)
+    folder = RangeFolder(accumulator)
+    blocks = iter_line_blocks(
+        source,
+        format=format,
+        block_bytes=block_bytes if block_bytes is not None else DEFAULT_BLOCK_BYTES,
+    )
+    while True:
+        try:
+            block = next(blocks)
+        except StopIteration:
+            break
+        except CompressedCorpusError:
+            # Lines already read but still batched are *earlier* in the
+            # corpus than this stream failure: flush them first so their
+            # errors win, serial-ordering style.
+            folder.finish()
+            raise
+        folder.feed(block, iter_block_line_spans(block))
+    folder.finish()
+    return accumulator
+
+
+def infer_report_compressed(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = 1,
+    format: Optional[str] = None,
+) -> InferenceReport:
+    """Inference over a gzip/zstd NDJSON file — the compressed entry point.
+
+    With ``jobs=1`` the serial chunked fold (:func:`fold_compressed`)
+    runs directly.  Otherwise the compressed scheduler
+    (:func:`repro.inference.distributed.plan_compressed_schedule`)
+    decides whether independent members/frames justify the worker pool;
+    a parallel attempt that fails *for any reason* (false member
+    candidates, a worker error, damaged bytes) silently falls back to
+    the serial fold, which owns all error ordering — the subtree
+    splitter's contract.
+    """
+    from repro.datasets.compressed import detect_compression
+
+    fmt = format or detect_compression(source)
+    if fmt is None:
+        raise InferenceError(
+            f"{source!s} is not a gzip/zstd compressed corpus"
+        )
+    if jobs != 1:
+        from repro.inference.distributed import (
+            infer_compressed_parallel,
+            plan_compressed_schedule,
+        )
+
+        plan = plan_compressed_schedule(source, format=fmt, jobs=jobs)
+        if plan.parallel:
+            run = infer_compressed_parallel(
+                source, equivalence, processes=plan.jobs, format=fmt
+            )
+            if run is not None:
+                return InferenceReport(
+                    inferred=run.result,
+                    equivalence=equivalence,
+                    document_count=run.document_count,
+                )
+    accumulator = fold_compressed(source, equivalence, format=fmt)
+    if accumulator.is_empty():
+        raise InferenceError("cannot infer a schema from an empty stream")
+    return InferenceReport(
+        inferred=accumulator.result(),
+        equivalence=equivalence,
+        document_count=accumulator.document_count,
+    )
+
+
 def infer_type_streaming(
     lines: Iterable[str], equivalence: Equivalence = Equivalence.KIND
 ) -> Type:
@@ -211,7 +317,11 @@ def infer_report_path(
     """One-stop inference over an NDJSON source — the CLI's entry point.
 
     ``source`` is a file path, ``"-"`` for stdin, or any line iterable.
-    With ``jobs=1`` a regular file takes the **bytes fold** by default:
+    A gzip/zstd-compressed file (detected by magic bytes) takes the
+    chunked decompression fold (:func:`infer_report_compressed`) —
+    member-parallel when ``jobs`` allows and the container has
+    independent members.  With ``jobs=1`` a regular file takes the
+    **bytes fold** by default:
     the file is mapped as a zero-copy
     :class:`~repro.datasets.ndjson.MmapCorpus` and its byte ranges run
     straight to interned types (:func:`infer_report_corpus`) with no
@@ -236,6 +346,17 @@ def infer_report_path(
         and str(source) != "-"
         and os.path.isfile(source)
     )
+    if is_file:
+        # Compressed corpora cannot be mmap-line-indexed; they route
+        # through the chunked decompression fold (and, with jobs, the
+        # member-parallel scheduler) before any mmap/streaming choice.
+        from repro.datasets.compressed import detect_compression
+
+        fmt = detect_compression(source)
+        if fmt is not None:
+            return infer_report_compressed(
+                source, equivalence, jobs=jobs, format=fmt
+            )
     if jobs == 1:
         if is_file:
             # Only regular files can be mapped; FIFOs, /dev/stdin and

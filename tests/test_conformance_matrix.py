@@ -246,6 +246,88 @@ def _route_repository(docs, lines, equivalence):
     return accumulator.result()
 
 
+def _with_compressed(lines, fmt, fn):
+    import tempfile
+    from pathlib import Path as _Path
+
+    from repro.datasets import compress_corpus
+
+    suffix = "gz" if fmt == "gzip" else "zst"
+    with tempfile.TemporaryDirectory() as tmp:
+        path = _Path(tmp) / f"corpus.ndjson.{suffix}"
+        # Small members so the parallel route has real member candidates
+        # and every member boundary sits mid-corpus.
+        compress_corpus(path, lines, format=fmt, member_lines=16)
+        return fn(path)
+
+
+def _croute_gzip_serial(lines, equivalence):
+    """Chunked gzip decode into the bytes fold (the serial reader)."""
+    from repro.inference import fold_compressed
+
+    return _with_compressed(
+        lines, "gzip", lambda p: fold_compressed(p, equivalence).result()
+    )
+
+
+def _croute_gzip_parallel(lines, equivalence):
+    """Worker-parallel decompress+fold of independent gzip members."""
+    from repro.inference import infer_compressed_parallel
+
+    def fold(path):
+        run = infer_compressed_parallel(path, equivalence, processes=2)
+        assert run is not None, "multi-member corpus must parallelize"
+        return run.result
+
+    return _with_compressed(lines, "gzip", fold)
+
+
+def _croute_gzip_report(lines, equivalence):
+    """The magic-byte route: infer_report_path on a compressed file."""
+    from repro.inference import infer_report_path
+
+    return _with_compressed(
+        lines,
+        "gzip",
+        lambda p: infer_report_path(str(p), equivalence, jobs=2).inferred,
+    )
+
+
+def _croute_gzip_counting(lines, equivalence):
+    """Counting types off the compressed stream, counts stripped."""
+    from repro.inference import infer_counted_compressed
+
+    return _with_compressed(
+        lines,
+        "gzip",
+        lambda p: infer_counted_compressed(p, equivalence).plain(),
+    )
+
+
+def _croute_zstd_serial(lines, equivalence):
+    """Chunked zstd decode into the bytes fold (optional codec)."""
+    from repro.inference import fold_compressed
+
+    return _with_compressed(
+        lines, "zstd", lambda p: fold_compressed(p, equivalence).result()
+    )
+
+
+def _zstd_missing() -> bool:
+    from repro.datasets import zstd_available
+
+    return not zstd_available()
+
+
+COMPRESSED_ROUTES = {
+    "gzip-serial": _croute_gzip_serial,
+    "gzip-parallel": _croute_gzip_parallel,
+    "gzip-report": _croute_gzip_report,
+    "gzip-counting": _croute_gzip_counting,
+    "zstd-serial": _croute_zstd_serial,
+}
+
+
 ROUTES = {
     "seed-merge-all": _route_seed_merge_all,
     "engine-fold": _route_engine_fold,
@@ -271,7 +353,7 @@ ROUTES = {
 
 
 def test_matrix_covers_enough_routes():
-    assert len(ROUTES) >= 19
+    assert len(ROUTES) + len(COMPRESSED_ROUTES) >= 23
 
 
 @pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)
@@ -287,6 +369,38 @@ def test_every_route_yields_the_interned_identical_type(corpus, equivalence):
             f"route {name!r} diverged on {corpus}/{equivalence.value}: "
             f"{result} != {reference}"
         )
+
+
+@pytest.mark.parametrize(
+    "route",
+    [
+        pytest.param(
+            name,
+            marks=pytest.mark.skipif(
+                name.startswith("zstd") and _zstd_missing(),
+                reason="optional zstandard module not installed",
+            ),
+        )
+        for name in sorted(COMPRESSED_ROUTES)
+    ],
+)
+@pytest.mark.parametrize("equivalence", EQUIVALENCES, ids=lambda e: e.value)
+@pytest.mark.parametrize("corpus", sorted(CORPORA), ids=str)
+def test_compressed_routes_yield_the_interned_identical_type(
+    corpus, equivalence, route
+):
+    """gzip/zstd ingestion is just another route into the same monoid:
+    the decompressed fold must intern to the identical type object the
+    in-memory oracle produces."""
+    docs = CORPORA[corpus]()
+    lines = ndjson_lines(docs)
+    table = global_table()
+    reference = table.canonical(infer_type(docs, equivalence))
+    result = table.canonical(COMPRESSED_ROUTES[route](lines, equivalence))
+    assert result is reference, (
+        f"route {route!r} diverged on {corpus}/{equivalence.value}: "
+        f"{result} != {reference}"
+    )
 
 
 @pytest.mark.parametrize("corpus", sorted(CORPORA), ids=str)

@@ -218,3 +218,85 @@ def test_iter_line_spans_subrange(tmp_path):
 
     assert [raw[s:e] for s, e in iter_line_spans(raw, 3, len(raw))] == [b"bb", b"cc"]
     assert list(iter_line_spans(b"")) == [(0, 0)]
+
+
+class TestOpenCorpusCompressed:
+    """`open_corpus` must agree with the pinned line-index semantics
+    whether the bytes arrive plain or compressed (issue 7 regression:
+    empty regular files and compressed files with no trailing newline
+    must match `iter_ndjson_lines` exactly)."""
+
+    @pytest.mark.parametrize("name", sorted(TestMmapCorpus.CONTENTS))
+    def test_gzip_corpus_matches_plain_line_index(self, tmp_path, name):
+        import gzip
+
+        raw = TestMmapCorpus.CONTENTS[name].encode("utf-8")
+        plain = tmp_path / "corpus.ndjson"
+        plain.write_bytes(raw)
+        packed = tmp_path / "corpus.ndjson.gz"
+        packed.write_bytes(gzip.compress(raw, mtime=0))
+        expected = list(iter_ndjson_lines(plain))
+        with open_corpus(packed) as corpus:
+            assert type(corpus).__name__ == "CompressedCorpus"
+            assert list(corpus) == expected
+            assert len(corpus) == len(expected)
+            assert [corpus[i] for i in range(len(corpus))] == expected
+            assert corpus[0 : len(corpus)] == expected
+
+    def test_empty_regular_file_has_no_lines(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_bytes(b"")
+        with open_corpus(path) as corpus:
+            assert len(corpus) == 0
+            assert list(corpus) == []
+            with pytest.raises(IndexError):
+                corpus[0]
+
+    def test_compressed_no_trailing_newline_keeps_last_line(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "corpus.ndjson.gz"
+        path.write_bytes(gzip.compress(b'{"a": 1}\n{"b": 2}', mtime=0))
+        with open_corpus(path) as corpus:
+            assert list(corpus) == ['{"a": 1}', '{"b": 2}']
+            assert len(corpus) == 2
+            assert corpus[-1] == '{"b": 2}'
+
+    def test_compressed_empty_stream_has_no_lines(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "corpus.ndjson.gz"
+        path.write_bytes(gzip.compress(b"", mtime=0))
+        with open_corpus(path) as corpus:
+            assert len(corpus) == 0
+            assert list(corpus) == []
+
+    def test_compressed_sequence_semantics(self, tmp_path):
+        import gzip
+
+        lines = [f'{{"i": {i}}}' for i in range(7)]
+        path = tmp_path / "corpus.ndjson.gz"
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode(), mtime=0))
+        with open_corpus(path) as corpus:
+            reference = list(lines)
+            assert corpus[-2] == reference[-2]
+            assert corpus[1:6:2] == reference[1:6:2]
+            assert corpus[::-1] == reference[::-1]
+            assert corpus[10:] == []
+            with pytest.raises(IndexError):
+                corpus[7]
+            with pytest.raises(IndexError):
+                corpus[-8]
+            with pytest.raises(TypeError):
+                corpus["0"]
+        with pytest.raises(ValueError):
+            len(corpus)
+
+    def test_iter_ndjson_lines_reads_compressed_paths(self, tmp_path):
+        import gzip
+
+        lines = ['{"a": 1}', "", '{"b": 2}']
+        path = tmp_path / "corpus.ndjson.gz"
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode(), mtime=0))
+        assert list(iter_ndjson_lines(str(path))) == lines
+        assert list(stream_documents(str(path))) == [{"a": 1}, {"b": 2}]
