@@ -145,18 +145,44 @@ def _cmd_skeleton(args: argparse.Namespace) -> int:
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    from repro.translation import schema_aware_translate, schema_oblivious_translate
+    from repro.types import Equivalence
 
-    docs = _read_documents(args.data)
-    aware = schema_aware_translate(docs)
-    oblivious = schema_oblivious_translate(docs)
+    equivalence = Equivalence(args.equivalence)
+    if args.engine == "interned":
+        from repro.translation import translate_report_path, write_artifacts
+
+        run = translate_report_path(args.data, equivalence, jobs=args.jobs)
+        aware = run.translation
+        # The interned pipeline measured the corpus as it streamed —
+        # raw NDJSON bytes are exactly what the no-schema baseline
+        # stores, so no second schema-oblivious pass is needed.
+        source_bytes = aware.input_bytes
+    else:
+        from repro.translation import (
+            schema_aware_translate,
+            schema_oblivious_translate,
+        )
+
+        run = None
+        docs = _read_documents(args.data)
+        aware = schema_aware_translate(docs, equivalence=equivalence)
+        source_bytes = schema_oblivious_translate(docs).total_bytes
     print(f"documents:        {aware.document_count}")
-    print(f"JSON text bytes:  {oblivious.total_bytes}")
-    ratio = oblivious.total_bytes / aware.columnar_bytes
+    print(f"JSON text bytes:  {source_bytes}")
+    ratio = source_bytes / aware.columnar_bytes
     print(f"columnar bytes:   {aware.columnar_bytes} ({ratio:.2f}x smaller)")
     print(f"avro row bytes:   {aware.avro_bytes}")
     print(f"typed columns:    {aware.typed_fraction:6.1%}")
     print(f"union fallbacks:  {aware.fallback_count}")
+    if args.out is not None:
+        if run is None:
+            print(
+                "error: --out requires --engine interned", file=sys.stderr
+            )
+            return 2
+        written = write_artifacts(run, args.out)
+        for path in sorted(written):
+            print(f"wrote {path} ({written[path]} bytes)")
     return 0
 
 
@@ -250,7 +276,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_translate = sub.add_parser(
         "translate", help="schema-aware translation size report"
     )
-    p_translate.add_argument("data", help="NDJSON file, or - for stdin")
+    p_translate.add_argument(
+        "data",
+        help="NDJSON file (plain, gzip, or zstd — detected by magic "
+        "bytes), or - for stdin",
+    )
+    p_translate.add_argument(
+        "--equivalence", choices=["kind", "label"], default="kind",
+        help="fusion parameter for the inferred schema (default: kind)",
+    )
+    p_translate.add_argument(
+        "--engine", choices=["interned", "dom"], default="interned",
+        help="translation pipeline: 'interned' (default) streams the "
+        "corpus once through the memoized infer→translate flow; 'dom' "
+        "runs the materialised reference path (byte-identical artifacts, "
+        "kept for cross-checking)",
+    )
+    p_translate.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="worker processes for the inference pass (interned engine "
+        "only; see 'infer --help' for the scheduler)",
+    )
+    p_translate.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="also write the artifacts (rows.avro, columns.json, "
+        "schema.txt) under DIR (interned engine only)",
+    )
     p_translate.set_defaults(func=_cmd_translate)
 
     p_matrix = sub.add_parser("matrix", help="print the schema-language feature matrix")

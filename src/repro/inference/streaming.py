@@ -26,6 +26,7 @@ matrix (``tests/test_conformance_matrix.py``) and the fuzz differential
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import InferenceError
@@ -381,3 +382,67 @@ def infer_report_path(
         equivalence=equivalence,
         document_count=run.document_count,
     )
+
+
+@contextmanager
+def report_with_lines(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = 1,
+    shared_memory="auto",
+):
+    """Infer over ``source``, then hand its lines back for a second pass.
+
+    A context manager yielding ``(report, lines)``: the
+    :class:`InferenceReport` of the corpus plus an iterable of its
+    decoded lines (blank lines included — consumers skip them, matching
+    every fold).  This is the two-pass backbone of the single-pass-
+    *looking* translate flow: the corpus is opened **once** — a regular
+    file stays mapped across both passes, a compressed file is
+    re-streamed through the chunked reader, a non-file line source is
+    materialised so the second pass can see it at all.  Routing mirrors
+    :func:`infer_report_path` case for case, so the report is
+    interned-identical to what that entry point returns.
+    """
+    import os
+
+    from repro.datasets.ndjson import iter_ndjson_lines, open_corpus
+
+    is_file = (
+        isinstance(source, (str, os.PathLike))
+        and str(source) != "-"
+        and os.path.isfile(source)
+    )
+    if is_file:
+        from repro.datasets.compressed import (
+            detect_compression,
+            iter_compressed_lines,
+        )
+
+        fmt = detect_compression(source)
+        if fmt is not None:
+            report = infer_report_compressed(
+                source, equivalence, jobs=jobs, format=fmt
+            )
+            yield report, iter_compressed_lines(source, format=fmt)
+            return
+        with open_corpus(source) as corpus:
+            if jobs == 1:
+                report = infer_report_corpus(corpus, equivalence)
+            else:
+                from repro.inference.distributed import infer_adaptive_text
+
+                run = infer_adaptive_text(
+                    corpus, equivalence, jobs=jobs, shared_memory=shared_memory
+                )
+                report = InferenceReport(
+                    inferred=run.result,
+                    equivalence=equivalence,
+                    document_count=run.document_count,
+                )
+            yield report, corpus
+        return
+    lines = list(iter_ndjson_lines(source))
+    report = infer_report_streaming(lines, equivalence)
+    yield report, lines

@@ -1,10 +1,15 @@
 """Schema-aware data translation (tutorial §5).
 
-- :mod:`repro.translation.avro` — Avro-like schemas and binary row codec;
+- :mod:`repro.translation.avro` — Avro-like schemas and binary row codec
+  (batch ``encode``/``encode_rows`` plus the fused :class:`~repro.
+  translation.avro.RowEncoder`);
 - :mod:`repro.translation.parquet` — Parquet-like columnar shredding with
-  definition/repetition levels (Dremel);
+  definition/repetition levels (Dremel), batch ``shred`` plus the
+  streaming :class:`~repro.translation.parquet.Shredder`;
 - :mod:`repro.translation.translate` — schema-aware vs schema-oblivious
-  translation pipelines (experiment E9).
+  translation pipelines (experiment E9): the DOM reference path, the
+  interned-memoized streaming path, and the single-pass
+  infer→translate→write flow (experiment E21).
 """
 
 from repro.translation import avro
@@ -14,16 +19,26 @@ from repro.translation.parquet import (
     PLeaf,
     PList,
     PRecord,
+    Shredder,
     assemble,
     compile_schema,
     shred,
 )
 from repro.translation.translate import (
     ObliviousReport,
+    Resolution,
+    TextifyPlan,
     TranslationReport,
+    TranslationRun,
+    column_store_json,
+    resolve_interned,
     resolve_type,
     schema_aware_translate,
     schema_oblivious_translate,
+    textify,
+    translate_interned,
+    translate_report_path,
+    write_artifacts,
 )
 
 __all__ = [
@@ -33,12 +48,22 @@ __all__ = [
     "PLeaf",
     "PList",
     "PRecord",
+    "Shredder",
     "assemble",
     "compile_schema",
     "shred",
     "ObliviousReport",
+    "Resolution",
+    "TextifyPlan",
     "TranslationReport",
+    "TranslationRun",
+    "column_store_json",
+    "resolve_interned",
     "resolve_type",
     "schema_aware_translate",
     "schema_oblivious_translate",
+    "textify",
+    "translate_interned",
+    "translate_report_path",
+    "write_artifacts",
 ]

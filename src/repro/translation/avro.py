@@ -373,12 +373,31 @@ def _decode(schema: AvroSchema, reader: _Reader) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def from_algebra(t: "Type", name: str = "Root") -> AvroSchema:  # noqa: F821
+def from_algebra(
+    t: "Type", name: str = "Root", memo: "dict | None" = None  # noqa: F821
+) -> AvroSchema:
     """Translate an inferred type into an Avro-like schema.
 
     Optional record fields become ``union[null, T]`` with a ``null``
     default convention — the standard Avro idiom for JSON optionality.
+
+    ``memo`` (id-of-node → schema) lets callers holding canonical
+    interned types translate each shared subtree once.  Record *names*
+    are documentation only — they are never written to the wire — so a
+    memoized subtree keeps the name of the first position that reached
+    it; encoded rows are byte-identical either way.
     """
+    if memo is not None:
+        hit = memo.get(id(t))
+        if hit is not None:
+            return hit
+    out = _from_algebra(t, name, memo)
+    if memo is not None:
+        memo[id(t)] = out
+    return out
+
+
+def _from_algebra(t: "Type", name: str, memo: "dict | None") -> AvroSchema:  # noqa: F821
     from repro.types.terms import (
         AnyType,
         ArrType,
@@ -400,11 +419,11 @@ def from_algebra(t: "Type", name: str = "Root") -> AvroSchema:  # noqa: F821
     if isinstance(t, ArrType):
         if isinstance(t.item, BotType):
             return AArray(NULL)
-        return AArray(from_algebra(t.item, name + "_item"))
+        return AArray(from_algebra(t.item, name + "_item", memo))
     if isinstance(t, RecType):
         fields = []
         for f in t.fields:
-            ftype = from_algebra(f.type, f"{name}_{f.name}")
+            ftype = from_algebra(f.type, f"{name}_{f.name}", memo)
             if not f.required:
                 branches = (
                     ftype.branches if isinstance(ftype, AUnion) else (ftype,)
@@ -414,7 +433,12 @@ def from_algebra(t: "Type", name: str = "Root") -> AvroSchema:  # noqa: F821
             fields.append(AField(f.name, ftype))
         return ARecord(name, tuple(fields))
     if isinstance(t, UnionType):
-        return AUnion(tuple(from_algebra(m, f"{name}_{i}") for i, m in enumerate(t.members)))
+        return AUnion(
+            tuple(
+                from_algebra(m, f"{name}_{i}", memo)
+                for i, m in enumerate(t.members)
+            )
+        )
     if isinstance(t, AnyType):
         raise TranslationError("Any cannot be represented in Avro")
     if isinstance(t, BotType):
@@ -432,6 +456,102 @@ def encode_rows(schema: AvroSchema, documents: Iterable[Any]) -> list[bytes]:
     for doc in documents:
         rows.append(encode(schema, _fill_missing(schema, doc)))
     return rows
+
+
+class RowEncoder:
+    """Single-walk document→row encoder for resolved-schema unions.
+
+    ``encode_rows`` walks every document three times per union position:
+    once in :func:`_fill_missing` to pick a branch and copy the document
+    with absent optional fields filled, then twice more inside
+    :func:`encode` for the strict/lenient branch passes.  The schemas
+    the translation resolver produces only ever contain two-branch
+    ``union[null, T]`` nodes, where the branch index is decided by
+    ``value is None`` alone — this encoder fuses the fill into the walk
+    and emits straight to the output buffer, no copies, no recursive
+    branch probes.
+
+    On schema-conforming documents the rows are **byte-identical** to
+    ``encode(schema, _fill_missing(schema, doc))`` — the translation
+    conformance tier pins this against the reference path.  Exotic union
+    shapes (more than two branches, non-null first branch) defer to the
+    reference fill+encode for that subtree, so the encoder is total; a
+    non-conforming document still raises :class:`TranslationError`,
+    though possibly naming the offending leaf rather than the union.
+    """
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: AvroSchema) -> None:
+        self.schema = schema
+
+    def encode_row(self, value: Any) -> bytes:
+        out = bytearray()
+        self._emit(self.schema, value, out)
+        return bytes(out)
+
+    def encode_rows(self, documents: Iterable[Any]) -> list:
+        return [self.encode_row(doc) for doc in documents]
+
+    def _emit(self, schema: AvroSchema, value: Any, out: bytearray) -> None:
+        cls = schema.__class__
+        if cls is ARecord:
+            if not isinstance(value, dict):
+                raise TranslationError(
+                    f"expected record {schema.name}, got {value!r}"
+                )
+            for field in schema.fields:
+                ftype = field.type
+                if field.name in value:
+                    self._emit(ftype, value[field.name], out)
+                elif ftype.__class__ is AUnion and _is_optional_union(ftype):
+                    _write_long(out, 0)  # the null branch of union[null, T]
+                elif ftype.__class__ is APrimitive and ftype.name == "null":
+                    pass  # null encodes to zero bytes
+                elif _accepts(ftype, None):
+                    _encode(ftype, _fill_missing(ftype, None), out)
+                else:
+                    raise TranslationError(
+                        f"document is missing required field {field.name!r}"
+                    )
+            return
+        if cls is AUnion:
+            if _is_optional_union(schema):
+                if value is None:
+                    _write_long(out, 0)
+                else:
+                    _write_long(out, 1)
+                    self._emit(schema.branches[1], value, out)
+                return
+            _encode(schema, _fill_missing(schema, value), out)
+            return
+        if cls is AArray:
+            if not isinstance(value, list):
+                raise TranslationError(f"expected array, got {value!r}")
+            if value:
+                _write_long(out, len(value))
+                for item in value:
+                    self._emit(schema.items, item, out)
+            _write_long(out, 0)
+            return
+        # Primitives encode directly; maps (never produced by
+        # from_algebra over resolved types) take the reference path.
+        if cls is APrimitive:
+            _encode(schema, value, out)
+            return
+        _encode(schema, _fill_missing(schema, value), out)
+
+
+def _is_optional_union(schema: AUnion) -> bool:
+    """Is this the resolver's ``union[null, T]`` shape?  (T non-null,
+    non-union — the branch index is then decided by ``value is None``.)"""
+    branches = schema.branches
+    return (
+        len(branches) == 2
+        and branches[0] == NULL
+        and branches[1] != NULL
+        and branches[1].__class__ is not AUnion
+    )
 
 
 def _fill_missing(schema: AvroSchema, value: Any) -> Any:

@@ -16,9 +16,12 @@ Parquet implements:
 ``assemble(shred(docs)) == docs`` (up to object key order) is DESIGN.md
 invariant 6 and is property-tested against the dataset generators.
 
-Unions are not representable (same restriction as real Parquet); the
-schema-aware translation layer resolves them first
-(:mod:`repro.translation.translate`).
+General unions are not representable (same restriction as real Parquet);
+the schema-aware translation layer resolves them first
+(:mod:`repro.translation.translate`).  The nullable shapes it produces
+*are*: ``Null + leaf`` and ``Null + record`` each add one definition
+level, so an optional object keeps typed leaf columns and an explicit
+``null`` stays distinct from an absent field.
 """
 
 from __future__ import annotations
@@ -66,6 +69,7 @@ class PField(PNode):
 @dataclass(frozen=True)
 class PRecord(PNode):
     fields: Tuple[PField, ...]
+    nullable: bool = False  # +1 definition level when the record is not null
 
 
 @dataclass(frozen=True)
@@ -73,13 +77,29 @@ class PList(PNode):
     element: PNode  # adds one repetition and one definition level
 
 
-def compile_schema(t: Type) -> PNode:
+def compile_schema(t: Type, memo: "dict | None" = None) -> PNode:
     """Compile an inferred type into a Parquet-like schema tree.
 
     Supported: records (with optionality), arrays, atoms, and the union
-    shapes ``T + Null`` (nullable leaf) and ``Int + Flt`` (double).  Any
-    other union raises — resolve it first (see ``translate.resolve_type``).
+    shapes ``T + Null`` (nullable leaf or nullable record), plus unions
+    of number atoms with an optional ``Null`` (double).  Any other union
+    raises — resolve it first (see ``translate.resolve_type``).
+
+    ``memo`` (id-of-node → compiled subtree) lets callers holding
+    *canonical interned* types compile each shared subtree once; the
+    translation layer keys such memos to the intern-table epoch.
     """
+    if memo is not None:
+        hit = memo.get(id(t))
+        if hit is not None:
+            return hit
+    out = _compile(t, memo)
+    if memo is not None:
+        memo[id(t)] = out
+    return out
+
+
+def _compile(t: Type, memo: "dict | None") -> PNode:
     if isinstance(t, AtomType):
         kind = {
             "null": "null",
@@ -93,7 +113,7 @@ def compile_schema(t: Type) -> PNode:
     if isinstance(t, ArrType):
         if isinstance(t.item, BotType):
             return PList(PLeaf("null"))
-        return PList(compile_schema(t.item))
+        return PList(compile_schema(t.item, memo))
     if isinstance(t, RecType):
         if not t.fields:
             # A field-less record has no leaf columns of its own; store it
@@ -101,7 +121,7 @@ def compile_schema(t: Type) -> PNode:
             return PLeaf("empty_object")
         return PRecord(
             tuple(
-                PField(f.name, compile_schema(f.type), required=f.required)
+                PField(f.name, compile_schema(f.type, memo), required=f.required)
                 for f in t.fields
             )
         )
@@ -110,15 +130,18 @@ def compile_schema(t: Type) -> PNode:
         nulls = [m for m in members if isinstance(m, AtomType) and m.tag == "null"]
         rest = [m for m in members if m not in nulls]
         if nulls and len(rest) == 1:
-            inner = compile_schema(rest[0])
+            inner = compile_schema(rest[0], memo)
             if isinstance(inner, PLeaf):
                 return PLeaf(inner.kind, nullable=True)
+            if isinstance(inner, PRecord):
+                return PRecord(inner.fields, nullable=True)
             raise TranslationError(
-                "nullable containers are not supported; resolve the union first"
+                "nullable arrays are not supported; resolve the union first"
             )
-        tags = {m.tag for m in members if isinstance(m, AtomType)}
-        if tags == {"int", "flt"} and len(members) == 2:
-            return PLeaf("double")
+        if rest and all(
+            isinstance(m, AtomType) and m.tag in ("int", "flt", "num") for m in rest
+        ):
+            return PLeaf("double", nullable=bool(nulls))
         raise TranslationError(f"union {t} is not Parquet-representable")
     raise TranslationError(f"cannot compile {t!r} for columnar storage")
 
@@ -191,10 +214,11 @@ def _leaf_columns(node: PNode, path: str, rep: int, deflevel: int, out: dict) ->
         )
         return
     if isinstance(node, PRecord):
+        base = deflevel + (1 if node.nullable else 0)
         for f in node.fields:
             child_path = f"{path}.{f.name}" if path else f.name
             _leaf_columns(
-                f.node, child_path, rep, deflevel + (0 if f.required else 1), out
+                f.node, child_path, rep, base + (0 if f.required else 1), out
             )
         return
     if isinstance(node, PList):
@@ -203,16 +227,39 @@ def _leaf_columns(node: PNode, path: str, rep: int, deflevel: int, out: dict) ->
     raise TranslationError(f"unexpected schema node {node!r}")  # pragma: no cover
 
 
+class Shredder:
+    """Incremental record shredder: one document at a time, no corpus list.
+
+    ``shred`` is this class run over a whole iterable; the single-pass
+    translation pipeline feeds it per document instead, interleaved with
+    the Avro row encoder, so prepared documents are never materialised
+    as a second collection.
+    """
+
+    __slots__ = ("schema", "columns", "row_count")
+
+    def __init__(self, schema: PNode) -> None:
+        self.schema = schema
+        self.columns: dict[str, Column] = {}
+        _leaf_columns(schema, "", 0, 0, self.columns)
+        self.row_count = 0
+
+    def add(self, doc: Any) -> None:
+        self.row_count += 1
+        _shred_value(self.schema, doc, "", 0, 0, self.columns)
+
+    def finish(self) -> ColumnStore:
+        return ColumnStore(
+            schema=self.schema, columns=self.columns, row_count=self.row_count
+        )
+
+
 def shred(documents: Iterable[Any], schema: PNode) -> ColumnStore:
     """Shred schema-conforming documents into columns."""
-    columns: dict[str, Column] = {}
-    _leaf_columns(schema, "", 0, 0, columns)
-
-    row_count = 0
+    shredder = Shredder(schema)
     for doc in documents:
-        row_count += 1
-        _shred_value(schema, doc, "", 0, 0, columns)
-    return ColumnStore(schema=schema, columns=columns, row_count=row_count)
+        shredder.add(doc)
+    return shredder.finish()
 
 
 def _emit_missing(node: PNode, path: str, rep: int, deflevel: int, columns: dict) -> None:
@@ -253,11 +300,22 @@ def _shred_value(
                 column.values.append(value)
         return
     if isinstance(node, PRecord):
+        if node.nullable:
+            if value is None:
+                # Defined up to the record itself but not past it: one
+                # entry per descendant column at the record's own level.
+                for f in node.fields:
+                    child = f"{path}.{f.name}" if path else f.name
+                    _emit_missing(f.node, child, rep, deflevel, columns)
+                return
+            deflevel += 1
         if not isinstance(value, dict):
             raise TranslationError(f"expected object at {path or '<root>'}, got {value!r}")
+        matched = 0
         for f in node.fields:
             child = f"{path}.{f.name}" if path else f.name
             if f.name in value:
+                matched += 1
                 _shred_value(
                     f.node,
                     value[f.name],
@@ -270,6 +328,13 @@ def _shred_value(
                 raise TranslationError(f"missing required field {child!r}")
             else:
                 _emit_missing(f.node, child, rep, deflevel, columns)
+        if matched != len(value):
+            known = {f.name for f in node.fields}
+            extra = next(k for k in value if k not in known)
+            where = f"{path}.{extra}" if path else extra
+            raise TranslationError(
+                f"document field {where!r} is not in the schema"
+            )
         return
     if isinstance(node, PList):
         if not isinstance(value, list):
@@ -390,10 +455,18 @@ def _assemble_node(
         if probe_d < deflevel:
             _consume_missing(node, path, entries, cursors)
             return None, False
+        inner = deflevel
+        if node.nullable:
+            if probe_d == deflevel:
+                # Reached the record but not past its nullable level:
+                # an explicit null, distinct from "field absent".
+                _consume_missing(node, path, entries, cursors)
+                return None, True
+            inner = deflevel + 1
         out = {}
         for f in node.fields:
             child = f"{path}.{f.name}" if path else f.name
-            child_def = deflevel + (0 if f.required else 1)
+            child_def = inner + (0 if f.required else 1)
             value, defined = _assemble_node(f.node, child, rep, child_def, entries, cursors)
             if defined:
                 out[f.name] = value

@@ -4,17 +4,41 @@
 and the effectiveness of data format conversion."  This module implements
 both sides of that comparison:
 
-- **schema-aware**: infer a type for the collection (parametric K-merge),
-  *resolve* it to a translation-friendly schema (:func:`resolve_type` —
-  unions widened to nullable leaves or a JSON-text escape hatch), then
-  shred to the Parquet-like columnar format or encode Avro-like rows;
+- **schema-aware**: infer a type for the collection, *resolve* it to a
+  translation-friendly schema (:func:`resolve_interned` — unions widened
+  to nullable leaves, nullable records, or a JSON-text escape hatch),
+  then shred to the Parquet-like columnar format and encode Avro-like
+  rows;
 - **schema-oblivious**: no schema — each document is stored as one JSON
   text blob (a single string column / NDJSON bytes), which is what a tool
   must do when it cannot rely on structure.
 
-The report compares output sizes; the benchmark adds timing.  Quality is
-measured too: the fraction of leaf values that kept a typed column rather
-than falling back to the ``json`` escape-hatch column.
+Two translation paths produce the artifacts, pinned byte-identical by the
+translation conformance tier:
+
+- :func:`schema_aware_translate` — the DOM reference: materialise the
+  documents, seed-merge a type when none is given, textify, ``shred``,
+  ``encode_rows``;
+- :func:`translate_interned` / :func:`translate_report_path` — the
+  interned pipeline: subtree resolution and Avro/Parquet schema
+  compilation memoized on interned node identity (shared subtrees
+  translate once, keyed to the intern-table epoch like the subtype
+  checker), documents streamed once through a :class:`~repro.translation.
+  parquet.Shredder` and a fused :class:`~repro.translation.avro.
+  RowEncoder`.  ``translate_report_path`` runs the whole
+  infer→translate→write flow single-pass from a file: mmap/compressed
+  corpus → bytes fold → resolved schema → Avro rows + columnar store.
+
+Union resolution is carried by an explicit :class:`Resolution` — the
+resolved type, the degraded column paths, and a structural
+:class:`TextifyPlan` deciding which subtrees serialize to JSON text.
+(The seed used a sentinel ``AtomType("str")`` *instance* and decided by
+object identity, which silently broke as soon as the resolved type was
+re-interned or crossed a pickle boundary; the plan survives both.)
+
+The report compares output sizes; the benchmark (E21) adds timing.
+Quality is measured too: the fraction of leaf values that kept a typed
+column rather than falling back to the ``json`` escape-hatch column.
 """
 
 from __future__ import annotations
@@ -25,21 +49,234 @@ from typing import Any, Iterable, Optional
 from repro.errors import TranslationError
 from repro.jsonvalue.serializer import dumps
 from repro.types import Equivalence, Type, merge_all, type_of
+from repro.types.intern import EpochMemo, InternTable, global_table
 from repro.types.terms import (
     ArrType,
     AtomType,
     BotType,
-    FieldType,
-    NUM,
     RecType,
     UnionType,
 )
 from repro.translation import avro
 from repro.translation.parquet import (
     ColumnStore,
+    PNode,
+    Shredder,
     compile_schema,
     shred,
 )
+
+
+# ---------------------------------------------------------------------------
+# textify plans: which subtrees degrade to serialized JSON text
+# ---------------------------------------------------------------------------
+
+
+class TextifyPlan:
+    """Structural decision tree over a resolved type.
+
+    One node per position that *matters*: ``CLEAN`` subtrees (no fallback
+    anywhere beneath) pass values through untouched — the common case,
+    and the reason textify costs nothing on homogeneous corpora —
+    ``FALLBACK`` positions serialize the value, and container plans
+    descend.  Plans are plain frozen data: they pickle, and they carry no
+    object-identity protocol, so a plan built in one process drives
+    translation in another.
+    """
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class _Clean(TextifyPlan):
+    pass
+
+
+@dataclass(frozen=True)
+class _Fallback(TextifyPlan):
+    pass
+
+
+@dataclass(frozen=True)
+class ArrPlan(TextifyPlan):
+    item: TextifyPlan
+
+
+@dataclass(frozen=True)
+class RecPlan(TextifyPlan):
+    children: dict  # name -> non-clean child plan
+    labels: frozenset  # every field name the schema knows
+
+
+CLEAN = _Clean()
+FALLBACK = _Fallback()
+
+
+def textify(value: Any, plan: TextifyPlan, path: str = "") -> Any:
+    """Serialize the subtrees ``plan`` marks as JSON-text fallbacks.
+
+    Values under a ``CLEAN`` plan are returned *as-is* (no copy); a
+    document whose schema resolved without fallbacks is returned
+    unchanged.  A record field the schema has never seen raises
+    :class:`TranslationError` naming the offending path.
+    """
+    cls = plan.__class__
+    if cls is _Clean:
+        return value
+    if cls is _Fallback:
+        return dumps(value)
+    if cls is ArrPlan:
+        if not isinstance(value, list):
+            return value
+        item_plan = plan.item
+        child = f"{path}.[]" if path else "[]"
+        return [textify(v, item_plan, child) for v in value]
+    # RecPlan.  None passes through: a nullable record's plan is the
+    # record's own plan, applied only when a record is actually present.
+    if not isinstance(value, dict):
+        return value
+    children = plan.children
+    labels = plan.labels
+    out = {}
+    for name, v in value.items():
+        sub = children.get(name)
+        if sub is not None:
+            out[name] = textify(v, sub, f"{path}.{name}" if path else name)
+        elif name in labels:
+            out[name] = v
+        else:
+            where = f"{path}.{name}" if path else name
+            raise TranslationError(
+                f"document field {where!r} is not in the schema"
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# union resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The outcome of resolving a type for translation.
+
+    ``resolved`` is Parquet/Avro-representable; ``fallbacks`` are the
+    column paths (``a.[].b`` style) where a union could not be widened
+    and the subtree degrades to JSON text; ``plan`` drives
+    :func:`textify`.  The whole object pickles and survives re-interning
+    — nothing here depends on instance identity.
+    """
+
+    resolved: Type
+    fallbacks: tuple
+    plan: TextifyPlan
+
+    def textify(self, value: Any) -> Any:
+        return textify(value, self.plan)
+
+
+# Per-node resolution memo: id(canonical node) -> (resolved, relative
+# fallback suffixes, plan).  Suffixes are recorded *relative* to the node
+# ("" = the node itself) because the same subtree appears at many
+# absolute paths; parents prepend their segment.
+_RESOLVE_MEMO = EpochMemo()
+_PARQUET_MEMO = EpochMemo()
+_AVRO_MEMO = EpochMemo()
+
+
+def _join(segment: str, suffixes: tuple) -> list:
+    return [segment if s == "" else f"{segment}.{s}" for s in suffixes]
+
+
+def _resolve_node(node: Type, table: InternTable, memo: dict):
+    key = id(node)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    out = _resolve_fresh(node, table, memo)
+    memo[key] = out
+    return out
+
+
+def _resolve_fresh(node: Type, table: InternTable, memo: dict):
+    cls = node.__class__
+    if cls is AtomType or cls is BotType:
+        return node, (), CLEAN
+    if cls is ArrType:
+        item, suffixes, item_plan = _resolve_node(node.item, table, memo)
+        resolved = node if item is node.item else table.arr_of(item)
+        if not suffixes:
+            return resolved, (), CLEAN
+        return resolved, tuple(_join("[]", suffixes)), ArrPlan(item_plan)
+    if cls is RecType:
+        changed = False
+        fields = []
+        suffixes: list = []
+        children: dict = {}
+        for f in node.fields:
+            ftype, fsuf, fplan = _resolve_node(f.type, table, memo)
+            if ftype is f.type:
+                fields.append(f)
+            else:
+                changed = True
+                fields.append(table.field_of(f.name, ftype, f.required))
+            if fsuf:
+                suffixes.extend(_join(f.name, fsuf))
+                children[f.name] = fplan
+        resolved = table.rec_of(fields) if changed else node
+        if not children:
+            return resolved, (), CLEAN
+        plan = RecPlan(children, frozenset(f.name for f in node.fields))
+        return resolved, tuple(suffixes), plan
+    if cls is UnionType:
+        members = node.members
+        nulls = [
+            m for m in members if m.__class__ is AtomType and m.tag == "null"
+        ]
+        rest = [
+            m
+            for m in members
+            if not (m.__class__ is AtomType and m.tag == "null")
+        ]
+        if nulls and len(rest) == 1 and rest[0].__class__ is AtomType:
+            return node, (), CLEAN  # nullable leaf, representable as-is
+        if rest and all(
+            m.__class__ is AtomType and m.tag in ("int", "flt", "num")
+            for m in rest
+        ):
+            # Numeric drift (int|flt, int|flt|null, …) widens to num —
+            # nullable when null rides along — instead of degrading.
+            resolved = table.atom("num")
+            if nulls:
+                resolved = table.union_of([table.atom("null"), resolved])
+            return resolved, (), CLEAN
+        if nulls and len(rest) == 1 and rest[0].__class__ is RecType:
+            # The common optional-object shape null | {…}: resolve as a
+            # nullable record so its leaves stay typed columns.
+            inner, suffixes, plan = _resolve_node(rest[0], table, memo)
+            resolved = table.union_of([table.atom("null"), inner])
+            return resolved, suffixes, plan
+        return table.atom("str"), ("",), FALLBACK
+    raise TranslationError(f"cannot resolve {node!r}")
+
+
+def resolve_interned(
+    t: Type, *, table: Optional[InternTable] = None
+) -> Resolution:
+    """Resolve ``t`` into a translation-friendly :class:`Resolution`.
+
+    The input is canonicalized into ``table`` (the global intern table by
+    default) and resolution is memoized on interned node identity, keyed
+    to the table's epoch: a subtree shared by a thousand positions
+    resolves once.
+    """
+    if table is None:
+        table = global_table()
+    node = table.canonical(t)
+    memo = _RESOLVE_MEMO.map_for(table)
+    resolved, suffixes, plan = _resolve_node(node, table, memo)
+    return Resolution(resolved=resolved, fallbacks=suffixes, plan=plan)
 
 
 def resolve_type(t: Type) -> tuple[Type, list[str]]:
@@ -49,66 +286,34 @@ def resolve_type(t: Type) -> tuple[Type, list[str]]:
     positions (named like shredded column paths, ``a.[].b``) where a union
     could not be widened and the subtree degrades to a JSON text leaf.
     Fewer fallbacks = higher translation quality; schema precision is what
-    keeps this number down.
+    keeps this number down.  (Compatibility wrapper over
+    :func:`resolve_interned`.)
     """
-    fallbacks: list[str] = []
-
-    def resolve(node: Type, path: str) -> Type:
-        if isinstance(node, AtomType):
-            return node
-        if isinstance(node, ArrType):
-            return ArrType(resolve(node.item, f"{path}.[]" if path else "[]"))
-        if isinstance(node, RecType):
-            return RecType(
-                tuple(
-                    FieldType(
-                        f.name,
-                        resolve(f.type, f"{path}.{f.name}" if path else f.name),
-                        f.required,
-                    )
-                    for f in node.fields
-                )
-            )
-        if isinstance(node, UnionType):
-            members = list(node.members)
-            nulls = [m for m in members if isinstance(m, AtomType) and m.tag == "null"]
-            rest = [m for m in members if m not in nulls]
-            if nulls and len(rest) == 1 and isinstance(rest[0], AtomType):
-                return node  # nullable leaf, representable as-is
-            tags = {m.tag for m in members if isinstance(m, AtomType)}
-            if tags == {"int", "flt"} and len(members) == 2:
-                return NUM
-            fallbacks.append(path)
-            return _JSON_TEXT
-        if isinstance(node, BotType):
-            return node
-        raise TranslationError(f"cannot resolve {node!r}")
-
-    return resolve(t, ""), fallbacks
+    resolution = resolve_interned(t)
+    return resolution.resolved, list(resolution.fallbacks)
 
 
-# Marker atom: subtree stored as serialized JSON text.
-_JSON_TEXT = AtomType("str")
+def compiled_parquet(
+    resolved: Type, *, table: Optional[InternTable] = None
+) -> PNode:
+    """``compile_schema`` memoized on interned node identity."""
+    if table is None:
+        table = global_table()
+    return compile_schema(resolved, _PARQUET_MEMO.map_for(table))
 
 
-def _textify(value: Any, resolved: Type, original: Type) -> Any:
-    """Serialize subtrees that were resolved to the JSON-text fallback."""
-    if resolved is _JSON_TEXT and original is not _JSON_TEXT:
-        return dumps(value)
-    if isinstance(resolved, ArrType) and isinstance(value, list):
-        assert isinstance(original, ArrType)
-        return [_textify(v, resolved.item, original.item) for v in value]
-    if isinstance(resolved, RecType) and isinstance(value, dict):
-        assert isinstance(original, RecType)
-        original_fields = original.field_map()
-        resolved_fields = resolved.field_map()
-        return {
-            name: _textify(
-                v, resolved_fields[name].type, original_fields[name].type
-            )
-            for name, v in value.items()
-        }
-    return value
+def compiled_avro(
+    resolved: Type, *, table: Optional[InternTable] = None
+) -> avro.AvroSchema:
+    """``avro.from_algebra`` memoized on interned node identity."""
+    if table is None:
+        table = global_table()
+    return avro.from_algebra(resolved, "Root", _AVRO_MEMO.map_for(table))
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -137,45 +342,296 @@ class TranslationReport:
         return self.typed_leaf_columns / total if total else 1.0
 
 
+def _relabel_fallbacks(store: ColumnStore, fallbacks: Iterable[str]) -> None:
+    """Re-kind the escape-hatch columns so accounting can tell real
+    strings from serialized-JSON fallbacks.
+
+    Strict: every fallback path resolves to a string leaf at exactly that
+    position, so a missing column (the root path included) is a resolver/
+    shredder disagreement, not something to skip silently.
+    """
+    for path in fallbacks:
+        column = store.columns.get(path)
+        if column is None:
+            raise TranslationError(
+                f"fallback path {path!r} has no shredded column"
+            )
+        column.kind = "json"
+
+
+def _build_report(
+    store: ColumnStore,
+    rows: list,
+    fallbacks: tuple,
+    document_count: int,
+    input_bytes: int,
+) -> TranslationReport:
+    _relabel_fallbacks(store, fallbacks)
+    typed = sum(1 for c in store.columns.values() if c.kind != "json")
+    return TranslationReport(
+        document_count=document_count,
+        columnar=store,
+        avro_rows=rows,
+        fallback_count=len(fallbacks),
+        typed_leaf_columns=typed,
+        json_leaf_columns=len(store.columns) - typed,
+        input_bytes=input_bytes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the DOM reference path
+# ---------------------------------------------------------------------------
+
+
 def schema_aware_translate(
     documents: Iterable[Any],
     inferred: Optional[Type] = None,
     *,
     equivalence: Equivalence = Equivalence.KIND,
 ) -> TranslationReport:
-    """Translate a collection using an (optionally provided) schema."""
+    """Translate a collection using an (optionally provided) schema.
+
+    The DOM reference path: documents are materialised, the schema is
+    seed-merged when none is given, and the artifacts are produced by the
+    batch ``shred``/``encode_rows`` primitives.  The interned pipeline
+    (:func:`translate_interned`) must match its output byte for byte.
+    """
     docs = list(documents)
     if inferred is None:
         inferred = merge_all((type_of(d) for d in docs), equivalence)
-    resolved, fallback_paths = resolve_type(inferred)
+    resolution = resolve_interned(inferred)
 
-    # _JSON_TEXT is a distinct AtomType("str") *instance*; make subtree
-    # serialization decisions by identity where the resolver degraded.
-    prepared = [_textify(d, resolved, inferred) for d in docs]
-
-    parquet_schema = compile_schema(resolved)
-    store = shred(prepared, parquet_schema)
-    # Re-kind the escape-hatch columns so accounting can tell real strings
-    # from serialized-JSON fallbacks.
-    for path in fallback_paths:
-        if path in store.columns:
-            store.columns[path].kind = "json"
-
-    avro_schema = avro.from_algebra(resolved)
-    rows = avro.encode_rows(avro_schema, prepared)
-
-    typed = sum(1 for c in store.columns.values() if c.kind != "json")
-    json_cols = len(store.columns) - typed
+    prepared = [resolution.textify(d) for d in docs]
+    store = shred(prepared, compile_schema(resolution.resolved))
+    rows = avro.encode_rows(avro.from_algebra(resolution.resolved), prepared)
     input_bytes = sum(len(dumps(d).encode("utf-8")) for d in docs)
-    return TranslationReport(
-        document_count=len(docs),
-        columnar=store,
-        avro_rows=rows,
-        fallback_count=len(fallback_paths),
-        typed_leaf_columns=typed,
-        json_leaf_columns=json_cols,
-        input_bytes=input_bytes,
+    return _build_report(
+        store, rows, resolution.fallbacks, len(docs), input_bytes
     )
+
+
+# ---------------------------------------------------------------------------
+# the interned pipeline
+# ---------------------------------------------------------------------------
+
+
+def translate_interned(
+    documents: Iterable[Any],
+    inferred: Optional[Type] = None,
+    *,
+    equivalence: Equivalence = Equivalence.KIND,
+    table: Optional[InternTable] = None,
+    input_bytes: Optional[int] = None,
+) -> TranslationReport:
+    """Translate on interned types: memoized resolution and schema
+    compilation, one streaming pass over the documents.
+
+    Byte-identical artifacts to :func:`schema_aware_translate` (the
+    conformance tier's gate), reached differently: resolution and the
+    compiled Avro/Parquet schemas are epoch-keyed memo hits after the
+    first collection with a shared shape, and each document flows
+    through the shredder and the fused row encoder without building a
+    prepared-documents list.  ``input_bytes`` (when the caller already
+    knows the source size, e.g. raw corpus bytes) skips the per-document
+    re-serialization the report otherwise needs.
+    """
+    if table is None:
+        table = global_table()
+    if inferred is None:
+        from repro.inference.engine import TypeAccumulator
+
+        documents = list(documents)
+        if documents:
+            accumulator = TypeAccumulator(equivalence, table=table)
+            for doc in documents:
+                accumulator.add(doc)
+            inferred = accumulator.result()
+        else:
+            inferred = merge_all((), equivalence)
+    resolution = resolve_interned(inferred, table=table)
+
+    shredder = Shredder(compiled_parquet(resolution.resolved, table=table))
+    encoder = avro.RowEncoder(compiled_avro(resolution.resolved, table=table))
+    plan = resolution.plan
+    rows: list = []
+    count = 0
+    measured = 0
+    measure = input_bytes is None
+    for doc in documents:
+        count += 1
+        if measure:
+            measured += len(dumps(doc).encode("utf-8"))
+        prepared = textify(doc, plan)
+        shredder.add(prepared)
+        rows.append(encoder.encode_row(prepared))
+    return _build_report(
+        shredder.finish(),
+        rows,
+        resolution.fallbacks,
+        count,
+        measured if measure else input_bytes,
+    )
+
+
+@dataclass
+class TranslationRun:
+    """A single-pass infer→translate run over a corpus source."""
+
+    translation: TranslationReport
+    inferred: Type
+    resolved: Type
+    equivalence: Equivalence
+
+
+def translate_report_path(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = 1,
+    shared_memory="auto",
+    table: Optional[InternTable] = None,
+) -> TranslationRun:
+    """The single-pass infer→translate→write flow from a corpus source.
+
+    ``source`` is a file path (plain, gzip, or zstd — detected by magic
+    bytes), ``"-"`` for stdin, or a line iterable.  The schema comes from
+    the bytes fold (:func:`repro.inference.streaming.report_with_lines`
+    opens the corpus once and hands its lines back for the translate
+    pass), resolution and schema compilation are interned-memoized, and
+    each document is parsed, textified, shredded and row-encoded in one
+    streaming loop.  Pair with :func:`write_artifacts` to land the
+    artifacts on disk.
+    """
+    from repro.inference.streaming import report_with_lines
+    from repro.parsing.fadjs import SpeculativeDecoder
+
+    if table is None:
+        table = global_table()
+    # The translate pass needs each document as a DOM; on the constant-
+    # structure streams this flow targets, the Fad.js-style speculative
+    # decoder turns most lines into a single template match
+    # (result-identical to the generic parser, which it falls back to —
+    # with its exact errors — on any miss).
+    decoder = SpeculativeDecoder()
+    with report_with_lines(
+        source, equivalence, jobs=jobs, shared_memory=shared_memory
+    ) as (report, lines):
+        inferred = table.canonical(report.inferred)
+        resolution = resolve_interned(inferred, table=table)
+        shredder = Shredder(compiled_parquet(resolution.resolved, table=table))
+        encoder = avro.RowEncoder(
+            compiled_avro(resolution.resolved, table=table)
+        )
+        plan = resolution.plan
+        rows: list = []
+        count = 0
+        input_bytes = 0
+        for line in lines:
+            if not line or line.isspace():
+                continue
+            input_bytes += len(line.encode("utf-8"))
+            prepared = textify(decoder.decode(line), plan)
+            shredder.add(prepared)
+            rows.append(encoder.encode_row(prepared))
+            count += 1
+    if count != report.document_count:
+        raise TranslationError(
+            f"translate pass saw {count} documents, "
+            f"inference saw {report.document_count}"
+        )
+    translation = _build_report(
+        shredder.finish(), rows, resolution.fallbacks, count, input_bytes
+    )
+    return TranslationRun(
+        translation=translation,
+        inferred=inferred,
+        resolved=resolution.resolved,
+        equivalence=equivalence,
+    )
+
+
+# ---------------------------------------------------------------------------
+# artifacts
+# ---------------------------------------------------------------------------
+
+
+def column_store_json(store: ColumnStore) -> str:
+    """A canonical JSON rendering of a column store.
+
+    Deterministic (columns in path order), so two stores are equal iff
+    their renderings are byte-identical — the conformance tier compares
+    the DOM and interned paths through it, and :func:`write_artifacts`
+    writes it.
+    """
+    return dumps(
+        {
+            "row_count": store.row_count,
+            "columns": [
+                {
+                    "path": column.path,
+                    "kind": column.kind,
+                    "max_repetition": column.max_repetition,
+                    "max_definition": column.max_definition,
+                    "repetition_levels": column.repetition_levels,
+                    "definition_levels": column.definition_levels,
+                    "values": column.values,
+                }
+                for _, column in sorted(store.columns.items())
+            ],
+        }
+    )
+
+
+def write_artifacts(run: TranslationRun, out_dir) -> dict:
+    """Write the run's artifacts under ``out_dir``; returns path→bytes.
+
+    - ``rows.avro`` — the encoded rows, each prefixed with its byte
+      length as an Avro long (the block framing of the object container
+      format, without its header — the schema travels in
+      ``schema.txt``);
+    - ``columns.json`` — the columnar store (:func:`column_store_json`);
+    - ``schema.txt`` — inferred type, resolved type, and Avro schema.
+    """
+    import os
+
+    from repro.types import type_to_string
+
+    os.makedirs(out_dir, exist_ok=True)
+    report = run.translation
+    written = {}
+
+    rows_path = os.path.join(out_dir, "rows.avro")
+    framed = bytearray()
+    for row in report.avro_rows:
+        avro._write_long(framed, len(row))
+        framed.extend(row)
+    with open(rows_path, "wb") as handle:
+        handle.write(framed)
+    written[rows_path] = len(framed)
+
+    columns_path = os.path.join(out_dir, "columns.json")
+    columns_text = column_store_json(report.columnar) + "\n"
+    with open(columns_path, "w", encoding="utf-8") as handle:
+        handle.write(columns_text)
+    written[columns_path] = len(columns_text.encode("utf-8"))
+
+    schema_path = os.path.join(out_dir, "schema.txt")
+    schema_text = (
+        f"equivalence: {run.equivalence.value}\n"
+        f"inferred: {type_to_string(run.inferred)}\n"
+        f"resolved: {type_to_string(run.resolved)}\n"
+        f"avro: {avro.from_algebra(run.resolved)}\n"
+    )
+    with open(schema_path, "w", encoding="utf-8") as handle:
+        handle.write(schema_text)
+    written[schema_path] = len(schema_text.encode("utf-8"))
+    return written
+
+
+# ---------------------------------------------------------------------------
+# the no-schema baseline
+# ---------------------------------------------------------------------------
 
 
 @dataclass

@@ -501,6 +501,36 @@ def global_table() -> InternTable:
     return _GLOBAL
 
 
+class EpochMemo:
+    """An external memo cache keyed on ``id()`` of canonical nodes.
+
+    The pattern the memoized subtype checker established, extracted for
+    every subsystem that caches per-node results outside the table (the
+    subtype verdict memo, the translation resolver, the compiled
+    Avro/Parquet schema caches): :meth:`map_for` hands out the persistent
+    dict when ``table`` is the process-wide global table, clearing it
+    whenever the table starts a new epoch — cleared nodes may be
+    garbage-collected and their ids recycled, so entries from an older
+    epoch must never be consulted.  Private tables get a fresh throwaway
+    dict per call instead; correctness never depends on the cache.
+    """
+
+    __slots__ = ("_token", "_data")
+
+    def __init__(self) -> None:
+        self._token: object = None
+        self._data: dict = {}
+
+    def map_for(self, table: InternTable) -> dict:
+        if table is not _GLOBAL:
+            return {}
+        token = table.epoch()
+        if token is not self._token:
+            self._data.clear()
+            self._token = token
+        return self._data
+
+
 def intern(t: Type) -> Type:
     """Intern ``t`` in the global table."""
     return _GLOBAL.intern(t)

@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.jsonvalue.model import JsonKind, is_integer_value, kind_of
-from repro.types.intern import InternTable, global_table
+from repro.types.intern import EpochMemo, InternTable, global_table
 from repro.types.simplify import simplify
 from repro.types.terms import (
     AnyType,
@@ -50,19 +50,11 @@ _ANY = 1
 # Verdict memo for the global table, invalidated when the table starts a
 # new epoch (ids of cleared nodes may be recycled).  Private tables get a
 # fresh per-call memo instead — correctness never depends on the cache.
-_MEMO: dict = {}
-_MEMO_EPOCH: Optional[object] = None
+_MEMO = EpochMemo()
 
 
 def _memo_for(table: InternTable) -> dict:
-    global _MEMO_EPOCH
-    if table is not global_table():
-        return {}
-    token = table.epoch()
-    if token is not _MEMO_EPOCH:
-        _MEMO.clear()
-        _MEMO_EPOCH = token
-    return _MEMO
+    return _MEMO.map_for(table)
 
 
 def is_subtype(left: Type, right: Type, *, table: Optional[InternTable] = None) -> bool:

@@ -38,7 +38,30 @@ _ATOM_SCHEMAS = {
 
 
 def type_to_jsonschema(t: Type) -> dict[str, Any]:
-    """Render ``t`` as a (Draft-07 core) JSON Schema object."""
+    """Render ``t`` as a (Draft-07 core) JSON Schema object.
+
+    Interned (hash-consed) input converts each shared subtree once: the
+    walk memoizes on node identity for the duration of the call, so the
+    schema objects of repeated subtrees are *aliased* in the output.
+    Treat the result as immutable (serialize it, validate with it) —
+    mutating one branch would edit every position sharing the subtree.
+    """
+    return _export(t, {})
+
+
+def _export(t: Type, memo: dict[int, dict[str, Any]]) -> dict[str, Any]:
+    interned = t._interned is not None
+    if interned:
+        hit = memo.get(id(t))
+        if hit is not None:
+            return hit
+    out = _build(t, memo)
+    if interned:
+        memo[id(t)] = out
+    return out
+
+
+def _build(t: Type, memo: dict[int, dict[str, Any]]) -> dict[str, Any]:
     if isinstance(t, BotType):
         return {"not": {}}
     if isinstance(t, AnyType):
@@ -48,9 +71,9 @@ def type_to_jsonschema(t: Type) -> dict[str, Any]:
     if isinstance(t, ArrType):
         if isinstance(t.item, BotType):
             return {"type": "array", "maxItems": 0}
-        return {"type": "array", "items": type_to_jsonschema(t.item)}
+        return {"type": "array", "items": _export(t.item, memo)}
     if isinstance(t, RecType):
-        properties = {f.name: type_to_jsonschema(f.type) for f in t.fields}
+        properties = {f.name: _export(f.type, memo) for f in t.fields}
         required = sorted(f.name for f in t.fields if f.required)
         schema: dict[str, Any] = {
             "type": "object",
@@ -61,5 +84,5 @@ def type_to_jsonschema(t: Type) -> dict[str, Any]:
             schema["required"] = required
         return schema
     if isinstance(t, UnionType):
-        return {"anyOf": [type_to_jsonschema(m) for m in t.members]}
+        return {"anyOf": [_export(m, memo) for m in t.members]}
     raise TypeError(f"cannot export {t!r} to JSON Schema")

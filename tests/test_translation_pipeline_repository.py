@@ -41,6 +41,36 @@ class TestResolveType:
         _, fallbacks = resolve_type(t)
         assert fallbacks == ["xs.[]"]
 
+    def test_nullable_numeric_union_widens(self):
+        from repro.types import FLT, NUM
+        from repro.types.simplify import union
+
+        t = RecType.of({"v": union([INT, FLT, NULL])})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == []
+        assert resolved == RecType.of({"v": union2(NULL, NUM)})
+
+    def test_nullable_num_passes_through(self):
+        from repro.types import NUM
+
+        t = RecType.of({"v": union2(NUM, NULL)})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == []
+        assert resolved == t
+
+    def test_nullable_record_resolves_as_optional_record(self):
+        inner = RecType.of({"lat": INT, "lon": INT})
+        t = RecType.of({"geo": union2(inner, NULL)})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == []
+        assert resolved == t
+
+    def test_nullable_record_inner_fallbacks_keep_paths(self):
+        inner = RecType.of({"v": union2(INT, STR)})
+        t = RecType.of({"geo": union2(inner, NULL)})
+        resolved, fallbacks = resolve_type(t)
+        assert fallbacks == ["geo.v"]
+
 
 class TestSchemaAwareTranslation:
     DOCS = [
