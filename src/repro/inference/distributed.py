@@ -1594,6 +1594,110 @@ def _infer_counted_partition(payload: tuple[list[Any], str]) -> tuple[Any, int]:
     return accumulator.result(), accumulator.document_count
 
 
+def _fold_counted_bytes_range(data, start: int, end: int, equivalence_value: str):
+    """Fold one undecoded byte range through the counting algebra — the
+    counted analogue of :func:`_fold_bytes_range`.  Lines are recovered
+    as byte spans and typed by :func:`~repro.inference.counting.
+    counted_type_of_bytes`; blanks are skipped with the bytes folds'
+    exact whitespace rule, so counts reconcile with every serial path.
+    """
+    from repro.datasets.ndjson import iter_line_spans
+    from repro.inference.counting import counted_type_of_bytes
+    from repro.inference.engine import _EXTRA_SPACE_BYTES, _BYTES_WS_RUN
+
+    equivalence = Equivalence(equivalence_value)
+    accumulator = CountingAccumulator(equivalence)
+    add_counted = accumulator.add_counted
+    ws_match = _BYTES_WS_RUN.match
+    for s, e in iter_line_spans(data, start, end):
+        if e <= s:
+            continue
+        ws_end = ws_match(data, s, e).end()
+        if ws_end >= e:
+            continue
+        if data[ws_end] >= 0x80 or data[ws_end] in _EXTRA_SPACE_BYTES:
+            if bytes(data[s:e]).decode("utf-8").isspace():
+                continue
+        add_counted(counted_type_of_bytes(data, s, e, equivalence))
+    return accumulator.result(), accumulator.document_count
+
+
+def _infer_counted_file_range_partition(
+    payload: tuple[str, int, int, str]
+) -> tuple[Any, int]:
+    """Worker: counting fold over one byte range read from the file.
+
+    Mirrors :func:`_infer_file_range_partition`: the parent ships only
+    ``(path, start, end, equivalence)`` — no decoded lines, no document
+    pickles; only the counted partial (and its document count) returns.
+    """
+    file_path, start, end, equivalence_value = payload
+    with open(file_path, "rb") as handle:
+        handle.seek(start)
+        data = handle.read(end - start)
+    return _fold_counted_bytes_range(data, 0, len(data), equivalence_value)
+
+
+def _infer_counted_corpus(
+    corpus,
+    partitions: int,
+    equivalence: Equivalence,
+    *,
+    processes: Optional[int],
+) -> CountedParallelRun:
+    """The mmap-corpus execution of :func:`infer_counted_parallel`.
+
+    Contiguous byte ranges from the corpus index go to workers that read
+    their own file slice and run the bytes-native counting fold; the
+    counted algebra's merge adds the per-range cardinalities back
+    together.  Contiguous ranges (like :func:`partition_contiguous`)
+    keep union member first-appearance order identical to the serial
+    fold.
+    """
+    total = len(corpus)
+    if total == 0:
+        raise InferenceError(
+            "cannot infer a counted schema from an empty collection"
+        )
+    bounds = partition_bounds(total, partitions)
+
+    if processes is None:
+        processes = min(len(bounds), auto_jobs())
+    processes = max(1, processes)
+
+    if processes == 1 or len(bounds) == 1:
+        buffer = corpus.buffer()
+        partials = [
+            _fold_counted_bytes_range(
+                buffer, *corpus.byte_range(start, stop), equivalence.value
+            )
+            for start, stop in bounds
+        ]
+        processes = 1
+    else:
+        payloads = [
+            (corpus.path, *corpus.byte_range(start, stop), equivalence.value)
+            for start, stop in bounds
+        ]
+        with multiprocessing.Pool(processes=processes) as pool:
+            partials = pool.map(_infer_counted_file_range_partition, payloads)
+
+    combined = CountingAccumulator(equivalence)
+    for counted, count in partials:
+        combined.add_counted(counted, documents=count)
+    if combined.is_empty():
+        raise InferenceError(
+            "cannot infer a counted schema from an empty collection"
+        )
+    return CountedParallelRun(
+        result=combined.result(),
+        partitions=len(bounds),
+        processes=processes,
+        equivalence=equivalence,
+        document_count=combined.document_count,
+    )
+
+
 def infer_counted_parallel(
     documents: Sequence[Any],
     partitions: int,
@@ -1607,7 +1711,19 @@ def infer_counted_parallel(
     merge by adding counts, so the parallel reduce preserves every
     cardinality exactly (pinned by the process-boundary regression
     tests).
+
+    An :class:`~repro.datasets.ndjson.MmapCorpus` input takes the raw
+    byte-range route (:func:`_infer_counted_corpus`): workers read their
+    own contiguous file slice and fold undecoded line spans through the
+    bytes-native :func:`~repro.inference.counting.counted_type_of_bytes`
+    — no decoded line or document ever crosses the pipe.
     """
+    from repro.datasets.ndjson import MmapCorpus
+
+    if isinstance(documents, MmapCorpus):
+        return _infer_counted_corpus(
+            documents, partitions, equivalence, processes=processes
+        )
     docs = list(documents)
     if not docs:
         raise InferenceError("cannot infer a counted schema from an empty collection")

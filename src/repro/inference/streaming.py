@@ -446,3 +446,72 @@ def report_with_lines(
     lines = list(iter_ndjson_lines(source))
     report = infer_report_streaming(lines, equivalence)
     yield report, lines
+
+
+@contextmanager
+def report_with_spans(
+    source,
+    equivalence: Equivalence = Equivalence.KIND,
+    *,
+    jobs: Optional[int] = 1,
+    shared_memory="auto",
+):
+    """Infer over a corpus *file*, then hand back its raw line spans.
+
+    The byte-range sibling of :func:`report_with_lines`, for consumers
+    that walk documents as byte slices instead of decoded ``str`` lines
+    (the DOM-free translate machine).  Yields ``(report, sections)``
+    where ``sections`` iterates ``(buffer, spans)`` pairs: one pair
+    covering the whole corpus for a plain file (the mmap buffer plus its
+    line index), one pair per decompressed line-aligned block for a
+    gzip/zstd corpus (re-streamed through the chunked reader, so peak
+    memory stays one block).  Blank spans ride along exactly as blank
+    lines do — consumers skip them with the folds' whitespace rule.
+    Routing mirrors :func:`infer_report_path` case for case.
+
+    ``source`` must be an on-disk corpus file — other sources have no
+    byte spans; callers should fall back to :func:`report_with_lines`.
+    """
+    import os
+
+    if not (
+        isinstance(source, (str, os.PathLike))
+        and str(source) != "-"
+        and os.path.isfile(source)
+    ):
+        raise ValueError("report_with_spans needs an on-disk corpus file")
+
+    from repro.datasets.compressed import (
+        detect_compression,
+        iter_block_line_spans,
+        iter_line_blocks,
+    )
+    from repro.datasets.ndjson import open_corpus
+
+    fmt = detect_compression(source)
+    if fmt is not None:
+        report = infer_report_compressed(
+            source, equivalence, jobs=jobs, format=fmt
+        )
+
+        def _sections():
+            for block in iter_line_blocks(source, format=fmt):
+                yield block, iter_block_line_spans(block)
+
+        yield report, _sections()
+        return
+    with open_corpus(source) as corpus:
+        if jobs == 1:
+            report = infer_report_corpus(corpus, equivalence)
+        else:
+            from repro.inference.distributed import infer_adaptive_text
+
+            run = infer_adaptive_text(
+                corpus, equivalence, jobs=jobs, shared_memory=shared_memory
+            )
+            report = InferenceReport(
+                inferred=run.result,
+                equivalence=equivalence,
+                document_count=run.document_count,
+            )
+        yield report, ((corpus.buffer(), corpus.spans),)

@@ -118,6 +118,13 @@ FLOAT_PATTERN = (
 )
 WHITESPACE_PATTERN = r"[ \t\n\r]*"
 NUMBER_BOUNDARY_CHARS = ".eE0123456789"
+# The possibly-empty fraction/exponent tail after an INT_PATTERN match.
+# ``INT_PATTERN + "(" + NUMBER_TAIL_PATTERN + ")"`` matches every valid
+# number maximally while exposing "was it an int" as "is the tail group
+# empty" — the shape the fused scan machines key their dispatch on.  The
+# boundary caveat above applies unchanged: a match followed by one of
+# NUMBER_BOUNDARY_CHARS may extend into a malformed literal.
+NUMBER_TAIL_PATTERN = r"(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
 
 # --------------------------------------------------------------------------
 # Bytes mirrors of the shared fragments.
@@ -142,6 +149,7 @@ INT_PATTERN_BYTES = INT_PATTERN.encode("ascii")
 FLOAT_PATTERN_BYTES = FLOAT_PATTERN.encode("ascii")
 WHITESPACE_PATTERN_BYTES = WHITESPACE_PATTERN.encode("ascii")
 NUMBER_BOUNDARY_BYTES = NUMBER_BOUNDARY_CHARS.encode("ascii")
+NUMBER_TAIL_PATTERN_BYTES = NUMBER_TAIL_PATTERN.encode("ascii")
 STRING_BODY_PATTERN_BYTES = STRING_BODY_PATTERN.encode("ascii")
 
 # One valid escape sequence.  Any \uXXXX is lexically valid (the lexer

@@ -75,12 +75,20 @@ class ShapeTemplate:
     # (dotted key path, converter) per capture group, in group order.
     slots: list[tuple[tuple[str, ...], Callable[[str], Any]]]
     key_paths: list[tuple[str, ...]]  # full shape, for rebuild
+    # Paths of object-valued keys, parents first.  Slots only materialise
+    # the dicts on the way to a scalar, so an {} subtree (no slots under
+    # it) must be created explicitly or the decode silently drops it.
+    object_paths: list[tuple[str, ...]]
 
     def try_decode(self, text: str) -> Optional[dict]:
         m = self.regex.match(text)
         if m is None:
             return None
         root: dict[str, Any] = {}
+        for path in self.object_paths:
+            node = root
+            for step in path:
+                node = node.setdefault(step, {})
         groups = m.groups()
         for (path, convert), raw in zip(self.slots, groups):
             node = root
@@ -105,6 +113,7 @@ def compile_template(value: Any) -> ShapeTemplate:
     pattern_parts: list[str] = [r"\s*"]
     slots: list[tuple[tuple[str, ...], Callable[[str], Any]]] = []
     key_paths: list[tuple[str, ...]] = []
+    object_paths: list[tuple[str, ...]] = []
 
     def emit_object(obj: dict, prefix: tuple[str, ...]) -> None:
         pattern_parts.append(r"\{\s*")
@@ -115,6 +124,7 @@ def compile_template(value: Any) -> ShapeTemplate:
             path = prefix + (key,)
             key_paths.append(path)
             if isinstance(val, dict):
+                object_paths.append(path)
                 emit_object(val, path)
             elif isinstance(val, list):
                 raise TemplateCompileError("arrays are not constant-structure")
@@ -133,7 +143,9 @@ def compile_template(value: Any) -> ShapeTemplate:
     emit_object(value, ())
     pattern_parts.append(r"\s*$")
     regex = re.compile("".join(pattern_parts))
-    return ShapeTemplate(regex=regex, slots=slots, key_paths=key_paths)
+    return ShapeTemplate(
+        regex=regex, slots=slots, key_paths=key_paths, object_paths=object_paths
+    )
 
 
 @dataclass

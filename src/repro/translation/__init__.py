@@ -9,7 +9,11 @@
 - :mod:`repro.translation.translate` — schema-aware vs schema-oblivious
   translation pipelines (experiment E9): the DOM reference path, the
   interned-memoized streaming path, and the single-pass
-  infer→translate→write flow (experiment E21).
+  infer→translate→write flow (experiment E21);
+- :mod:`repro.translation.stream` — the DOM-free translate machine
+  (experiment E22): a fused column program compiled from the resolution
+  + Parquet + Avro trees drives the shredder and row encoder straight
+  from each document's byte span.
 """
 
 from repro.translation import avro
@@ -24,6 +28,7 @@ from repro.translation.parquet import (
     compile_schema,
     shred,
 )
+from repro.translation.stream import StreamTranslator, compile_column_program
 from repro.translation.translate import (
     ObliviousReport,
     Resolution,
@@ -52,6 +57,8 @@ __all__ = [
     "assemble",
     "compile_schema",
     "shred",
+    "StreamTranslator",
+    "compile_column_program",
     "ObliviousReport",
     "Resolution",
     "TextifyPlan",

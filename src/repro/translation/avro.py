@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import Any, Iterable, Tuple
+from typing import Any, Iterable, Optional, Tuple
 
 from repro.errors import TranslationError
 from repro.jsonvalue.model import is_integer_value
@@ -574,3 +574,23 @@ def _fill_missing(schema: AvroSchema, value: Any) -> Any:
             if _accepts(branch, value):
                 return _fill_missing(branch, value)
     return value
+
+
+def missing_field_bytes(schema: AvroSchema) -> Optional[bytes]:
+    """The exact bytes :meth:`RowEncoder._emit` writes for an *absent*
+    record field of type ``schema``, or ``None`` when absence raises
+    (a missing required field).
+
+    The stream translate machine precompiles these per field at program
+    build time, so an absent optional field costs one buffer append at
+    translate time instead of re-deciding the cascade per document.
+    """
+    if schema.__class__ is AUnion and _is_optional_union(schema):
+        return b"\x00"  # zigzag(0): the null branch of union[null, T]
+    if schema.__class__ is APrimitive and schema.name == "null":
+        return b""  # null encodes to zero bytes
+    if _accepts(schema, None):
+        out = bytearray()
+        _encode(schema, _fill_missing(schema, None), out)
+        return bytes(out)
+    return None

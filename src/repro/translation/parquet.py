@@ -280,6 +280,26 @@ def _emit_missing(node: PNode, path: str, rep: int, deflevel: int, columns: dict
     raise TranslationError(f"unexpected schema node {node!r}")  # pragma: no cover
 
 
+def leaf_paths(node: PNode, path: str = "") -> list:
+    """Paths of every leaf column under ``node``.
+
+    Exactly the columns :func:`_emit_missing` touches when the subtree at
+    ``path`` is absent — the stream translate machine precompiles this
+    traversal into flat ``(column, definition_level)`` emission lists so a
+    missing optional field costs one loop over them, not a tree walk.
+    """
+    if isinstance(node, PLeaf):
+        return [path]
+    if isinstance(node, PRecord):
+        out = []
+        for f in node.fields:
+            out.extend(leaf_paths(f.node, f"{path}.{f.name}" if path else f.name))
+        return out
+    if isinstance(node, PList):
+        return leaf_paths(node.element, f"{path}.[]" if path else "[]")
+    raise TranslationError(f"unexpected schema node {node!r}")  # pragma: no cover
+
+
 def _shred_value(
     node: PNode,
     value: Any,

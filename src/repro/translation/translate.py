@@ -178,7 +178,7 @@ class Resolution:
 
 # Per-node resolution memo: id(canonical node) -> (resolved, relative
 # fallback suffixes, plan).  Suffixes are recorded *relative* to the node
-# ("" = the node itself) because the same subtree appears at many
+# (() = the node itself) because the same subtree appears at many
 # absolute paths; parents prepend their segment.
 _RESOLVE_MEMO = EpochMemo()
 _PARQUET_MEMO = EpochMemo()
@@ -186,7 +186,11 @@ _AVRO_MEMO = EpochMemo()
 
 
 def _join(segment: str, suffixes: tuple) -> list:
-    return [segment if s == "" else f"{segment}.{s}" for s in suffixes]
+    # Suffixes stay *segment tuples* until resolve_interned renders the
+    # dotted strings: a string join can't tell "the node itself" from a
+    # field literally named "" (whose column is "parent." — hypothesis
+    # found the collision), a tuple prepend can.
+    return [(segment,) + s for s in suffixes]
 
 
 def _resolve_node(node: Type, table: InternTable, memo: dict):
@@ -257,7 +261,7 @@ def _resolve_fresh(node: Type, table: InternTable, memo: dict):
             inner, suffixes, plan = _resolve_node(rest[0], table, memo)
             resolved = table.union_of([table.atom("null"), inner])
             return resolved, suffixes, plan
-        return table.atom("str"), ("",), FALLBACK
+        return table.atom("str"), ((),), FALLBACK
     raise TranslationError(f"cannot resolve {node!r}")
 
 
@@ -276,7 +280,11 @@ def resolve_interned(
     node = table.canonical(t)
     memo = _RESOLVE_MEMO.map_for(table)
     resolved, suffixes, plan = _resolve_node(node, table, memo)
-    return Resolution(resolved=resolved, fallbacks=suffixes, plan=plan)
+    return Resolution(
+        resolved=resolved,
+        fallbacks=tuple(".".join(s) for s in suffixes),
+        plan=plan,
+    )
 
 
 def resolve_type(t: Type) -> tuple[Type, list[str]]:
@@ -318,15 +326,23 @@ def compiled_avro(
 
 @dataclass
 class TranslationReport:
-    """Outcome of one schema-aware translation."""
+    """Outcome of one schema-aware translation.
+
+    ``avro_rows`` is ``None`` when the rows were spilled to disk during
+    translation (``translate_report_path(..., out=...)``): the encoded
+    bytes already live in ``rows.avro`` and only their size
+    (``row_bytes``) is retained, keeping peak memory O(columns + one
+    row).
+    """
 
     document_count: int
     columnar: ColumnStore
-    avro_rows: list
+    avro_rows: Optional[list]
     fallback_count: int
     typed_leaf_columns: int
     json_leaf_columns: int
     input_bytes: int
+    row_bytes: Optional[int] = None
 
     @property
     def columnar_bytes(self) -> int:
@@ -334,7 +350,9 @@ class TranslationReport:
 
     @property
     def avro_bytes(self) -> int:
-        return sum(len(r) for r in self.avro_rows)
+        if self.avro_rows is not None:
+            return sum(len(r) for r in self.avro_rows)
+        return self.row_bytes or 0
 
     @property
     def typed_fraction(self) -> float:
@@ -361,10 +379,11 @@ def _relabel_fallbacks(store: ColumnStore, fallbacks: Iterable[str]) -> None:
 
 def _build_report(
     store: ColumnStore,
-    rows: list,
+    rows: Optional[list],
     fallbacks: tuple,
     document_count: int,
     input_bytes: int,
+    row_bytes: Optional[int] = None,
 ) -> TranslationReport:
     _relabel_fallbacks(store, fallbacks)
     typed = sum(1 for c in store.columns.values() if c.kind != "json")
@@ -376,6 +395,7 @@ def _build_report(
         typed_leaf_columns=typed,
         json_leaf_columns=len(store.columns) - typed,
         input_bytes=input_bytes,
+        row_bytes=row_bytes,
     )
 
 
@@ -476,12 +496,60 @@ def translate_interned(
 
 @dataclass
 class TranslationRun:
-    """A single-pass infer→translate run over a corpus source."""
+    """A single-pass infer→translate run over a corpus source.
+
+    ``artifacts`` is the path→bytes map of what landed on disk when the
+    run spilled its artifacts (``translate_report_path(out=...)``);
+    ``None`` for purely in-memory runs (use :func:`write_artifacts`).
+    """
 
     translation: TranslationReport
     inferred: Type
     resolved: Type
     equivalence: Equivalence
+    artifacts: Optional[dict] = None
+
+
+class _RowSink:
+    """Row accumulator: an in-memory list, or an incremental spill to
+    the length-prefixed ``rows.avro`` framing.
+
+    The spill keeps translation memory O(columns + one row): each
+    encoded row is framed and written immediately, and only byte
+    counters are retained.  The list stays for the library-API return
+    path (``TranslationReport.avro_rows``).
+    """
+
+    __slots__ = ("rows", "row_bytes", "framed_bytes", "_handle", "_frame")
+
+    def __init__(self, rows_path=None):
+        if rows_path is None:
+            self.rows: Optional[list] = []
+            self._handle = None
+        else:
+            self.rows = None
+            self._handle = open(rows_path, "wb")
+        self.row_bytes = 0
+        self.framed_bytes = 0
+        self._frame = bytearray()
+
+    def add(self, row: bytes) -> None:
+        handle = self._handle
+        if handle is None:
+            self.rows.append(row)
+            return
+        frame = self._frame
+        frame.clear()
+        avro._write_long(frame, len(row))
+        frame += row
+        handle.write(frame)
+        self.row_bytes += len(row)
+        self.framed_bytes += len(frame)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def translate_report_path(
@@ -491,64 +559,172 @@ def translate_report_path(
     jobs: Optional[int] = 1,
     shared_memory="auto",
     table: Optional[InternTable] = None,
+    engine: str = "stream",
+    out=None,
 ) -> TranslationRun:
     """The single-pass infer→translate→write flow from a corpus source.
 
     ``source`` is a file path (plain, gzip, or zstd — detected by magic
-    bytes), ``"-"`` for stdin, or a line iterable.  The schema comes from
-    the bytes fold (:func:`repro.inference.streaming.report_with_lines`
-    opens the corpus once and hands its lines back for the translate
-    pass), resolution and schema compilation are interned-memoized, and
-    each document is parsed, textified, shredded and row-encoded in one
-    streaming loop.  Pair with :func:`write_artifacts` to land the
-    artifacts on disk.
-    """
-    from repro.inference.streaming import report_with_lines
-    from repro.parsing.fadjs import SpeculativeDecoder
+    bytes), ``"-"`` for stdin, or a line iterable.  The schema comes
+    from the bytes fold, resolution and schema compilation are
+    interned-memoized, and each document translates in one streaming
+    loop.  Two engines, byte-identical on the artifacts they share:
 
+    - ``"stream"`` (default): the DOM-free machine
+      (:class:`repro.translation.stream.StreamTranslator`) walks each
+      document's raw byte span and emits column entries and Avro row
+      bytes directly; non-conforming documents delegate per-document to
+      the DOM path.  Sources without byte spans (stdin, line iterables)
+      fall back to the DOM loop automatically, as does any resolved
+      schema the column program cannot express.  Fallback (JSON-text)
+      columns capture the **raw source slice verbatim**, where the DOM
+      engine re-serialises — identical on serializer-canonical corpora.
+    - ``"interned"``: the PR 8 DOM loop — speculative decode, textify,
+      shredder + fused row encoder.
+
+    ``out`` (a directory) spills artifacts while translating: encoded
+    rows stream straight into ``rows.avro`` (peak memory O(columns + one
+    row), ``TranslationReport.avro_rows`` is then ``None``), and
+    ``columns.json``/``schema.txt`` land at the end; the written map is
+    on ``TranslationRun.artifacts``.  Without ``out``, pair with
+    :func:`write_artifacts`.
+    """
+    import os
+
+    from repro.inference.streaming import report_with_lines, report_with_spans
+
+    if engine not in ("stream", "interned"):
+        raise TranslationError(
+            f"unknown translate engine {engine!r}; expected 'stream' or 'interned'"
+        )
     if table is None:
         table = global_table()
-    # The translate pass needs each document as a DOM; on the constant-
-    # structure streams this flow targets, the Fad.js-style speculative
-    # decoder turns most lines into a single template match
-    # (result-identical to the generic parser, which it falls back to —
-    # with its exact errors — on any miss).
-    decoder = SpeculativeDecoder()
-    with report_with_lines(
-        source, equivalence, jobs=jobs, shared_memory=shared_memory
-    ) as (report, lines):
-        inferred = table.canonical(report.inferred)
-        resolution = resolve_interned(inferred, table=table)
-        shredder = Shredder(compiled_parquet(resolution.resolved, table=table))
-        encoder = avro.RowEncoder(
-            compiled_avro(resolution.resolved, table=table)
-        )
-        plan = resolution.plan
-        rows: list = []
-        count = 0
-        input_bytes = 0
-        for line in lines:
-            if not line or line.isspace():
-                continue
-            input_bytes += len(line.encode("utf-8"))
-            prepared = textify(decoder.decode(line), plan)
-            shredder.add(prepared)
-            rows.append(encoder.encode_row(prepared))
-            count += 1
-    if count != report.document_count:
-        raise TranslationError(
-            f"translate pass saw {count} documents, "
-            f"inference saw {report.document_count}"
-        )
-    translation = _build_report(
-        shredder.finish(), rows, resolution.fallbacks, count, input_bytes
+    is_file = (
+        isinstance(source, (str, os.PathLike))
+        and str(source) != "-"
+        and os.path.isfile(source)
     )
-    return TranslationRun(
+    rows_path = None
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        rows_path = os.path.join(out, "rows.avro")
+    sink = _RowSink(rows_path)
+    try:
+        if engine == "stream" and is_file:
+            with report_with_spans(
+                source, equivalence, jobs=jobs, shared_memory=shared_memory
+            ) as (report, sections):
+                inferred = table.canonical(report.inferred)
+                resolution = resolve_interned(inferred, table=table)
+                shredder = Shredder(
+                    compiled_parquet(resolution.resolved, table=table)
+                )
+                encoder = avro.RowEncoder(
+                    compiled_avro(resolution.resolved, table=table)
+                )
+                count, input_bytes = _stream_translate_sections(
+                    sections, resolution, shredder, encoder, sink
+                )
+        else:
+            with report_with_lines(
+                source, equivalence, jobs=jobs, shared_memory=shared_memory
+            ) as (report, lines):
+                inferred = table.canonical(report.inferred)
+                resolution = resolve_interned(inferred, table=table)
+                shredder = Shredder(
+                    compiled_parquet(resolution.resolved, table=table)
+                )
+                encoder = avro.RowEncoder(
+                    compiled_avro(resolution.resolved, table=table)
+                )
+                count, input_bytes = _dom_translate_lines(
+                    lines, resolution, shredder, encoder, sink
+                )
+        if count != report.document_count:
+            raise TranslationError(
+                f"translate pass saw {count} documents, "
+                f"inference saw {report.document_count}"
+            )
+    finally:
+        sink.close()
+    translation = _build_report(
+        shredder.finish(),
+        sink.rows,
+        resolution.fallbacks,
+        count,
+        input_bytes,
+        row_bytes=sink.row_bytes if sink.rows is None else None,
+    )
+    run = TranslationRun(
         translation=translation,
         inferred=inferred,
         resolved=resolution.resolved,
         equivalence=equivalence,
     )
+    if out is not None:
+        written = {rows_path: sink.framed_bytes}
+        written.update(_write_columns_and_schema(run, out))
+        run.artifacts = written
+    return run
+
+
+def _dom_translate_lines(lines, resolution, shredder, encoder, sink):
+    """The DOM loop: decoded lines through speculative decode + textify.
+
+    On the constant-structure streams this flow targets, the Fad.js-
+    style speculative decoder turns most lines into a single template
+    match (result-identical to the generic parser, which it falls back
+    to — with its exact errors — on any miss).
+    """
+    from repro.parsing.fadjs import SpeculativeDecoder
+
+    decoder = SpeculativeDecoder()
+    plan = resolution.plan
+    add = sink.add
+    count = 0
+    input_bytes = 0
+    for line in lines:
+        if not line or line.isspace():
+            continue
+        input_bytes += len(line.encode("utf-8"))
+        prepared = textify(decoder.decode(line), plan)
+        shredder.add(prepared)
+        add(encoder.encode_row(prepared))
+        count += 1
+    return count, input_bytes
+
+
+def _stream_translate_sections(sections, resolution, shredder, encoder, sink):
+    """The DOM-free loop: raw byte spans through the stream machine.
+
+    Blank spans are skipped with the byte folds' exact whitespace rule
+    (ASCII run first; a leading high or vertical-space byte decides by
+    ``str.isspace`` on the decoded line, decode errors raising exactly),
+    so the document count always reconciles with inference.
+    """
+    from repro.inference.engine import _BYTES_WS_RUN, _EXTRA_SPACE_BYTES
+    from repro.translation.stream import StreamTranslator
+
+    translator = StreamTranslator(resolution, shredder, encoder)
+    translate = translator.translate_range
+    ws_match = _BYTES_WS_RUN.match
+    add = sink.add
+    count = 0
+    input_bytes = 0
+    for data, spans in sections:
+        for start, end in spans:
+            if end <= start:
+                continue
+            ws_end = ws_match(data, start, end).end()
+            if ws_end >= end:
+                continue  # ASCII whitespace only
+            if data[ws_end] >= 0x80 or data[ws_end] in _EXTRA_SPACE_BYTES:
+                if bytes(data[start:end]).decode("utf-8").isspace():
+                    continue
+            input_bytes += end - start
+            add(translate(data, start, end))
+            count += 1
+    return count, input_bytes
 
 
 # ---------------------------------------------------------------------------
@@ -592,13 +768,22 @@ def write_artifacts(run: TranslationRun, out_dir) -> dict:
       ``schema.txt``);
     - ``columns.json`` — the columnar store (:func:`column_store_json`);
     - ``schema.txt`` — inferred type, resolved type, and Avro schema.
+
+    Runs that already spilled their rows (``translate_report_path(out=
+    ...)``) have ``avro_rows is None`` — their artifacts are on disk
+    (see ``TranslationRun.artifacts``) and re-writing here would have
+    nothing to frame.
     """
     import os
 
-    from repro.types import type_to_string
-
-    os.makedirs(out_dir, exist_ok=True)
     report = run.translation
+    if report.avro_rows is None:
+        raise TranslationError(
+            "this run spilled its rows during translation "
+            "(translate_report_path(out=...)); artifacts are already "
+            "on disk — see TranslationRun.artifacts"
+        )
+    os.makedirs(out_dir, exist_ok=True)
     written = {}
 
     rows_path = os.path.join(out_dir, "rows.avro")
@@ -610,8 +795,21 @@ def write_artifacts(run: TranslationRun, out_dir) -> dict:
         handle.write(framed)
     written[rows_path] = len(framed)
 
+    written.update(_write_columns_and_schema(run, out_dir))
+    return written
+
+
+def _write_columns_and_schema(run: TranslationRun, out_dir) -> dict:
+    """The row-independent artifacts, shared by both write paths."""
+    import os
+
+    from repro.types import type_to_string
+
+    os.makedirs(out_dir, exist_ok=True)
+    written = {}
+
     columns_path = os.path.join(out_dir, "columns.json")
-    columns_text = column_store_json(report.columnar) + "\n"
+    columns_text = column_store_json(run.translation.columnar) + "\n"
     with open(columns_path, "w", encoding="utf-8") as handle:
         handle.write(columns_text)
     written[columns_path] = len(columns_text.encode("utf-8"))

@@ -44,6 +44,7 @@ from repro.jsonvalue.lexer import (
     INT_PATTERN_BYTES,
     NUMBER_BOUNDARY_BYTES,
     NUMBER_BOUNDARY_CHARS,
+    NUMBER_TAIL_PATTERN_BYTES,
     STRING_BODY_PATTERN,
     STRING_BODY_PATTERN_BYTES,
     UTF8_VALIDATION_PATTERN,
@@ -441,7 +442,7 @@ _NUMBER_START = "-0123456789"
 # --------------------------------------------------------------------------
 
 _BYTES_WS = WHITESPACE_PATTERN_BYTES
-_BYTES_NUMBER_TAIL = rb"(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?"
+_BYTES_NUMBER_TAIL = NUMBER_TAIL_PATTERN_BYTES
 
 # Scalar alternatives with the same relative groups as _SCALAR_GROUPS:
 # +1 string, +2 number (containing +3 tail), +4 true/false, +5 null,

@@ -120,6 +120,34 @@ class TestTranslate:
         assert "columnar bytes" in out
         assert "typed columns" in out
 
+    def test_engines_print_identical_reports(self, data_file, capsys):
+        assert main(["translate", data_file]) == 0
+        stream_out = capsys.readouterr().out
+        assert main(["translate", data_file, "--engine", "dom"]) == 0
+        assert capsys.readouterr().out == stream_out
+
+    def test_out_with_dom_engine_rejected_before_translating(
+        self, data_file, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "artifacts"
+        code = main(
+            ["translate", data_file, "--engine", "dom", "--out", str(out_dir)]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        # Rejected upfront: no report printed, no artifacts written.
+        assert captured.out == ""
+        assert "--out requires" in captured.err
+        assert not out_dir.exists()
+
+    def test_out_writes_artifacts(self, data_file, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["translate", data_file, "--out", str(out_dir)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert (out_dir / "rows.avro").exists()
+        assert (out_dir / "columns.json").exists()
+        assert (out_dir / "schema.txt").exists()
+
 
 class TestMatrix:
     def test_matrix_printed(self, capsys):

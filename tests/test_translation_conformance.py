@@ -63,8 +63,24 @@ def test_interned_matches_dom_on_benchmark_corpora(corpus, equivalence):
     _assert_identical(dom, interned)
 
 
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+@pytest.mark.parametrize("equivalence", [Equivalence.KIND, Equivalence.LABEL])
+def test_stream_engine_matches_dom_on_benchmark_corpora(
+    tmp_path, corpus, equivalence
+):
+    docs = CORPORA[corpus]()
+    path = tmp_path / f"{corpus}.ndjson"
+    path.write_text(
+        "".join(dumps(d) + "\n" for d in docs), encoding="utf-8"
+    )
+    stream = translate_report_path(str(path), equivalence, engine="stream")
+    dom = schema_aware_translate(docs, equivalence=equivalence)
+    _assert_identical(dom, stream.translation)
+
+
+@pytest.mark.parametrize("engine", ["stream", "interned"])
 @pytest.mark.parametrize("compress", [False, True])
-def test_translate_report_path_matches_in_memory(tmp_path, compress):
+def test_translate_report_path_matches_in_memory(tmp_path, compress, engine):
     docs = tweets(80)
     raw = "".join(dumps(d) + "\n" for d in docs)
     # A blank interior line: skipped by inference and translation alike.
@@ -75,7 +91,7 @@ def test_translate_report_path_matches_in_memory(tmp_path, compress):
     else:
         path = tmp_path / "tweets.ndjson"
         path.write_text(raw, encoding="utf-8")
-    run = translate_report_path(str(path))
+    run = translate_report_path(str(path), engine=engine)
     reference = translate_interned(docs)
     assert run.translation.avro_rows == reference.avro_rows
     assert column_store_json(run.translation.columnar) == column_store_json(
@@ -172,6 +188,22 @@ def test_nullable_record_union_keeps_leaves_typed():
     assert report.fallback_count == 0
     assert sorted(report.columnar.columns) == ["geo.lat", "geo.lon"]
     assert report.columnar.columns["geo.lat"].values == [1.5, 3.0]
+
+
+def test_empty_field_name_fallback_path_matches_its_column():
+    # A field literally named "" shreds to the column "parent." — the
+    # resolver's relative-suffix join used "" as the node-itself sentinel
+    # and collapsed the empty segment, so the strict relabel missed the
+    # column (hypothesis counterexample: [{}, {"0": [{"": False},
+    # {"": 0}]}]).  Suffixes are segment tuples now; the paths agree.
+    docs = [{}, {"0": [{"": False}, {"": 0}]}]
+    inferred = merge_all((type_of(d) for d in docs), Equivalence.KIND)
+    _, fallbacks = resolve_type(inferred)
+    assert fallbacks == ["0.[]."]
+    dom = schema_aware_translate(docs)
+    interned = translate_interned(docs)
+    _assert_identical(dom, interned)
+    assert dom.columnar.columns["0.[]."].kind == "json"
 
 
 def test_tweets_coordinates_no_longer_fall_back():
